@@ -1,0 +1,134 @@
+"""Shared benchmark fixtures: per-technology reproduction pipelines.
+
+Scaling: by default the suite runs "small" (hundreds of instances, a
+handful of clips, trimmed metal stack) so it completes on a laptop.
+Set ``REPRO_BENCH_SCALE=paper`` for paper-scale parameters (top-100
+clips, 8-metal stack, multiple designs/utilizations) -- expect hours,
+as the paper itself reports ~1000s per clip.
+
+Each technology pipeline produces: a synthetic library, placed+routed
+AES-like and M0-like designs, extracted clips, and the top-K difficult
+clips per the pin-cost metric.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import pytest
+
+from repro.cells import generate_library
+from repro.clips import ClipWindowSpec, extract_clips, select_top_clips
+from repro.clips.clip import Clip
+from repro.netlist import synthesize_design
+from repro.place import place_design
+from repro.route import RoutingGrid
+from repro.route.detailed_router import route_design
+from repro.tech import technology_by_name
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizing for the benchmark suite."""
+
+    name: str
+    n_instances: int
+    utilizations: tuple[float, ...]
+    top_k: int
+    max_metal: int
+    time_limit: float
+    profiles: tuple[str, ...] = ("aes", "m0")
+
+
+SMALL = BenchScale(
+    name="small",
+    n_instances=130,
+    utilizations=(0.88,),
+    top_k=4,
+    max_metal=6,   # M2..M6 -> nz=5 in clips
+    time_limit=20.0,
+)
+
+PAPER = BenchScale(
+    name="paper",
+    n_instances=2000,
+    utilizations=(0.89, 0.93),
+    top_k=100,
+    max_metal=8,
+    time_limit=1200.0,
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return PAPER if os.environ.get("REPRO_BENCH_SCALE") == "paper" else SMALL
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@dataclass
+class TechPipeline:
+    """Everything the benches need for one technology."""
+
+    tech_name: str
+    designs: list = field(default_factory=list)  # (design, util, profile)
+    clips: list[Clip] = field(default_factory=list)
+    top_clips: list[Clip] = field(default_factory=list)
+    clips_by_design: dict[str, list[Clip]] = field(default_factory=dict)
+
+
+def build_pipeline(tech_name: str, scale: BenchScale) -> TechPipeline:
+    tech = technology_by_name(tech_name)
+    library = generate_library(tech)
+    pipeline = TechPipeline(tech_name=tech_name)
+    seed = hash(tech_name) % 1000
+    for profile in scale.profiles:
+        for util in scale.utilizations:
+            design = synthesize_design(
+                library, profile, scale.n_instances,
+                seed=seed, design_name=f"{profile}_{tech_name}_u{int(util * 100)}",
+            )
+            seed += 1
+            place_design(design, utilization=util, seed=seed)
+            grid = RoutingGrid.for_die(tech, design.die, max_metal=scale.max_metal)
+            routed = route_design(design, grid)
+            clips = extract_clips(
+                design, grid, routed, ClipWindowSpec(cols=7, rows=10)
+            )
+            pipeline.designs.append((design, util, profile, routed))
+            pipeline.clips.extend(clips)
+            pipeline.clips_by_design[design.name] = clips
+    pipeline.top_clips = select_top_clips(pipeline.clips, k=scale.top_k)
+    return pipeline
+
+
+_PIPELINES: dict[str, TechPipeline] = {}
+
+
+def pipeline_for(tech_name: str, scale: BenchScale) -> TechPipeline:
+    if tech_name not in _PIPELINES:
+        _PIPELINES[tech_name] = build_pipeline(tech_name, scale)
+    return _PIPELINES[tech_name]
+
+
+@pytest.fixture(scope="session")
+def n28_12t_pipeline(scale):
+    return pipeline_for("N28-12T", scale)
+
+
+@pytest.fixture(scope="session")
+def n28_8t_pipeline(scale):
+    return pipeline_for("N28-8T", scale)
+
+
+@pytest.fixture(scope="session")
+def n7_9t_pipeline(scale):
+    return pipeline_for("N7-9T", scale)

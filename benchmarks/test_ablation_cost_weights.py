@@ -1,0 +1,77 @@
+"""Ablation: alternative routing-cost definitions (via weight sweep).
+
+The paper notes it has "separately observed that the ILP sensibly
+handles alternative routing cost definitions with different weighting
+of via count".  This ablation sweeps the via weight and checks the
+expected economics: higher via prices never increase the optimal via
+count, never decrease optimal wirelength, and the solution stays
+optimal and DRC-clean throughout.
+"""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.drc import check_clip_routing
+from repro.router import OptRouter, RouteStatus, RuleConfig
+from repro.util import format_table
+
+WEIGHTS = (1.0, 2.0, 4.0, 8.0)
+
+
+def _clips(n=3):
+    return [
+        make_synthetic_clip(
+            SyntheticClipSpec(nx=6, ny=8, nz=4, n_nets=3, sinks_per_net=1,
+                              access_points_per_pin=2),
+            seed=seed,
+        )
+        for seed in range(n)
+    ]
+
+
+def test_via_weight_sweep(results_dir, scale):
+    rows = []
+    for clip in _clips():
+        prev_vias = None
+        prev_wl = None
+        for weight in WEIGHTS:
+            router = OptRouter(via_cost=weight, time_limit=scale.time_limit)
+            rules = RuleConfig()
+            result = router.route(clip, rules)
+            assert result.status is RouteStatus.OPTIMAL
+            assert check_clip_routing(clip, rules, result.routing) == []
+            rows.append(
+                (clip.name, weight, result.wirelength, result.n_vias,
+                 f"{result.cost:.1f}")
+            )
+            if prev_vias is not None:
+                # Raising the via price cannot raise the optimal via
+                # count, nor lower the optimal wirelength.
+                assert result.n_vias <= prev_vias
+                assert result.wirelength >= prev_wl
+            prev_vias, prev_wl = result.n_vias, result.wirelength
+    table = format_table(
+        ("clip", "via wt", "WL", "vias", "cost"),
+        rows,
+        title="Ablation: via-weight sweep (alternative cost definitions)",
+    )
+    print("\n" + table)
+    (results_dir / "ablation_via_weight.txt").write_text(table + "\n")
+
+
+def test_wire_cost_scales_objective(scale):
+    clip = _clips(1)[0]
+    r1 = OptRouter(wire_cost=1.0, time_limit=scale.time_limit).route(clip)
+    r2 = OptRouter(wire_cost=2.0, via_cost=8.0,
+                   time_limit=scale.time_limit).route(clip)
+    assert r1.feasible and r2.feasible
+    # Doubling all weights doubles the optimum (same solution space).
+    assert r2.cost == pytest.approx(2 * r1.cost)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_weighted_route(benchmark, scale):
+    clip = _clips(1)[0]
+    router = OptRouter(via_cost=8.0, time_limit=scale.time_limit)
+    result = benchmark.pedantic(router.route, args=(clip,), rounds=1, iterations=1)
+    assert result.feasible

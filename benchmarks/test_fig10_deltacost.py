@@ -1,0 +1,124 @@
+"""Figure 10 reproduction: sorted Δcost per rule configuration.
+
+For each technology, the paper routes its top-100 difficult clips
+under every applicable RULE* configuration and plots the sorted Δcost
+relative to RULE1.  This bench regenerates those traces (scaled down
+by default; REPRO_BENCH_SCALE=paper for full size) and asserts the
+qualitative observations of Section 4.2:
+
+- constraints never produce negative Δcost;
+- N28-8T shows (weakly) increasing cost across RULE2 -> RULE5 as more
+  layers become SADP;
+- SADP confined to upper layers (RULE4/RULE5) leaves most clips at
+  Δcost 0 in N28-12T and N7-9T;
+- RULE8 (SADP >= M3 + via restriction) is at least as hard as RULE3
+  and RULE6 alone on N7-9T.
+"""
+
+import pytest
+
+from repro.eval import (
+    EvalConfig,
+    evaluate_clips,
+    format_delta_cost_table,
+    rules_for_technology,
+)
+from repro.eval.report import format_sorted_traces
+
+_STUDIES = {}
+
+
+def study_for(pipeline, scale):
+    if pipeline.tech_name not in _STUDIES:
+        rules = rules_for_technology(pipeline.tech_name)
+        _STUDIES[pipeline.tech_name] = evaluate_clips(
+            pipeline.top_clips,
+            rules,
+            EvalConfig(time_limit_per_clip=scale.time_limit),
+        )
+    return _STUDIES[pipeline.tech_name]
+
+
+def _report(study, tech_name, results_dir):
+    from repro.eval import format_ranking, rank_rules
+
+    table = format_delta_cost_table(
+        study, title=f"Figure 10 (reproduced): Δcost study, {tech_name}"
+    )
+    traces = format_sorted_traces(study)
+    ranking = format_ranking(
+        rank_rules(study), title=f"Rule impact ranking, {tech_name}"
+    )
+    print("\n" + table)
+    print(traces)
+    print(ranking)
+    (results_dir / f"fig10_{tech_name.lower()}.txt").write_text(
+        table + "\n\n" + traces + "\n\n" + ranking + "\n"
+    )
+
+
+def _common_assertions(study):
+    for rule_name in study.rule_names:
+        for delta in study.delta_costs(rule_name):
+            assert delta >= 0, f"{rule_name} reduced optimal cost"
+
+
+def test_fig10a_n28_12t(n28_12t_pipeline, scale, results_dir):
+    study = study_for(n28_12t_pipeline, scale)
+    _report(study, "N28-12T", results_dir)
+    _common_assertions(study)
+    # SADP on upper layers only: most clips unaffected.
+    if study.delta_costs("RULE5"):
+        assert study.zero_delta_fraction("RULE5") >= 0.5
+
+
+def test_fig10b_n28_8t(n28_8t_pipeline, scale, results_dir):
+    study = study_for(n28_8t_pipeline, scale)
+    _report(study, "N28-8T", results_dir)
+    _common_assertions(study)
+    # More SADP layers never cost less (weak monotonicity of means,
+    # including infeasibles at the paper's plotting value).
+    means = [
+        study.mean_delta(f"RULE{i}", include_infeasible=True)
+        for i in (5, 4, 3, 2)
+        if study.delta_costs(f"RULE{i}")
+    ]
+    for lighter, heavier in zip(means, means[1:]):
+        assert heavier >= lighter - 1e-9
+
+
+def test_fig10c_n7_9t(n7_9t_pipeline, scale, results_dir):
+    study = study_for(n7_9t_pipeline, scale)
+    _report(study, "N7-9T", results_dir)
+    _common_assertions(study)
+    # RULE8 = RULE3's SADP + RULE6's via restriction: at least as much
+    # total impact (mean Δcost with infeasibles) as either component.
+    if study.delta_costs("RULE8"):
+        rule8 = study.mean_delta("RULE8", include_infeasible=True)
+        assert rule8 >= study.mean_delta("RULE3", include_infeasible=True) - 1e-9
+        assert rule8 >= study.mean_delta("RULE6", include_infeasible=True) - 1e-9
+
+
+def test_zero_delta_gap_observation(n28_12t_pipeline, scale):
+    """Paper observation (2): many clips show zero Δcost under
+    upper-layer rules -- the pin-cost metric alone does not capture
+    switchbox routability."""
+    study = study_for(n28_12t_pipeline, scale)
+    if study.delta_costs("RULE4"):
+        assert study.zero_delta_fraction("RULE4") > 0.0
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_one_clip_rule_sweep(benchmark, n7_9t_pipeline, scale):
+    """Routing one difficult clip through the full N7 rule set."""
+    from repro.router import OptRouter
+
+    clip = n7_9t_pipeline.top_clips[-1]  # cheapest of the top-K
+    rules = rules_for_technology("N7-9T")
+    router = OptRouter(time_limit=scale.time_limit)
+
+    def sweep():
+        return [router.route(clip, rule).status for rule in rules]
+
+    statuses = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(statuses) == len(rules)

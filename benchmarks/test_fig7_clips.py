@@ -1,0 +1,65 @@
+"""Figure 7 reproduction: example routing clips from each technology.
+
+Renders one extracted clip per technology to SVG (the paper shows
+photographs of N28-12T, N28-8T and N7-9T clips) and benchmarks the
+clip-extraction step.
+"""
+
+import pytest
+
+from repro.clips import ClipWindowSpec, extract_clips
+from repro.viz import render_clip_svg
+
+
+def test_fig7_clip_renders(
+    n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline, results_dir
+):
+    for pipeline in (n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline):
+        assert pipeline.top_clips, pipeline.tech_name
+        clip = pipeline.top_clips[0]
+        svg = render_clip_svg(clip)
+        path = results_dir / f"fig7_{pipeline.tech_name.lower()}.svg"
+        path.write_text(svg)
+        print(f"\nwrote {path} ({clip.name}, pin cost {clip.pin_cost:.1f})")
+        assert svg.startswith("<svg")
+
+
+def test_clip_dimensions_match_paper_window(
+    n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline
+):
+    # 1um x 1um window = 7 vertical x 10 horizontal tracks.
+    for pipeline in (n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline):
+        for clip in pipeline.top_clips:
+            assert clip.nx <= 7
+            assert clip.ny <= 10
+
+
+def test_n7_clips_have_sparser_pins(n28_12t_pipeline, n7_9t_pipeline):
+    """Figure 9's point: 7nm pins offer far fewer access points."""
+
+    def mean_access(pipeline):
+        counts = [
+            len(pin.access)
+            for clip in pipeline.top_clips
+            for net in clip.nets
+            for pin in net.pins
+            if not pin.on_boundary
+        ]
+        return sum(counts) / max(1, len(counts))
+
+    assert mean_access(n7_9t_pipeline) < mean_access(n28_12t_pipeline)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_clip_extraction(benchmark, n28_12t_pipeline):
+    from repro.route import RoutingGrid
+    from repro.tech import technology_by_name
+
+    design, _util, _profile, routed = n28_12t_pipeline.designs[0]
+    tech = technology_by_name("N28-12T")
+    grid = RoutingGrid.for_die(tech, design.die, max_metal=6)
+
+    clips = benchmark(
+        extract_clips, design, grid, routed, ClipWindowSpec(cols=7, rows=10)
+    )
+    assert clips

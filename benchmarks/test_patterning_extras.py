@@ -1,0 +1,102 @@
+"""Patterning-technology extras: LELE decomposition and redundant vias.
+
+Two analyses adjacent to the paper's LELE-vs-SADP comparison:
+
+- LELE double-patterning decomposition of OptRouter solutions
+  (conflict counts at same-mask reach 1 and 2), and
+- redundant-via insertion rates (footnote 2's manufacturability
+  lever) under each via-restriction tier.
+"""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.router import OptRouter, RuleConfig, ViaRestriction
+from repro.router.coloring import decompose_lele
+from repro.router.redundant import insert_redundant_vias
+from repro.util import format_table
+
+
+def _routed_population(n=5):
+    router = OptRouter(time_limit=20.0)
+    population = []
+    for seed in range(n):
+        clip = make_synthetic_clip(
+            SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3, sinks_per_net=1),
+            seed=seed,
+        )
+        result = router.route(clip, RuleConfig())
+        if result.feasible:
+            population.append((clip, result.routing))
+    return population
+
+
+def test_lele_decomposition_report(results_dir):
+    rows = []
+    for clip, routing in _routed_population():
+        for reach in (1, 2):
+            report = decompose_lele(clip, routing, same_mask_reach=reach)
+            rows.append(
+                (clip.name, reach, report.total_conflicts,
+                 "yes" if report.decomposable else "no")
+            )
+    table = format_table(
+        ("clip", "same-mask reach", "conflicts", "decomposable"),
+        rows,
+        title="LELE decomposition of OptRouter solutions",
+    )
+    print("\n" + table)
+    (results_dir / "lele_decomposition.txt").write_text(table + "\n")
+
+    # Reach 1 (adjacent tracks only) is always 2-colorable on
+    # unidirectional layers; larger reach may not be.
+    reach1 = [row for row in rows if row[1] == 1]
+    assert all(row[3] == "yes" for row in reach1)
+
+
+def test_redundant_via_rates(results_dir):
+    rows = []
+    rates = {}
+    for restriction in (
+        ViaRestriction.NONE, ViaRestriction.ORTHOGONAL, ViaRestriction.FULL
+    ):
+        rules = RuleConfig(name=f"VR{restriction.value}",
+                           via_restriction=restriction)
+        router = OptRouter(time_limit=20.0)
+        protected = total = 0
+        for seed in range(5):
+            clip = make_synthetic_clip(
+                SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=2, sinks_per_net=1),
+                seed=seed,
+            )
+            result = router.route(clip, rules)
+            if not result.feasible:
+                continue
+            report = insert_redundant_vias(clip, result.routing, rules)
+            protected += len(report.inserted)
+            total += report.n_vias_total
+        rate = protected / total if total else 0.0
+        rates[restriction] = rate
+        rows.append(
+            (f"{restriction.value} blocked", total, protected, f"{rate:.2f}")
+        )
+    table = format_table(
+        ("via restriction", "vias", "protected", "rate"),
+        rows,
+        title="Redundant-via protection rate by via restriction",
+    )
+    print("\n" + table)
+    (results_dir / "redundant_vias.txt").write_text(table + "\n")
+
+    # Stricter adjacency rules cannot make protection easier.
+    assert rates[ViaRestriction.FULL] <= rates[ViaRestriction.NONE] + 1e-9
+
+
+@pytest.mark.benchmark(group="patterning")
+def test_bench_decomposition(benchmark):
+    population = _routed_population(2)
+    if not population:
+        pytest.skip("no feasible clips")
+    clip, routing = population[0]
+    report = benchmark(decompose_lele, clip, routing)
+    assert report.layers

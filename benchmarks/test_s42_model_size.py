@@ -1,0 +1,129 @@
+"""Section 4.2 reproduction: variable/constraint count analysis.
+
+The paper derives how ILP size scales with |A| (arcs), |V| (vertices)
+and |N| (nets), and with the via-restriction degree α and via-shape
+size β.  This bench measures the built models and checks the claimed
+asymptotic behaviours empirically:
+
+- no-restriction variables grow as O(|A| x |N|);
+- via restrictions add constraints but no variables;
+- SADP adds O(|V| x |N|) p-variables;
+- via shapes add O(β x |V| x |N|)-ish variables and O(β²|V||N|)
+  blocking constraints.
+"""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.router import OptRouter, RuleConfig, ViaRestriction
+from repro.router.graph import build_graph
+from repro.util import format_table
+
+
+def clip_with(nx, ny, nz, n_nets, seed=0):
+    return make_synthetic_clip(
+        SyntheticClipSpec(
+            nx=nx, ny=ny, nz=nz, n_nets=n_nets, sinks_per_net=1,
+            access_points_per_pin=2, boundary_pin_prob=0.3,
+        ),
+        seed=seed,
+    )
+
+
+def model_stats(clip, rules):
+    return OptRouter().build(clip, rules).model.stats()
+
+
+class TestScalingLaws:
+    def test_variables_scale_with_nets(self):
+        base = clip_with(6, 8, 3, 1)
+        sizes = []
+        for n_nets in (1, 2, 3):
+            clip = clip_with(6, 8, 3, n_nets)
+            if len(clip.nets) != n_nets:
+                pytest.skip("generator dropped a colliding net")
+            sizes.append(model_stats(clip, RuleConfig())["n_vars"])
+        # Per-net variable blocks: roughly linear growth.
+        growth1 = sizes[1] / sizes[0]
+        growth2 = sizes[2] / sizes[1]
+        assert 1.5 < growth1 < 2.5
+        assert 1.2 < growth2 < 1.8
+        del base
+
+    def test_via_restriction_adds_constraints_not_vars(self):
+        clip = clip_with(6, 8, 3, 2)
+        none = model_stats(clip, RuleConfig())
+        ortho = model_stats(
+            clip, RuleConfig(via_restriction=ViaRestriction.ORTHOGONAL)
+        )
+        full = model_stats(clip, RuleConfig(via_restriction=ViaRestriction.FULL))
+        assert ortho["n_vars"] == none["n_vars"]
+        assert full["n_vars"] == none["n_vars"]
+        assert ortho["n_constraints"] > none["n_constraints"]
+        assert full["n_constraints"] > ortho["n_constraints"]
+
+    def test_sadp_adds_p_variables(self):
+        clip = clip_with(6, 8, 3, 2)
+        none = model_stats(clip, RuleConfig())
+        sadp = model_stats(clip, RuleConfig(sadp_min_metal=2))
+        added = sadp["n_vars"] - none["n_vars"]
+        n_vertices = clip.n_vertices
+        n_nets = len(clip.nets)
+        assert 0 < added <= 2 * n_vertices * n_nets  # <= two p per vertex/net
+
+    def test_via_shapes_add_vars_and_blocking(self):
+        clip = clip_with(6, 8, 3, 2)
+        none = model_stats(clip, RuleConfig())
+        shaped = model_stats(clip, RuleConfig(allow_via_shapes=True))
+        assert shaped["n_vars"] > none["n_vars"]
+        assert shaped["n_constraints"] > none["n_constraints"]
+
+    def test_graph_arc_count_formula(self):
+        # |A| for a clip: 2 x (wire pairs + via pairs).
+        clip = clip_with(6, 8, 3, 1)
+        g = build_graph(clip, RuleConfig())
+        wire_pairs = 0
+        for z in range(clip.nz):
+            if clip.horizontal[z]:
+                wire_pairs += (clip.nx - 1) * clip.ny
+            else:
+                wire_pairs += clip.nx * (clip.ny - 1)
+        via_pairs = clip.nx * clip.ny * (clip.nz - 1)
+        assert len(g.arcs) == 2 * (wire_pairs + via_pairs)
+
+
+def test_s42_model_size_table(results_dir):
+    rows = []
+    clip = clip_with(7, 10, 4, 3)
+    for rules in (
+        RuleConfig(name="RULE1"),
+        RuleConfig(name="RULE6", via_restriction=ViaRestriction.ORTHOGONAL),
+        RuleConfig(name="RULE9", via_restriction=ViaRestriction.FULL),
+        RuleConfig(name="RULE2", sadp_min_metal=2),
+        RuleConfig(name="SHAPES", allow_via_shapes=True),
+    ):
+        stats = model_stats(clip, rules)
+        rows.append(
+            (
+                rules.name,
+                stats["n_vars"],
+                stats["n_integer_vars"],
+                stats["n_constraints"],
+                stats["n_nonzeros"],
+            )
+        )
+    table = format_table(
+        ("rule", "vars", "int vars", "constraints", "nonzeros"),
+        rows,
+        title="Section 4.2 (reproduced): ILP size per rule configuration",
+    )
+    print("\n" + table)
+    (results_dir / "s42_model_size.txt").write_text(table + "\n")
+
+
+@pytest.mark.benchmark(group="s42")
+def test_bench_model_build(benchmark):
+    clip = clip_with(7, 10, 4, 3)
+    router = OptRouter()
+    ilp = benchmark(router.build, clip, RuleConfig(sadp_min_metal=2))
+    assert ilp.model.n_vars > 0

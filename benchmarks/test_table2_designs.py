@@ -1,0 +1,73 @@
+"""Table 2 reproduction: benchmark design matrix.
+
+Regenerates the paper's benchmark-design table (technology, design,
+instance count, achieved utilization) from the synthetic substrate and
+benchmarks the placement step that produces it.
+"""
+
+import pytest
+
+from repro.cells import generate_library
+from repro.netlist import synthesize_design
+from repro.place import check_placement, place_design
+from repro.tech import technology_by_name
+from repro.util import format_table
+
+
+def test_table2_design_matrix(
+    n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline, results_dir
+):
+    rows = []
+    for pipeline in (n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline):
+        for design, util, profile, _routed in pipeline.designs:
+            rows.append(
+                (
+                    pipeline.tech_name,
+                    profile.upper(),
+                    design.n_instances,
+                    f"{design.utilization() * 100:.0f}%",
+                )
+            )
+    table = format_table(
+        ("Tech.", "Design", "#inst.", "Util."),
+        rows,
+        title="Table 2 (reproduced): benchmark designs",
+    )
+    print("\n" + table)
+    (results_dir / "table2.txt").write_text(table + "\n")
+
+    # Shape: both designs exist in every technology at high utilization.
+    techs = {row[0] for row in rows}
+    assert techs == {"N28-12T", "N28-8T", "N7-9T"}
+    for row in rows:
+        assert int(row[3].rstrip("%")) >= 60
+
+
+def test_placements_are_legal(n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline):
+    from repro.place import RowGrid
+
+    for pipeline in (n28_12t_pipeline, n28_8t_pipeline, n7_9t_pipeline):
+        tech = technology_by_name(pipeline.tech_name)
+        for design, _util, _profile, _routed in pipeline.designs:
+            grid = RowGrid(
+                die=design.die,
+                row_height=tech.row_height,
+                site_width=tech.site_width,
+            )
+            assert check_placement(design, grid) == []
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_placement(benchmark, scale):
+    """Placement throughput at Table 2 utilizations."""
+    tech = technology_by_name("N28-12T")
+    library = generate_library(tech)
+
+    def place_once():
+        design = synthesize_design(
+            library, "aes", scale.n_instances, seed=99
+        )
+        return place_design(design, utilization=0.88, seed=99)
+
+    result = benchmark(place_once)
+    assert result.hpwl_final <= result.hpwl_initial

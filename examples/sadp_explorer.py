@@ -1,0 +1,65 @@
+"""SADP end-of-line rule exploration on a crafted clip.
+
+Builds a clip whose unconstrained optimum places two facing wire tips
+one track apart -- legal under LELE patterning, forbidden under the
+SADP end-of-line rules (paper Figure 5).  Shows how OptRouter reshapes
+the routing once the layer is declared SADP, and what that costs.
+
+Run:  python examples/sadp_explorer.py
+"""
+
+from repro.clips import Clip, ClipNet, ClipPin
+from repro.clips.clip import paper_directions
+from repro.drc import check_clip_routing
+from repro.router import OptRouter, RuleConfig
+from repro.viz import render_routing_ascii
+
+
+def pin(*vertices):
+    return ClipPin(access=frozenset(vertices))
+
+
+def build_clip() -> Clip:
+    # Two nets whose cheapest M3 (horizontal) segments end tip-to-tip.
+    nets = (
+        ClipNet("left", (pin((0, 4, 0)), pin((3, 6, 0)))),
+        ClipNet("right", (pin((4, 4, 0)), pin((6, 6, 0)))),
+    )
+    return Clip(
+        name="sadp_demo", nx=7, ny=10, nz=3,
+        horizontal=paper_directions(3), nets=nets,
+    )
+
+
+def main() -> None:
+    clip = build_clip()
+    router = OptRouter()
+
+    lele = RuleConfig(name="LELE")
+    base = router.route(clip, lele)
+    print("=== all-LELE stack (no EOL restrictions) ===")
+    print(f"cost={base.cost}  wirelength={base.wirelength}  vias={base.n_vias}")
+    print(render_routing_ascii(clip, base.routing))
+
+    sadp = RuleConfig(name="SADP>=M2", sadp_min_metal=2)
+    constrained = router.route(clip, sadp)
+    print("\n=== SADP on all layers ===")
+    if constrained.feasible:
+        print(f"cost={constrained.cost}  Δcost={constrained.cost - base.cost:+.1f}")
+        print(render_routing_ascii(clip, constrained.routing))
+        violations = check_clip_routing(clip, sadp, constrained.routing)
+        print(f"independent SADP DRC violations: {len(violations)}")
+    else:
+        print("infeasible with SADP EOL rules")
+
+    # Show that the unconstrained solution would NOT pass SADP DRC in
+    # general (when it happens to, the Δcost above is simply 0).
+    violations = check_clip_routing(clip, sadp, base.routing)
+    print(f"\nLELE-optimal routing checked against SADP rules: "
+          f"{len(violations)} violation(s)")
+    for violation in violations:
+        print(f"  {violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Reproduction of the DAC 2015 paper.
+
+"Evaluation of BEOL Design Rule Impacts Using An Optimal ILP-based
+Detailed Router" (Kwangsoo Han, Andrew B. Kahng, Hyein Lee).
+
+The package provides:
+
+- ``repro.router`` -- OptRouter, the ILP-based optimal switchbox router
+  (the paper's primary contribution), with via-adjacency, unidirectional,
+  pin-shape, via-shape and SADP end-of-line rule support.
+- ``repro.ilp`` -- a self-contained MILP modeling layer with a HiGHS
+  backend (via scipy) and a pure-Python branch-and-bound backend.
+- ``repro.tech`` / ``repro.cells`` / ``repro.netlist`` -- synthetic
+  technology, standard-cell library, and design substrates standing in
+  for the paper's proprietary 28nm/7nm enablements.
+- ``repro.place`` / ``repro.route`` -- a full-chip placement and routing
+  flow used to produce routed layouts for clip extraction, and serving
+  as the "commercial router" comparator.
+- ``repro.clips`` -- clip (switchbox) extraction and the Taghavi et al.
+  pin-cost metric used to select difficult-to-route clips.
+- ``repro.eval`` -- the BEOL rule evaluation flow (Figure 6) with the
+  RULE1..RULE11 configurations of Table 3.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,35 @@
+"""Synthetic standard-cell libraries.
+
+The paper's testbed uses foundry 28nm 8-/12-track libraries and a
+prototype 7nm 9-track library from a commercial IP provider.  Those are
+proprietary, so this package generates synthetic libraries whose
+load-bearing property -- M1 pin geometry and the resulting access-point
+counts (Figure 9) -- is modeled explicitly:
+
+- N28-12T: tall pins spanning many horizontal tracks (many access points),
+- N28-8T: shorter pins (fewer access points),
+- N7-9T: two-access-point pins placed close together (the configuration
+  that makes 8-neighbor via blocking infeasible in the paper).
+
+It also implements the paper's Section 4 geometry-scaling methodology
+that maps native 7nm cells into the 28nm BEOL frame (2.5x scaling with
+on-grid pin snapping).
+"""
+
+from repro.cells.pin import Pin, PinDirection
+from repro.cells.cell import Cell
+from repro.cells.library import Library
+from repro.cells.generator import LibrarySpec, generate_library
+from repro.cells.scaling import ScalingSpec, scale_cell, scale_library
+
+__all__ = [
+    "Pin",
+    "PinDirection",
+    "Cell",
+    "Library",
+    "LibrarySpec",
+    "generate_library",
+    "ScalingSpec",
+    "scale_cell",
+    "scale_library",
+]

@@ -1,0 +1,76 @@
+"""Standard-cell model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.pin import Pin, PinDirection
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A standard cell master.
+
+    Geometry is in the cell-local frame: origin at the lower-left,
+    footprint ``width`` x ``height`` nm.
+
+    Attributes:
+        name: master name (``NAND2X1`` ...).
+        width: footprint width in nm (a multiple of the site width).
+        height: footprint height in nm (the row height).
+        pins: all pins, including supply pins.
+        is_sequential: flip-flops/latches (used by netlist synthesis).
+        drive: relative drive strength tag (X1, X2...), informational.
+    """
+
+    name: str
+    width: int
+    height: int
+    pins: tuple[Pin, ...]
+    is_sequential: bool = False
+    drive: int = 1
+
+    _by_name: dict[str, Pin] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"cell {self.name} has a degenerate footprint")
+        by_name: dict[str, Pin] = {}
+        for pin in self.pins:
+            if pin.name in by_name:
+                raise ValueError(f"duplicate pin {pin.name} in {self.name}")
+            by_name[pin.name] = pin
+        object.__setattr__(self, "_by_name", by_name)
+        box = self.bbox()
+        for pin in self.pins:
+            if not box.contains_rect(pin.bbox()):
+                raise ValueError(
+                    f"pin {pin.name} of {self.name} extends outside the footprint"
+                )
+
+    def bbox(self) -> Rect:
+        return Rect(0, 0, self.width, self.height)
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name} has no pin {name!r}") from None
+
+    def signal_pins(self) -> tuple[Pin, ...]:
+        return tuple(p for p in self.pins if not p.is_supply)
+
+    def input_pins(self) -> tuple[Pin, ...]:
+        return tuple(
+            p
+            for p in self.signal_pins()
+            if p.direction is PinDirection.INPUT
+        )
+
+    def output_pins(self) -> tuple[Pin, ...]:
+        return tuple(
+            p
+            for p in self.signal_pins()
+            if p.direction is PinDirection.OUTPUT
+        )

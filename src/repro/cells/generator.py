@@ -1,0 +1,186 @@
+"""Synthetic standard-cell library generation.
+
+Pin geometry is the property the paper's experiments actually exercise
+(Figure 9): how many routing-grid access points each pin offers and how
+closely pins crowd each other.  The generator places each signal pin as
+a vertical M1 stripe on one vertical-track column, spanning a
+technology-dependent number of horizontal tracks:
+
+=========  =================  ====================  =====================
+library    pin span (tracks)  pin column stride     qualitative match
+=========  =================  ====================  =====================
+N28-12T    6                  2 (pins spread out)   Figure 9(a)
+N28-8T     4                  2                     Figure 9(b)
+N7-9T      2                  1 (pins adjacent)     Figure 9(c)
+=========  =================  ====================  =====================
+
+Supply rails (VDD top, VSS bottom) are full-width M1 stripes, as in
+row-based standard cell layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import Cell
+from repro.cells.library import Library
+from repro.cells.pin import Pin, PinDirection
+from repro.geometry import Rect
+from repro.tech.presets import Technology
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """One logical cell template."""
+
+    base_name: str
+    n_inputs: int
+    input_names: tuple[str, ...]
+    output_name: str | None = "Y"
+    is_sequential: bool = False
+
+
+_ARCHETYPES: tuple[Archetype, ...] = (
+    Archetype("INV", 1, ("A",)),
+    Archetype("BUF", 1, ("A",)),
+    Archetype("NAND2", 2, ("A", "B")),
+    Archetype("NOR2", 2, ("A", "B")),
+    Archetype("AND2", 2, ("A", "B")),
+    Archetype("OR2", 2, ("A", "B")),
+    Archetype("XOR2", 2, ("A", "B")),
+    Archetype("XNOR2", 2, ("A", "B")),
+    Archetype("NAND3", 3, ("A", "B", "C")),
+    Archetype("NOR3", 3, ("A", "B", "C")),
+    Archetype("AOI21", 3, ("A1", "A2", "B")),
+    Archetype("OAI21", 3, ("A1", "A2", "B")),
+    Archetype("MUX2", 3, ("A", "B", "S")),
+    Archetype("DFF", 2, ("D", "CK"), "Q", True),
+    Archetype("DFFR", 3, ("D", "CK", "RN"), "Q", True),
+)
+
+
+@dataclass(frozen=True)
+class LibrarySpec:
+    """Parameters controlling synthetic pin geometry for one technology.
+
+    Attributes:
+        pin_span_tracks: horizontal tracks a pin stripe crosses, i.e.
+            the access-point count per pin.
+        pin_column_stride: vertical-track columns between successive
+            pins (1 = adjacent pins, as in the paper's 7nm cells).
+        drives: drive-strength variants generated per archetype.
+        rail_tracks: tracks consumed by each supply rail.
+    """
+
+    pin_span_tracks: int
+    pin_column_stride: int
+    drives: tuple[int, ...] = (1, 2)
+    rail_tracks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pin_span_tracks < 1:
+            raise ValueError("pins need at least one access point")
+        if self.pin_column_stride < 1:
+            raise ValueError("stride must be >= 1")
+
+
+_DEFAULT_SPECS = {
+    "N28-12T": LibrarySpec(pin_span_tracks=6, pin_column_stride=2),
+    "N28-8T": LibrarySpec(pin_span_tracks=4, pin_column_stride=2),
+    "N7-9T": LibrarySpec(pin_span_tracks=2, pin_column_stride=1),
+}
+
+
+def default_spec(tech: Technology) -> LibrarySpec:
+    """The spec matching a paper preset (keyed by technology name)."""
+    try:
+        return _DEFAULT_SPECS[tech.name]
+    except KeyError:
+        raise KeyError(f"no default LibrarySpec for technology {tech.name!r}") from None
+
+
+def _pin_stripe(
+    tech: Technology, column: int, span_tracks: int, stripe_width: int
+) -> Rect:
+    """M1 stripe centered on vertical-track ``column``, spanning
+    ``span_tracks`` horizontal tracks, vertically centered in the cell."""
+    v_layer = tech.stack.layer(2)  # vertical routing layer defines columns
+    h_layer = tech.stack.layer(1)
+    x = v_layer.offset + column * v_layer.pitch
+    n_tracks = tech.cell_tracks
+    first = max(0, (n_tracks - span_tracks) // 2)
+    y_lo = h_layer.offset + first * h_layer.pitch
+    y_hi = h_layer.offset + (first + span_tracks - 1) * h_layer.pitch
+    half = stripe_width // 2
+    return Rect(x - half, y_lo - half, x + half, y_hi + half)
+
+
+def make_cell(
+    tech: Technology,
+    spec: LibrarySpec,
+    archetype: Archetype,
+    drive: int,
+) -> Cell:
+    """Generate one synthetic cell master for the given technology."""
+    n_pins = archetype.n_inputs + (1 if archetype.output_name else 0)
+    # One column per pin at the given stride, plus one spare column on
+    # each side; sequential cells get extra internal columns.
+    columns_needed = (n_pins - 1) * spec.pin_column_stride + 1
+    extra = 2 if archetype.is_sequential else 0
+    width_sites = columns_needed + 2 + extra + max(0, drive - 1)
+    width = width_sites * tech.site_width
+
+    h_layer = tech.stack.layer(1)
+    stripe_width = max(2, (h_layer.width // 2) * 2)  # even for centering
+
+    pins: list[Pin] = []
+    column = 1
+    for input_name in archetype.input_names:
+        rect = _pin_stripe(tech, column, spec.pin_span_tracks, stripe_width)
+        pins.append(Pin(input_name, PinDirection.INPUT, ((1, rect),)))
+        column += spec.pin_column_stride
+    if archetype.output_name:
+        rect = _pin_stripe(tech, column, spec.pin_span_tracks, stripe_width)
+        pins.append(Pin(archetype.output_name, PinDirection.OUTPUT, ((1, rect),)))
+
+    rail_height = spec.rail_tracks * h_layer.pitch // 2 * 2
+    pins.append(
+        Pin(
+            "VSS",
+            PinDirection.INOUT,
+            ((1, Rect(0, 0, width, rail_height)),),
+            is_supply=True,
+        )
+    )
+    pins.append(
+        Pin(
+            "VDD",
+            PinDirection.INOUT,
+            ((1, Rect(0, tech.row_height - rail_height, width, tech.row_height)),),
+            is_supply=True,
+        )
+    )
+
+    return Cell(
+        name=f"{archetype.base_name}X{drive}",
+        width=width,
+        height=tech.row_height,
+        pins=tuple(pins),
+        is_sequential=archetype.is_sequential,
+        drive=drive,
+    )
+
+
+def generate_library(tech: Technology, spec: LibrarySpec | None = None) -> Library:
+    """Generate the full synthetic library for a technology preset."""
+    if spec is None:
+        spec = default_spec(tech)
+    library = Library(
+        name=f"synth_{tech.name.lower().replace('-', '_')}",
+        site_width=tech.site_width,
+        row_height=tech.row_height,
+    )
+    for archetype in _ARCHETYPES:
+        for drive in spec.drives:
+            library.add(make_cell(tech, spec, archetype, drive))
+    return library

@@ -1,0 +1,62 @@
+"""Standard-cell library container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.cells.cell import Cell
+
+
+@dataclass
+class Library:
+    """A named collection of cell masters for one technology.
+
+    Attributes:
+        name: library name (e.g. ``"synth_n28_12t"``).
+        site_width: placement site width in nm.
+        row_height: cell row height in nm.
+    """
+
+    name: str
+    site_width: int
+    row_height: int
+    _cells: dict[str, Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell {cell.name}")
+        if cell.height != self.row_height:
+            raise ValueError(
+                f"cell {cell.name} height {cell.height} != row height {self.row_height}"
+            )
+        if cell.width % self.site_width:
+            raise ValueError(
+                f"cell {cell.name} width {cell.width} is not a multiple of the "
+                f"{self.site_width} nm site"
+            )
+        self._cells[cell.name] = cell
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"library {self.name} has no cell {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+    def combinational(self) -> list[Cell]:
+        return [c for c in self if not c.is_sequential]
+
+    def sequential(self) -> list[Cell]:
+        return [c for c in self if c.is_sequential]

@@ -1,0 +1,53 @@
+"""Standard-cell pin model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+class PinDirection(enum.Enum):
+    INPUT = "INPUT"
+    OUTPUT = "OUTPUT"
+    INOUT = "INOUT"
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A cell pin: named geometry on one or more layers (cell-local frame).
+
+    Attributes:
+        name: pin name (``A``, ``B``, ``Y``, ``CK``, ``VDD``...).
+        direction: signal direction.
+        shapes: tuple of ``(metal_index, Rect)`` geometry.
+        is_supply: power/ground pins are kept out of signal routing.
+    """
+
+    name: str
+    direction: PinDirection
+    shapes: tuple[tuple[int, Rect], ...]
+    is_supply: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError(f"pin {self.name} has no geometry")
+        for metal, _rect in self.shapes:
+            if metal < 1:
+                raise ValueError("metal index is 1-based")
+
+    def bbox(self) -> Rect:
+        """Bounding box over all shapes (ignoring layers)."""
+        box = self.shapes[0][1]
+        for _metal, rect in self.shapes[1:]:
+            box = box.union(rect)
+        return box
+
+    def area(self) -> int:
+        """Total drawn area in nm^2 (shape overlaps counted twice;
+        synthetic pins do not overlap themselves)."""
+        return sum(rect.area for _metal, rect in self.shapes)
+
+    def shapes_on(self, metal: int) -> tuple[Rect, ...]:
+        return tuple(rect for m, rect in self.shapes if m == metal)

@@ -1,0 +1,120 @@
+"""Pin accessibility analysis under via adjacency restrictions.
+
+Reproduces the paper's Figure 9 argument: each signal pin needs at
+least one access via from the lowest routing layer, and a via placed
+on an access point blocks neighboring via sites (4 or 8 of them).  In
+the 7nm library, input pins offer only two access points on adjacent
+columns, so with 8 neighbors blocked "there is no way to connect two
+input pins without violations" -- which is why the paper does not
+evaluate RULE2/7/9/10/11 on N7-9T.
+
+This module computes, for a cell, whether an assignment of one access
+via per signal pin exists that satisfies a given
+:class:`~repro.router.rules.ViaRestriction`, via exact backtracking
+over the (small) per-pin access-point sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import Cell
+from repro.router.rules import ViaRestriction
+from repro.tech.presets import Technology
+
+
+@dataclass(frozen=True)
+class PinAccessReport:
+    """Result of the per-cell access analysis."""
+
+    cell_name: str
+    restriction: ViaRestriction
+    feasible: bool
+    access_points: dict[str, tuple[tuple[int, int], ...]]
+    assignment: dict[str, tuple[int, int]] | None
+
+    @property
+    def min_access_count(self) -> int:
+        if not self.access_points:
+            return 0
+        return min(len(points) for points in self.access_points.values())
+
+
+def pin_access_points(cell: Cell, tech: Technology) -> dict[str, tuple[tuple[int, int], ...]]:
+    """Track-grid access points (column, row) of each signal pin.
+
+    An access point is a (vertical-track, horizontal-track) crossing
+    covered by the pin's M1 geometry, i.e. a legal V12 landing site.
+    """
+    v_layer = tech.stack.layer(2)
+    h_layer = tech.stack.layer(1)
+    out: dict[str, tuple[tuple[int, int], ...]] = {}
+    for pin in cell.signal_pins():
+        points: list[tuple[int, int]] = []
+        for metal, rect in pin.shapes:
+            if metal != 1:
+                continue
+            for col in v_layer.tracks_in_span(rect.xlo, rect.xhi):
+                for row in h_layer.tracks_in_span(rect.ylo, rect.yhi):
+                    points.append((col, row))
+        out[pin.name] = tuple(sorted(set(points)))
+    return out
+
+
+def _conflicts(
+    a: tuple[int, int], b: tuple[int, int], restriction: ViaRestriction
+) -> bool:
+    if a == b:
+        return True
+    dx, dy = b[0] - a[0], b[1] - a[1]
+    return (dx, dy) in restriction.blocked_offsets()
+
+
+def analyze_pin_access(
+    cell: Cell, tech: Technology, restriction: ViaRestriction
+) -> PinAccessReport:
+    """Decide whether all signal pins can take an access via at once.
+
+    Exact backtracking (pins ordered by fewest options first); cells
+    have at most a handful of pins so this is instant.
+    """
+    access = pin_access_points(cell, tech)
+    pins = sorted(access, key=lambda name: len(access[name]))
+    if any(not access[name] for name in pins):
+        return PinAccessReport(cell.name, restriction, False, access, None)
+
+    assignment: dict[str, tuple[int, int]] = {}
+
+    def place(index: int) -> bool:
+        if index == len(pins):
+            return True
+        name = pins[index]
+        for point in access[name]:
+            if all(
+                not _conflicts(point, chosen, restriction)
+                for chosen in assignment.values()
+            ):
+                assignment[name] = point
+                if place(index + 1):
+                    return True
+                del assignment[name]
+        return False
+
+    feasible = place(0)
+    return PinAccessReport(
+        cell_name=cell.name,
+        restriction=restriction,
+        feasible=feasible,
+        access_points=access,
+        assignment=dict(assignment) if feasible else None,
+    )
+
+
+def library_access_summary(
+    library, tech: Technology, restriction: ViaRestriction
+) -> dict[str, bool]:
+    """Per-cell feasibility map for a whole library."""
+    return {
+        cell.name: analyze_pin_access(cell, tech, restriction).feasible
+        for cell in library
+    }

@@ -1,0 +1,136 @@
+"""Geometry scaling of native 7nm cells into the 28nm BEOL frame.
+
+The paper (Section 4, including footnote 3) obtains P&R-able 7nm
+enablement by:
+
+1. scaling 7nm cell geometry up by 2.5x vertically (ratio of the 100nm
+   28nm horizontal pitch to the 40nm 7nm pitch);
+2. scaling widths by 2.5x, which yields cell widths in multiples of
+   135nm (2.5 x 54nm placement grid), then widening each cell by
+   ``scaled_width / 135`` nm so widths become multiples of the 136nm
+   28nm placement grid;
+3. snapping pin x locations back on-grid (multiples of 136nm), since
+   the 135 -> 136 widening leaves pins off-grid.
+
+This module reproduces that pipeline on synthetic cells so its
+invariants (on-grid pins, site-multiple widths) are testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import Cell
+from repro.cells.library import Library
+from repro.cells.pin import Pin
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class ScalingSpec:
+    """Parameters of the 7nm -> 28nm-frame scaling.
+
+    Defaults are the paper's numbers.
+
+    Attributes:
+        y_scale_num / y_scale_den: vertical scale factor as a ratio
+            (5/2 = 2.5x).
+        native_site: native placement grid (54nm in 7nm).
+        target_site: target placement grid (136nm in 28nm).
+        target_row_height: row height after scaling (9 tracks x 100nm).
+    """
+
+    y_scale_num: int = 5
+    y_scale_den: int = 2
+    native_site: int = 54
+    target_site: int = 136
+    target_row_height: int = 900
+
+    @property
+    def intermediate_site(self) -> int:
+        """Site width right after the pure 2.5x scaling (135nm)."""
+        return self.native_site * self.y_scale_num // self.y_scale_den
+
+
+def _scale_len(value: int, num: int, den: int) -> int:
+    return value * num // den
+
+
+def _snap(value: int, grid: int) -> int:
+    """Snap to the nearest multiple of ``grid``."""
+    return ((value + grid // 2) // grid) * grid
+
+
+def scale_cell(cell: Cell, spec: ScalingSpec | None = None) -> Cell:
+    """Scale one native-7nm cell into the 28nm frame per the paper.
+
+    The returned cell has width a multiple of ``spec.target_site``,
+    height ``spec.target_row_height``, and every pin's x-extent snapped
+    so its center column is a multiple of the target placement grid.
+    """
+    if spec is None:
+        spec = ScalingSpec()
+    num, den = spec.y_scale_num, spec.y_scale_den
+
+    # Step 1+2: pure 2.5x scale, then widen to a multiple of target_site.
+    scaled_width = _scale_len(cell.width, num, den)
+    sites = max(1, round(scaled_width / spec.intermediate_site))
+    new_width = sites * spec.target_site
+
+    y_scale_to_target = spec.target_row_height / max(1, _scale_len(cell.height, num, den))
+
+    def scale_rect(rect: Rect) -> Rect:
+        # Scale x by the per-cell stretch implied by the width fixup so
+        # relative pin positions are preserved, scale y by 2.5x (then a
+        # small correction onto the target row height).
+        def sx(x: int) -> int:
+            if cell.width == 0:
+                return 0
+            return round(x / cell.width * new_width)
+
+        def sy(y: int) -> int:
+            return round(_scale_len(y, num, den) * y_scale_to_target)
+
+        return Rect(sx(rect.xlo), sy(rect.ylo), sx(rect.xhi), sy(rect.yhi))
+
+    new_pins = []
+    for pin in cell.pins:
+        shapes = []
+        for metal, rect in pin.shapes:
+            scaled = scale_rect(rect)
+            if not pin.is_supply:
+                # Step 3: snap the pin column on-grid (x center must be a
+                # multiple of target_site) keeping the scaled x-width.
+                half_w = scaled.width // 2
+                center = _snap((scaled.xlo + scaled.xhi) // 2, spec.target_site)
+                center = max(half_w, min(new_width - half_w, center))
+                scaled = Rect(
+                    center - half_w, scaled.ylo, center + half_w, scaled.yhi
+                )
+            shapes.append((metal, scaled))
+        new_pins.append(
+            Pin(pin.name, pin.direction, tuple(shapes), is_supply=pin.is_supply)
+        )
+
+    return Cell(
+        name=cell.name,
+        width=new_width,
+        height=spec.target_row_height,
+        pins=tuple(new_pins),
+        is_sequential=cell.is_sequential,
+        drive=cell.drive,
+    )
+
+
+def scale_library(library: Library, spec: ScalingSpec | None = None) -> Library:
+    """Scale every cell of a native-7nm library into the 28nm frame."""
+    if spec is None:
+        spec = ScalingSpec()
+    scaled = Library(
+        name=f"{library.name}_scaled",
+        site_width=spec.target_site,
+        row_height=spec.target_row_height,
+    )
+    for cell in library:
+        scaled.add(scale_cell(cell, spec))
+    return scaled

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``route-clip``: generate (or load) a clip, route it with OptRouter
+  under a named Table 3 rule, print metrics and an ASCII rendering.
+- ``evaluate``: run the Figure-6 Δcost flow on synthetic clips for a
+  technology's applicable rules.
+- ``full-flow``: synthesize/place/route a design, extract clips, rank
+  them, and report the top pin costs.
+- ``rules``: print the Table 3 rule matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+
+def _cmd_rules(_args) -> int:
+    from repro.eval import format_rule_table, paper_rules
+
+    print(format_rule_table(paper_rules(), title="Table 3 rule configurations"))
+    return 0
+
+
+def _cmd_route_clip(args) -> int:
+    from repro.clips import SyntheticClipSpec, make_synthetic_clip
+    from repro.drc import check_clip_routing
+    from repro.eval import paper_rule
+    from repro.router import OptRouter
+    from repro.viz import render_routing_ascii
+
+    spec = SyntheticClipSpec(
+        nx=args.nx, ny=args.ny, nz=args.nz,
+        n_nets=args.nets, sinks_per_net=args.sinks,
+        access_points_per_pin=args.access_points,
+    )
+    clip = make_synthetic_clip(spec, seed=args.seed)
+    rules = paper_rule(args.rule)
+    result = OptRouter(time_limit=args.time_limit).route(clip, rules)
+    print(f"clip {clip.name}: {len(clip.nets)} nets, "
+          f"{clip.nx}x{clip.ny}x{clip.nz}")
+    print(f"{rules.describe()}")
+    print(f"status={result.status.value} cost={result.cost} "
+          f"wirelength={result.wirelength} vias={result.n_vias} "
+          f"({result.solve_seconds:.2f}s)")
+    if result.feasible:
+        print(render_routing_ascii(clip, result.routing))
+        violations = check_clip_routing(clip, rules, result.routing)
+        print(f"DRC violations: {len(violations)}")
+        return 0 if not violations else 1
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.clips import SyntheticClipSpec, make_synthetic_clip
+    from repro.eval import (
+        EvalConfig,
+        evaluate_clips,
+        format_delta_cost_table,
+        rules_for_technology,
+    )
+    from repro.eval.report import format_sorted_traces
+
+    spec = SyntheticClipSpec(
+        nx=args.nx, ny=args.ny, nz=args.nz,
+        n_nets=args.nets, sinks_per_net=args.sinks,
+        access_points_per_pin=args.access_points,
+    )
+    clips = [make_synthetic_clip(spec, seed=s) for s in range(args.clips)]
+    rules = rules_for_technology(args.tech)
+    study = evaluate_clips(
+        clips, rules, EvalConfig(time_limit_per_clip=args.time_limit)
+    )
+    print(format_delta_cost_table(study, title=f"Δcost study ({args.tech})"))
+    print(format_sorted_traces(study))
+    return 0
+
+
+def _cmd_full_flow(args) -> int:
+    from repro.cells import generate_library
+    from repro.clips import ClipWindowSpec, extract_clips, select_top_clips
+    from repro.netlist import synthesize_design
+    from repro.place import place_design
+    from repro.route import RoutingGrid
+    from repro.route.detailed_router import route_design
+    from repro.tech import technology_by_name
+
+    tech = technology_by_name(args.tech)
+    library = generate_library(tech)
+    design = synthesize_design(library, args.profile, args.instances, seed=args.seed)
+    placement = place_design(design, utilization=args.utilization, seed=args.seed)
+    print(f"placed {design.n_instances} instances at "
+          f"{placement.utilization:.1%} utilization")
+    grid = RoutingGrid.for_die(tech, design.die, max_metal=args.max_metal)
+    routed = route_design(design, grid)
+    print(f"routed {len(routed.routes)} nets "
+          f"({len(routed.failed_nets)} failures), "
+          f"WL={routed.total_wirelength_steps} steps, vias={routed.total_vias}")
+    clips = extract_clips(design, grid, routed, ClipWindowSpec())
+    top = select_top_clips(clips, k=args.top_k)
+    print(f"extracted {len(clips)} clips; top-{args.top_k} pin costs:")
+    for clip in top:
+        print(f"  {clip.name}: {clip.pin_cost:.1f} ({len(clip.nets)} nets)")
+    return 0 if not routed.failed_nets else 1
+
+
+def _cmd_improve(args) -> int:
+    from repro.cells import generate_library
+    from repro.improve import improve_routing
+    from repro.netlist import synthesize_design
+    from repro.place import place_design
+    from repro.route import RoutingGrid
+    from repro.route.detailed_router import route_design
+    from repro.router import OptRouter
+    from repro.tech import technology_by_name
+
+    tech = technology_by_name(args.tech)
+    library = generate_library(tech)
+    design = synthesize_design(library, args.profile, args.instances, seed=args.seed)
+    place_design(design, utilization=args.utilization, seed=args.seed)
+    grid = RoutingGrid.for_die(tech, design.die, max_metal=args.max_metal)
+    routed = route_design(design, grid)
+    before = routed.routed_cost()
+    report = improve_routing(
+        design, grid, routed,
+        router=OptRouter(time_limit=args.time_limit),
+        max_clips=args.max_clips,
+    )
+    after = routed.routed_cost()
+    print(report.summary())
+    print(f"chip routing cost: {before:.0f} -> {after:.0f}")
+    return 0
+
+
+def _cmd_sta(args) -> int:
+    from repro.cells import generate_library
+    from repro.netlist import synthesize_design
+    from repro.place import place_design
+    from repro.tech import technology_by_name
+    from repro.tech.rc import WireRc, derive_n7_rc
+    from repro.timing import analyze_timing, default_timing_library
+
+    tech = technology_by_name(args.tech)
+    library = generate_library(tech)
+    design = synthesize_design(library, args.profile, args.instances, seed=args.seed)
+    place_design(design, utilization=args.utilization, seed=args.seed)
+    rc = WireRc(r_per_um=10.0, c_per_um=0.25)
+    if tech.name.startswith("N7"):
+        rc = derive_n7_rc(rc)
+    report = analyze_timing(design, default_timing_library(library), rc)
+    print(f"endpoints: {report.n_endpoints}  "
+          f"broken loop arcs: {report.broken_loop_arcs}")
+    print(f"min feasible period: {report.min_period_ps:.0f} ps")
+    print("critical path:")
+    for point in report.critical_path:
+        print(f"  {point.instance}/{point.pin}  @ {point.arrival_ps:.1f} ps")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BEOL design-rule evaluation with an optimal ILP router "
+        "(DAC 2015 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("rules", help="print the Table 3 rule matrix")
+
+    route = sub.add_parser("route-clip", help="optimally route one clip")
+    route.add_argument("--rule", default="RULE1")
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument("--nx", type=int, default=7)
+    route.add_argument("--ny", type=int, default=10)
+    route.add_argument("--nz", type=int, default=4)
+    route.add_argument("--nets", type=int, default=3)
+    route.add_argument("--sinks", type=int, default=1)
+    route.add_argument("--access-points", type=int, default=3)
+    route.add_argument("--time-limit", type=float, default=60.0)
+
+    ev = sub.add_parser("evaluate", help="Δcost study on synthetic clips")
+    ev.add_argument("--tech", default="N7-9T")
+    ev.add_argument("--clips", type=int, default=6)
+    ev.add_argument("--nx", type=int, default=6)
+    ev.add_argument("--ny", type=int, default=8)
+    ev.add_argument("--nz", type=int, default=4)
+    ev.add_argument("--nets", type=int, default=4)
+    ev.add_argument("--sinks", type=int, default=1)
+    ev.add_argument("--access-points", type=int, default=2)
+    ev.add_argument("--time-limit", type=float, default=30.0)
+
+    flow = sub.add_parser("full-flow", help="synth→place→route→extract→rank")
+    flow.add_argument("--tech", default="N28-12T")
+    flow.add_argument("--profile", default="aes", choices=("aes", "m0"))
+    flow.add_argument("--instances", type=int, default=150)
+    flow.add_argument("--utilization", type=float, default=0.88)
+    flow.add_argument("--max-metal", type=int, default=6)
+    flow.add_argument("--top-k", type=int, default=5)
+    flow.add_argument("--seed", type=int, default=0)
+
+    improve = sub.add_parser(
+        "improve", help="OptRouter-based local routing improvement"
+    )
+    improve.add_argument("--tech", default="N28-8T")
+    improve.add_argument("--profile", default="m0", choices=("aes", "m0"))
+    improve.add_argument("--instances", type=int, default=180)
+    improve.add_argument("--utilization", type=float, default=0.92)
+    improve.add_argument("--max-metal", type=int, default=3)
+    improve.add_argument("--max-clips", type=int, default=10)
+    improve.add_argument("--time-limit", type=float, default=20.0)
+    improve.add_argument("--seed", type=int, default=0)
+
+    sta = sub.add_parser("sta", help="static timing analysis of a design")
+    sta.add_argument("--tech", default="N28-12T")
+    sta.add_argument("--profile", default="aes", choices=("aes", "m0"))
+    sta.add_argument("--instances", type=int, default=100)
+    sta.add_argument("--utilization", type=float, default=0.85)
+    sta.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "rules": _cmd_rules,
+    "route-clip": _cmd_route_clip,
+    "evaluate": _cmd_evaluate,
+    "full-flow": _cmd_full_flow,
+    "improve": _cmd_improve,
+    "sta": _cmd_sta,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Routing clips (switchbox instances) and their selection.
+
+A *clip* is a small window of a routed layout -- in the paper,
+1µm x 1µm = 7 vertical tracks x 10 horizontal tracks over 8 metal
+layers -- re-expressed as a standalone switchbox routing problem:
+every net touching the window becomes a clip net whose pins are its
+in-window cell-pin access points plus its window-boundary crossings.
+
+Clips are ranked by the pin-cost metric of Taghavi et al. (PEC + PAC +
+PRC, θ = 500) and the top-K most difficult ones feed OptRouter.
+"""
+
+from repro.clips.clip import Clip, ClipNet, ClipPin
+from repro.clips.pincost import PinCostParams, clip_pin_cost, pin_cost_breakdown
+from repro.clips.extract import ClipWindowSpec, extract_clips
+from repro.clips.synthetic import SyntheticClipSpec, make_synthetic_clip
+from repro.clips.select import select_top_clips
+
+__all__ = [
+    "Clip",
+    "ClipNet",
+    "ClipPin",
+    "PinCostParams",
+    "clip_pin_cost",
+    "pin_cost_breakdown",
+    "ClipWindowSpec",
+    "extract_clips",
+    "SyntheticClipSpec",
+    "make_synthetic_clip",
+    "select_top_clips",
+]

@@ -1,0 +1,141 @@
+"""Clip (switchbox instance) datamodel.
+
+A clip is self-contained: it carries its own track/layer dimensions and
+per-layer directions, so OptRouter and the baseline clip router need no
+access to the source design.  Vertex addresses are ``(x, y, z)`` with
+``x`` a vertical-track column index, ``y`` a horizontal-track row
+index, and ``z`` a 0-based routing-layer slot (slot 0 = the lowest
+routing metal, M2 in the paper's studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Vertex = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ClipPin:
+    """One pin of a clip net: a set of equivalent access vertices.
+
+    ``access`` vertices behave as the paper's pin shapes: a supersource
+    or supersink connects to all of them and the router may use any one
+    (Section 3.2, "Pin shape").  ``area_nm2`` and ``position`` feed the
+    pin-cost metric; boundary-crossing pins have zero area.
+    """
+
+    access: frozenset[Vertex]
+    area_nm2: int = 0
+    position: tuple[int, int] = (0, 0)  # representative (x, y) in nm, clip-local
+    on_boundary: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.access:
+            raise ValueError("pin with no access vertices")
+
+
+@dataclass(frozen=True)
+class ClipNet:
+    """A net of the clip: first pin is the source, the rest are sinks."""
+
+    name: str
+    pins: tuple[ClipPin, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pins) < 2:
+            raise ValueError(f"net {self.name} needs at least 2 pins")
+
+    @property
+    def source(self) -> ClipPin:
+        return self.pins[0]
+
+    @property
+    def sinks(self) -> tuple[ClipPin, ...]:
+        return self.pins[1:]
+
+
+@dataclass(frozen=True)
+class Clip:
+    """A standalone switchbox routing instance.
+
+    Attributes:
+        name: identifier (source design + window, or synthetic id).
+        nx, ny, nz: vertical tracks, horizontal tracks, routing layers.
+        horizontal: per-slot flag -- slot z routes horizontally when
+            ``horizontal[z]`` (alternating, slot 0 = M2 = vertical in
+            the paper's stacks).
+        nets: the nets to route.
+        obstacles: vertices unavailable to routing (pre-existing
+            blockages, e.g. power structures).
+        x_pitch, y_pitch: track pitches in nm (for pin-cost geometry).
+        pin_cost: cached difficulty metric (filled by selection).
+        origin: (column, row) of the clip's (0, 0) vertex in the source
+            design's track grid; (0, 0) for synthetic clips.  Used by
+            :mod:`repro.improve` to stitch solutions back.
+    """
+
+    name: str
+    nx: int
+    ny: int
+    nz: int
+    horizontal: tuple[bool, ...]
+    nets: tuple[ClipNet, ...]
+    obstacles: frozenset[Vertex] = field(default_factory=frozenset)
+    x_pitch: int = 136
+    y_pitch: int = 100
+    min_metal: int = 2
+    pin_cost: float = 0.0
+    origin: tuple[int, int] = (0, 0)
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1 or self.nz < 1:
+            raise ValueError("clip dimensions must be positive")
+        if len(self.horizontal) != self.nz:
+            raise ValueError("need one direction flag per layer slot")
+        for vertex in self.obstacles:
+            if not self.in_bounds(vertex):
+                raise ValueError(f"obstacle {vertex} out of bounds")
+        for net in self.nets:
+            for pin in net.pins:
+                for vertex in pin.access:
+                    if not self.in_bounds(vertex):
+                        raise ValueError(
+                            f"net {net.name} pin vertex {vertex} out of bounds"
+                        )
+
+    def in_bounds(self, vertex: Vertex) -> bool:
+        x, y, z = vertex
+        return 0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz
+
+    @property
+    def n_vertices(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def n_pins(self) -> int:
+        return sum(len(net.pins) for net in self.nets)
+
+    def metal_of(self, z: int) -> int:
+        return self.min_metal + z
+
+    def with_pin_cost(self, cost: float) -> "Clip":
+        """Copy with the cached pin-cost field set."""
+        return Clip(
+            name=self.name, nx=self.nx, ny=self.ny, nz=self.nz,
+            horizontal=self.horizontal, nets=self.nets,
+            obstacles=self.obstacles, x_pitch=self.x_pitch,
+            y_pitch=self.y_pitch, min_metal=self.min_metal, pin_cost=cost,
+            origin=self.origin,
+        )
+
+
+def paper_directions(nz: int, slot0_horizontal: bool = False) -> tuple[bool, ...]:
+    """Alternating layer directions starting from slot 0.
+
+    The paper's stacks have M1 horizontal, so M2 (slot 0) is vertical.
+    """
+    return tuple(
+        slot0_horizontal if z % 2 == 0 else not slot0_horizontal
+        for z in range(nz)
+    )

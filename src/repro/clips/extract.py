@@ -1,0 +1,209 @@
+"""Clip extraction from routed designs.
+
+Implements the paper's "extraction of routing clips": the routed die is
+tiled into windows of ``cols x rows`` tracks (1µm x 1µm = 7 x 10 in the
+28nm frame); every net whose routing or pins touch a window contributes
+a clip net whose pins are
+
+- its in-window cell-pin access points (a multi-access pin each), and
+- one pin per point where its routed tree crosses the window boundary
+  (the net must re-enter the same boundary vertex so the rest of the
+  chip-level route stays valid).
+
+Nets that touch a window with fewer than two resulting pins are not
+re-routed; their in-window wiring becomes an obstacle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clips.clip import Clip, ClipNet, ClipPin, Vertex
+from repro.netlist.design import Design
+from repro.route.detailed_router import DetailedRouteResult, DetailedRouter
+from repro.route.grid import RoutingGrid
+
+
+@dataclass(frozen=True)
+class ClipWindowSpec:
+    """Window tiling parameters.
+
+    Defaults are the paper's: 7 vertical x 10 horizontal tracks.
+    """
+
+    cols: int = 7
+    rows: int = 10
+
+    def __post_init__(self) -> None:
+        if self.cols < 2 or self.rows < 2:
+            raise ValueError("windows must be at least 2x2 tracks")
+
+
+def _window_of(x: int, y: int, spec: ClipWindowSpec) -> tuple[int, int]:
+    return (x // spec.cols, y // spec.rows)
+
+
+def extract_clips(
+    design: Design,
+    grid: RoutingGrid,
+    routed: DetailedRouteResult,
+    spec: ClipWindowSpec | None = None,
+) -> list[Clip]:
+    """Extract every window of the routed design as a clip.
+
+    Only windows containing at least one routable net (two or more
+    pins) are returned.
+    """
+    if spec is None:
+        spec = ClipWindowSpec()
+    router = DetailedRouter(grid)
+    nets_by_name = {net.name: net for net in design.nets}
+
+    # Window -> net -> in-window node set.
+    windows: dict[tuple[int, int], dict[str, set[int]]] = {}
+    for net_name, nodes in routed.node_sets.items():
+        for node in nodes:
+            x, y, _z = grid.node_xyz(node)
+            w = _window_of(x, y, spec)
+            windows.setdefault(w, {}).setdefault(net_name, set()).add(node)
+
+    clips: list[Clip] = []
+    for (wx, wy), nets_in_window in sorted(windows.items()):
+        x_lo, y_lo = wx * spec.cols, wy * spec.rows
+        x_hi = min(x_lo + spec.cols, grid.nx) - 1
+        y_hi = min(y_lo + spec.rows, grid.ny) - 1
+        nx, ny = x_hi - x_lo + 1, y_hi - y_lo + 1
+        if nx < 2 or ny < 2:
+            continue
+
+        def local(node: int) -> Vertex:
+            x, y, z = grid.node_xyz(node)
+            return (x - x_lo, y - y_lo, z)
+
+        def inside(node: int) -> bool:
+            x, y, _z = grid.node_xyz(node)
+            return x_lo <= x <= x_hi and y_lo <= y <= y_hi
+
+        clip_nets: list[ClipNet] = []
+        obstacles: set[Vertex] = set()
+        for net_name, in_nodes in sorted(nets_in_window.items()):
+            net = nets_by_name[net_name]
+
+            # A net may touch the window several times, with the pieces
+            # connected *outside*; forcing one in-window Steiner tree
+            # over all of them would over-constrain the clip.  Split the
+            # net's in-window presence into connected components of its
+            # wiring and emit one clip net per component.
+            parent: dict[int, int] = {node: node for node in in_nodes}
+
+            def find(node: int) -> int:
+                while parent[node] != node:
+                    parent[node] = parent[parent[node]]
+                    node = parent[node]
+                return node
+
+            def union(a: int, b: int) -> None:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[rb] = ra
+
+            for edge in routed.edge_sets.get(net_name, set()):
+                a, b = tuple(edge)
+                if a in parent and b in parent:
+                    union(a, b)
+            # All access nodes of one terminal are one conductor.
+            terminals = router.terminal_nodes(design, net)
+            driver_term = design.driver_of(net)
+            for access in terminals:
+                in_window = sorted(node for node in access if node in parent)
+                for node in in_window[1:]:
+                    union(in_window[0], node)
+
+            # Crossing vertices per component.
+            crossings: dict[int, set[int]] = {}
+            for edge in routed.edge_sets.get(net_name, set()):
+                a, b = tuple(edge)
+                a_in, b_in = inside(a), inside(b)
+                if a_in != b_in:
+                    node = a if a_in else b
+                    if node in parent:
+                        crossings.setdefault(find(node), set()).add(node)
+
+            components: dict[int, list[ClipPin]] = {}
+            driver_pin_of: dict[int, int] = {}
+            for t_index, access in enumerate(terminals):
+                in_window = {node for node in access if node in parent}
+                if not in_window:
+                    continue
+                root = find(min(in_window))
+                term = net.terms[t_index]
+                inst = design.instance(term.instance)
+                pin_obj = inst.cell.pin(term.pin)
+                rep_x, rep_y, _ = grid.node_xyz(min(in_window))
+                pins = components.setdefault(root, [])
+                pins.append(
+                    ClipPin(
+                        access=frozenset(local(n) for n in in_window),
+                        area_nm2=pin_obj.area(),
+                        position=(
+                            (rep_x - x_lo) * grid.x_pitch,
+                            (rep_y - y_lo) * grid.y_pitch,
+                        ),
+                        on_boundary=False,
+                    )
+                )
+                if driver_term == term:
+                    driver_pin_of[root] = len(pins) - 1
+            for root, nodes in crossings.items():
+                pins = components.setdefault(root, [])
+                for node in sorted(nodes):
+                    x, y, _z = grid.node_xyz(node)
+                    pins.append(
+                        ClipPin(
+                            access=frozenset((local(node),)),
+                            area_nm2=0,
+                            position=(
+                                (x - x_lo) * grid.x_pitch,
+                                (y - y_lo) * grid.y_pitch,
+                            ),
+                            on_boundary=True,
+                        )
+                    )
+
+            routable_roots = set()
+            for index, (root, pins) in enumerate(sorted(components.items())):
+                if len(pins) < 2:
+                    continue
+                routable_roots.add(root)
+                driver_index = driver_pin_of.get(root, 0)
+                if driver_index:
+                    pins[0], pins[driver_index] = pins[driver_index], pins[0]
+                suffix = f".{index}" if len(components) > 1 else ""
+                clip_nets.append(
+                    ClipNet(name=f"{net_name}{suffix}", pins=tuple(pins))
+                )
+            # Wiring of unroutable components stays as an obstacle.
+            for node in in_nodes:
+                if find(node) not in routable_roots:
+                    obstacles.add(local(node))
+
+        if not clip_nets:
+            continue
+        clips.append(
+            Clip(
+                name=f"{design.name}_w{wx}_{wy}",
+                nx=nx,
+                ny=ny,
+                nz=grid.nz,
+                horizontal=tuple(
+                    grid.layer_is_horizontal(z) for z in range(grid.nz)
+                ),
+                nets=tuple(clip_nets),
+                obstacles=frozenset(obstacles),
+                x_pitch=grid.x_pitch,
+                y_pitch=grid.y_pitch,
+                min_metal=grid.min_metal,
+                origin=(x_lo, y_lo),
+            )
+        )
+    return clips

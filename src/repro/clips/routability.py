@@ -1,0 +1,98 @@
+"""A switchbox-centric routability estimate beyond the pin-cost metric.
+
+The paper's second observation (Section 4.2) is that the Taghavi et
+al. pin-cost metric does not fully predict switchbox routability --
+"there is a gap between pin accessibility metrics such as [15] and our
+switchbox-centric evaluation of routability" -- and names a better
+metric as future work.  This module implements a candidate: a
+supply/demand estimate over the clip itself, combining
+
+- pin-access pressure: pins per usable lowest-layer track,
+- crossing demand: a lower bound on the wirelength the nets must spend
+  (half-perimeter of each net's pin spread), normalized by the clip's
+  wire capacity,
+- via pressure: nets needing layer changes vs available via sites.
+
+The Fig.10-adjacent benchmark correlates both metrics with OptRouter
+feasibility/Δcost so the paper's "gap" claim can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clips.clip import Clip, ClipNet
+
+
+@dataclass(frozen=True)
+class RoutabilityBreakdown:
+    """Components of the congestion score (all dimensionless)."""
+
+    pin_pressure: float
+    wire_demand: float
+    via_pressure: float
+
+    @property
+    def score(self) -> float:
+        return self.pin_pressure + self.wire_demand + self.via_pressure
+
+
+def _net_half_perimeter(net: ClipNet) -> int:
+    xs: list[int] = []
+    ys: list[int] = []
+    for pin in net.pins:
+        for x, y, _z in pin.access:
+            xs.append(x)
+            ys.append(y)
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def _net_needs_via(net: ClipNet) -> bool:
+    layers = {z for pin in net.pins for _x, _y, z in pin.access}
+    if len(layers) > 1:
+        return True
+    # Single-layer pins still force vias when the pins are spread in
+    # the non-preferred direction of that layer.
+    return _net_spread_crosses_direction(net)
+
+
+def _net_spread_crosses_direction(net: ClipNet) -> bool:
+    xs = {x for pin in net.pins for x, _y, _z in pin.access}
+    ys = {y for pin in net.pins for _x, y, _z in pin.access}
+    return len(xs) > 1 and len(ys) > 1
+
+
+def routability_breakdown(clip: Clip) -> RoutabilityBreakdown:
+    """Estimate congestion pressure of a clip (higher = harder)."""
+    n_pins = sum(
+        1 for net in clip.nets for pin in net.pins if not pin.on_boundary
+    )
+    # Lowest-slot tracks are where pins are accessed.
+    lowest_tracks = clip.nx if not clip.horizontal[0] else clip.ny
+    pin_pressure = n_pins / max(1, lowest_tracks)
+
+    demand = sum(_net_half_perimeter(net) for net in clip.nets)
+    wire_capacity = 0
+    for z in range(clip.nz):
+        if clip.horizontal[z]:
+            wire_capacity += (clip.nx - 1) * clip.ny
+        else:
+            wire_capacity += clip.nx * (clip.ny - 1)
+    wire_capacity = max(1, wire_capacity - len(clip.obstacles))
+    wire_demand = demand / wire_capacity
+
+    via_needers = sum(1 for net in clip.nets if _net_needs_via(net))
+    via_sites = max(1, clip.nx * clip.ny * max(1, clip.nz - 1))
+    # Each via-needing net consumes at least two via sites (up + down).
+    via_pressure = 2.0 * via_needers / via_sites * 10.0
+
+    return RoutabilityBreakdown(
+        pin_pressure=pin_pressure,
+        wire_demand=wire_demand,
+        via_pressure=via_pressure,
+    )
+
+
+def routability_score(clip: Clip) -> float:
+    """Scalar congestion score (higher = harder to route)."""
+    return routability_breakdown(clip).score

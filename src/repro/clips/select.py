@@ -1,0 +1,30 @@
+"""Top-K clip selection by pin cost.
+
+The paper computes the pin cost for every clip of every implementation
+of a technology (~10K clips per testcase) and takes the top-100 across
+all designs per technology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.clips.clip import Clip
+from repro.clips.pincost import PinCostParams, clip_pin_cost
+
+
+def select_top_clips(
+    clips: Iterable[Clip],
+    k: int,
+    params: PinCostParams | None = None,
+) -> list[Clip]:
+    """Score all clips and return the ``k`` highest-cost ones.
+
+    The returned clips carry their score in ``pin_cost``, sorted
+    descending.  Ties break on clip name for determinism.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    scored = [clip.with_pin_cost(clip_pin_cost(clip, params)) for clip in clips]
+    scored.sort(key=lambda c: (-c.pin_cost, c.name))
+    return scored[:k]

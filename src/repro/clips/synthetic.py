@@ -1,0 +1,162 @@
+"""Synthetic clip generation.
+
+Produces seeded switchbox instances with the statistical features of
+extracted clips -- cell pins clustered on the lowest routing layer with
+technology-dependent access-point counts, plus boundary-crossing pins
+-- without running the full P&R flow.  Used by unit tests and by
+benchmarks that sweep rule configurations over many clips quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clips.clip import Clip, ClipNet, ClipPin, Vertex, paper_directions
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SyntheticClipSpec:
+    """Parameters of a synthetic clip.
+
+    Defaults give a small, quickly solvable instance; the paper-scale
+    clip is ``nx=7, ny=10, nz=7`` (M2..M8).
+
+    Attributes:
+        access_points_per_pin: models the technology's pin shapes
+            (N28-12T ~6, N28-8T ~4, N7-9T ~2).
+        pin_spacing_cols: columns between pin clusters (1 = adjacent
+            pins as in the 7nm library).
+        boundary_pin_prob: chance that a sink is a boundary crossing on
+            an upper layer instead of a cell pin.
+    """
+
+    nx: int = 7
+    ny: int = 10
+    nz: int = 4
+    n_nets: int = 4
+    sinks_per_net: int = 2
+    access_points_per_pin: int = 4
+    pin_spacing_cols: int = 2
+    boundary_pin_prob: float = 0.35
+
+
+def _cell_pin(
+    spec: SyntheticClipSpec, col: int, row0: int
+) -> ClipPin:
+    """A pin: a vertical run of access points on layer slot 0 at ``col``."""
+    span = min(spec.access_points_per_pin, spec.ny - row0)
+    access = frozenset((col, row0 + i, 0) for i in range(span))
+    # Synthetic pin area scales with its access count (50nm-wide stripe
+    # across `span` 100nm tracks).
+    area = 50 * 100 * span
+    return ClipPin(
+        access=access,
+        area_nm2=area,
+        position=(col * 136, (row0 + span // 2) * 100),
+        on_boundary=False,
+    )
+
+
+def _boundary_pin(spec: SyntheticClipSpec, rng) -> ClipPin:
+    """A single-vertex pin on the clip boundary at a random layer."""
+    z = rng.randrange(spec.nz)
+    side = rng.randrange(4)
+    if side == 0:
+        vertex: Vertex = (0, rng.randrange(spec.ny), z)
+    elif side == 1:
+        vertex = (spec.nx - 1, rng.randrange(spec.ny), z)
+    elif side == 2:
+        vertex = (rng.randrange(spec.nx), 0, z)
+    else:
+        vertex = (rng.randrange(spec.nx), spec.ny - 1, z)
+    return ClipPin(
+        access=frozenset((vertex,)),
+        area_nm2=0,
+        position=(vertex[0] * 136, vertex[1] * 100),
+        on_boundary=True,
+    )
+
+
+def make_synthetic_clip(
+    spec: SyntheticClipSpec | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> Clip:
+    """Generate one seeded synthetic clip.
+
+    Cell pins are laid out in a row-major scan with the configured
+    column spacing (emulating placed cells along rows); each net gets
+    one source cell pin and a mix of cell-pin and boundary sinks.
+    Colliding nets are dropped; if a seed yields no nets at all, nearby
+    layouts are retried before giving up with ``ValueError``.
+    """
+    if spec is None:
+        spec = SyntheticClipSpec()
+    last_error: ValueError | None = None
+    for attempt in range(8):
+        try:
+            return _generate(spec, seed + 1000 * attempt, name, seed)
+        except ValueError as error:
+            last_error = error
+    raise last_error
+
+
+def _generate(
+    spec: SyntheticClipSpec, seed: int, name: str | None, base_seed: int
+) -> Clip:
+    rng = make_rng(seed)
+
+    total_pins = spec.n_nets * (1 + spec.sinks_per_net)
+    positions: list[tuple[int, int]] = []
+    col, row0 = 0, 0
+    for _ in range(total_pins):
+        positions.append((col, row0))
+        col += spec.pin_spacing_cols
+        if col >= spec.nx:
+            col = col % spec.nx
+            row0 += max(1, spec.access_points_per_pin // 2)
+            if row0 >= spec.ny:
+                row0 = rng.randrange(max(1, spec.ny - 1))
+    rng.shuffle(positions)
+
+    nets: list[ClipNet] = []
+    used: set[Vertex] = set()
+    pos_iter = iter(positions)
+    for i in range(spec.n_nets):
+        pins: list[ClipPin] = []
+        source = _cell_pin(spec, *next(pos_iter))
+        pins.append(source)
+        for _ in range(spec.sinks_per_net):
+            if rng.random() < spec.boundary_pin_prob:
+                pin = _boundary_pin(spec, rng)
+                for _retry in range(8):
+                    if not (pin.access & used):
+                        break
+                    pin = _boundary_pin(spec, rng)
+            else:
+                pin = _cell_pin(spec, *next(pos_iter))
+            pins.append(pin)
+        overlap = False
+        flat: set[Vertex] = set()
+        for pin in pins:
+            if pin.access & used or pin.access & flat:
+                overlap = True
+            flat |= pin.access
+        if overlap:
+            continue  # drop colliding nets rather than emit an illegal clip
+        used |= flat
+        nets.append(ClipNet(name=f"n{i}", pins=tuple(pins)))
+
+    if len(nets) < 1:
+        raise ValueError("spec too tight: no nets could be placed")
+    return Clip(
+        name=name or f"synth_s{base_seed}",
+        nx=spec.nx,
+        ny=spec.ny,
+        nz=spec.nz,
+        horizontal=paper_directions(spec.nz),
+        nets=tuple(nets),
+        x_pitch=136,
+        y_pitch=100,
+    )

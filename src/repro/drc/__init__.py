@@ -1,0 +1,13 @@
+"""Independent design-rule checking of routed clips.
+
+The ILP *formulation* encodes the rules; this package *verifies* the
+decoded geometry against them independently, so formulation bugs
+cannot silently pass.  Checks: per-net connectivity, net-to-net
+shorts, layer directionality, via adjacency, obstacle and foreign-pin
+usage, and SADP end-of-line spacing recomputed from wire geometry.
+"""
+
+from repro.drc.violations import Violation
+from repro.drc.checker import check_clip_routing
+
+__all__ = ["Violation", "check_clip_routing"]

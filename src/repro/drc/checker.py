@@ -1,0 +1,296 @@
+"""Geometric design-rule checks on a decoded clip routing."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.clips.clip import Clip, Vertex
+from repro.drc.violations import Violation
+from repro.router.rules import RuleConfig
+from repro.router.solution import ClipRouting, NetSolution
+
+
+def check_clip_routing(
+    clip: Clip,
+    rules: RuleConfig,
+    routing: ClipRouting,
+) -> list[Violation]:
+    """Check every rule the configuration enables; return all violations."""
+    violations: list[Violation] = []
+    by_name = {net.name: net for net in clip.nets}
+
+    violations.extend(_check_connectivity(clip, routing, by_name))
+    violations.extend(_check_shorts(routing))
+    violations.extend(_check_directions(clip, routing))
+    violations.extend(_check_blockages(clip, routing, by_name))
+    violations.extend(_check_via_adjacency(rules, routing))
+    if rules.sadp_min_metal is not None:
+        violations.extend(_check_sadp(clip, rules, routing))
+    return violations
+
+
+# -- connectivity -----------------------------------------------------------
+
+
+def _net_adjacency(net: NetSolution) -> dict[Vertex, set[Vertex]]:
+    adj: dict[Vertex, set[Vertex]] = defaultdict(set)
+    for a, b in net.wire_edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    for x, y, z in net.vias:
+        adj[(x, y, z)].add((x, y, z + 1))
+        adj[(x, y, z + 1)].add((x, y, z))
+    for use in net.shape_vias:
+        members = list(use.lower_members) + list(use.upper_members)
+        # The shape is one conductor: connect all members pairwise
+        # through the first member (star) to keep the graph small.
+        hub = members[0]
+        for member in members[1:]:
+            adj[hub].add(member)
+            adj[member].add(hub)
+    return adj
+
+
+def _check_connectivity(clip, routing, by_name) -> list[Violation]:
+    out = []
+    for net_sol in routing.nets:
+        clip_net = by_name.get(net_sol.net_name)
+        if clip_net is None:
+            out.append(
+                Violation("open", (net_sol.net_name,), "unknown net in solution")
+            )
+            continue
+        adj = _net_adjacency(net_sol)
+        # Pin metal conducts: all access vertices of one pin are one node.
+        for pin in clip_net.pins:
+            access = sorted(pin.access)
+            for vertex in access[1:]:
+                adj[access[0]].add(vertex)
+                adj[vertex].add(access[0])
+        start_candidates = set(clip_net.source.access) & set(adj)
+        if not start_candidates:
+            # Degenerate: source directly coincides with every sink?
+            all_access = set(clip_net.source.access)
+            if all(
+                set(sink.access) & all_access for sink in clip_net.sinks
+            ):
+                continue
+            out.append(
+                Violation(
+                    "open", (net_sol.net_name,), "no wiring touches the source pin"
+                )
+            )
+            continue
+        reached = set()
+        stack = list(start_candidates)
+        while stack:
+            v = stack.pop()
+            if v in reached:
+                continue
+            reached.add(v)
+            stack.extend(adj.get(v, ()))
+        for index, sink in enumerate(clip_net.sinks):
+            if not (set(sink.access) & reached):
+                out.append(
+                    Violation(
+                        "open",
+                        (net_sol.net_name,),
+                        f"sink {index} unreachable from the source",
+                    )
+                )
+    return out
+
+
+# -- shorts / direction / blockages -----------------------------------------
+
+
+def _check_shorts(routing) -> list[Violation]:
+    out = []
+    owner: dict[Vertex, str] = {}
+    for net_sol in routing.nets:
+        for vertex in net_sol.used_vertices():
+            previous = owner.get(vertex)
+            if previous is not None and previous != net_sol.net_name:
+                out.append(
+                    Violation(
+                        "short",
+                        (previous, net_sol.net_name),
+                        f"both use vertex {vertex}",
+                    )
+                )
+            else:
+                owner[vertex] = net_sol.net_name
+    return out
+
+
+def _check_directions(clip, routing) -> list[Violation]:
+    out = []
+    for net_sol in routing.nets:
+        for a, b in net_sol.wire_edges:
+            if a[2] != b[2]:
+                out.append(
+                    Violation(
+                        "direction",
+                        (net_sol.net_name,),
+                        f"wire edge spans layers: {a} - {b}",
+                    )
+                )
+                continue
+            z = a[2]
+            horizontal_move = a[1] == b[1] and a[0] != b[0]
+            if clip.horizontal[z] != horizontal_move:
+                out.append(
+                    Violation(
+                        "direction",
+                        (net_sol.net_name,),
+                        f"edge {a}-{b} against layer slot {z} direction",
+                    )
+                )
+    return out
+
+
+def _check_blockages(clip, routing, by_name) -> list[Violation]:
+    out = []
+    pin_owner: dict[Vertex, str] = {}
+    for net in clip.nets:
+        for pin in net.pins:
+            for vertex in pin.access:
+                pin_owner[vertex] = net.name
+    for net_sol in routing.nets:
+        for vertex in net_sol.used_vertices():
+            if vertex in clip.obstacles:
+                out.append(
+                    Violation(
+                        "obstacle", (net_sol.net_name,), f"uses obstacle {vertex}"
+                    )
+                )
+            owner = pin_owner.get(vertex)
+            if owner is not None and owner != net_sol.net_name:
+                out.append(
+                    Violation(
+                        "pin_short",
+                        (net_sol.net_name, owner),
+                        f"routes over pin vertex {vertex} of {owner}",
+                    )
+                )
+    return out
+
+
+# -- via adjacency -----------------------------------------------------------
+
+
+def _all_via_sites(routing) -> list[tuple[str, tuple[int, int, int]]]:
+    sites = []
+    for net_sol in routing.nets:
+        for site in net_sol.vias:
+            sites.append((net_sol.net_name, site))
+        for use in net_sol.shape_vias:
+            for x, y, z in use.lower_members:
+                sites.append((net_sol.net_name, (x, y, z)))
+    return sites
+
+
+def _check_via_adjacency(rules, routing) -> list[Violation]:
+    offsets = rules.via_restriction.blocked_offsets()
+    if not offsets:
+        return []
+    out = []
+    sites = _all_via_sites(routing)
+    occupied = {}
+    for net_name, site in sites:
+        occupied.setdefault(site, net_name)
+    for net_name, (x, y, z) in sites:
+        for dx, dy in offsets:
+            neighbor = (x + dx, y + dy, z)
+            if (x + dx, y + dy) < (x, y):
+                continue  # report each pair once
+            other = occupied.get(neighbor)
+            if other is not None:
+                out.append(
+                    Violation(
+                        "via_adjacency",
+                        (net_name, other),
+                        f"vias at {(x, y, z)} and {neighbor}",
+                    )
+                )
+    return out
+
+
+# -- SADP end-of-line ---------------------------------------------------------
+
+
+def _eols_of_net(clip: Clip, net_sol: NetSolution, z: int) -> list[tuple[Vertex, int]]:
+    """End-of-lines of a net on layer slot z.
+
+    Returns ``(vertex, side)`` pairs where side is +1 when the metal
+    extends in the positive along direction from the EOL vertex (the
+    paper's ``p_r`` when the layer is horizontal) and -1 otherwise.
+    """
+    along_of: dict[Vertex, set[int]] = defaultdict(set)
+    for a, b in net_sol.wire_edges:
+        if a[2] != z:
+            continue
+        lo, hi = (a, b) if (a <= b) else (b, a)
+        # lo -> hi is the positive along direction (only one coordinate
+        # differs on a unidirectional layer).
+        along_of[lo].add(1)
+        along_of[hi].add(-1)
+    eols = []
+    for vertex, sides in along_of.items():
+        if len(sides) == 1:
+            (side,) = sides
+            eols.append((vertex, side))
+    return eols
+
+
+def _check_sadp(clip, rules, routing) -> list[Violation]:
+    out = []
+    for z in range(clip.nz):
+        if not rules.sadp_applies_to(clip.metal_of(z)):
+            continue
+        horizontal = clip.horizontal[z]
+        eols: dict[Vertex, list[tuple[str, int]]] = defaultdict(list)
+        for net_sol in routing.nets:
+            for vertex, side in _eols_of_net(clip, net_sol, z):
+                eols[vertex].append((net_sol.net_name, side))
+
+        def offset(v: Vertex, da: int, dc: int) -> Vertex:
+            if horizontal:
+                return (v[0] + da, v[1] + dc, v[2])
+            return (v[0] + dc, v[1] + da, v[2])
+
+        for vertex, entries in eols.items():
+            for net_name, side in entries:
+                # Opposite-polarity patterns: evaluated once, from the
+                # p_pos perspective (every pos/neg pair is seen there).
+                if side == 1:
+                    for da, dc in rules.sadp.opposite_offsets:
+                        for other_name, other_side in eols.get(
+                            offset(vertex, da, dc), ()
+                        ):
+                            if other_side == -1:
+                                out.append(
+                                    Violation(
+                                        "sadp_eol",
+                                        (net_name, other_name),
+                                        f"facing EOLs at {vertex} and "
+                                        f"{offset(vertex, da, dc)} on slot {z}",
+                                    )
+                                )
+                # Same-polarity patterns, for both polarities (offsets
+                # mirror along the wire direction for p_neg).
+                for da, dc in rules.sadp.same_offsets:
+                    other_vertex = offset(vertex, side * da, dc)
+                    if other_vertex <= vertex:
+                        continue  # each unordered pair once
+                    for other_name, other_side in eols.get(other_vertex, ()):
+                        if other_side == side:
+                            out.append(
+                                Violation(
+                                    "sadp_eol",
+                                    (net_name, other_name),
+                                    f"misaligned same-side EOLs at {vertex} "
+                                    f"and {other_vertex} on slot {z}",
+                                )
+                            )
+    return out

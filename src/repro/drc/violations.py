@@ -1,0 +1,23 @@
+"""DRC violation record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation found in a routed clip.
+
+    Kinds: ``open`` (net not connected), ``short`` (two nets share a
+    vertex), ``direction`` (wire against the layer direction),
+    ``via_adjacency``, ``obstacle``, ``pin_short`` (routing over a
+    foreign pin), ``sadp_eol``.
+    """
+
+    kind: str
+    nets: tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {'/'.join(self.nets)}: {self.detail}"

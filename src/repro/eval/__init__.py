@@ -1,0 +1,49 @@
+"""BEOL design-rule evaluation flow (paper Section 4, Figure 6).
+
+Pipeline: routed design -> clip extraction -> pin-cost ranking ->
+top-K clip selection -> OptRouter per rule configuration -> Δcost
+reporting, where Δcost is measured relative to RULE1 (all-LELE,
+no via restrictions).
+"""
+
+from repro.eval.rule_configs import (
+    INFEASIBLE_DELTA,
+    paper_rule,
+    paper_rules,
+    rules_for_technology,
+)
+from repro.eval.flow import (
+    ClipRuleOutcome,
+    DeltaCostStudy,
+    EvalConfig,
+    evaluate_clips,
+)
+from repro.eval.validation import ValidationRecord, validate_against_baseline
+from repro.eval.ranking import RuleImpact, format_ranking, rank_rules
+from repro.eval.sweep import UtilizationSweep, run_utilization_sweep
+from repro.eval.report import (
+    format_delta_cost_table,
+    format_rule_table,
+    format_sorted_traces,
+)
+
+__all__ = [
+    "INFEASIBLE_DELTA",
+    "paper_rule",
+    "paper_rules",
+    "rules_for_technology",
+    "ClipRuleOutcome",
+    "DeltaCostStudy",
+    "EvalConfig",
+    "evaluate_clips",
+    "ValidationRecord",
+    "validate_against_baseline",
+    "format_delta_cost_table",
+    "format_rule_table",
+    "format_sorted_traces",
+    "RuleImpact",
+    "format_ranking",
+    "rank_rules",
+    "UtilizationSweep",
+    "run_utilization_sweep",
+]

@@ -1,0 +1,162 @@
+"""The Δcost evaluation flow of Figure 6."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.clips.clip import Clip
+from repro.eval.rule_configs import INFEASIBLE_DELTA
+from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus
+from repro.router.rules import RuleConfig
+
+
+@dataclass(frozen=True)
+class ClipRuleOutcome:
+    """One (clip, rule) evaluation."""
+
+    clip_name: str
+    rule_name: str
+    status: RouteStatus
+    cost: float | None
+    wirelength: int
+    n_vias: int
+    solve_seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.status is RouteStatus.OPTIMAL
+
+
+@dataclass
+class DeltaCostStudy:
+    """Results of evaluating a clip set under several rules.
+
+    ``outcomes[rule][i]`` is the outcome for ``clips[i]``.  Δcost is
+    computed against the baseline rule (RULE1 unless overridden).
+    """
+
+    clip_names: list[str]
+    rule_names: list[str]
+    outcomes: dict[str, list[ClipRuleOutcome]] = field(default_factory=dict)
+    baseline_rule: str = "RULE1"
+
+    def delta_costs(self, rule_name: str) -> list[float]:
+        """Per-clip Δcost vs the baseline rule, in clip order.
+
+        Infeasible clips get :data:`INFEASIBLE_DELTA` (the paper's
+        plotting convention).  Clips whose baseline is infeasible, and
+        clips where either solve hit the solver budget (LIMIT) without
+        an optimality proof, are skipped -- Δcost is only meaningful
+        between proven optima.
+        """
+        base = self.outcomes[self.baseline_rule]
+        this = self.outcomes[rule_name]
+        deltas: list[float] = []
+        for b, t in zip(base, this):
+            if not b.feasible:
+                continue
+            if t.status is RouteStatus.LIMIT:
+                continue
+            if not t.feasible:
+                deltas.append(INFEASIBLE_DELTA)
+            else:
+                # Round away MILP tolerance noise (costs are exact sums
+                # of the configured weights, far coarser than 1e-4).
+                delta = round(t.cost - b.cost, 4)
+                deltas.append(0.0 if delta == 0 else delta)
+        return deltas
+
+    def limit_count(self, rule_name: str) -> int:
+        """Clips whose solve exhausted the solver budget under this rule."""
+        return sum(
+            1
+            for outcome in self.outcomes[rule_name]
+            if outcome.status is RouteStatus.LIMIT
+        )
+
+    def sorted_delta_costs(self, rule_name: str) -> list[float]:
+        """The paper's Figure-10 trace: per-clip Δcost sorted ascending."""
+        return sorted(self.delta_costs(rule_name))
+
+    def infeasible_count(self, rule_name: str) -> int:
+        """Clips proven infeasible under the rule (LIMIT not counted)."""
+        base = self.outcomes[self.baseline_rule]
+        this = self.outcomes[rule_name]
+        return sum(
+            1
+            for b, t in zip(base, this)
+            if b.feasible and t.status is RouteStatus.INFEASIBLE
+        )
+
+    def zero_delta_fraction(self, rule_name: str) -> float:
+        """Fraction of clips unaffected by the rule (paper observation
+        (2): ~half for upper-layer rules)."""
+        deltas = self.delta_costs(rule_name)
+        if not deltas:
+            return 0.0
+        return sum(1 for d in deltas if d == 0) / len(deltas)
+
+    def mean_delta(self, rule_name: str, include_infeasible: bool = False) -> float:
+        deltas = self.delta_costs(rule_name)
+        if not include_infeasible:
+            deltas = [d for d in deltas if d < INFEASIBLE_DELTA]
+        if not deltas:
+            return 0.0
+        return sum(deltas) / len(deltas)
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Knobs of the evaluation run."""
+
+    time_limit_per_clip: float | None = 60.0
+    wire_cost: float = 1.0
+    via_cost: float = 4.0
+    backend: str = "highs"
+
+
+def evaluate_clips(
+    clips: Sequence[Clip],
+    rules: Sequence[RuleConfig],
+    config: EvalConfig | None = None,
+) -> DeltaCostStudy:
+    """Run OptRouter on every (clip, rule) pair.
+
+    The first rule in ``rules`` is the Δcost baseline (pass RULE1 first
+    to match the paper).
+    """
+    if config is None:
+        config = EvalConfig()
+    if not rules:
+        raise ValueError("need at least one rule configuration")
+    router = OptRouter(
+        wire_cost=config.wire_cost,
+        via_cost=config.via_cost,
+        backend=config.backend,
+        time_limit=config.time_limit_per_clip,
+    )
+    study = DeltaCostStudy(
+        clip_names=[clip.name for clip in clips],
+        rule_names=[rule.name for rule in rules],
+        baseline_rule=rules[0].name,
+    )
+    for rule in rules:
+        outcomes = []
+        for clip in clips:
+            result = router.route(clip, rule)
+            outcomes.append(_to_outcome(result))
+        study.outcomes[rule.name] = outcomes
+    return study
+
+
+def _to_outcome(result: OptRouteResult) -> ClipRuleOutcome:
+    return ClipRuleOutcome(
+        clip_name=result.clip_name,
+        rule_name=result.rule_name,
+        status=result.status,
+        cost=result.cost,
+        wirelength=result.wirelength,
+        n_vias=result.n_vias,
+        solve_seconds=result.solve_seconds,
+    )

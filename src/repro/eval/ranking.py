@@ -1,0 +1,86 @@
+"""Rule impact ranking (the paper's third contribution).
+
+Turns a Δcost study into an ordered assessment of rule severity, so
+that "comparisons of different design rules' impacts can potentially
+guide patterning technology choices".  Severity combines three
+signals, in the order the paper discusses them:
+
+1. routability loss -- fraction of clips made infeasible (an
+   infeasible clip is worse than any finite Δcost);
+2. mean finite Δcost over the affected clips;
+3. breadth -- fraction of clips affected at all (1 - zero fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.flow import DeltaCostStudy
+from repro.eval.rule_configs import INFEASIBLE_DELTA
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class RuleImpact:
+    """Severity summary for one rule."""
+
+    rule_name: str
+    n_clips: int
+    infeasible_fraction: float
+    mean_finite_delta: float
+    affected_fraction: float
+
+    @property
+    def severity(self) -> float:
+        """Composite score; infeasibility dominates (a clip that cannot
+        be routed at all costs more than any detour), then mean Δcost,
+        then breadth as a tiebreaker."""
+        return (
+            1000.0 * self.infeasible_fraction
+            + 10.0 * self.mean_finite_delta
+            + self.affected_fraction
+        )
+
+
+def rank_rules(study: DeltaCostStudy) -> list[RuleImpact]:
+    """Rank every non-baseline rule by severity, worst first."""
+    impacts = []
+    for rule_name in study.rule_names:
+        if rule_name == study.baseline_rule:
+            continue
+        deltas = study.delta_costs(rule_name)
+        if not deltas:
+            continue
+        finite = [d for d in deltas if d < INFEASIBLE_DELTA]
+        impacts.append(
+            RuleImpact(
+                rule_name=rule_name,
+                n_clips=len(deltas),
+                infeasible_fraction=(len(deltas) - len(finite)) / len(deltas),
+                mean_finite_delta=(sum(finite) / len(finite)) if finite else 0.0,
+                affected_fraction=(
+                    sum(1 for d in deltas if d > 0) / len(deltas)
+                ),
+            )
+        )
+    impacts.sort(key=lambda impact: -impact.severity)
+    return impacts
+
+
+def format_ranking(impacts: list[RuleImpact], title: str = "Rule impact ranking") -> str:
+    rows = [
+        (
+            index + 1,
+            impact.rule_name,
+            f"{impact.infeasible_fraction:.2f}",
+            f"{impact.mean_finite_delta:.2f}",
+            f"{impact.affected_fraction:.2f}",
+            f"{impact.severity:.1f}",
+        )
+        for index, impact in enumerate(impacts)
+    ]
+    return format_table(
+        ("#", "rule", "infeasible", "mean Δcost", "affected", "severity"),
+        rows,
+        title=title,
+    )

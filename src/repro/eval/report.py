@@ -1,0 +1,73 @@
+"""Text reports of evaluation studies (the paper's tables and traces)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.eval.flow import DeltaCostStudy
+from repro.eval.rule_configs import INFEASIBLE_DELTA
+from repro.router.rules import RuleConfig
+from repro.util.tables import format_table
+
+
+def format_rule_table(rules: Sequence[RuleConfig], title: str = "Table 3") -> str:
+    """Render rule configurations as the paper's Table 3."""
+    rows = []
+    for rule in rules:
+        sadp = (
+            "No SADP"
+            if rule.sadp_min_metal is None
+            else f"SADP >= M{rule.sadp_min_metal}"
+        )
+        rows.append((rule.name, sadp, f"{rule.via_restriction.value} neighbors blocked"))
+    return format_table(("Name", "SADP rules", "Blocked via sites"), rows, title=title)
+
+
+def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
+    """Summary of a Δcost study: one row per rule."""
+    rows = []
+    for rule_name in study.rule_names:
+        deltas = study.delta_costs(rule_name)
+        finite = [d for d in deltas if d < INFEASIBLE_DELTA]
+        rows.append(
+            (
+                rule_name,
+                len(deltas),
+                study.infeasible_count(rule_name),
+                study.limit_count(rule_name),
+                f"{study.zero_delta_fraction(rule_name):.2f}",
+                f"{(sum(finite) / len(finite)) if finite else 0.0:.2f}",
+                f"{max(finite) if finite else 0.0:.1f}",
+            )
+        )
+    return format_table(
+        (
+            "rule", "clips", "infeasible", "limit", "zero_frac",
+            "mean_dcost", "max_dcost",
+        ),
+        rows,
+        title=title,
+    )
+
+
+def format_sorted_traces(study: DeltaCostStudy, width: int = 60) -> str:
+    """ASCII rendering of the Figure-10 sorted Δcost traces."""
+    lines = []
+    for rule_name in study.rule_names:
+        trace = study.sorted_delta_costs(rule_name)
+        if not trace:
+            lines.append(f"{rule_name:>8}: (no clips)")
+            continue
+        cells = []
+        for delta in trace[:width]:
+            if delta >= INFEASIBLE_DELTA:
+                cells.append("X")
+            elif delta == 0:
+                cells.append(".")
+            elif delta <= 4:
+                cells.append("+")
+            else:
+                cells.append("#")
+        lines.append(f"{rule_name:>8}: {''.join(cells)}")
+    lines.append("legend: '.'=0  '+'=1..4  '#'>4  'X'=infeasible")
+    return "\n".join(lines)

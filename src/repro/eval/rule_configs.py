@@ -1,0 +1,80 @@
+"""The paper's Table 3: BEOL design rule configurations RULE1..RULE11.
+
+=========  ==================  ====================
+name       SADP rules          blocked via sites
+=========  ==================  ====================
+RULE1      No SADP             0 neighbors blocked
+RULE2..5   SADP >= M2/3/4/5    0 neighbors blocked
+RULE6      No SADP             4 neighbors blocked
+RULE7, 8   SADP >= M2/M3       4 neighbors blocked
+RULE9      No SADP             8 neighbors blocked
+RULE10,11  SADP >= M2/M3       8 neighbors blocked
+=========  ==================  ====================
+
+The paper does not evaluate RULE2, 7, 9, 10, 11 on N7-9T because the
+7nm pins' two adjacent access points cannot coexist with diagonal via
+blocking; :func:`rules_for_technology` applies the same exclusion.
+"""
+
+from __future__ import annotations
+
+from repro.router.rules import RuleConfig, SadpParams, ViaRestriction
+
+#: Δcost value assigned to infeasible clips when plotting sorted traces
+#: (the paper "arbitrarily set Δcost = 500 for convenience").
+INFEASIBLE_DELTA = 500.0
+
+_TABLE3: dict[str, tuple[int | None, ViaRestriction]] = {
+    "RULE1": (None, ViaRestriction.NONE),
+    "RULE2": (2, ViaRestriction.NONE),
+    "RULE3": (3, ViaRestriction.NONE),
+    "RULE4": (4, ViaRestriction.NONE),
+    "RULE5": (5, ViaRestriction.NONE),
+    "RULE6": (None, ViaRestriction.ORTHOGONAL),
+    "RULE7": (2, ViaRestriction.ORTHOGONAL),
+    "RULE8": (3, ViaRestriction.ORTHOGONAL),
+    "RULE9": (None, ViaRestriction.FULL),
+    "RULE10": (2, ViaRestriction.FULL),
+    "RULE11": (3, ViaRestriction.FULL),
+}
+
+#: Rules whose via restriction requires diagonal site blocking, which
+#: the paper's 7nm pin shapes cannot satisfy (Figure 9(c) discussion).
+N7_EXCLUDED = ("RULE2", "RULE7", "RULE9", "RULE10", "RULE11")
+
+
+def paper_rule(name: str, sadp: SadpParams | None = None) -> RuleConfig:
+    """One Table 3 configuration by name."""
+    try:
+        sadp_min, restriction = _TABLE3[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {name!r}; available: {list(_TABLE3)}"
+        ) from None
+    kwargs = {}
+    if sadp is not None:
+        kwargs["sadp"] = sadp
+    return RuleConfig(
+        name=name.upper(),
+        via_restriction=restriction,
+        sadp_min_metal=sadp_min,
+        **kwargs,
+    )
+
+
+def paper_rules(sadp: SadpParams | None = None) -> list[RuleConfig]:
+    """All eleven Table 3 configurations, in order."""
+    return [paper_rule(name, sadp) for name in _TABLE3]
+
+
+def rules_for_technology(
+    tech_name: str, sadp: SadpParams | None = None
+) -> list[RuleConfig]:
+    """Table 3 configurations applicable to a technology.
+
+    N7-9T drops the diagonal-restricted rules, matching the paper.
+    """
+    names = list(_TABLE3)
+    if tech_name.upper().startswith("N7"):
+        names = [n for n in names if n not in N7_EXCLUDED]
+    return [paper_rule(name, sadp) for name in names]

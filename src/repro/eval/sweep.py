@@ -1,0 +1,132 @@
+"""Utilization sweep experiments (the Figure 8 dimension).
+
+The paper implements each design "multiple times, with a range of
+final utilizations" and observes that pin-cost distributions barely
+move with utilization.  This module packages that experiment: run the
+synth/place/route/extract pipeline at several utilizations and collect
+the top-K pin-cost ranges per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells import generate_library
+from repro.clips import ClipWindowSpec, extract_clips, select_top_clips
+from repro.netlist import synthesize_design
+from repro.place import place_design
+from repro.route import RoutingGrid
+from repro.route.detailed_router import route_design
+from repro.tech.presets import Technology
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Result of one (profile, utilization) pipeline run."""
+
+    profile: str
+    utilization_target: float
+    utilization_achieved: float
+    n_clips: int
+    top_costs: tuple[float, ...]
+
+    @property
+    def cost_range(self) -> tuple[float, float]:
+        if not self.top_costs:
+            return (0.0, 0.0)
+        return (min(self.top_costs), max(self.top_costs))
+
+
+@dataclass
+class UtilizationSweep:
+    """Collected sweep results with the paper's two observations."""
+
+    tech_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def ranges_overlap_across_profiles(self) -> bool:
+        """Paper: pin-cost distributions are not design-specific."""
+        by_profile: dict[str, list[SweepPoint]] = {}
+        for point in self.points:
+            by_profile.setdefault(point.profile, []).append(point)
+        profiles = list(by_profile)
+        for i, a in enumerate(profiles):
+            for b in profiles[i + 1:]:
+                for pa in by_profile[a]:
+                    for pb in by_profile[b]:
+                        lo_a, hi_a = pa.cost_range
+                        lo_b, hi_b = pb.cost_range
+                        if hi_a < lo_b or hi_b < lo_a:
+                            return False
+        return True
+
+    def max_range_drift(self) -> float:
+        """Largest relative change of the top-cost midpoint across
+        utilizations within one profile (paper: small)."""
+        drift = 0.0
+        by_profile: dict[str, list[SweepPoint]] = {}
+        for point in self.points:
+            by_profile.setdefault(point.profile, []).append(point)
+        for points in by_profile.values():
+            mids = [
+                (p.cost_range[0] + p.cost_range[1]) / 2 for p in points
+            ]
+            if len(mids) >= 2 and max(mids) > 0:
+                drift = max(drift, (max(mids) - min(mids)) / max(mids))
+        return drift
+
+    def to_table(self) -> str:
+        rows = [
+            (
+                p.profile.upper(),
+                f"{p.utilization_target * 100:.0f}%",
+                f"{p.utilization_achieved * 100:.0f}%",
+                p.n_clips,
+                f"{p.cost_range[0]:.1f}",
+                f"{p.cost_range[1]:.1f}",
+            )
+            for p in self.points
+        ]
+        return format_table(
+            ("Design", "Target util.", "Achieved", "#clips", "top min", "top max"),
+            rows,
+            title=f"Pin-cost sweep ({self.tech_name})",
+        )
+
+
+def run_utilization_sweep(
+    tech: Technology,
+    utilizations: tuple[float, ...] = (0.85, 0.90, 0.95),
+    profiles: tuple[str, ...] = ("aes", "m0"),
+    n_instances: int = 120,
+    top_k: int = 20,
+    max_metal: int = 6,
+    seed: int = 0,
+) -> UtilizationSweep:
+    """Run the full pipeline per point and collect pin-cost ranges."""
+    library = generate_library(tech)
+    sweep = UtilizationSweep(tech_name=tech.name)
+    run_seed = seed
+    for profile in profiles:
+        for util in utilizations:
+            design = synthesize_design(
+                library, profile, n_instances, seed=run_seed,
+                design_name=f"{profile}_u{int(util * 100)}_s{run_seed}",
+            )
+            run_seed += 1
+            result = place_design(design, utilization=util, seed=run_seed)
+            grid = RoutingGrid.for_die(tech, design.die, max_metal=max_metal)
+            routed = route_design(design, grid)
+            clips = extract_clips(design, grid, routed, ClipWindowSpec())
+            top = select_top_clips(clips, k=min(top_k, max(1, len(clips))))
+            sweep.points.append(
+                SweepPoint(
+                    profile=profile,
+                    utilization_target=util,
+                    utilization_achieved=result.utilization,
+                    n_clips=len(clips),
+                    top_costs=tuple(clip.pin_cost for clip in top),
+                )
+            )
+    return sweep

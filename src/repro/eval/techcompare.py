@@ -1,0 +1,93 @@
+"""Cross-technology rule-impact comparison.
+
+The paper's second experimental question: "How much do impacts of
+design rules vary across different technologies and different-track
+cell architectures?"  This module routes *matched* clip populations --
+same seeds and net structure, but pin shapes following each
+technology's Figure-9 geometry -- under each technology's applicable
+rules, yielding directly comparable Δcost studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clips.synthetic import SyntheticClipSpec, make_synthetic_clip
+from repro.eval.flow import DeltaCostStudy, EvalConfig, evaluate_clips
+from repro.eval.rule_configs import rules_for_technology
+from repro.util.tables import format_table
+
+#: Figure-9-style pin parameters per technology.
+_PIN_STYLE = {
+    "N28-12T": dict(access_points_per_pin=6, pin_spacing_cols=2),
+    "N28-8T": dict(access_points_per_pin=4, pin_spacing_cols=2),
+    "N7-9T": dict(access_points_per_pin=2, pin_spacing_cols=1),
+}
+
+
+@dataclass
+class TechnologyComparison:
+    """Per-technology Δcost studies over matched clip populations."""
+
+    studies: dict[str, DeltaCostStudy] = field(default_factory=dict)
+
+    def sensitivity(self, tech_name: str, rule_name: str) -> float:
+        """Mean Δcost (infeasibles at the plotting value) of a rule in
+        a technology; the paper's per-technology sensitivity measure."""
+        study = self.studies[tech_name]
+        if rule_name not in study.outcomes or not study.delta_costs(rule_name):
+            return float("nan")
+        return study.mean_delta(rule_name, include_infeasible=True)
+
+    def to_table(self) -> str:
+        rules = sorted(
+            {name for study in self.studies.values() for name in study.rule_names}
+        )
+        rows = []
+        for rule_name in rules:
+            if rule_name == "RULE1":
+                continue
+            row: list[object] = [rule_name]
+            for tech_name in sorted(self.studies):
+                value = (
+                    self.sensitivity(tech_name, rule_name)
+                    if rule_name in self.studies[tech_name].rule_names
+                    else None
+                )
+                row.append("-" if value is None or value != value else f"{value:.1f}")
+            rows.append(tuple(row))
+        headers = ("rule",) + tuple(sorted(self.studies))
+        return format_table(headers, rows, title="Rule sensitivity by technology")
+
+
+def compare_technologies(
+    tech_names: tuple[str, ...] = ("N28-12T", "N28-8T", "N7-9T"),
+    n_clips: int = 6,
+    base_spec: SyntheticClipSpec | None = None,
+    config: EvalConfig | None = None,
+) -> TechnologyComparison:
+    """Evaluate matched clip populations under per-tech rules."""
+    if base_spec is None:
+        base_spec = SyntheticClipSpec(
+            nx=6, ny=8, nz=4, n_nets=3, sinks_per_net=1, boundary_pin_prob=0.3
+        )
+    if config is None:
+        config = EvalConfig(time_limit_per_clip=30.0)
+    comparison = TechnologyComparison()
+    for tech_name in tech_names:
+        style = _PIN_STYLE[tech_name]
+        spec = SyntheticClipSpec(
+            nx=base_spec.nx,
+            ny=base_spec.ny,
+            nz=base_spec.nz,
+            n_nets=base_spec.n_nets,
+            sinks_per_net=base_spec.sinks_per_net,
+            boundary_pin_prob=base_spec.boundary_pin_prob,
+            **style,
+        )
+        clips = [
+            make_synthetic_clip(spec, seed=seed) for seed in range(n_clips)
+        ]
+        rules = rules_for_technology(tech_name)
+        comparison.studies[tech_name] = evaluate_clips(clips, rules, config)
+    return comparison

@@ -1,0 +1,13 @@
+"""Integer-nanometer geometry primitives shared by all subsystems.
+
+All coordinates in the repository are integers in nanometers (database
+units).  Using integers everywhere avoids floating-point drift in grid
+snapping, legality checks and LEF/DEF round-trips.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.geometry.transform import Orientation, Transform
+
+__all__ = ["Point", "Rect", "Segment", "Orientation", "Transform"]

@@ -1,0 +1,38 @@
+"""2-D integer point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """An immutable 2-D point with integer nanometer coordinates."""
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy moved by (dx, dy)."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev_distance(self, other: "Point") -> int:
+        """L-infinity distance to ``other``."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y})"

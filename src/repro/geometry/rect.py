@@ -1,0 +1,140 @@
+"""Axis-aligned integer rectangle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``.
+
+    Degenerate rectangles (zero width or height) are allowed; they are
+    useful for track segments and zero-area pin markers.
+    """
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ValueError(f"malformed rect: {self!r}")
+
+    @classmethod
+    def from_points(cls, a: Point, b: Point) -> "Rect":
+        """Bounding box of two points (any corner order)."""
+        return cls(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @classmethod
+    def from_center(cls, center: Point, width: int, height: int) -> "Rect":
+        """Rectangle of the given size centered on ``center``.
+
+        Width and height must be even so the result stays on integer
+        coordinates.
+        """
+        if width < 0 or height < 0:
+            raise ValueError("width/height must be non-negative")
+        if width % 2 or height % 2:
+            raise ValueError("width/height must be even for integer centering")
+        return cls(
+            center.x - width // 2,
+            center.y - height // 2,
+            center.x + width // 2,
+            center.y + height // 2,
+        )
+
+    @property
+    def width(self) -> int:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> int:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Center point, rounded down to integer coordinates."""
+        return Point((self.xlo + self.xhi) // 2, (self.ylo + self.yhi) // 2)
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return self.xlo <= p.x <= self.xhi and self.ylo <= p.y <= self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies fully inside (or on the boundary of) self."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the closed rectangles share at least a point."""
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    def overlaps_open(self, other: "Rect") -> bool:
+        """True if the rectangles share interior area (not just an edge)."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Bounding box of both rectangles."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def expanded(self, margin: int) -> "Rect":
+        """Rectangle grown by ``margin`` on every side (may be negative)."""
+        r = Rect.__new__(Rect)
+        object.__setattr__(r, "xlo", self.xlo - margin)
+        object.__setattr__(r, "ylo", self.ylo - margin)
+        object.__setattr__(r, "xhi", self.xhi + margin)
+        object.__setattr__(r, "yhi", self.yhi + margin)
+        if r.xlo > r.xhi or r.ylo > r.yhi:
+            raise ValueError("negative margin collapsed the rectangle")
+        return r
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Copy moved by (dx, dy)."""
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    def distance_to(self, other: "Rect") -> int:
+        """Minimum Manhattan gap between two rectangles (0 when touching)."""
+        dx = max(0, max(self.xlo, other.xlo) - min(self.xhi, other.xhi))
+        dy = max(0, max(self.ylo, other.ylo) - min(self.yhi, other.yhi))
+        return dx + dy
+
+    def __str__(self) -> str:
+        return f"[{self.xlo},{self.ylo} .. {self.xhi},{self.yhi}]"

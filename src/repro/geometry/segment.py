@@ -1,0 +1,69 @@
+"""Axis-parallel wire segment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """An axis-parallel segment between two integer points.
+
+    A zero-length segment (``a == b``) is allowed and represents a via
+    landing point or a stub.
+    """
+
+    a: Point
+    b: Point
+
+    def __post_init__(self) -> None:
+        if self.a.x != self.b.x and self.a.y != self.b.y:
+            raise ValueError(f"segment must be axis-parallel: {self.a} -> {self.b}")
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True for horizontal (or zero-length) segments."""
+        return self.a.y == self.b.y
+
+    @property
+    def is_vertical(self) -> bool:
+        """True for vertical (or zero-length) segments."""
+        return self.a.x == self.b.x
+
+    @property
+    def is_point(self) -> bool:
+        return self.a == self.b
+
+    @property
+    def length(self) -> int:
+        return self.a.manhattan_distance(self.b)
+
+    def canonical(self) -> "Segment":
+        """Return the segment with endpoints in sorted order."""
+        if (self.b.x, self.b.y) < (self.a.x, self.a.y):
+            return Segment(self.b, self.a)
+        return self
+
+    def bbox(self) -> Rect:
+        return Rect.from_points(self.a, self.b)
+
+    def points(self, step: int = 1) -> list[Point]:
+        """All lattice points along the segment at the given step."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if self.is_point:
+            return [self.a]
+        lo, hi = self.canonical().a, self.canonical().b
+        if self.is_horizontal:
+            return [Point(x, lo.y) for x in range(lo.x, hi.x + 1, step)]
+        return [Point(lo.x, y) for y in range(lo.y, hi.y + 1, step)]
+
+    def overlaps(self, other: "Segment") -> bool:
+        """True if two collinear segments share at least one point."""
+        return self.bbox().intersects(other.bbox())
+
+    def __str__(self) -> str:
+        return f"{self.a} -> {self.b}"

@@ -1,0 +1,59 @@
+"""Placement orientations and rigid transforms (DEF-style)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class Orientation(enum.Enum):
+    """DEF placement orientations for standard cells.
+
+    Only the four orientations that occur in row-based standard-cell
+    placement are supported: north, flipped-south (row flipping), and
+    their mirrored variants.
+    """
+
+    N = "N"
+    S = "S"
+    FN = "FN"
+    FS = "FS"
+
+    @property
+    def flips_y(self) -> bool:
+        return self in (Orientation.S, Orientation.FS)
+
+    @property
+    def flips_x(self) -> bool:
+        return self in (Orientation.S, Orientation.FN)
+
+
+@dataclass(frozen=True, slots=True)
+class Transform:
+    """Placement transform: orientation about the cell origin, then a move.
+
+    The transform maps points given in the cell's local frame (origin at
+    the cell's lower-left corner, cell size ``width`` x ``height``) into
+    chip coordinates.
+    """
+
+    offset: Point
+    orientation: Orientation
+    cell_width: int
+    cell_height: int
+
+    def apply_point(self, p: Point) -> Point:
+        x, y = p.x, p.y
+        if self.orientation.flips_x:
+            x = self.cell_width - x
+        if self.orientation.flips_y:
+            y = self.cell_height - y
+        return Point(x + self.offset.x, y + self.offset.y)
+
+    def apply_rect(self, r: Rect) -> Rect:
+        a = self.apply_point(Point(r.xlo, r.ylo))
+        b = self.apply_point(Point(r.xhi, r.yhi))
+        return Rect.from_points(a, b)

@@ -1,0 +1,34 @@
+"""Self-contained mixed-integer linear programming layer.
+
+The paper solves its routing ILPs with ILOG CPLEX; this package
+provides the equivalent capability without external solvers:
+
+- :mod:`repro.ilp.model` -- a small modeling API (variables, linear
+  expressions, constraints, objective) in the spirit of PuLP;
+- :mod:`repro.ilp.highs_backend` -- exact MILP solving through
+  ``scipy.optimize.milp`` (the HiGHS branch-and-cut solver);
+- :mod:`repro.ilp.bnb` -- a pure-Python best-first branch-and-bound
+  over HiGHS LP relaxations, used to cross-validate the primary
+  backend on small instances.
+
+Both backends are exact, so OptRouter's optimality claim carries over.
+"""
+
+from repro.ilp.model import Constraint, LinExpr, Model, Var
+from repro.ilp.status import Solution, SolveStatus
+from repro.ilp.highs_backend import solve_with_highs
+from repro.ilp.bnb import BnBOptions, solve_with_bnb
+from repro.ilp.lp_format import write_lp
+
+__all__ = [
+    "Model",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "Solution",
+    "SolveStatus",
+    "solve_with_highs",
+    "solve_with_bnb",
+    "BnBOptions",
+    "write_lp",
+]

@@ -1,0 +1,198 @@
+"""Pure-Python best-first branch-and-bound MILP solver.
+
+Cross-validates the HiGHS backend: same model in, same optimal
+objective out (on the small instances where it is practical).  LP
+relaxations are solved with ``scipy.optimize.linprog`` (HiGHS simplex),
+branching is on the most fractional integer variable, and node
+selection is best-bound-first, so the first incumbent that matches the
+best bound is proven optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.ilp.model import Model
+from repro.ilp.status import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class BnBOptions:
+    """Branch-and-bound limits."""
+
+    max_nodes: int = 200_000
+    time_limit: float | None = None
+
+
+class _LpData:
+    """Immutable LP arrays shared by all nodes."""
+
+    def __init__(self, model: Model):
+        n = model.n_vars
+        self.n = n
+        self.cost = np.zeros(n)
+        for index, coef in model.objective.coefs.items():
+            self.cost[index] = coef
+        self.obj_const = model.objective.const
+        self.lb = np.array([v.lb for v in model.variables], dtype=float)
+        self.ub = np.array([v.ub for v in model.variables], dtype=float)
+        self.int_indices = [v.index for v in model.variables if v.is_integer]
+
+        ub_rows, ub_cols, ub_data, ub_rhs = [], [], [], []
+        eq_rows, eq_cols, eq_data, eq_rhs = [], [], [], []
+        for con in model.constraints:
+            rhs = -con.expr.const
+            if con.sense == "==":
+                r = len(eq_rhs)
+                for index, coef in con.expr.coefs.items():
+                    eq_rows.append(r)
+                    eq_cols.append(index)
+                    eq_data.append(coef)
+                eq_rhs.append(rhs)
+            else:
+                sign = 1.0 if con.sense == "<=" else -1.0
+                r = len(ub_rhs)
+                for index, coef in con.expr.coefs.items():
+                    ub_rows.append(r)
+                    ub_cols.append(index)
+                    ub_data.append(sign * coef)
+                ub_rhs.append(sign * rhs)
+        self.a_ub = (
+            sparse.csr_matrix((ub_data, (ub_rows, ub_cols)), shape=(len(ub_rhs), n))
+            if ub_rhs
+            else None
+        )
+        self.b_ub = np.array(ub_rhs) if ub_rhs else None
+        self.a_eq = (
+            sparse.csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(len(eq_rhs), n))
+            if eq_rhs
+            else None
+        )
+        self.b_eq = np.array(eq_rhs) if eq_rhs else None
+
+    def solve_lp(self, lb: np.ndarray, ub: np.ndarray):
+        return linprog(
+            c=self.cost,
+            A_ub=self.a_ub,
+            b_ub=self.b_ub,
+            A_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+
+
+def _most_fractional(x: np.ndarray, int_indices: list[int]) -> int | None:
+    best_index, best_frac = None, _INT_TOL
+    for index in int_indices:
+        frac = abs(x[index] - round(x[index]))
+        if frac > best_frac:
+            dist_to_half = abs(frac - 0.5)
+            if best_index is None or dist_to_half < abs(
+                abs(x[best_index] - round(x[best_index])) - 0.5
+            ):
+                best_index = index
+    return best_index
+
+
+def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
+    """Solve a model with best-first branch-and-bound.
+
+    Returns OPTIMAL with the proven optimum, INFEASIBLE, or LIMIT with
+    the best incumbent found when a node/time budget runs out.
+    """
+    if options is None:
+        options = BnBOptions()
+    t0 = time.perf_counter()
+    data = _LpData(model)
+    if data.n == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=data.obj_const)
+
+    tie = itertools.count()  # FIFO tiebreak; ndarray bounds aren't orderable
+    root = (0.0, next(tie), data.lb.copy(), data.ub.copy())
+    heap = [root]
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+    n_nodes = 0
+
+    while heap:
+        bound, _t, lb, ub = heapq.heappop(heap)
+        if bound >= incumbent_obj - 1e-9:
+            break  # best-first: nothing left can improve the incumbent
+        n_nodes += 1
+        if n_nodes > options.max_nodes:
+            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
+        if options.time_limit is not None and time.perf_counter() - t0 > options.time_limit:
+            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
+
+        lp = data.solve_lp(lb, ub)
+        if lp.status == 2:  # infeasible node
+            continue
+        if lp.status != 0:
+            return Solution(status=SolveStatus.ERROR, n_nodes=n_nodes)
+        if lp.fun >= incumbent_obj - 1e-9:
+            continue
+
+        branch_index = _most_fractional(lp.x, data.int_indices)
+        if branch_index is None:
+            incumbent_obj = lp.fun
+            incumbent_x = lp.x.copy()
+            continue
+
+        value = lp.x[branch_index]
+        down_ub = ub.copy()
+        down_ub[branch_index] = math.floor(value)
+        if data.lb[branch_index] <= down_ub[branch_index]:
+            heapq.heappush(heap, (lp.fun, next(tie), lb.copy(), down_ub))
+        up_lb = lb.copy()
+        up_lb[branch_index] = math.ceil(value)
+        if up_lb[branch_index] <= data.ub[branch_index]:
+            heapq.heappush(heap, (lp.fun, next(tie), up_lb, ub.copy()))
+
+    if incumbent_x is None:
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            n_nodes=n_nodes,
+            solve_seconds=time.perf_counter() - t0,
+        )
+    return _final_solution(
+        model, data, incumbent_x, incumbent_obj, n_nodes, t0, SolveStatus.OPTIMAL
+    )
+
+
+def _values_from(model: Model, x: np.ndarray) -> dict[int, float]:
+    values = {}
+    for v in model.variables:
+        value = float(x[v.index])
+        values[v.index] = round(value) if v.is_integer else value
+    return values
+
+
+def _final_solution(model, data, x, obj, n_nodes, t0, status) -> Solution:
+    return Solution(
+        status=status,
+        objective=obj + data.obj_const,
+        values=_values_from(model, x),
+        n_nodes=n_nodes,
+        solve_seconds=time.perf_counter() - t0,
+    )
+
+
+def _limit_solution(model, data, x, obj, n_nodes, t0) -> Solution:
+    if x is None:
+        return Solution(
+            status=SolveStatus.LIMIT,
+            n_nodes=n_nodes,
+            solve_seconds=time.perf_counter() - t0,
+        )
+    return _final_solution(model, data, x, obj, n_nodes, t0, SolveStatus.LIMIT)

@@ -1,0 +1,104 @@
+"""MILP solving through scipy's HiGHS interface."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.ilp.model import Model
+from repro.ilp.status import Solution, SolveStatus
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.LIMIT,      # iteration/time limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_with_highs(
+    model: Model,
+    time_limit: float | None = None,
+    mip_rel_gap: float = 0.0,
+) -> Solution:
+    """Solve a model exactly with HiGHS branch-and-cut.
+
+    ``mip_rel_gap`` is 0 by default: OptRouter requires proven-optimal
+    solutions for the paper's methodology to be meaningful.
+    """
+    n = model.n_vars
+    if n == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=model.objective.const)
+
+    cost = np.zeros(n)
+    for index, coef in model.objective.coefs.items():
+        cost[index] = coef
+
+    integrality = np.array(
+        [1 if v.is_integer else 0 for v in model.variables], dtype=np.uint8
+    )
+    bounds = Bounds(
+        lb=np.array([v.lb for v in model.variables]),
+        ub=np.array([v.ub for v in model.variables]),
+    )
+
+    constraints = []
+    if model.constraints:
+        rows, cols, data = [], [], []
+        lo = np.empty(len(model.constraints))
+        hi = np.empty(len(model.constraints))
+        for r, con in enumerate(model.constraints):
+            for index, coef in con.expr.coefs.items():
+                rows.append(r)
+                cols.append(index)
+                data.append(coef)
+            rhs = -con.expr.const
+            if con.sense == "<=":
+                lo[r], hi[r] = -np.inf, rhs
+            elif con.sense == ">=":
+                lo[r], hi[r] = rhs, np.inf
+            else:
+                lo[r], hi[r] = rhs, rhs
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(model.constraints), n)
+        )
+        constraints.append(LinearConstraint(matrix, lo, hi))
+
+    options: dict = {"mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+
+    t0 = time.perf_counter()
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options=options,
+    )
+    elapsed = time.perf_counter() - t0
+
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    solution = Solution(status=status, solve_seconds=elapsed)
+    if result.x is not None:
+        values = {}
+        for v in model.variables:
+            value = float(result.x[v.index])
+            values[v.index] = round(value) if v.is_integer else value
+        solution.values = values
+        solution.objective = float(result.fun) + model.objective.const
+        if status is SolveStatus.LIMIT:
+            # A feasible incumbent exists even though the limit was hit.
+            solution.best_bound = (
+                float(result.mip_dual_bound)
+                if result.mip_dual_bound is not None
+                else None
+            )
+    if status is SolveStatus.OPTIMAL and solution.objective is None:
+        solution.objective = model.objective.const
+    solution.n_nodes = int(getattr(result, "mip_node_count", 0) or 0)
+    return solution

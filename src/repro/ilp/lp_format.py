@@ -1,0 +1,65 @@
+"""CPLEX LP-format export of models.
+
+The paper's OptRouter hands its ILPs to ILOG CPLEX; exporting our
+models in the LP interchange format keeps that path open (any LP-file
+solver -- CPLEX, Gurobi, HiGHS CLI, SCIP -- can consume the output)
+and doubles as a human-readable model dump for debugging.
+"""
+
+from __future__ import annotations
+
+from repro.ilp.model import LinExpr, Model
+
+
+def _term(coef: float, name: str, first: bool) -> str:
+    sign = "" if (first and coef >= 0) else ("+ " if coef >= 0 else "- ")
+    magnitude = abs(coef)
+    if magnitude == 1.0:
+        return f"{sign}{name}"
+    return f"{sign}{magnitude:g} {name}"
+
+
+def _expr_text(model: Model, expr: LinExpr) -> str:
+    if not expr.coefs:
+        return "0"
+    parts = []
+    for index in sorted(expr.coefs):
+        coef = expr.coefs[index]
+        parts.append(_term(coef, model.variables[index].name, first=not parts))
+    return " ".join(parts)
+
+
+def write_lp(model: Model) -> str:
+    """Serialize a model in CPLEX LP format (minimization)."""
+    lines = [f"\\ Problem: {model.name}", "Minimize", " obj:"]
+    lines[-1] += " " + _expr_text(model, model.objective)
+    if model.objective.const:
+        lines.append(f"\\ constant offset {model.objective.const:g} not encoded")
+
+    lines.append("Subject To")
+    for index, con in enumerate(model.constraints):
+        name = con.name or f"c{index}"
+        rhs = -con.expr.const
+        op = {"<=": "<=", ">=": ">=", "==": "="}[con.sense]
+        lines.append(f" {name}: {_expr_text(model, con.expr)} {op} {rhs:g}")
+
+    bounded = [
+        v for v in model.variables
+        if not (v.is_integer and v.lb == 0.0 and v.ub == 1.0)
+    ]
+    if bounded:
+        lines.append("Bounds")
+        for v in bounded:
+            ub = "+inf" if v.ub == float("inf") else f"{v.ub:g}"
+            lines.append(f" {v.lb:g} <= {v.name} <= {ub}")
+
+    binaries = [v for v in model.variables if v.is_integer and v.ub == 1.0 and v.lb == 0.0]
+    generals = [v for v in model.variables if v.is_integer and v not in binaries]
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(v.name for v in binaries))
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(v.name for v in generals))
+    lines.append("End")
+    return "\n".join(lines) + "\n"

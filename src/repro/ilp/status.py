@@ -1,0 +1,39 @@
+"""Solver outcome types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SolveStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    LIMIT = "limit"  # node/time limit hit before proving optimality
+    ERROR = "error"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of a MILP solve.
+
+    ``values`` maps variable ids to (rounded, for integer variables)
+    values; empty unless a feasible point was found.  ``best_bound`` is
+    the proven dual bound when the backend reports one.
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: dict[int, float] = field(default_factory=dict)
+    best_bound: float | None = None
+    n_nodes: int = 0
+    solve_seconds: float = 0.0
+
+    def value(self, var) -> float:
+        """Value of a :class:`~repro.ilp.model.Var` in this solution."""
+        return self.values[var.index]

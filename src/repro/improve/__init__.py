@@ -1,0 +1,15 @@
+"""OptRouter-driven local improvement of full-chip routing.
+
+The paper's footnote 6 observes that OptRouter beats the commercial
+router by an average Δcost of -10 to -15 per difficult clip, "opening
+up the possibility of (massively distributed) local improvement of
+detailed routing solutions".  This package implements that future-work
+direction: extract clips from a routed design, optimally re-route each
+clip's nets with OptRouter, and stitch improvements back into the
+chip-level solution (boundary crossings are pinned, so the rest of the
+chip routing remains valid).
+"""
+
+from repro.improve.local import ClipImprovement, ImprovementReport, improve_routing
+
+__all__ = ["ClipImprovement", "ImprovementReport", "improve_routing"]

@@ -1,0 +1,205 @@
+"""Clip-by-clip optimal improvement of a routed design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clips.clip import Clip
+from repro.clips.extract import ClipWindowSpec, extract_clips
+from repro.clips.select import select_top_clips
+from repro.netlist.design import Design
+from repro.route.detailed_router import DetailedRouteResult, edges_to_wiring
+from repro.route.grid import RoutingGrid
+from repro.router.optrouter import OptRouter
+from repro.router.rules import RuleConfig
+
+
+@dataclass(frozen=True)
+class ClipImprovement:
+    """Outcome of optimally re-routing one clip."""
+
+    clip_name: str
+    old_cost: float
+    new_cost: float | None  # None when OptRouter found no proven optimum
+    accepted: bool
+
+    @property
+    def gain(self) -> float:
+        if self.new_cost is None or not self.accepted:
+            return 0.0
+        return self.old_cost - self.new_cost
+
+
+@dataclass
+class ImprovementReport:
+    """Aggregate result of :func:`improve_routing`."""
+
+    clips: list[ClipImprovement] = field(default_factory=list)
+
+    @property
+    def n_improved(self) -> int:
+        return sum(1 for c in self.clips if c.accepted and c.gain > 0)
+
+    @property
+    def total_gain(self) -> float:
+        return sum(c.gain for c in self.clips)
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_improved}/{len(self.clips)} clips improved, "
+            f"total routing-cost gain {self.total_gain:.1f}"
+        )
+
+
+def _base_net_name(clip_net_name: str) -> str:
+    """Strip the ``.<k>`` component suffix added by clip extraction."""
+    base, _dot, suffix = clip_net_name.rpartition(".")
+    if base and suffix.isdigit():
+        return base
+    return clip_net_name
+
+
+def _inside_edges(
+    grid: RoutingGrid, clip: Clip, edges: set[frozenset[int]]
+) -> set[frozenset[int]]:
+    """Edges fully inside the clip window, excluding wiring of
+    unroutable components (the clip's obstacle vertices), which is not
+    re-routed and must not be deleted or double-counted."""
+    x0, y0 = clip.origin
+    obstacle_nodes = {
+        grid.node_id(x + x0, y + y0, z) for x, y, z in clip.obstacles
+    }
+    inside = set()
+    for edge in edges:
+        ok = True
+        for node in edge:
+            if node in obstacle_nodes:
+                ok = False
+                break
+            x, y, _z = grid.node_xyz(node)
+            if not (x0 <= x < x0 + clip.nx and y0 <= y < y0 + clip.ny):
+                ok = False
+                break
+        if ok:
+            inside.add(edge)
+    return inside
+
+
+def _edge_cost(grid: RoutingGrid, edge: frozenset[int], via_cost: float) -> float:
+    a, b = tuple(edge)
+    return via_cost if grid.node_xyz(a)[2] != grid.node_xyz(b)[2] else 1.0
+
+
+def improve_routing(
+    design: Design,
+    grid: RoutingGrid,
+    routed: DetailedRouteResult,
+    spec: ClipWindowSpec | None = None,
+    rules: RuleConfig | None = None,
+    router: OptRouter | None = None,
+    max_clips: int = 10,
+    rank: str = "wiring",
+) -> ImprovementReport:
+    """Optimally re-route the most promising clips of a routed design.
+
+    Clips are disjoint windows, so accepted improvements never
+    interact; each clip's boundary crossings are pinned, so the rest
+    of the chip-level routing remains valid.  ``routed`` is updated in
+    place (edge sets, node sets, and wiring of improved nets).
+
+    ``rank`` selects candidates: ``"wiring"`` (default) picks the
+    windows carrying the most routed wiring -- where a joint re-route
+    has the most to reclaim -- while ``"pincost"`` uses the paper's
+    difficulty metric.
+    """
+    if rules is None:
+        rules = RuleConfig()
+    if router is None:
+        router = OptRouter(time_limit=60.0)
+
+    clips = extract_clips(design, grid, routed, spec)
+    k = max(1, min(max_clips, len(clips)))
+    if rank == "pincost":
+        candidates = select_top_clips(clips, k=k)
+    elif rank == "wiring":
+        def wiring_cost(clip: Clip) -> float:
+            total = 0.0
+            for name in {_base_net_name(net.name) for net in clip.nets}:
+                edges = _inside_edges(
+                    grid, clip, routed.edge_sets.get(name, set())
+                )
+                total += sum(
+                    _edge_cost(grid, edge, router.via_cost) for edge in edges
+                )
+            return total
+
+        candidates = sorted(clips, key=wiring_cost, reverse=True)[:k]
+    else:
+        raise ValueError(f"unknown rank mode {rank!r}")
+
+    report = ImprovementReport()
+    for clip in candidates:
+        # Clip nets named "<net>.<k>" are connected components of the
+        # same design net; group them back to base nets for stitching.
+        base_names = {_base_net_name(net.name) for net in clip.nets}
+        inside: dict[str, set[frozenset[int]]] = {}
+        old_cost = 0.0
+        for name in base_names:
+            edges = _inside_edges(grid, clip, routed.edge_sets.get(name, set()))
+            inside[name] = edges
+            old_cost += sum(
+                _edge_cost(grid, edge, router.via_cost) for edge in edges
+            )
+
+        result = router.route(clip, rules)
+        if not result.feasible:
+            report.clips.append(
+                ClipImprovement(clip.name, old_cost, None, accepted=False)
+            )
+            continue
+
+        accepted = result.cost < old_cost - 1e-9
+        report.clips.append(
+            ClipImprovement(clip.name, old_cost, result.cost, accepted=accepted)
+        )
+        if not accepted:
+            continue
+
+        x0, y0 = clip.origin
+        new_edges_by_net: dict[str, set[frozenset[int]]] = {
+            name: set() for name in base_names
+        }
+        for net_solution in result.routing.nets:
+            new_edges = new_edges_by_net[_base_net_name(net_solution.net_name)]
+            for (ax, ay, az), (bx, by, bz) in net_solution.wire_edges:
+                new_edges.add(
+                    frozenset(
+                        (
+                            grid.node_id(ax + x0, ay + y0, az),
+                            grid.node_id(bx + x0, by + y0, bz),
+                        )
+                    )
+                )
+            for x, y, z in net_solution.vias:
+                new_edges.add(
+                    frozenset(
+                        (
+                            grid.node_id(x + x0, y + y0, z),
+                            grid.node_id(x + x0, y + y0, z + 1),
+                        )
+                    )
+                )
+        for name, new_edges in new_edges_by_net.items():
+            edges = (routed.edge_sets.get(name, set()) - inside[name]) | new_edges
+            routed.edge_sets[name] = edges
+            nodes = {node for edge in edges for node in edge}
+            # Preserve nodes outside the window (terminal access points
+            # of other regions); inside the window, only the new
+            # solution's nodes remain occupied.
+            for node in routed.node_sets.get(name, set()):
+                x, y, _z = grid.node_xyz(node)
+                if not (x0 <= x < x0 + clip.nx and y0 <= y < y0 + clip.ny):
+                    nodes.add(node)
+            routed.node_sets[name] = nodes
+            routed.routes[name] = edges_to_wiring(grid, name, edges)
+    return report

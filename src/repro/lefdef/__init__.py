@@ -1,0 +1,20 @@
+"""Mini LEF/DEF reader and writer.
+
+The paper interfaces to designs through LEF/DEF (via OpenAccess).  This
+package implements a compact, self-consistent subset sufficient for the
+reproduction flow:
+
+- LEF: units, site, layers, macros with SIZE and PIN/PORT RECT geometry;
+- DEF: units, die area, placed components, nets with ROUTED wiring
+  (segments and vias).
+
+All distances are nanometers internally; files use DBU = 1000 per
+micron, so DEF integers are nm and LEF microns convert exactly.
+"""
+
+from repro.lefdef.lef_writer import write_lef
+from repro.lefdef.lef_parser import parse_lef
+from repro.lefdef.def_writer import write_def
+from repro.lefdef.def_parser import parse_def
+
+__all__ = ["write_lef", "parse_lef", "write_def", "parse_def"]

@@ -1,0 +1,120 @@
+"""DEF subset parser (round-trips the writer's output)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.library import Library
+from repro.geometry import Orientation, Point, Rect, Segment
+from repro.netlist.design import Design, Term
+from repro.route.wiring import NetRoute, WireSegment, WireVia
+
+
+class DefParseError(ValueError):
+    """Raised on malformed DEF input."""
+
+
+@dataclass
+class DefContents:
+    """Parse result: the rebuilt design plus any routed wiring."""
+
+    design: Design
+    routes: dict[str, NetRoute] = field(default_factory=dict)
+
+
+def _tokens(text: str) -> list[str]:
+    out: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        out.extend(line.split())
+    return out
+
+
+def parse_def(text: str, library: Library) -> DefContents:
+    """Parse DEF text against a library into a design + routes."""
+    toks = _tokens(text)
+    i, n = 0, len(toks)
+    design: Design | None = None
+    routes: dict[str, NetRoute] = {}
+
+    while i < n:
+        tok = toks[i]
+        if tok == "DESIGN" and design is None:
+            design = Design(name=toks[i + 1], library=library)
+            i += 3
+        elif tok == "DIEAREA":
+            if design is None:
+                raise DefParseError("DIEAREA before DESIGN")
+            design.die = Rect(
+                int(toks[i + 2]), int(toks[i + 3]),
+                int(toks[i + 6]), int(toks[i + 7]),
+            )
+            i += 10
+        elif tok == "COMPONENTS":
+            if design is None:
+                raise DefParseError("COMPONENTS before DESIGN")
+            i += 3
+            while toks[i] != "END":
+                if toks[i] != "-":
+                    raise DefParseError(f"expected '-' in COMPONENTS, got {toks[i]!r}")
+                inst = design.add_instance(toks[i + 1], toks[i + 2])
+                i += 3
+                if toks[i] == "+":
+                    if toks[i + 1] != "PLACED":
+                        raise DefParseError(f"unsupported component option {toks[i + 1]!r}")
+                    inst.location = Point(int(toks[i + 3]), int(toks[i + 4]))
+                    inst.orientation = Orientation(toks[i + 6])
+                    i += 7
+                if toks[i] != ";":
+                    raise DefParseError("component not terminated by ';'")
+                i += 1
+            i += 2  # END COMPONENTS
+        elif tok == "NETS":
+            if design is None:
+                raise DefParseError("NETS before DESIGN")
+            i += 3
+            while toks[i] != "END":
+                if toks[i] != "-":
+                    raise DefParseError(f"expected '-' in NETS, got {toks[i]!r}")
+                net_name = toks[i + 1]
+                i += 2
+                terms: list[Term] = []
+                while toks[i] == "(":
+                    terms.append(Term(toks[i + 1], toks[i + 2]))
+                    i += 4
+                design.add_net(net_name, terms)
+                if toks[i] == "+":
+                    if toks[i + 1] != "ROUTED":
+                        raise DefParseError(f"unsupported net option {toks[i + 1]!r}")
+                    i += 2
+                    route = NetRoute(net=net_name)
+                    while True:
+                        metal = int(toks[i].lstrip("M"))
+                        a = Point(int(toks[i + 2]), int(toks[i + 3]))
+                        i += 5
+                        if toks[i] == "(":
+                            b = Point(int(toks[i + 1]), int(toks[i + 2]))
+                            route.segments.append(
+                                WireSegment(metal, Segment(a, b))
+                            )
+                            i += 4
+                        else:
+                            route.vias.append(
+                                WireVia(lower=metal, at=a, via_name=toks[i])
+                            )
+                            i += 1
+                        if toks[i] == "NEW":
+                            i += 1
+                            continue
+                        break
+                    routes[net_name] = route
+                if toks[i] != ";":
+                    raise DefParseError(f"net {net_name} not terminated by ';'")
+                i += 1
+            i += 2  # END NETS
+        else:
+            i += 1
+
+    if design is None:
+        raise DefParseError("no DESIGN statement found")
+    return DefContents(design=design, routes=routes)

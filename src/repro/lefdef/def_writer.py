@@ -1,0 +1,58 @@
+"""DEF subset writer (placement + routed wiring)."""
+
+from __future__ import annotations
+
+from repro.netlist.design import Design
+from repro.route.wiring import NetRoute
+
+_DBU = 1000
+
+
+def write_def(design: Design, routes: dict[str, NetRoute] | None = None) -> str:
+    """Serialize a placed (and optionally routed) design as DEF text.
+
+    DEF distances are DBU with 1000 DBU per micron, i.e. integers equal
+    to our internal nanometers -- no rounding anywhere.
+    """
+    routes = routes or {}
+    lines: list[str] = []
+    lines.append("VERSION 5.8 ;")
+    lines.append("DIVIDERCHAR \"/\" ;")
+    lines.append("BUSBITCHARS \"[]\" ;")
+    lines.append(f"DESIGN {design.name} ;")
+    lines.append(f"UNITS DISTANCE MICRONS {_DBU} ;")
+    if design.die is not None:
+        d = design.die
+        lines.append(f"DIEAREA ( {d.xlo} {d.ylo} ) ( {d.xhi} {d.yhi} ) ;")
+
+    instances = design.instances
+    lines.append(f"COMPONENTS {len(instances)} ;")
+    for inst in instances:
+        if inst.is_placed:
+            lines.append(
+                f"- {inst.name} {inst.cell.name} + PLACED "
+                f"( {inst.location.x} {inst.location.y} ) {inst.orientation.value} ;"
+            )
+        else:
+            lines.append(f"- {inst.name} {inst.cell.name} ;")
+    lines.append("END COMPONENTS")
+
+    nets = design.nets
+    lines.append(f"NETS {len(nets)} ;")
+    for net in nets:
+        terms = " ".join(f"( {t.instance} {t.pin} )" for t in net.terms)
+        line = f"- {net.name} {terms}"
+        route = routes.get(net.name)
+        if route is not None and (route.segments or route.vias):
+            parts: list[str] = []
+            for seg in route.segments:
+                a, b = seg.segment.a, seg.segment.b
+                parts.append(f"M{seg.metal} ( {a.x} {a.y} ) ( {b.x} {b.y} )")
+            for via in route.vias:
+                name = via.via_name or f"V{via.lower}{via.lower + 1}"
+                parts.append(f"M{via.lower} ( {via.at.x} {via.at.y} ) {name}")
+            line += "\n  + ROUTED " + "\n    NEW ".join(parts)
+        lines.append(line + " ;")
+    lines.append("END NETS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,128 @@
+"""LEF subset parser (round-trips the writer's output)."""
+
+from __future__ import annotations
+
+from repro.cells.cell import Cell
+from repro.cells.library import Library
+from repro.cells.pin import Pin, PinDirection
+from repro.geometry import Rect
+
+_DBU = 1000
+
+
+class LefParseError(ValueError):
+    """Raised on malformed LEF input."""
+
+
+def _tokens(text: str) -> list[str]:
+    out: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        out.extend(line.split())
+    return out
+
+
+def _nm(token: str) -> int:
+    try:
+        return round(float(token) * _DBU)
+    except ValueError:
+        raise LefParseError(f"expected a number, got {token!r}") from None
+
+
+def parse_lef(text: str, library_name: str = "parsed") -> Library:
+    """Parse LEF text into a :class:`Library`.
+
+    Only the writer's subset is understood: UNITS, SITE, LAYER blocks
+    (skipped -- layer data belongs to the Technology), and MACRO blocks
+    with SIZE and PIN/PORT/RECT.
+    """
+    toks = _tokens(text)
+    i = 0
+    site_width: int | None = None
+    row_height: int | None = None
+    cells: list[Cell] = []
+
+    def expect_semi(j: int) -> int:
+        if toks[j] != ";":
+            raise LefParseError(f"expected ';' near token {j}: {toks[j - 2:j + 2]}")
+        return j + 1
+
+    n = len(toks)
+    while i < n:
+        tok = toks[i]
+        if tok == "SITE":
+            # SITE core CLASS CORE ; SIZE w BY h ; END core
+            j = i + 2
+            while toks[j] != "SIZE":
+                j += 1
+            site_width = _nm(toks[j + 1])
+            row_height = _nm(toks[j + 3])
+            while toks[j] != "END":
+                j += 1
+            i = j + 2
+        elif tok == "MACRO":
+            name = toks[i + 1]
+            i += 2
+            width = height = None
+            pins: list[Pin] = []
+            while toks[i] != "END" or toks[i + 1] != name:
+                if toks[i] == "SIZE":
+                    width = _nm(toks[i + 1])
+                    height = _nm(toks[i + 3])
+                    i = expect_semi(i + 4)
+                elif toks[i] == "PIN":
+                    pin_name = toks[i + 1]
+                    i += 2
+                    direction = PinDirection.INOUT
+                    is_supply = False
+                    shapes: list[tuple[int, Rect]] = []
+                    while toks[i] != "END" or toks[i + 1] != pin_name:
+                        if toks[i] == "DIRECTION":
+                            direction = PinDirection(toks[i + 1])
+                            i = expect_semi(i + 2)
+                        elif toks[i] == "USE":
+                            is_supply = toks[i + 1] in ("POWER", "GROUND")
+                            i = expect_semi(i + 2)
+                        elif toks[i] == "PORT":
+                            i += 1
+                            metal = None
+                            while toks[i] != "END":
+                                if toks[i] == "LAYER":
+                                    metal = int(toks[i + 1].lstrip("M"))
+                                    i = expect_semi(i + 2)
+                                elif toks[i] == "RECT":
+                                    if metal is None:
+                                        raise LefParseError("RECT before LAYER")
+                                    rect = Rect(
+                                        _nm(toks[i + 1]),
+                                        _nm(toks[i + 2]),
+                                        _nm(toks[i + 3]),
+                                        _nm(toks[i + 4]),
+                                    )
+                                    shapes.append((metal, rect))
+                                    i = expect_semi(i + 5)
+                                else:
+                                    raise LefParseError(f"unexpected token in PORT: {toks[i]!r}")
+                            i += 1  # consume PORT's END
+                        else:
+                            raise LefParseError(f"unexpected token in PIN: {toks[i]!r}")
+                    i += 2  # END <pin>
+                    pins.append(Pin(pin_name, direction, tuple(shapes), is_supply=is_supply))
+                else:
+                    # Skip "CLASS CORE ;", "ORIGIN 0 0 ;", "SITE core ;" etc.
+                    while toks[i] != ";":
+                        i += 1
+                    i += 1
+            i += 2  # END <macro>
+            if width is None or height is None:
+                raise LefParseError(f"macro {name} missing SIZE")
+            cells.append(Cell(name=name, width=width, height=height, pins=tuple(pins)))
+        else:
+            i += 1
+
+    if site_width is None or row_height is None:
+        raise LefParseError("LEF is missing a SITE definition")
+    library = Library(name=library_name, site_width=site_width, row_height=row_height)
+    for cell in cells:
+        library.add(cell)
+    return library

@@ -1,0 +1,63 @@
+"""LEF subset writer."""
+
+from __future__ import annotations
+
+from repro.cells.library import Library
+from repro.tech.presets import Technology
+
+_DBU = 1000  # database units per micron; 1 dbu = 1 nm
+
+
+def _um(value_nm: int) -> str:
+    """Format a nm value as LEF microns without float noise."""
+    text = f"{value_nm / _DBU:.3f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def write_lef(library: Library, tech: Technology | None = None) -> str:
+    """Serialize a library (and optionally its layer stack) as LEF text."""
+    lines: list[str] = []
+    lines.append("VERSION 5.8 ;")
+    lines.append("BUSBITCHARS \"[]\" ;")
+    lines.append("DIVIDERCHAR \"/\" ;")
+    lines.append(f"UNITS DATABASE MICRONS {_DBU} ; END UNITS")
+    if tech is not None:
+        for layer in tech.stack.layers:
+            lines.append(f"LAYER {layer.name}")
+            lines.append("  TYPE ROUTING ;")
+            direction = "HORIZONTAL" if layer.direction.is_horizontal else "VERTICAL"
+            lines.append(f"  DIRECTION {direction} ;")
+            lines.append(f"  PITCH {_um(layer.pitch)} ;")
+            lines.append(f"  WIDTH {_um(layer.width)} ;")
+            lines.append(f"END {layer.name}")
+    lines.append(
+        f"SITE core CLASS CORE ; SIZE {_um(library.site_width)} BY "
+        f"{_um(library.row_height)} ; END core"
+    )
+    for cell in sorted(library, key=lambda c: c.name):
+        lines.append(f"MACRO {cell.name}")
+        lines.append("  CLASS CORE ;")
+        lines.append("  ORIGIN 0 0 ;")
+        lines.append(f"  SIZE {_um(cell.width)} BY {_um(cell.height)} ;")
+        lines.append("  SITE core ;")
+        for pin in cell.pins:
+            lines.append(f"  PIN {pin.name}")
+            lines.append(f"    DIRECTION {pin.direction.value} ;")
+            if pin.is_supply:
+                use = "POWER" if pin.name.upper() in ("VDD", "VCC") else "GROUND"
+                lines.append(f"    USE {use} ;")
+            lines.append("    PORT")
+            current_metal = None
+            for metal, rect in pin.shapes:
+                if metal != current_metal:
+                    lines.append(f"      LAYER M{metal} ;")
+                    current_metal = metal
+                lines.append(
+                    f"        RECT {_um(rect.xlo)} {_um(rect.ylo)} "
+                    f"{_um(rect.xhi)} {_um(rect.yhi)} ;"
+                )
+            lines.append("    END")
+            lines.append(f"  END {pin.name}")
+        lines.append(f"END {cell.name}")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,22 @@
+"""Gate-level netlist model and synthetic design generators.
+
+The paper's benchmarks (OpenCores AES and an ARM Cortex M0) are used as
+sources of *local routing difficulty*: clips are selected by a local
+pin-congestion metric, so what matters is realistic instance mix, net
+fanout and locality statistics.  The generators in
+:mod:`repro.netlist.synth` produce seeded designs with AES-like
+(XOR-heavy datapath, mostly low fanout) and M0-like (control-dominated,
+more high-fanout nets) profiles at any instance count.
+"""
+
+from repro.netlist.design import Design, Instance, Net, Term
+from repro.netlist.synth import DesignProfile, synthesize_design
+
+__all__ = [
+    "Design",
+    "Instance",
+    "Net",
+    "Term",
+    "DesignProfile",
+    "synthesize_design",
+]

@@ -1,0 +1,174 @@
+"""Design (netlist) container: instances, nets, placement state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.cell import Cell
+from repro.cells.library import Library
+from repro.cells.pin import PinDirection
+from repro.geometry import Orientation, Point, Rect, Transform
+
+
+@dataclass
+class Instance:
+    """A placed (or not-yet-placed) cell instance."""
+
+    name: str
+    cell: Cell
+    location: Point | None = None
+    orientation: Orientation = Orientation.N
+
+    @property
+    def is_placed(self) -> bool:
+        return self.location is not None
+
+    def transform(self) -> Transform:
+        if self.location is None:
+            raise ValueError(f"instance {self.name} is not placed")
+        return Transform(
+            offset=self.location,
+            orientation=self.orientation,
+            cell_width=self.cell.width,
+            cell_height=self.cell.height,
+        )
+
+    def bbox(self) -> Rect:
+        if self.location is None:
+            raise ValueError(f"instance {self.name} is not placed")
+        return Rect(
+            self.location.x,
+            self.location.y,
+            self.location.x + self.cell.width,
+            self.location.y + self.cell.height,
+        )
+
+    def pin_shapes(self, pin_name: str) -> list[tuple[int, Rect]]:
+        """Pin geometry in chip coordinates."""
+        t = self.transform()
+        pin = self.cell.pin(pin_name)
+        return [(metal, t.apply_rect(rect)) for metal, rect in pin.shapes]
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """A net terminal: ``(instance_name, pin_name)``."""
+
+    instance: str
+    pin: str
+
+
+@dataclass
+class Net:
+    """A multi-terminal signal net.
+
+    The first OUTPUT-direction terminal is the driver; remaining
+    terminals are sinks.  Nets without a driver (e.g. primary-input
+    nets) treat the first terminal as the source for routing purposes.
+    """
+
+    name: str
+    terms: list[Term] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+class Design:
+    """A gate-level design bound to a library.
+
+    Provides instance/net storage, connectivity queries, and summary
+    statistics (instance count, utilization against a die area).
+    """
+
+    def __init__(self, name: str, library: Library) -> None:
+        self.name = name
+        self.library = library
+        self.die: Rect | None = None
+        self._instances: dict[str, Instance] = {}
+        self._nets: dict[str, Net] = {}
+        self._terms_of_instance: dict[str, list[str]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_instance(self, name: str, cell_name: str) -> Instance:
+        if name in self._instances:
+            raise ValueError(f"duplicate instance {name}")
+        inst = Instance(name=name, cell=self.library.cell(cell_name))
+        self._instances[name] = inst
+        self._terms_of_instance[name] = []
+        return inst
+
+    def add_net(self, name: str, terms: list[Term]) -> Net:
+        if name in self._nets:
+            raise ValueError(f"duplicate net {name}")
+        for term in terms:
+            inst = self.instance(term.instance)
+            inst.cell.pin(term.pin)  # raises if the pin does not exist
+        net = Net(name=name, terms=list(terms))
+        self._nets[name] = net
+        for term in terms:
+            self._terms_of_instance[term.instance].append(name)
+        return net
+
+    def attach_term(self, net_name: str, term: Term) -> None:
+        """Add a terminal to an existing net."""
+        net = self.net(net_name)
+        self.instance(term.instance).cell.pin(term.pin)
+        net.terms.append(term)
+        self._terms_of_instance[term.instance].append(net_name)
+
+    # -- access ---------------------------------------------------------
+
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise KeyError(f"no instance {name!r} in design {self.name}") from None
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise KeyError(f"no net {name!r} in design {self.name}") from None
+
+    @property
+    def instances(self) -> list[Instance]:
+        return list(self._instances.values())
+
+    @property
+    def nets(self) -> list[Net]:
+        return list(self._nets.values())
+
+    def nets_of_instance(self, name: str) -> list[Net]:
+        return [self._nets[n] for n in self._terms_of_instance.get(name, [])]
+
+    def driver_of(self, net: Net) -> Term | None:
+        """The net's driving terminal (first OUTPUT pin), if any."""
+        for term in net.terms:
+            pin = self.instance(term.instance).cell.pin(term.pin)
+            if pin.direction is PinDirection.OUTPUT:
+                return term
+        return None
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def n_instances(self) -> int:
+        return len(self._instances)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self._nets)
+
+    def total_cell_area(self) -> int:
+        return sum(inst.cell.width * inst.cell.height for inst in self._instances.values())
+
+    def utilization(self) -> float:
+        """Placed-cell area over die area (requires a die)."""
+        if self.die is None:
+            raise ValueError("design has no die area")
+        return self.total_cell_area() / self.die.area
+
+    def is_fully_placed(self) -> bool:
+        return all(inst.is_placed for inst in self._instances.values())

@@ -1,0 +1,208 @@
+"""Seeded synthetic netlist generation with AES-like and M0-like profiles.
+
+A profile fixes three statistics that control local routing difficulty:
+
+- the cell-archetype mix (AES is XOR/datapath heavy; an M0-class
+  microcontroller core is mux/control heavy with more sequential cells),
+- the net fanout distribution (M0-like designs have more medium/high
+  fanout control nets),
+- connection locality: sinks are drawn near the driver in *netlist index
+  space* with geometric locality, which the placer then translates into
+  physical locality (a stand-in for Rent's-rule behaviour).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netlist.design import Design, Term
+from repro.cells.library import Library
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class DesignProfile:
+    """Statistical profile of a synthetic design.
+
+    ``cell_mix`` maps archetype base names to sampling weights; drive
+    variants are chosen uniformly among those present in the library.
+    ``fanout_weights`` maps fanout values to weights.  ``locality``
+    in (0, 1]: smaller values make sinks cluster tighter around the
+    driver index.
+    """
+
+    name: str
+    cell_mix: dict[str, float]
+    fanout_weights: dict[int, float]
+    locality: float = 0.08
+    seq_fraction: float = 0.12
+
+
+AES_PROFILE = DesignProfile(
+    name="aes",
+    cell_mix={
+        "XOR2": 4.0,
+        "XNOR2": 2.0,
+        "NAND2": 2.5,
+        "NOR2": 1.5,
+        "AND2": 1.0,
+        "OR2": 1.0,
+        "INV": 2.0,
+        "BUF": 0.5,
+        "AOI21": 1.0,
+        "OAI21": 1.0,
+        "NAND3": 0.8,
+        "MUX2": 1.2,
+    },
+    fanout_weights={1: 10.0, 2: 5.0, 3: 2.5, 4: 1.2, 6: 0.5, 8: 0.2},
+    locality=0.06,
+    seq_fraction=0.10,
+)
+
+M0_PROFILE = DesignProfile(
+    name="m0",
+    cell_mix={
+        "MUX2": 3.5,
+        "NAND2": 2.5,
+        "NOR2": 2.0,
+        "AOI21": 2.0,
+        "OAI21": 2.0,
+        "INV": 2.0,
+        "BUF": 1.0,
+        "AND2": 1.0,
+        "OR2": 1.0,
+        "NAND3": 1.2,
+        "NOR3": 1.0,
+        "XOR2": 0.6,
+    },
+    fanout_weights={1: 8.0, 2: 5.0, 3: 3.0, 4: 2.0, 6: 1.0, 10: 0.5, 16: 0.2},
+    locality=0.10,
+    seq_fraction=0.18,
+)
+
+_PROFILES = {"aes": AES_PROFILE, "m0": M0_PROFILE}
+
+
+def profile_by_name(name: str) -> DesignProfile:
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown profile {name!r}; available: {sorted(_PROFILES)}") from None
+
+
+@dataclass
+class _Sampler:
+    rng: random.Random
+    values: list
+    weights: list = field(default_factory=list)
+
+    def sample(self):
+        return self.rng.choices(self.values, weights=self.weights, k=1)[0]
+
+
+def _cell_sampler(
+    library: Library, mix: dict[str, float], sequential: bool, rng: random.Random
+) -> _Sampler:
+    values, weights = [], []
+    pool = library.sequential() if sequential else library.combinational()
+    for cell in pool:
+        base = cell.name.rsplit("X", 1)[0]  # NAND2X1 -> NAND2, XOR2X1 -> XOR2
+        weight = 1.0 if sequential else mix.get(base, 0.0)
+        if weight > 0:
+            values.append(cell.name)
+            weights.append(weight)
+    if not values:
+        raise ValueError("library has no cells matching the profile")
+    return _Sampler(rng, values, weights)
+
+
+def synthesize_design(
+    library: Library,
+    profile: "DesignProfile | str",
+    n_instances: int,
+    seed: int = 0,
+    design_name: str | None = None,
+) -> Design:
+    """Generate a seeded synthetic design.
+
+    Every combinational/sequential instance's output drives one net
+    whose sinks are input pins of instances drawn near the driver in
+    index space; every input pin is connected exactly once (unconnected
+    inputs are tied to nearby nets at the end), so the design has no
+    floating pins.
+    """
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    if n_instances < 2:
+        raise ValueError("need at least two instances")
+    rng = make_rng(seed)
+    name = design_name or f"{profile.name}_{n_instances}"
+    design = Design(name=name, library=library)
+
+    comb = _cell_sampler(library, profile.cell_mix, sequential=False, rng=rng)
+    seq = _cell_sampler(library, profile.cell_mix, sequential=True, rng=rng)
+
+    instances = []
+    for i in range(n_instances):
+        sequential = rng.random() < profile.seq_fraction
+        cell_name = (seq if sequential else comb).sample()
+        inst = design.add_instance(f"u{i}", cell_name)
+        instances.append(inst)
+
+    # Track unconnected input pins per instance.
+    open_inputs: dict[int, list[str]] = {
+        i: [p.name for p in inst.cell.input_pins()] for i, inst in enumerate(instances)
+    }
+
+    fanouts = _Sampler(
+        rng, list(profile.fanout_weights), list(profile.fanout_weights.values())
+    )
+    sigma = max(2.0, profile.locality * n_instances)
+
+    def nearby_open_input(center: int) -> "tuple[int, str] | None":
+        for _attempt in range(32):
+            j = int(round(rng.gauss(center, sigma))) % n_instances
+            if open_inputs[j]:
+                return j, open_inputs[j].pop(rng.randrange(len(open_inputs[j])))
+        # Fall back to a linear scan from the center outward.
+        for delta in range(n_instances):
+            for j in ((center + delta) % n_instances, (center - delta) % n_instances):
+                if open_inputs[j]:
+                    return j, open_inputs[j].pop()
+        return None
+
+    net_id = 0
+    for i, inst in enumerate(instances):
+        outputs = inst.cell.output_pins()
+        if not outputs:
+            continue
+        fanout = fanouts.sample()
+        terms = [Term(inst.name, outputs[0].name)]
+        for _ in range(fanout):
+            picked = nearby_open_input(i)
+            if picked is None:
+                break
+            j, pin_name = picked
+            terms.append(Term(instances[j].name, pin_name))
+        if len(terms) >= 2:
+            design.add_net(f"n{net_id}", terms)
+            net_id += 1
+        else:
+            # No sinks available: return nothing; output stays unloaded
+            # (legal -- models an unused output).
+            pass
+
+    # Tie remaining open inputs onto existing nets (models PI fanout /
+    # tie cells) so no pin floats.
+    remaining = [
+        (i, pin) for i, pins in open_inputs.items() for pin in pins
+    ]
+    nets = design.nets
+    for i, pin_name in remaining:
+        if not nets:
+            break
+        net = nets[rng.randrange(len(nets))]
+        design.attach_term(net.name, Term(instances[i].name, pin_name))
+
+    return design

@@ -1,0 +1,111 @@
+"""Structural (gate-level) Verilog writer and parser.
+
+The synthetic designs can be exported as flat structural Verilog --
+the same interchange a logic synthesis tool would hand to P&R -- and
+read back against a library.  Supported subset: one module, ``wire``
+declarations, and named-port instantiations:
+
+    module aes_150 (  );
+      wire n0, n1;
+      NAND2X1 u0 ( .A(n0), .B(n1), .Y(n2) );
+    endmodule
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cells.library import Library
+from repro.cells.pin import PinDirection
+from repro.netlist.design import Design, Term
+
+
+class VerilogParseError(ValueError):
+    """Raised on input outside the supported structural subset."""
+
+
+def write_verilog(design: Design) -> str:
+    """Serialize a design as flat structural Verilog."""
+    lines = [f"module {design.name} (  );"]
+    nets = design.nets
+    if nets:
+        names = ", ".join(net.name for net in nets)
+        lines.append(f"  wire {names};")
+    for inst in design.instances:
+        conns = []
+        seen_nets: set[str] = set()
+        for net in design.nets_of_instance(inst.name):
+            if net.name in seen_nets:
+                continue  # an instance with several pins on one net
+            seen_nets.add(net.name)
+            for term in net.terms:
+                if term.instance == inst.name:
+                    conns.append(f".{term.pin}({net.name})")
+        # Unconnected pins are legal (left open).
+        lines.append(
+            f"  {inst.cell.name} {inst.name} ( {', '.join(conns)} );"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;")
+_WIRE_RE = re.compile(r"wire\s+([^;]+);")
+_INST_RE = re.compile(r"(\w+)\s+(\w+)\s*\(\s*(.*?)\s*\)\s*;", re.DOTALL)
+_CONN_RE = re.compile(r"\.(\w+)\s*\(\s*(\w*)\s*\)")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def parse_verilog(text: str, library: Library) -> Design:
+    """Parse structural Verilog into a design bound to ``library``.
+
+    Net driver/sink roles are derived from the library's pin
+    directions; nets with fewer than one connection are dropped.
+    """
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogParseError("no module declaration found")
+    design = Design(name=module.group(1), library=library)
+
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = body[:end]
+
+    declared_wires: set[str] = set()
+    for match in _WIRE_RE.finditer(body):
+        for name in match.group(1).split(","):
+            declared_wires.add(name.strip())
+
+    connections: dict[str, list[Term]] = {}
+    body_no_wires = _WIRE_RE.sub("", body)
+    for match in _INST_RE.finditer(body_no_wires):
+        cell_name, inst_name, conn_text = match.groups()
+        if cell_name == "wire":
+            continue
+        if cell_name not in library:
+            raise VerilogParseError(f"unknown cell {cell_name!r}")
+        design.add_instance(inst_name, cell_name)
+        for pin_name, net_name in _CONN_RE.findall(conn_text):
+            if not net_name:
+                continue  # explicitly open pin
+            design.instance(inst_name).cell.pin(pin_name)  # validate
+            connections.setdefault(net_name, []).append(
+                Term(inst_name, pin_name)
+            )
+
+    for net_name, terms in connections.items():
+        # Driver first, like the generator produces.
+        def is_output(term: Term) -> bool:
+            pin = design.instance(term.instance).cell.pin(term.pin)
+            return pin.direction is PinDirection.OUTPUT
+
+        terms.sort(key=lambda term: (not is_output(term), term.instance, term.pin))
+        design.add_net(net_name, terms)
+    return design

@@ -1,0 +1,25 @@
+"""Row-based standard-cell placement substrate.
+
+Stands in for the commercial P&R tool's placement step: a
+connectivity-ordered greedy row packer followed by simulated-annealing
+HPWL refinement, with a legality checker.  Utilization is a first-class
+knob because the paper sweeps it (Table 2 uses 89-97%) to create
+difficult-to-route layouts.
+"""
+
+from repro.place.rows import RowGrid
+from repro.place.placer import PlacementResult, place_design
+from repro.place.analytic import analytic_place
+from repro.place.hpwl import hpwl, total_hpwl
+from repro.place.checker import PlacementViolation, check_placement
+
+__all__ = [
+    "RowGrid",
+    "PlacementResult",
+    "place_design",
+    "analytic_place",
+    "hpwl",
+    "total_hpwl",
+    "PlacementViolation",
+    "check_placement",
+]

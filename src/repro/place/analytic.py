@@ -1,0 +1,190 @@
+"""Analytical (quadratic) global placement.
+
+A SimPL-style loop: solve the star-model quadratic program for x and y
+with sparse linear algebra, spread the overlapping solution by
+rank-based target positions, re-solve with anchor pseudo-nets, then
+legalize into rows.  Complements the greedy/SA placer as the
+"commercial quality" option for larger designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.netlist.design import Design
+from repro.place.hpwl import total_hpwl
+from repro.place.placer import PlacementResult, _legalize_row, _sa_refine
+from repro.place.rows import RowGrid
+
+
+def _quadratic_solve(
+    design: Design,
+    grid: RowGrid,
+    anchors: "np.ndarray | None",
+    anchor_weight: float,
+) -> np.ndarray:
+    """Solve the star-model QP; returns (n, 2) positions."""
+    instances = design.instances
+    index_of = {inst.name: i for i, inst in enumerate(instances)}
+    n = len(instances)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    rhs = np.zeros((n, 2))
+    diag = np.full(n, 1e-6)  # regularization
+
+    center = np.array([grid.die.center.x, grid.die.center.y], dtype=float)
+
+    for net in design.nets:
+        members = sorted({index_of[t.instance] for t in net.terms})
+        if len(members) < 2:
+            continue
+        # Clique model with 1/(k-1) weights (bounded by HPWL).
+        weight = 1.0 / (len(members) - 1)
+        for ai in range(len(members)):
+            for bi in range(ai + 1, len(members)):
+                a, b = members[ai], members[bi]
+                diag[a] += weight
+                diag[b] += weight
+                rows.append(a)
+                cols.append(b)
+                data.append(-weight)
+                rows.append(b)
+                cols.append(a)
+                data.append(-weight)
+
+    if anchors is None:
+        # Weak pull to the die center keeps the system non-singular.
+        diag += anchor_weight
+        rhs += anchor_weight * center
+    else:
+        diag += anchor_weight
+        rhs += anchor_weight * anchors
+
+    rows.extend(range(n))
+    cols.extend(range(n))
+    data.extend(diag)
+    laplacian = coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    solution = np.column_stack(
+        [spsolve(laplacian, rhs[:, 0]), spsolve(laplacian, rhs[:, 1])]
+    )
+    return solution
+
+
+def _spread_targets(positions: np.ndarray, grid: RowGrid) -> np.ndarray:
+    """Rank-based spreading: map the sorted coordinates uniformly over
+    the die in each axis (a cheap look-ahead legalization)."""
+    n = len(positions)
+    targets = np.empty_like(positions)
+    for axis, (lo, hi) in enumerate(
+        ((grid.die.xlo, grid.die.xhi), (grid.die.ylo, grid.die.yhi))
+    ):
+        order = np.argsort(positions[:, axis], kind="stable")
+        slots = np.linspace(lo, hi, n)
+        targets[order, axis] = slots
+    return targets
+
+
+def _solve_and_pack(design: Design, utilization: float, aspect: float,
+                    n_iterations: int):
+    """QP solve + spreading, then row packing with utilization backoff
+    when fragmentation leaves no row wide enough."""
+    target = utilization
+    last_error: ValueError | None = None
+    for _attempt in range(12):
+        grid = RowGrid.for_design_area(
+            total_cell_area=design.total_cell_area(),
+            utilization=target,
+            row_height=design.library.row_height,
+            site_width=design.library.site_width,
+            aspect=aspect,
+        )
+        design.die = grid.die
+        positions = _quadratic_solve(design, grid, anchors=None, anchor_weight=1e-3)
+        for _ in range(max(0, n_iterations - 1)):
+            targets = _spread_targets(positions, grid)
+            positions = _quadratic_solve(
+                design, grid, anchors=targets, anchor_weight=0.4
+            )
+        try:
+            return grid, positions, _pack_by_rank(design, grid, positions)
+        except ValueError as error:
+            last_error = error
+            target = max(0.05, target - 0.02)
+    raise last_error
+
+
+def _pack_by_rank(design: Design, grid: RowGrid, positions):
+    """Rows by y-rank with capacity, order within row by x."""
+    instances = design.instances
+    order_y = sorted(range(len(instances)), key=lambda i: positions[i, 1])
+    row_capacity = grid.sites_per_row * grid.site_width
+    rows_assignment: list[list[int]] = [[] for _ in range(grid.n_rows)]
+    row_used = [0] * grid.n_rows
+    row = 0
+    for index in order_y:
+        width = instances[index].cell.width
+        while row < grid.n_rows - 1 and row_used[row] + width > row_capacity:
+            row += 1
+        if row_used[row] + width > row_capacity:
+            # Walk back for any row with space (den packing fallback).
+            for candidate in range(grid.n_rows):
+                if row_used[candidate] + width <= row_capacity:
+                    row = candidate
+                    break
+            else:
+                raise ValueError("design does not fit the row grid")
+        rows_assignment[row].append(index)
+        row_used[row] += width
+    return rows_assignment
+
+
+def analytic_place(
+    design: Design,
+    utilization: float = 0.85,
+    aspect: float = 1.0,
+    seed: int = 0,
+    n_iterations: int = 3,
+    sa_moves: int = 0,
+) -> PlacementResult:
+    """Quadratic placement + rank spreading + row legalization.
+
+    ``sa_moves > 0`` appends the annealing refinement of the greedy
+    placer on top of the analytic result.
+    """
+    if design.n_instances < 2:
+        raise ValueError("need at least two instances")
+    grid, positions, rows_assignment = _solve_and_pack(
+        design, utilization, aspect, n_iterations
+    )
+
+    instances = design.instances
+    name_rows: list[list[str]] = []
+    for r, members in enumerate(rows_assignment):
+        members.sort(key=lambda i: positions[i, 0])
+        names = [instances[i].name for i in members]
+        name_rows.append(names)
+        _legalize_row(design, grid, r, names)
+
+    hpwl_initial = total_hpwl(design)
+    accepted = tried = 0
+    if sa_moves > 0:
+        scale = max(grid.die.width, grid.die.height)
+        accepted, tried = _sa_refine(
+            design, grid, name_rows, seed=seed, n_moves=sa_moves,
+            t_start=0.05 * scale, t_end=0.001 * scale,
+        )
+    return PlacementResult(
+        grid=grid,
+        utilization=design.utilization(),
+        hpwl_initial=hpwl_initial,
+        hpwl_final=total_hpwl(design),
+        sa_moves_accepted=accepted,
+        sa_moves_tried=tried,
+    )
+
+
+__all__ = ["analytic_place"]

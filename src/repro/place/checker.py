@@ -1,0 +1,70 @@
+"""Placement legality checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.design import Design
+from repro.place.rows import RowGrid
+
+
+@dataclass(frozen=True)
+class PlacementViolation:
+    """One legality violation."""
+
+    kind: str  # "unplaced" | "off_site" | "off_row" | "outside_die" | "overlap"
+    instances: tuple[str, ...]
+    detail: str
+
+
+def check_placement(design: Design, grid: RowGrid) -> list[PlacementViolation]:
+    """Check a placement for legality.
+
+    Verifies every instance is placed, on a site boundary, row-aligned,
+    inside the die, and that no two instances overlap.
+    """
+    violations: list[PlacementViolation] = []
+    placed = []
+    for inst in design.instances:
+        if not inst.is_placed:
+            violations.append(
+                PlacementViolation("unplaced", (inst.name,), "instance not placed")
+            )
+            continue
+        loc = inst.location
+        if (loc.x - grid.die.xlo) % grid.site_width:
+            violations.append(
+                PlacementViolation(
+                    "off_site", (inst.name,), f"x={loc.x} not on {grid.site_width}nm sites"
+                )
+            )
+        if (loc.y - grid.die.ylo) % grid.row_height:
+            violations.append(
+                PlacementViolation(
+                    "off_row", (inst.name,), f"y={loc.y} not on row boundaries"
+                )
+            )
+        if not grid.die.contains_rect(inst.bbox()):
+            violations.append(
+                PlacementViolation(
+                    "outside_die", (inst.name,), f"bbox {inst.bbox()} exceeds die {grid.die}"
+                )
+            )
+        placed.append(inst)
+
+    # Overlap check via per-row sweep.
+    by_row: dict[int, list] = {}
+    for inst in placed:
+        by_row.setdefault(grid.row_of_y(inst.location.y), []).append(inst)
+    for row_instances in by_row.values():
+        row_instances.sort(key=lambda inst: inst.location.x)
+        for a, b in zip(row_instances, row_instances[1:]):
+            if a.location.x + a.cell.width > b.location.x:
+                violations.append(
+                    PlacementViolation(
+                        "overlap", (a.name, b.name),
+                        f"{a.name} ends at {a.location.x + a.cell.width}, "
+                        f"{b.name} starts at {b.location.x}",
+                    )
+                )
+    return violations

@@ -1,0 +1,31 @@
+"""Half-perimeter wirelength evaluation."""
+
+from __future__ import annotations
+
+from repro.netlist.design import Design, Net
+
+
+def _term_center(design: Design, instance: str, pin: str) -> tuple[int, int]:
+    inst = design.instance(instance)
+    t = inst.transform()
+    pin_obj = inst.cell.pin(pin)
+    center = t.apply_rect(pin_obj.bbox()).center
+    return center.x, center.y
+
+
+def hpwl(design: Design, net: Net) -> int:
+    """Half-perimeter wirelength of one net (0 for degenerate nets)."""
+    if len(net.terms) < 2:
+        return 0
+    xs: list[int] = []
+    ys: list[int] = []
+    for term in net.terms:
+        x, y = _term_center(design, term.instance, term.pin)
+        xs.append(x)
+        ys.append(y)
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_hpwl(design: Design) -> int:
+    """Sum of HPWL over all nets."""
+    return sum(hpwl(design, net) for net in design.nets)

@@ -1,0 +1,87 @@
+"""Placement row grid."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class RowGrid:
+    """A core area organized as standard-cell rows.
+
+    Rows are stacked bottom-up; row ``r`` spans
+    ``y = r * row_height .. (r + 1) * row_height`` and alternating rows
+    are flipped (FS) so supply rails abut, as in real row-based layout.
+    """
+
+    die: Rect
+    row_height: int
+    site_width: int
+
+    def __post_init__(self) -> None:
+        if self.row_height <= 0 or self.site_width <= 0:
+            raise ValueError("row height and site width must be positive")
+        if self.die.height % self.row_height:
+            raise ValueError("die height must be a multiple of the row height")
+
+    @property
+    def n_rows(self) -> int:
+        return self.die.height // self.row_height
+
+    @property
+    def sites_per_row(self) -> int:
+        return self.die.width // self.site_width
+
+    def row_y(self, row: int) -> int:
+        """y coordinate of the bottom of row ``row``."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range")
+        return self.die.ylo + row * self.row_height
+
+    def row_of_y(self, y: int) -> int:
+        """Row index containing coordinate ``y``."""
+        return (y - self.die.ylo) // self.row_height
+
+    def site_x(self, site: int) -> int:
+        """x coordinate of the left edge of site ``site``."""
+        return self.die.xlo + site * self.site_width
+
+    def site_of_x(self, x: int) -> int:
+        return (x - self.die.xlo) // self.site_width
+
+    def row_is_flipped(self, row: int) -> bool:
+        """Odd rows are flipped (FS orientation)."""
+        return row % 2 == 1
+
+    @classmethod
+    def for_design_area(
+        cls,
+        total_cell_area: int,
+        utilization: float,
+        row_height: int,
+        site_width: int,
+        aspect: float = 1.0,
+    ) -> "RowGrid":
+        """Size a die for the given target utilization and aspect ratio.
+
+        The die is snapped up to whole rows and sites, so the achieved
+        utilization is at most the requested one.
+        """
+        if not 0 < utilization <= 1:
+            raise ValueError("utilization must be in (0, 1]")
+        if total_cell_area <= 0:
+            raise ValueError("empty design")
+        die_area = total_cell_area / utilization
+        height = math.sqrt(die_area * aspect)
+        n_rows = max(1, math.ceil(height / row_height))
+        width_needed = die_area / (n_rows * row_height)
+        n_sites = max(1, math.ceil(width_needed / site_width))
+        # Snapping can still leave area slightly short of target; widen
+        # until capacity covers the cells.
+        while n_rows * n_sites * row_height * site_width < total_cell_area:
+            n_sites += 1
+        die = Rect(0, 0, n_sites * site_width, n_rows * row_height)
+        return cls(die=die, row_height=row_height, site_width=site_width)

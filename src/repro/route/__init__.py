@@ -1,0 +1,24 @@
+"""Full-chip routing substrate.
+
+This package provides the place-and-route "commercial tool" stand-in:
+a gcell-based global router and a track-level detailed router with
+rip-up-and-reroute.  Its routed output is what clips are extracted
+from, and its clip-level twin (:mod:`repro.router.baseline`) is the
+comparator used for the paper's footnote-6 validation.
+"""
+
+from repro.route.wiring import NetRoute, WireSegment, WireVia
+from repro.route.grid import RoutingGrid
+from repro.route.global_router import GlobalRouter, GlobalRouteResult
+from repro.route.detailed_router import DetailedRouter, DetailedRouteResult
+
+__all__ = [
+    "NetRoute",
+    "WireSegment",
+    "WireVia",
+    "RoutingGrid",
+    "GlobalRouter",
+    "GlobalRouteResult",
+    "DetailedRouter",
+    "DetailedRouteResult",
+]

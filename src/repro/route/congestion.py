@@ -1,0 +1,94 @@
+"""Track-level congestion analysis of routed designs.
+
+Computes per-gcell wire utilization from a detailed-routing result --
+the map a P&R engineer would inspect to find hotspots -- plus summary
+statistics and an ASCII heat map.  Used by the evaluation flow to
+confirm that the clip extraction targets genuinely busy regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.route.detailed_router import DetailedRouteResult
+from repro.route.grid import RoutingGrid
+
+
+@dataclass
+class CongestionMap:
+    """Per-tile used-track fractions."""
+
+    gw: int
+    gh: int
+    tracks_per_gcell: int
+    usage: dict[tuple[int, int], int]
+    capacity: int
+
+    def utilization(self, tile: tuple[int, int]) -> float:
+        return self.usage.get(tile, 0) / self.capacity
+
+    def max_utilization(self) -> float:
+        if not self.usage:
+            return 0.0
+        return max(self.usage.values()) / self.capacity
+
+    def mean_utilization(self) -> float:
+        total = sum(self.usage.values())
+        return total / (self.capacity * self.gw * self.gh)
+
+    def hotspots(self, threshold: float = 0.8) -> list[tuple[int, int]]:
+        return sorted(
+            tile for tile in self.usage if self.utilization(tile) >= threshold
+        )
+
+    def to_ascii(self) -> str:
+        """Heat map: '.' < 25%, '-' < 50%, '+' < 75%, '#' >= 75%."""
+        rows = []
+        for gy in reversed(range(self.gh)):
+            row = []
+            for gx in range(self.gw):
+                u = self.utilization((gx, gy))
+                if u < 0.25:
+                    row.append(".")
+                elif u < 0.5:
+                    row.append("-")
+                elif u < 0.75:
+                    row.append("+")
+                else:
+                    row.append("#")
+            rows.append("".join(row))
+        return "\n".join(rows)
+
+
+def build_congestion_map(
+    grid: RoutingGrid,
+    routed: DetailedRouteResult,
+    tracks_per_gcell: int = 10,
+) -> CongestionMap:
+    """Count wire-edge occupancy per gcell tile.
+
+    Each wire edge charges the tile containing its lower-left node;
+    capacity is the number of track segments a tile offers across all
+    layers.
+    """
+    gw = max(1, -(-grid.nx // tracks_per_gcell))
+    gh = max(1, -(-grid.ny // tracks_per_gcell))
+    usage: dict[tuple[int, int], int] = {}
+    for edges in routed.edge_sets.values():
+        for edge in edges:
+            a, b = tuple(edge)
+            ax, ay, az = grid.node_xyz(a)
+            bx, by, bz = grid.node_xyz(b)
+            if az != bz:
+                continue  # vias don't consume track capacity
+            x, y = min(ax, bx), min(ay, by)
+            tile = (
+                min(x // tracks_per_gcell, gw - 1),
+                min(y // tracks_per_gcell, gh - 1),
+            )
+            usage[tile] = usage.get(tile, 0) + 1
+    capacity = tracks_per_gcell * tracks_per_gcell * grid.nz
+    return CongestionMap(
+        gw=gw, gh=gh, tracks_per_gcell=tracks_per_gcell,
+        usage=usage, capacity=capacity,
+    )

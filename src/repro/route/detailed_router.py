@@ -1,0 +1,308 @@
+"""Track-level detailed router with rip-up-and-reroute.
+
+This is the "commercial router" stand-in: sequential net routing with
+A* tree growth on the track grid, soft-conflict retries, and rip-up of
+victimized nets.  It produces the routed layouts clips are extracted
+from and is *not* optimal -- that is the point of comparing it against
+OptRouter (paper footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Segment
+from repro.netlist.design import Design, Net
+from repro.route.global_router import GlobalRouter, GlobalRouteResult
+from repro.route.grid import RoutingGrid
+from repro.route.search import VIA_COST, WIRE_COST, astar_to_targets
+from repro.route.wiring import NetRoute, WireSegment, WireVia
+
+
+@dataclass
+class DetailedRouteResult:
+    """Outcome of detailed routing."""
+
+    routes: dict[str, NetRoute] = field(default_factory=dict)
+    node_sets: dict[str, set[int]] = field(default_factory=dict)
+    edge_sets: dict[str, set[frozenset[int]]] = field(default_factory=dict)
+    failed_nets: list[str] = field(default_factory=list)
+    ripups: int = 0
+
+    @property
+    def total_wirelength_steps(self) -> int:
+        """Total wire edges used (grid steps, the paper's WL unit)."""
+        return sum(
+            1
+            for edges in self.edge_sets.values()
+            for _ in edges
+        ) - self.total_vias
+
+    @property
+    def total_vias(self) -> int:
+        return sum(route.n_vias for route in self.routes.values())
+
+    def routed_cost(self, via_weight: float = VIA_COST) -> float:
+        """Paper cost: wirelength (steps) + via_weight x #vias."""
+        return self.total_wirelength_steps + via_weight * self.total_vias
+
+
+class DetailedRouter:
+    """Sequential A* router with rip-up-and-reroute."""
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        global_result: GlobalRouteResult | None = None,
+        tracks_per_gcell: int = 10,
+        window_margin: int = 6,
+        max_ripup_rounds: int = 3,
+        conflict_penalty: float = 40.0,
+    ) -> None:
+        self.grid = grid
+        self.global_result = global_result
+        self.tracks_per_gcell = tracks_per_gcell
+        self.window_margin = window_margin
+        self.max_ripup_rounds = max_ripup_rounds
+        self.conflict_penalty = conflict_penalty
+
+    # -- terminals ------------------------------------------------------
+
+    def terminal_nodes(self, design: Design, net: Net) -> list[set[int]]:
+        """Access nodes (on the lowest routing layer) per terminal.
+
+        A pin's access points are the grid addresses its M1 geometry
+        covers; reaching one implies the M1-to-M2 via, which costs the
+        same for every net and is therefore left out of the graph.
+        """
+        out: list[set[int]] = []
+        for term in net.terms:
+            inst = design.instance(term.instance)
+            nodes: set[int] = set()
+            for metal, rect in inst.pin_shapes(term.pin):
+                if metal != 1:
+                    continue
+                for x in range(self.grid.nearest_col(rect.xlo), self.grid.nearest_col(rect.xhi) + 1):
+                    if not rect.xlo <= self.grid.col_x(x) <= rect.xhi:
+                        continue
+                    for y in range(self.grid.nearest_row(rect.ylo), self.grid.nearest_row(rect.yhi) + 1):
+                        if rect.ylo <= self.grid.row_y(y) <= rect.yhi:
+                            nodes.add(self.grid.node_id(x, y, 0))
+            if not nodes:
+                # Off-grid pin: fall back to the nearest grid node.
+                center = inst.transform().apply_rect(
+                    inst.cell.pin(term.pin).bbox()
+                ).center
+                nodes.add(
+                    self.grid.node_id(
+                        self.grid.nearest_col(center.x),
+                        self.grid.nearest_row(center.y),
+                        0,
+                    )
+                )
+            out.append(nodes)
+        return out
+
+    # -- windows ----------------------------------------------------------
+
+    def _window(self, terminals: list[set[int]], net_name: str) -> tuple[int, int, int, int]:
+        if self.global_result is not None and net_name in self.global_result.tiles_per_net:
+            return self.global_result.region_window(
+                net_name, self.window_margin, self.tracks_per_gcell,
+                self.grid.nx, self.grid.ny,
+            )
+        xs, ys = [], []
+        for nodes in terminals:
+            for node in nodes:
+                x, y, _z = self.grid.node_xyz(node)
+                xs.append(x)
+                ys.append(y)
+        m = self.window_margin
+        return (
+            max(0, min(xs) - m), max(0, min(ys) - m),
+            min(self.grid.nx - 1, max(xs) + m), min(self.grid.ny - 1, max(ys) + m),
+        )
+
+    # -- main flow --------------------------------------------------------
+
+    def route(self, design: Design) -> DetailedRouteResult:
+        """Route all nets; rip up and requeue victims on conflicts."""
+        result = DetailedRouteResult()
+        owner: dict[int, str] = {}
+
+        nets = {net.name: net for net in design.nets if len(net.terms) >= 2}
+
+        # Pin metal is present whether or not its net is routed yet:
+        # block every net's access nodes against all other nets.
+        pin_owner: dict[int, str] = {}
+        for net in nets.values():
+            for access in self.terminal_nodes(design, net):
+                for node in access:
+                    pin_owner.setdefault(node, net.name)
+        self._pin_owner = pin_owner
+        order = sorted(
+            nets.values(), key=lambda net: self._order_key(design, net)
+        )
+        queue = [net.name for net in order]
+        attempts: dict[str, int] = dict.fromkeys(queue, 0)
+
+        while queue:
+            name = queue.pop(0)
+            net = nets[name]
+            attempts[name] += 1
+            victims = self._route_net(design, net, owner, result)
+            if victims is None:
+                result.failed_nets.append(name)
+                continue
+            for victim in victims:
+                self._rip_up(victim, owner, result)
+                result.ripups += 1
+                if attempts.get(victim, 0) <= self.max_ripup_rounds:
+                    queue.append(victim)
+                else:
+                    result.failed_nets.append(victim)
+        return result
+
+    def _order_key(self, design: Design, net: Net) -> tuple[int, int]:
+        terms = self.terminal_nodes(design, net)
+        xs, ys = [], []
+        for nodes in terms:
+            x, y, _z = self.grid.node_xyz(next(iter(nodes)))
+            xs.append(x)
+            ys.append(y)
+        half_perim = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return (half_perim, len(net.terms))
+
+    def _route_net(
+        self,
+        design: Design,
+        net: Net,
+        owner: dict[int, str],
+        result: DetailedRouteResult,
+    ) -> "list[str] | None":
+        """Route one net.  Returns victim net names (possibly empty), or
+        ``None`` when the net is unroutable even with conflicts allowed."""
+        terminals = self.terminal_nodes(design, net)
+        window = self._window(terminals, net.name)
+        pin_owner = getattr(self, "_pin_owner", {})
+
+        def foreign_pin(node: int) -> bool:
+            pin_net = pin_owner.get(node)
+            return pin_net is not None and pin_net != net.name
+
+        def hard_cost(node: int) -> float:
+            if foreign_pin(node) or node in owner:
+                return float("inf")
+            return 0.0
+
+        def soft_cost(node: int) -> float:
+            if foreign_pin(node):
+                return float("inf")
+            return self.conflict_penalty if node in owner else 0.0
+
+        tree: set[int] = set(terminals[0])
+        edges: set[frozenset[int]] = set()
+        pending = [t for t in terminals[1:]]
+        stolen: set[int] = set()
+
+        for target_nodes in pending:
+            if tree & target_nodes:
+                tree |= target_nodes
+                continue
+            found = astar_to_targets(
+                self.grid, tree, target_nodes, window, hard_cost
+            )
+            if found is None:
+                found = astar_to_targets(
+                    self.grid, tree, target_nodes, window, soft_cost
+                )
+            if found is None:
+                return None
+            for a, b in zip(found.path, found.path[1:]):
+                edges.add(frozenset((a, b)))
+            for node in found.path:
+                if node in owner and owner[node] != net.name:
+                    stolen.add(node)
+                tree.add(node)
+            tree |= target_nodes
+
+        victims = sorted({owner[node] for node in stolen})
+        for node in tree:
+            owner[node] = net.name
+        result.node_sets[net.name] = tree
+        result.edge_sets[net.name] = edges
+        result.routes[net.name] = self._to_wiring(net.name, edges)
+        return victims
+
+    def _rip_up(
+        self, victim: str, owner: dict[int, str], result: DetailedRouteResult
+    ) -> None:
+        for node in result.node_sets.pop(victim, set()):
+            if owner.get(node) == victim:
+                del owner[node]
+        result.edge_sets.pop(victim, None)
+        result.routes.pop(victim, None)
+
+    # -- wiring conversion --------------------------------------------------
+
+    def _to_wiring(self, net_name: str, edges: set[frozenset[int]]) -> NetRoute:
+        return edges_to_wiring(self.grid, net_name, edges)
+
+
+def edges_to_wiring(
+    grid: RoutingGrid, net_name: str, edges: set[frozenset[int]]
+) -> NetRoute:
+    """Convert grid tree edges into merged wire segments and vias."""
+    route = NetRoute(net=net_name)
+    runs: dict[tuple[int, int, bool], list[int]] = {}
+    for edge in edges:
+        a, b = tuple(edge)
+        ax, ay, az = grid.node_xyz(a)
+        bx, by, bz = grid.node_xyz(b)
+        if az != bz:
+            lo_z = min(az, bz)
+            route.vias.append(
+                WireVia(lower=grid.metal_of(lo_z), at=grid.point_of(ax, ay))
+            )
+        elif ay == by:  # horizontal wire edge
+            runs.setdefault((az, ay, True), []).append(min(ax, bx))
+        else:
+            runs.setdefault((az, ax, False), []).append(min(ay, by))
+
+    for (z, fixed, horizontal), starts in runs.items():
+        starts.sort()
+        run_start = prev = starts[0]
+        metal = grid.metal_of(z)
+
+        def emit(first: int, last: int) -> None:
+            if horizontal:
+                a = grid.point_of(first, fixed)
+                b = grid.point_of(last + 1, fixed)
+            else:
+                a = grid.point_of(fixed, first)
+                b = grid.point_of(fixed, last + 1)
+            route.segments.append(WireSegment(metal, Segment(a, b)))
+
+        for s in starts[1:]:
+            if s != prev + 1:
+                emit(run_start, prev)
+                run_start = s
+            prev = s
+        emit(run_start, prev)
+    return route
+
+
+def route_design(
+    design: Design,
+    grid: RoutingGrid,
+    tracks_per_gcell: int = 10,
+    use_global: bool = True,
+) -> DetailedRouteResult:
+    """Convenience: global route (optional) then detailed route."""
+    global_result = None
+    if use_global:
+        global_result = GlobalRouter(grid, tracks_per_gcell).route(design)
+    router = DetailedRouter(
+        grid, global_result=global_result, tracks_per_gcell=tracks_per_gcell
+    )
+    return router.route(design)

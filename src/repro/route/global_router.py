@@ -1,0 +1,158 @@
+"""GCell-based global router.
+
+Assigns each net a region of gcells (coarse tiles of the track grid,
+~one switchbox each, following the gcell notion the paper references)
+using congestion-aware A* over the 2-D gcell graph.  The detailed
+router restricts each net's track-level search to its gcell region, and
+clip extraction uses gcell-aligned windows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.netlist.design import Design, Net
+from repro.route.grid import RoutingGrid
+
+
+@dataclass
+class GlobalRouteResult:
+    """Per-net gcell regions plus congestion statistics."""
+
+    gw: int
+    gh: int
+    tiles_per_net: dict[str, set[tuple[int, int]]] = field(default_factory=dict)
+    usage: dict[tuple[int, int], int] = field(default_factory=dict)
+    capacity: int = 0
+
+    def overflowed_tiles(self) -> list[tuple[int, int]]:
+        return [t for t, u in self.usage.items() if u > self.capacity]
+
+    def max_usage(self) -> int:
+        return max(self.usage.values(), default=0)
+
+    def region_window(
+        self, net: str, margin: int, tracks_per_gcell: int, nx: int, ny: int
+    ) -> tuple[int, int, int, int]:
+        """Track-index window covering the net's tiles plus a margin."""
+        tiles = self.tiles_per_net[net]
+        gxs = [g[0] for g in tiles]
+        gys = [g[1] for g in tiles]
+        xlo = max(0, min(gxs) * tracks_per_gcell - margin)
+        ylo = max(0, min(gys) * tracks_per_gcell - margin)
+        xhi = min(nx - 1, (max(gxs) + 1) * tracks_per_gcell - 1 + margin)
+        yhi = min(ny - 1, (max(gys) + 1) * tracks_per_gcell - 1 + margin)
+        return xlo, ylo, xhi, yhi
+
+
+class GlobalRouter:
+    """Sequential congestion-aware global routing over gcells."""
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        tracks_per_gcell: int = 10,
+        capacity_per_tile: int | None = None,
+    ) -> None:
+        self.grid = grid
+        self.tracks_per_gcell = tracks_per_gcell
+        self.gw = max(1, -(-grid.nx // tracks_per_gcell))
+        self.gh = max(1, -(-grid.ny // tracks_per_gcell))
+        # Rough per-tile capacity: one net per track per direction pair.
+        self.capacity = (
+            capacity_per_tile
+            if capacity_per_tile is not None
+            else tracks_per_gcell * max(1, grid.nz // 2)
+        )
+
+    def tile_of(self, x: int, y: int) -> tuple[int, int]:
+        """GCell containing track address (x, y)."""
+        return (
+            min(x // self.tracks_per_gcell, self.gw - 1),
+            min(y // self.tracks_per_gcell, self.gh - 1),
+        )
+
+    def _net_tiles(self, design: Design, net: Net) -> list[tuple[int, int]]:
+        tiles = []
+        for term in net.terms:
+            inst = design.instance(term.instance)
+            center = inst.transform().apply_rect(inst.cell.pin(term.pin).bbox()).center
+            x = self.grid.nearest_col(center.x)
+            y = self.grid.nearest_row(center.y)
+            tiles.append(self.tile_of(x, y))
+        return tiles
+
+    def _route_net(
+        self, terminals: list[tuple[int, int]], usage: dict[tuple[int, int], int]
+    ) -> set[tuple[int, int]]:
+        """Connect terminal tiles with congestion-aware A* tree growth."""
+        tree: set[tuple[int, int]] = {terminals[0]}
+        pending = [t for t in terminals[1:] if t not in tree]
+        while pending:
+            found = self._astar(tree, set(pending), usage)
+            for tile in found:
+                tree.add(tile)
+            pending = [t for t in pending if t not in tree]
+        return tree
+
+    def _astar(
+        self,
+        sources: set[tuple[int, int]],
+        targets: set[tuple[int, int]],
+        usage: dict[tuple[int, int], int],
+    ) -> list[tuple[int, int]]:
+        def congestion(tile: tuple[int, int]) -> float:
+            u = usage.get(tile, 0)
+            if u < self.capacity:
+                return 0.0
+            return 2.0 * (u - self.capacity + 1)
+
+        def heuristic(tile: tuple[int, int]) -> int:
+            return min(
+                abs(tile[0] - t[0]) + abs(tile[1] - t[1]) for t in targets
+            )
+
+        g: dict[tuple[int, int], float] = {s: 0.0 for s in sources}
+        parent: dict[tuple[int, int], tuple[int, int]] = {}
+        heap = [(heuristic(s), 0.0, s) for s in sources]
+        heapq.heapify(heap)
+        while heap:
+            _f, cost, tile = heapq.heappop(heap)
+            if cost > g.get(tile, float("inf")):
+                continue
+            if tile in targets:
+                path = [tile]
+                while tile in parent:
+                    tile = parent[tile]
+                    path.append(tile)
+                return path
+            x, y = tile
+            for nbr in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+                if not (0 <= nbr[0] < self.gw and 0 <= nbr[1] < self.gh):
+                    continue
+                ng = cost + 1.0 + congestion(nbr)
+                if ng < g.get(nbr, float("inf")):
+                    g[nbr] = ng
+                    parent[nbr] = tile
+                    heapq.heappush(heap, (ng + heuristic(nbr), ng, nbr))
+        # Disconnected gcell graphs cannot happen on a full grid.
+        raise RuntimeError("gcell graph disconnected")
+
+    def route(self, design: Design) -> GlobalRouteResult:
+        """Globally route every net of a placed design."""
+        result = GlobalRouteResult(gw=self.gw, gh=self.gh, capacity=self.capacity)
+        nets = sorted(
+            design.nets,
+            key=lambda net: len(self._bbox_tiles(design, net)),
+        )
+        for net in nets:
+            terminals = self._net_tiles(design, net)
+            tiles = self._route_net(terminals, result.usage)
+            result.tiles_per_net[net.name] = tiles
+            for tile in tiles:
+                result.usage[tile] = result.usage.get(tile, 0) + 1
+        return result
+
+    def _bbox_tiles(self, design: Design, net: Net) -> set[tuple[int, int]]:
+        return set(self._net_tiles(design, net))

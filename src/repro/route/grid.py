@@ -1,0 +1,152 @@
+"""Full-chip track routing grid.
+
+Nodes are ``(column, row, layer-slot)`` triples over the die:
+
+- columns are vertical-track x positions (vertical-layer pitch),
+- rows are horizontal-track y positions (horizontal-layer pitch),
+- layer slots cover M<min_routing_layer>..M<top>; M1 is pin-only, as in
+  the paper's studies.
+
+All vertical layers must share one pitch/offset and likewise all
+horizontal layers, which holds for the paper's stacks; this keeps the
+grid uniform so one (column, row) address is valid on every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect
+from repro.tech.layer import Direction
+from repro.tech.presets import Technology
+
+
+@dataclass(frozen=True)
+class RoutingGrid:
+    """Uniform 3-D track grid over a die."""
+
+    tech: Technology
+    die: Rect
+    nx: int
+    ny: int
+    nz: int
+    x0: int
+    y0: int
+    x_pitch: int
+    y_pitch: int
+    min_metal: int
+
+    @classmethod
+    def for_die(
+        cls, tech: Technology, die: Rect, max_metal: int | None = None
+    ) -> "RoutingGrid":
+        """Build the grid covering ``die`` for a technology preset.
+
+        ``max_metal`` caps the top routing layer (default: the full
+        stack, M8 in the paper's enablements); benchmarks use a lower
+        cap to keep extracted-clip ILPs small.
+        """
+        top = tech.stack.n_layers if max_metal is None else max_metal
+        if not tech.min_routing_layer <= top <= tech.stack.n_layers:
+            raise ValueError(f"max_metal {max_metal} outside the stack")
+        usable = [
+            l for l in tech.stack.layers
+            if tech.min_routing_layer <= l.index <= top
+        ]
+        v_layers = [l for l in usable if l.direction is Direction.VERTICAL]
+        h_layers = [l for l in usable if l.direction is Direction.HORIZONTAL]
+        if not v_layers or not h_layers:
+            raise ValueError("stack must have routable layers in both directions")
+        if len({(l.pitch, l.offset) for l in v_layers}) != 1:
+            raise ValueError("vertical layers must share pitch/offset")
+        if len({(l.pitch, l.offset) for l in h_layers}) != 1:
+            raise ValueError("horizontal layers must share pitch/offset")
+        vx, hy = v_layers[0], h_layers[0]
+        cols = vx.tracks_in_span(die.xlo, die.xhi)
+        rows = hy.tracks_in_span(die.ylo, die.yhi)
+        nz = top - tech.min_routing_layer + 1
+        return cls(
+            tech=tech,
+            die=die,
+            nx=len(cols),
+            ny=len(rows),
+            nz=nz,
+            x0=vx.track_coord(cols.start),
+            y0=hy.track_coord(rows.start),
+            x_pitch=vx.pitch,
+            y_pitch=hy.pitch,
+            min_metal=tech.min_routing_layer,
+        )
+
+    # -- addressing -----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def node_id(self, x: int, y: int, z: int) -> int:
+        return (z * self.ny + y) * self.nx + x
+
+    def node_xyz(self, node: int) -> tuple[int, int, int]:
+        x = node % self.nx
+        rest = node // self.nx
+        return x, rest % self.ny, rest // self.ny
+
+    def in_bounds(self, x: int, y: int, z: int) -> bool:
+        return 0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz
+
+    # -- coordinates ------------------------------------------------------
+
+    def metal_of(self, z: int) -> int:
+        return self.min_metal + z
+
+    def z_of_metal(self, metal: int) -> int:
+        z = metal - self.min_metal
+        if not 0 <= z < self.nz:
+            raise ValueError(f"M{metal} is not a routing layer of this grid")
+        return z
+
+    def col_x(self, x: int) -> int:
+        return self.x0 + x * self.x_pitch
+
+    def row_y(self, y: int) -> int:
+        return self.y0 + y * self.y_pitch
+
+    def point_of(self, x: int, y: int) -> Point:
+        return Point(self.col_x(x), self.row_y(y))
+
+    def nearest_col(self, coord: int) -> int:
+        x = round((coord - self.x0) / self.x_pitch)
+        return min(max(x, 0), self.nx - 1)
+
+    def nearest_row(self, coord: int) -> int:
+        y = round((coord - self.y0) / self.y_pitch)
+        return min(max(y, 0), self.ny - 1)
+
+    def layer_is_horizontal(self, z: int) -> bool:
+        return self.tech.stack.layer(self.metal_of(z)).direction.is_horizontal
+
+    # -- topology ---------------------------------------------------------
+
+    def wire_neighbors(self, x: int, y: int, z: int) -> list[tuple[int, int, int]]:
+        """Same-layer neighbors in the layer's preferred direction."""
+        out = []
+        if self.layer_is_horizontal(z):
+            if x > 0:
+                out.append((x - 1, y, z))
+            if x < self.nx - 1:
+                out.append((x + 1, y, z))
+        else:
+            if y > 0:
+                out.append((x, y - 1, z))
+            if y < self.ny - 1:
+                out.append((x, y + 1, z))
+        return out
+
+    def via_neighbors(self, x: int, y: int, z: int) -> list[tuple[int, int, int]]:
+        out = []
+        if z > 0:
+            out.append((x, y, z - 1))
+        if z < self.nz - 1:
+            out.append((x, y, z + 1))
+        return out

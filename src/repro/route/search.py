@@ -1,0 +1,120 @@
+"""Multi-source multi-target A* used by the detailed router.
+
+The detailed router grows a net's routing tree by repeatedly searching
+from every node already in the tree to the nearest unconnected terminal
+(a standard path-to-tree construction).  The search runs over a
+:class:`~repro.route.grid.RoutingGrid` restricted to a window, with
+per-node extra costs supplied by the caller (occupancy / history), so
+the same engine serves first-pass routing and rip-up-and-reroute.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.route.grid import RoutingGrid
+
+WIRE_COST = 1.0
+VIA_COST = 4.0
+
+
+@dataclass
+class SearchResult:
+    """A found path: node ids from a source (in the tree) to a target."""
+
+    path: list[int]
+    cost: float
+    target: int
+
+
+def astar_to_targets(
+    grid: RoutingGrid,
+    sources: "dict[int, float] | set[int]",
+    targets: set[int],
+    window: tuple[int, int, int, int],
+    node_cost: Callable[[int], float],
+    wire_cost: float = WIRE_COST,
+    via_cost: float = VIA_COST,
+    max_expansions: int = 500_000,
+) -> SearchResult | None:
+    """A* from a set of sources to any of ``targets``.
+
+    Args:
+        sources: node ids already in the tree (cost-0 starts), or a
+            mapping node -> initial cost.
+        targets: acceptable end nodes.
+        window: inclusive (xlo, ylo, xhi, yhi) column/row bounds that
+            the search may not leave (layers are unrestricted).
+        node_cost: additive penalty for entering a node; return
+            ``math.inf`` to forbid it.  Penalties for *source* and
+            *target* nodes are not charged.
+        max_expansions: safety valve; ``None`` result when exhausted.
+
+    Returns the cheapest path or ``None`` when disconnected.
+    """
+    if not targets:
+        raise ValueError("no targets")
+    xlo, ylo, xhi, yhi = window
+
+    target_list = [grid.node_xyz(t) for t in targets]
+
+    def heuristic(x: int, y: int, z: int) -> float:
+        best = None
+        for tx, ty, tz in target_list:
+            h = (abs(x - tx) + abs(y - ty)) * wire_cost + abs(z - tz) * via_cost
+            if best is None or h < best:
+                best = h
+        return best
+
+    g_cost: dict[int, float] = {}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, float, int]] = []
+    if isinstance(sources, set):
+        sources = dict.fromkeys(sources, 0.0)
+    for node, cost0 in sources.items():
+        x, y, z = grid.node_xyz(node)
+        if not (xlo <= x <= xhi and ylo <= y <= yhi):
+            continue
+        g_cost[node] = cost0
+        heapq.heappush(heap, (cost0 + heuristic(x, y, z), cost0, node))
+    if not heap:
+        return None
+
+    expansions = 0
+    while heap:
+        f, g, node = heapq.heappop(heap)
+        if g > g_cost.get(node, float("inf")):
+            continue
+        if node in targets:
+            path = [node]
+            while node in parent:
+                node = parent[node]
+                path.append(node)
+            path.reverse()
+            return SearchResult(path=path, cost=g, target=path[-1])
+        expansions += 1
+        if expansions > max_expansions:
+            return None
+        x, y, z = grid.node_xyz(node)
+        steps = [
+            (nbr, wire_cost) for nbr in grid.wire_neighbors(x, y, z)
+        ] + [
+            (nbr, via_cost) for nbr in grid.via_neighbors(x, y, z)
+        ]
+        for (nx_, ny_, nz_), step in steps:
+            if not (xlo <= nx_ <= xhi and ylo <= ny_ <= yhi):
+                continue
+            nbr = grid.node_id(nx_, ny_, nz_)
+            penalty = 0.0 if nbr in targets else node_cost(nbr)
+            if penalty == float("inf"):
+                continue
+            ng = g + step + penalty
+            if ng < g_cost.get(nbr, float("inf")):
+                g_cost[nbr] = ng
+                parent[nbr] = node
+                heapq.heappush(
+                    heap, (ng + heuristic(nx_, ny_, nz_), ng, nbr)
+                )
+    return None

@@ -1,0 +1,60 @@
+"""Routed-wiring datamodel shared by routers, DEF IO and clip extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Segment
+
+
+@dataclass(frozen=True, slots=True)
+class WireSegment:
+    """A routed metal segment on one layer (chip coordinates, nm)."""
+
+    metal: int
+    segment: Segment
+
+    def __post_init__(self) -> None:
+        if self.metal < 1:
+            raise ValueError("metal index is 1-based")
+
+    @property
+    def length(self) -> int:
+        return self.segment.length
+
+
+@dataclass(frozen=True, slots=True)
+class WireVia:
+    """A via at ``at`` connecting metal ``lower`` and ``lower + 1``."""
+
+    lower: int
+    at: Point
+    via_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower < 1:
+            raise ValueError("lower metal index is 1-based")
+
+
+@dataclass
+class NetRoute:
+    """The full routed realization of one net."""
+
+    net: str
+    segments: list[WireSegment] = field(default_factory=list)
+    vias: list[WireVia] = field(default_factory=list)
+
+    @property
+    def wirelength(self) -> int:
+        return sum(seg.length for seg in self.segments)
+
+    @property
+    def n_vias(self) -> int:
+        return len(self.vias)
+
+    def metals_used(self) -> set[int]:
+        used = {seg.metal for seg in self.segments}
+        for via in self.vias:
+            used.add(via.lower)
+            used.add(via.lower + 1)
+        return used

@@ -1,0 +1,35 @@
+"""OptRouter: the paper's ILP-based optimal detailed router.
+
+Public entry point:
+
+    >>> from repro.router import OptRouter, RuleConfig
+    >>> from repro.clips import make_synthetic_clip
+    >>> result = OptRouter().route(make_synthetic_clip(), RuleConfig())
+    >>> result.status
+    <RouteStatus.OPTIMAL: 'optimal'>
+"""
+
+from repro.router.rules import RuleConfig, SadpParams, ViaRestriction
+from repro.router.graph import SwitchboxGraph, build_graph
+from repro.router.formulation import RoutingIlp, build_routing_ilp
+from repro.router.solution import ClipRouting, NetSolution, decode_solution
+from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus
+from repro.router.baseline import BaselineClipRouter, BaselineResult
+
+__all__ = [
+    "RuleConfig",
+    "SadpParams",
+    "ViaRestriction",
+    "SwitchboxGraph",
+    "build_graph",
+    "RoutingIlp",
+    "build_routing_ilp",
+    "ClipRouting",
+    "NetSolution",
+    "decode_solution",
+    "OptRouter",
+    "OptRouteResult",
+    "RouteStatus",
+    "BaselineClipRouter",
+    "BaselineResult",
+]

@@ -1,0 +1,276 @@
+"""Heuristic baseline clip router (the "commercial router" stand-in).
+
+Routes clip nets *sequentially* with A* tree growth over the same
+switchbox graph OptRouter uses, honoring unidirectional layers, vertex
+exclusivity, pin blocking and via-adjacency restrictions greedily.  It
+is deliberately non-optimal: net ordering and greedy commitment leave
+cost on the table, which is exactly what the paper's footnote-6
+validation measures (OptRouter's Δcost vs the commercial router is
+always <= 0).
+
+SADP end-of-line rules are not enforced here (mirroring the validation
+setting); compare against OptRouter under configurations without SADP
+layers, or treat baseline results on SADP configs as lower bounds on
+the heuristic's cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.clips.clip import Clip, ClipNet, Vertex
+from repro.router.rules import RuleConfig
+from repro.util.rng import make_rng
+
+
+@dataclass
+class BaselineNetRoute:
+    net_name: str
+    wire_edges: list[tuple[Vertex, Vertex]] = field(default_factory=list)
+    vias: list[tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def wirelength(self) -> int:
+        return len(self.wire_edges)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of heuristically routing one clip."""
+
+    clip_name: str
+    rule_name: str
+    feasible: bool
+    cost: float | None = None
+    wirelength: int = 0
+    n_vias: int = 0
+    nets: list[BaselineNetRoute] = field(default_factory=list)
+    restarts_used: int = 0
+
+
+class BaselineClipRouter:
+    """Sequential A* router over a clip with random-restart ordering."""
+
+    def __init__(
+        self,
+        wire_cost: float = 1.0,
+        via_cost: float = 4.0,
+        n_restarts: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.wire_cost = wire_cost
+        self.via_cost = via_cost
+        self.n_restarts = n_restarts
+        self.seed = seed
+
+    def route(self, clip: Clip, rules: RuleConfig | None = None) -> BaselineResult:
+        """Route a clip; retries with shuffled net orderings on failure
+        and keeps the cheapest feasible attempt."""
+        if rules is None:
+            rules = RuleConfig()
+        rng = make_rng(self.seed)
+        order = list(range(len(clip.nets)))
+        best: BaselineResult | None = None
+        for restart in range(max(1, self.n_restarts)):
+            attempt = self._attempt(clip, rules, order)
+            if attempt.feasible and (best is None or attempt.cost < best.cost):
+                best = attempt
+                best.restarts_used = restart + 1
+            rng.shuffle(order)
+        if best is not None:
+            return best
+        failed = BaselineResult(
+            clip_name=clip.name, rule_name=rules.name, feasible=False,
+            restarts_used=max(1, self.n_restarts),
+        )
+        return failed
+
+    # -- one sequential pass ------------------------------------------------
+
+    def _attempt(
+        self, clip: Clip, rules: RuleConfig, order: list[int]
+    ) -> BaselineResult:
+        pin_vertices: dict[str, set[Vertex]] = {
+            net.name: {v for pin in net.pins for v in pin.access}
+            for net in clip.nets
+        }
+        occupied: dict[Vertex, str] = {}
+        via_blocked: set[tuple[int, int, int]] = set()
+        offsets = rules.via_restriction.blocked_offsets()
+
+        nets: list[BaselineNetRoute] = []
+        total_cost = 0.0
+        for index in order:
+            net = clip.nets[index]
+            blocked = set(clip.obstacles)
+            for other, vids in pin_vertices.items():
+                if other != net.name:
+                    blocked |= vids
+            blocked |= {v for v, owner in occupied.items() if owner != net.name}
+            routed = self._route_net(clip, net, blocked, via_blocked, offsets)
+            if routed is None:
+                return BaselineResult(
+                    clip_name=clip.name, rule_name=rules.name, feasible=False
+                )
+            for a, b in routed.wire_edges:
+                occupied[a] = net.name
+                occupied[b] = net.name
+            for x, y, z in routed.vias:
+                occupied[(x, y, z)] = net.name
+                occupied[(x, y, z + 1)] = net.name
+                for dx, dy in offsets:
+                    via_blocked.add((x + dx, y + dy, z))
+            total_cost += (
+                self.wire_cost * routed.wirelength
+                + self.via_cost * len(routed.vias)
+            )
+            nets.append(routed)
+
+        return BaselineResult(
+            clip_name=clip.name,
+            rule_name=rules.name,
+            feasible=True,
+            cost=total_cost,
+            wirelength=sum(n.wirelength for n in nets),
+            n_vias=sum(len(n.vias) for n in nets),
+            nets=nets,
+        )
+
+    def _route_net(
+        self,
+        clip: Clip,
+        net: ClipNet,
+        blocked: set[Vertex],
+        via_blocked: set[tuple[int, int, int]],
+        offsets: tuple[tuple[int, int], ...] = (),
+    ) -> "BaselineNetRoute | None":
+        route = BaselineNetRoute(net_name=net.name)
+        tree: set[Vertex] = set(net.source.access) - blocked
+        if not tree:
+            return None
+        own_vias: set[tuple[int, int, int]] = set()
+        # Local copy so same-net vias also respect the restriction.
+        local_blocked = set(via_blocked)
+        for sink in net.sinks:
+            targets = set(sink.access) - blocked
+            if not targets:
+                return None
+            if tree & targets:
+                tree |= targets
+                continue
+            path = self._legal_path(
+                clip, tree, targets, blocked, local_blocked, own_vias, offsets
+            )
+            if path is None:
+                return None
+            for a, b in zip(path, path[1:]):
+                if a[2] != b[2]:
+                    lo = a if a[2] < b[2] else b
+                    route.vias.append(lo)
+                    own_vias.add(lo)
+                    for dx, dy in offsets:
+                        local_blocked.add((lo[0] + dx, lo[1] + dy, lo[2]))
+                else:
+                    route.wire_edges.append((a, b))
+            tree.update(path)
+            tree |= targets
+        return route
+
+    def _legal_path(
+        self, clip, tree, targets, blocked, local_blocked, own_vias, offsets
+    ) -> "list[Vertex] | None":
+        """A* with repair: paths whose own vias violate the adjacency
+        restriction get the offending site forbidden and are retried."""
+        forbidden = set(local_blocked)
+        for _repair in range(6):
+            path = self._astar(clip, tree, targets, blocked, forbidden, own_vias)
+            if path is None:
+                return None
+            new_vias = [
+                (a if a[2] < b[2] else b)
+                for a, b in zip(path, path[1:])
+                if a[2] != b[2]
+            ]
+            bad = self._intra_violation(new_vias, offsets)
+            if bad is None:
+                return path
+            forbidden.add(bad)
+        return None
+
+    @staticmethod
+    def _intra_violation(
+        vias: list[tuple[int, int, int]],
+        offsets: tuple[tuple[int, int], ...],
+    ) -> "tuple[int, int, int] | None":
+        if not offsets:
+            return None
+        by_layer: dict[int, list[tuple[int, int, int]]] = {}
+        for site in vias:
+            by_layer.setdefault(site[2], []).append(site)
+        for sites in by_layer.values():
+            occupied = set(sites)
+            for x, y, z in sites:
+                for dx, dy in offsets:
+                    if (x + dx, y + dy, z) in occupied:
+                        return (x, y, z)
+        return None
+
+    def _astar(
+        self,
+        clip: Clip,
+        sources: set[Vertex],
+        targets: set[Vertex],
+        blocked: set[Vertex],
+        via_blocked: set[tuple[int, int, int]],
+        own_vias: set[tuple[int, int, int]],
+    ) -> "list[Vertex] | None":
+        def heuristic(v: Vertex) -> float:
+            return min(
+                self.wire_cost * (abs(v[0] - t[0]) + abs(v[1] - t[1]))
+                + self.via_cost * abs(v[2] - t[2])
+                for t in targets
+            )
+
+        def neighbors(v: Vertex):
+            x, y, z = v
+            if clip.horizontal[z]:
+                steps = ((x - 1, y, z), (x + 1, y, z))
+            else:
+                steps = ((x, y - 1, z), (x, y + 1, z))
+            for nbr in steps:
+                if clip.in_bounds(nbr):
+                    yield nbr, self.wire_cost
+            for dz in (-1, 1):
+                nbr = (x, y, z + dz)
+                if not clip.in_bounds(nbr):
+                    continue
+                site = (x, y, min(z, z + dz))
+                if site in via_blocked and site not in own_vias:
+                    continue
+                yield nbr, self.via_cost
+
+        g: dict[Vertex, float] = {s: 0.0 for s in sources}
+        parent: dict[Vertex, Vertex] = {}
+        heap = [(heuristic(s), 0.0, s) for s in sources]
+        heapq.heapify(heap)
+        while heap:
+            _f, cost, v = heapq.heappop(heap)
+            if cost > g.get(v, float("inf")):
+                continue
+            if v in targets:
+                path = [v]
+                while v in parent:
+                    v = parent[v]
+                    path.append(v)
+                path.reverse()
+                return path
+            for nbr, step in neighbors(v):
+                if nbr in blocked and nbr not in targets:
+                    continue
+                ng = cost + step
+                if ng < g.get(nbr, float("inf")):
+                    g[nbr] = ng
+                    parent[nbr] = v
+                    heapq.heappush(heap, (ng + heuristic(nbr), ng, nbr))
+        return None

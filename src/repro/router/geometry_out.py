@@ -1,0 +1,157 @@
+"""Physical geometry emission for routed clips.
+
+Converts a decoded track-level routing into drawn nm geometry (wire
+rectangles at each layer's drawn width, via cut rectangles), the form
+a router hands to signoff DRC/extraction.  Includes a same-layer
+minimum-spacing check over the emitted shapes, complementing the
+track-level checker in :mod:`repro.drc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clips.clip import Clip
+from repro.geometry import Rect
+from repro.router.solution import ClipRouting
+from repro.tech.presets import Technology
+
+
+@dataclass(frozen=True)
+class DrawnShape:
+    """One drawn rectangle: net + metal layer + nm geometry."""
+
+    net_name: str
+    metal: int
+    rect: Rect
+    is_via_cut: bool = False
+
+
+@dataclass
+class ClipGeometry:
+    """All drawn shapes of a routed clip (clip-local nm coordinates)."""
+
+    shapes: list[DrawnShape] = field(default_factory=list)
+
+    def on_metal(self, metal: int) -> list[DrawnShape]:
+        return [s for s in self.shapes if s.metal == metal and not s.is_via_cut]
+
+    def total_area(self) -> int:
+        return sum(s.rect.area for s in self.shapes)
+
+
+def _track_point(clip: Clip, x: int, y: int) -> tuple[int, int]:
+    return (x * clip.x_pitch, y * clip.y_pitch)
+
+
+def routing_to_geometry(
+    clip: Clip, routing: ClipRouting, tech: Technology
+) -> ClipGeometry:
+    """Emit drawn geometry for a routing, widths from the tech stack.
+
+    Wire rectangles extend half a width on each side of the track
+    centerline and run end-to-end over each maximal straight run; via
+    cuts are squares of the lower layer's width centered on the site.
+    """
+    geometry = ClipGeometry()
+    for net in routing.nets:
+        # Merge per (layer, track) for clean long rectangles.
+        runs: dict[tuple[int, int], list[int]] = {}
+        for a, b in net.wire_edges:
+            z = a[2]
+            if clip.horizontal[z]:
+                key, start = (z, a[1]), min(a[0], b[0])
+            else:
+                key, start = (z, a[0]), min(a[1], b[1])
+            runs.setdefault(key, []).append(start)
+        for (z, track), starts in runs.items():
+            metal = clip.metal_of(z)
+            width = tech.stack.layer(metal).width
+            half = width // 2
+            starts.sort()
+            run_start = prev = starts[0]
+
+            def emit(first: int, last: int) -> None:
+                if clip.horizontal[z]:
+                    x0, y0 = _track_point(clip, first, track)
+                    x1, _ = _track_point(clip, last + 1, track)
+                    rect = Rect(x0 - half, y0 - half, x1 + half, y0 + half)
+                else:
+                    x0, y0 = _track_point(clip, track, first)
+                    _, y1 = _track_point(clip, track, last + 1)
+                    rect = Rect(x0 - half, y0 - half, x0 + half, y1 + half)
+                geometry.shapes.append(DrawnShape(net.net_name, metal, rect))
+
+            for s in starts[1:]:
+                if s != prev + 1:
+                    emit(run_start, prev)
+                    run_start = s
+                prev = s
+            emit(run_start, prev)
+
+        for x, y, z in net.vias:
+            lower = clip.metal_of(z)
+            cut = tech.stack.layer(lower).width
+            half = cut // 2
+            cx, cy = _track_point(clip, x, y)
+            rect = Rect(cx - half, cy - half, cx + half, cy + half)
+            geometry.shapes.append(
+                DrawnShape(net.net_name, lower, rect, is_via_cut=True)
+            )
+            # Landing pads on both metal layers.
+            for metal in (lower, lower + 1):
+                width = tech.stack.layer(metal).width
+                pad_half = width // 2
+                geometry.shapes.append(
+                    DrawnShape(
+                        net.net_name, metal,
+                        Rect(cx - pad_half, cy - pad_half,
+                             cx + pad_half, cy + pad_half),
+                    )
+                )
+    return geometry
+
+
+@dataclass(frozen=True)
+class SpacingViolation:
+    """Two foreign shapes closer than the layer's minimum spacing."""
+
+    metal: int
+    nets: tuple[str, str]
+    gap_nm: int
+    required_nm: int
+
+
+def check_min_spacing(
+    geometry: ClipGeometry,
+    tech: Technology,
+    spacing_frac: float = 0.5,
+) -> list[SpacingViolation]:
+    """Same-layer spacing between different nets' drawn shapes.
+
+    Minimum spacing defaults to half the layer pitch minus the drawn
+    width complement -- on a regular track grid that makes same-track
+    abutment and adjacent tracks legal, and anything closer a
+    violation (as in simple lambda-rule decks).
+    """
+    violations = []
+    metals = {s.metal for s in geometry.shapes}
+    for metal in sorted(metals):
+        layer = tech.stack.layer(metal)
+        required = max(1, int(layer.pitch * spacing_frac) - layer.width // 2)
+        shapes = geometry.on_metal(metal)
+        for i, a in enumerate(shapes):
+            for b in shapes[i + 1:]:
+                if a.net_name == b.net_name:
+                    continue
+                gap = a.rect.distance_to(b.rect)
+                if gap < required:
+                    violations.append(
+                        SpacingViolation(
+                            metal=metal,
+                            nets=(a.net_name, b.net_name),
+                            gap_nm=gap,
+                            required_nm=required,
+                        )
+                    )
+    return violations

@@ -1,0 +1,237 @@
+"""Switchbox routing graph for OptRouter.
+
+Builds the directed-arc graph of Section 3.1 from a
+:class:`~repro.clips.clip.Clip`:
+
+- one vertex per (column, row, layer-slot) track crossing;
+- wire arcs (both directions) along each layer's routing direction
+  (unidirectional layers, as in all the paper's studies);
+- single-via arcs between vertically adjacent vertices;
+- optionally, representative vertices for larger via shapes (bar /
+  square), each connected to every member vertex on its lower and
+  upper footprint (Figure 2).
+
+Virtual supersource / supersink vertices are *per-net* and are added by
+the formulation, not here; the graph holds only shared physical
+structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.clips.clip import Clip, Vertex
+from repro.router.rules import RuleConfig
+from repro.tech.via import ViaShape
+
+
+class ArcKind(enum.Enum):
+    WIRE = "wire"
+    VIA = "via"
+    SHAPE = "shape"  # arc between a member vertex and a shape-via rep
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed arc of the routing graph."""
+
+    index: int
+    tail: int
+    head: int
+    kind: ArcKind
+    cost: float
+    layer: int  # slot of the wire layer, or lower slot for via arcs
+    reverse: int = -1  # index of the opposite-direction arc
+
+
+@dataclass(frozen=True)
+class ShapeViaInstance:
+    """One placement of a bar/square via shape.
+
+    ``rep`` is the representative vertex id; members are the covered
+    grid vertices on the lower and upper layers; ``arcs`` lists all arc
+    indices incident to ``rep``.
+    """
+
+    rep: int
+    lower_slot: int
+    shape: ViaShape
+    lower_members: tuple[int, ...]
+    upper_members: tuple[int, ...]
+    arcs: tuple[int, ...]
+    cost: float
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return self.lower_members + self.upper_members
+
+
+@dataclass
+class SwitchboxGraph:
+    """The shared physical routing graph of one clip."""
+
+    clip: Clip
+    wire_cost: float = 1.0
+    via_cost: float = 4.0
+    arcs: list[Arc] = field(default_factory=list)
+    out_arcs: dict[int, list[int]] = field(default_factory=dict)
+    in_arcs: dict[int, list[int]] = field(default_factory=dict)
+    shape_instances: list[ShapeViaInstance] = field(default_factory=list)
+    via_site_arcs: dict[tuple[int, int, int], tuple[int, int]] = field(
+        default_factory=dict
+    )  # (x, y, lower_slot) -> (up_arc, down_arc)
+    n_vertices: int = 0
+
+    # -- vertex addressing ------------------------------------------------
+
+    def vid(self, x: int, y: int, z: int) -> int:
+        return (z * self.clip.ny + y) * self.clip.nx + x
+
+    def vertex_xyz(self, vid: int) -> Vertex:
+        nx, ny = self.clip.nx, self.clip.ny
+        x = vid % nx
+        rest = vid // nx
+        return (x, rest % ny, rest // ny)
+
+    @property
+    def n_grid_vertices(self) -> int:
+        return self.clip.nx * self.clip.ny * self.clip.nz
+
+    def is_grid_vertex(self, vid: int) -> bool:
+        return vid < self.n_grid_vertices
+
+    # -- construction -----------------------------------------------------
+
+    def _add_vertex(self) -> int:
+        vid = self.n_vertices
+        self.n_vertices += 1
+        self.out_arcs[vid] = []
+        self.in_arcs[vid] = []
+        return vid
+
+    def _add_arc(self, tail: int, head: int, kind: ArcKind, cost: float, layer: int) -> int:
+        index = len(self.arcs)
+        self.arcs.append(Arc(index, tail, head, kind, cost, layer))
+        self.out_arcs[tail].append(index)
+        self.in_arcs[head].append(index)
+        return index
+
+    def _add_arc_pair(
+        self, a: int, b: int, kind: ArcKind, cost: float, layer: int
+    ) -> tuple[int, int]:
+        fwd = self._add_arc(a, b, kind, cost, layer)
+        rev = self._add_arc(b, a, kind, cost, layer)
+        self.arcs[fwd] = Arc(fwd, a, b, kind, cost, layer, reverse=rev)
+        self.arcs[rev] = Arc(rev, b, a, kind, cost, layer, reverse=fwd)
+        return fwd, rev
+
+    def add_virtual_vertex(self) -> int:
+        """A per-net virtual vertex (supersource / supersink)."""
+        return self._add_vertex()
+
+    def add_virtual_arc(self, tail: int, head: int) -> int:
+        """Zero-cost one-way virtual arc (no reverse)."""
+        return self._add_arc(tail, head, ArcKind.WIRE, 0.0, -1)
+
+    # -- queries ------------------------------------------------------------
+
+    def wire_arc_between(self, a: int, b: int) -> int | None:
+        """Index of the wire arc a->b if it exists."""
+        for index in self.out_arcs.get(a, ()):
+            arc = self.arcs[index]
+            if arc.head == b and arc.kind is ArcKind.WIRE:
+                return index
+        return None
+
+    def cross_arcs_at(self, vid: int) -> list[int]:
+        """All non-wire (via/shape/virtual) arcs incident to ``vid``."""
+        out = []
+        for index in self.out_arcs[vid] + self.in_arcs[vid]:
+            arc = self.arcs[index]
+            if arc.kind is not ArcKind.WIRE or arc.layer == -1:
+                out.append(index)
+        return out
+
+
+def build_graph(clip: Clip, rules: RuleConfig, wire_cost: float = 1.0,
+                via_cost: float = 4.0) -> SwitchboxGraph:
+    """Build the physical routing graph for a clip under a rule config."""
+    g = SwitchboxGraph(clip=clip, wire_cost=wire_cost, via_cost=via_cost)
+    nx, ny, nz = clip.nx, clip.ny, clip.nz
+    for _ in range(nx * ny * nz):
+        g._add_vertex()
+
+    # Wire arcs along each layer's preferred direction only
+    # (unidirectional routing; Section 3.2).
+    for z in range(nz):
+        if clip.horizontal[z]:
+            for y in range(ny):
+                for x in range(nx - 1):
+                    g._add_arc_pair(
+                        g.vid(x, y, z), g.vid(x + 1, y, z),
+                        ArcKind.WIRE, wire_cost, z,
+                    )
+        else:
+            for x in range(nx):
+                for y in range(ny - 1):
+                    g._add_arc_pair(
+                        g.vid(x, y, z), g.vid(x, y + 1, z),
+                        ArcKind.WIRE, wire_cost, z,
+                    )
+
+    # Single-via arcs on every cut layer.
+    for z in range(nz - 1):
+        for y in range(ny):
+            for x in range(nx):
+                up, down = g._add_arc_pair(
+                    g.vid(x, y, z), g.vid(x, y, z + 1),
+                    ArcKind.VIA, via_cost, z,
+                )
+                g.via_site_arcs[(x, y, z)] = (up, down)
+
+    if rules.allow_via_shapes:
+        _add_shape_vias(g)
+    return g
+
+
+_SHAPES = (ViaShape.BAR_H, ViaShape.BAR_V, ViaShape.SQUARE)
+
+
+def _shape_cost(shape: ViaShape, via_cost: float) -> float:
+    """Larger shapes are cheaper (paper: prefer them when space permits)."""
+    discount = {ViaShape.BAR_H: 0.5, ViaShape.BAR_V: 0.5, ViaShape.SQUARE: 1.0}
+    return via_cost - discount.get(shape, 0.0)
+
+
+def _add_shape_vias(g: SwitchboxGraph) -> None:
+    clip = g.clip
+    for z in range(clip.nz - 1):
+        for shape in _SHAPES:
+            for y in range(clip.ny - shape.rows + 1):
+                for x in range(clip.nx - shape.cols + 1):
+                    rep = g._add_vertex()
+                    lower, upper, arcs = [], [], []
+                    cost = _shape_cost(shape, g.via_cost)
+                    for dy in range(shape.rows):
+                        for dx in range(shape.cols):
+                            lo = g.vid(x + dx, y + dy, z)
+                            hi = g.vid(x + dx, y + dy, z + 1)
+                            lower.append(lo)
+                            upper.append(hi)
+                            # Half the via cost on each side so any
+                            # member->rep->member traversal pays `cost`.
+                            a1, a2 = g._add_arc_pair(lo, rep, ArcKind.SHAPE, cost / 2, z)
+                            a3, a4 = g._add_arc_pair(rep, hi, ArcKind.SHAPE, cost / 2, z)
+                            arcs.extend((a1, a2, a3, a4))
+                    g.shape_instances.append(
+                        ShapeViaInstance(
+                            rep=rep,
+                            lower_slot=z,
+                            shape=shape,
+                            lower_members=tuple(lower),
+                            upper_members=tuple(upper),
+                            arcs=tuple(arcs),
+                            cost=cost,
+                        )
+                    )

@@ -1,0 +1,97 @@
+"""Routing-rule configuration for OptRouter.
+
+Captures the paper's rule dimensions (Section 3.2 / Table 3):
+
+- via adjacency restriction: none, orthogonal (4 neighbors blocked) or
+  full (orthogonal + diagonal, 8 neighbors blocked);
+- which metal layers are SADP-patterned (end-of-line rules apply);
+- whether larger via shapes (bar / square) are offered to the router;
+- the SADP forbidden end-of-line offset patterns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ViaRestriction(enum.Enum):
+    """How many neighbor via sites a placed via blocks."""
+
+    NONE = 0
+    ORTHOGONAL = 4
+    FULL = 8
+
+    def blocked_offsets(self) -> tuple[tuple[int, int], ...]:
+        """Neighbor (dx, dy) offsets blocked by a via at (x, y)."""
+        if self is ViaRestriction.NONE:
+            return ()
+        orthogonal = ((1, 0), (-1, 0), (0, 1), (0, -1))
+        if self is ViaRestriction.ORTHOGONAL:
+            return orthogonal
+        return orthogonal + ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+@dataclass(frozen=True)
+class SadpParams:
+    """Forbidden end-of-line (EOL) pairings for SADP layers.
+
+    Offsets are in wire-direction ("along") and cross-track ("cross")
+    track units, from the perspective of an EOL whose metal extends in
+    the *positive* along direction (the paper's ``p_r``: wire comes
+    from the right when along = x).  The figure-5 defaults forbid:
+
+    - opposite-polarity EOLs (facing tips) one step away along the
+      track and within one column on adjacent tracks (5 sites);
+    - same-polarity EOLs misaligned by one column on adjacent tracks
+      (4 sites); exactly aligned EOLs stay legal, as SADP line-end
+      cutting permits.
+
+    The paper gives the patterns pictorially without coordinates, so
+    the offsets are parameters here; the defaults reproduce the five
+    forbidden sites of Figure 5(b) and the misalignment restriction of
+    Figure 5(c).
+    """
+
+    opposite_offsets: tuple[tuple[int, int], ...] = (
+        (-1, 0), (0, 1), (0, -1), (-1, 1), (-1, -1),
+    )
+    same_offsets: tuple[tuple[int, int], ...] = (
+        (-1, 1), (-1, -1), (1, 1), (1, -1),
+    )
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """A complete rule configuration evaluated by OptRouter.
+
+    Attributes:
+        name: e.g. ``"RULE3"``.
+        via_restriction: adjacency blocking mode (applied to all cut
+            layers present in the clip, V12..V78 in the paper).
+        sadp_min_metal: lowest SADP metal; all layers at or above it
+            follow SADP EOL rules (``None`` = no SADP layers).  Matches
+            the paper's "SADP >= Mx" configurations.
+        allow_via_shapes: offer bar/square via shapes to the ILP.
+        sadp: EOL pattern parameters.
+    """
+
+    name: str = "RULE1"
+    via_restriction: ViaRestriction = ViaRestriction.NONE
+    sadp_min_metal: int | None = None
+    allow_via_shapes: bool = False
+    sadp: SadpParams = field(default_factory=SadpParams)
+
+    def sadp_applies_to(self, metal: int) -> bool:
+        return self.sadp_min_metal is not None and metal >= self.sadp_min_metal
+
+    def describe(self) -> str:
+        sadp = (
+            "No SADP"
+            if self.sadp_min_metal is None
+            else f"SADP >= M{self.sadp_min_metal}"
+        )
+        return (
+            f"{self.name}: {sadp}, "
+            f"{self.via_restriction.value} neighbors blocked"
+        )

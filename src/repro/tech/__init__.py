@@ -1,0 +1,34 @@
+"""Technology models: BEOL layer stacks, vias and technology presets.
+
+The paper evaluates three enablements -- foundry 28nm 12-track and
+8-track libraries and a prototype 7nm 9-track library -- on an 8-metal
+BEOL stack.  This package models the stack (pitches, preferred routing
+directions), via definitions, and provides presets matching the paper's
+published numbers (Section 4): 100nm horizontal / 136nm vertical metal
+pitch in the 28nm BEOL used for clip extraction, 40nm (M1-M6) and 80nm
+(M7-M8) pitches in native 7nm.
+"""
+
+from repro.tech.layer import Direction, Layer
+from repro.tech.stack import LayerStack
+from repro.tech.via import ViaDef, ViaShape
+from repro.tech.presets import (
+    Technology,
+    make_n7_9t,
+    make_n28_8t,
+    make_n28_12t,
+    technology_by_name,
+)
+
+__all__ = [
+    "Direction",
+    "Layer",
+    "LayerStack",
+    "ViaDef",
+    "ViaShape",
+    "Technology",
+    "make_n28_8t",
+    "make_n28_12t",
+    "make_n7_9t",
+    "technology_by_name",
+]

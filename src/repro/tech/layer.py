@@ -1,0 +1,73 @@
+"""Metal layer model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer.
+
+    ``BIDIR`` is retained for completeness (LELE layers *may* allow both
+    directions) but the paper's studies use unidirectional layers only;
+    rule configurations can restrict a BIDIR layer to its preferred
+    direction.
+    """
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+    BIDIR = "B"
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self is Direction.HORIZONTAL
+
+    @property
+    def is_vertical(self) -> bool:
+        return self is Direction.VERTICAL
+
+
+@dataclass(frozen=True, slots=True)
+class Layer:
+    """One BEOL metal layer.
+
+    Attributes:
+        name: e.g. ``"M2"``.
+        index: 1-based metal index (M1 -> 1).
+        direction: preferred routing direction.
+        pitch: track pitch in nm.
+        offset: coordinate of track 0 in nm.
+        width: drawn wire width in nm (used for rendering/DRC only).
+    """
+
+    name: str
+    index: int
+    direction: Direction
+    pitch: int
+    offset: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("metal index is 1-based")
+        if self.pitch <= 0:
+            raise ValueError("pitch must be positive")
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+    def track_coord(self, track: int) -> int:
+        """Chip coordinate of the given track index."""
+        return self.offset + track * self.pitch
+
+    def nearest_track(self, coord: int) -> int:
+        """Index of the track closest to ``coord`` (ties round down)."""
+        return round((coord - self.offset) / self.pitch)
+
+    def tracks_in_span(self, lo: int, hi: int) -> range:
+        """Track indices whose coordinate lies in the closed span [lo, hi]."""
+        if lo > hi:
+            raise ValueError("empty span")
+        first = -(-(lo - self.offset) // self.pitch)  # ceil division
+        last = (hi - self.offset) // self.pitch
+        return range(first, last + 1)

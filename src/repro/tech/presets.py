@@ -1,0 +1,191 @@
+"""Technology presets matching the paper's three enablements.
+
+Section 4 of the paper:
+
+- N28-12T / N28-8T: foundry 28nm FDSOI, 100nm pitch on horizontal metal
+  layers, 136nm pitch on vertical metal layers (which is also the
+  placement grid).  Row heights are 12 and 8 horizontal tracks.
+- N7-9T: prototype 7nm 9-track library with 40nm pitch on M1-M6 and
+  80nm on M7-M8.  For P&R (and thus for clip extraction) the paper
+  scales the 7nm cells by 2.5x so they fit the 28nm BEOL stack; the
+  preset returned by :func:`make_n7_9t` is that *scaled* enablement,
+  with the native pitches preserved in ``native_h_pitch`` /
+  ``native_v_pitch`` for reference and for the scaling tests.
+
+All presets use an 8-metal stack with M1 horizontal; M1 is reserved for
+intra-cell pins and is not used as a routing resource, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.layer import Direction
+from repro.tech.stack import LayerStack, alternating_stack
+from repro.tech.via import ViaDef, ViaShape, default_via_cost
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A complete routing enablement.
+
+    Attributes:
+        name: preset name, e.g. ``"N28-12T"``.
+        stack: the BEOL layer stack.
+        cell_tracks: standard-cell height in horizontal routing tracks.
+        site_width: placement site width in nm (vertical metal pitch).
+        row_height: standard-cell row height in nm.
+        native_h_pitch / native_v_pitch: pre-scaling pitches (equal to
+            the stack pitches except for the scaled 7nm enablement).
+        min_routing_layer: lowest metal usable for routing (2 -> M1
+            excluded, as in the paper's studies).
+    """
+
+    name: str
+    stack: LayerStack
+    cell_tracks: int
+    site_width: int
+    row_height: int
+    native_h_pitch: int
+    native_v_pitch: int
+    min_routing_layer: int = 2
+
+    @property
+    def h_pitch(self) -> int:
+        """Pitch of horizontal routing layers in the working (BEOL) frame."""
+        return self.stack.layer(1).pitch
+
+    @property
+    def v_pitch(self) -> int:
+        """Pitch of vertical routing layers in the working frame."""
+        return self.stack.layer(2).pitch
+
+
+def _standard_vias(n_layers: int, include_shapes: bool = True) -> tuple[ViaDef, ...]:
+    """Default via menu: one single via per cut layer, plus bar and
+    square shapes on the lower cut layers when ``include_shapes``."""
+    vias: list[ViaDef] = []
+    for lower in range(1, n_layers):
+        vias.append(
+            ViaDef(
+                name=f"V{lower}{lower + 1}",
+                lower=lower,
+                shape=ViaShape.SINGLE,
+                cost=default_via_cost(ViaShape.SINGLE),
+            )
+        )
+        if include_shapes and lower <= 3:
+            vias.append(
+                ViaDef(
+                    name=f"V{lower}{lower + 1}_BARH",
+                    lower=lower,
+                    shape=ViaShape.BAR_H,
+                    cost=default_via_cost(ViaShape.BAR_H),
+                )
+            )
+            vias.append(
+                ViaDef(
+                    name=f"V{lower}{lower + 1}_SQ",
+                    lower=lower,
+                    shape=ViaShape.SQUARE,
+                    cost=default_via_cost(ViaShape.SQUARE),
+                )
+            )
+    return tuple(vias)
+
+
+_N28_H_PITCH = 100
+_N28_V_PITCH = 136
+_N7_LOWER_PITCH = 40
+_N7_UPPER_PITCH = 80
+
+
+def _make_n28(cell_tracks: int, name: str) -> Technology:
+    layers = alternating_stack(
+        n_layers=8,
+        h_pitch=_N28_H_PITCH,
+        v_pitch=_N28_V_PITCH,
+        m1_direction=Direction.HORIZONTAL,
+    )
+    stack = LayerStack(layers=layers, vias=_standard_vias(8))
+    return Technology(
+        name=name,
+        stack=stack,
+        cell_tracks=cell_tracks,
+        site_width=_N28_V_PITCH,
+        row_height=cell_tracks * _N28_H_PITCH,
+        native_h_pitch=_N28_H_PITCH,
+        native_v_pitch=_N28_V_PITCH,
+    )
+
+
+def make_n28_12t() -> Technology:
+    """Foundry 28nm, 12-track cells (N28-12T)."""
+    return _make_n28(12, "N28-12T")
+
+
+def make_n28_8t() -> Technology:
+    """Foundry 28nm, 8-track cells (N28-8T)."""
+    return _make_n28(8, "N28-8T")
+
+
+def make_n7_9t() -> Technology:
+    """Prototype 7nm, 9-track cells, scaled 2.5x into the 28nm BEOL.
+
+    The paper scales 7nm cell geometry up by 2.5x vertically (ratio of
+    the 100nm 28nm horizontal pitch to the 40nm 7nm pitch) and ~2.5x
+    horizontally (136nm vs 54nm placement grids) so the scaled cells fit
+    the 28nm BEOL stack; wire RC is adjusted separately.  Routing-wise
+    the enablement therefore shares the 28nm stack but keeps the 9-track
+    cell height and the much sparser 7nm pin shapes.
+    """
+    layers = alternating_stack(
+        n_layers=8,
+        h_pitch=_N28_H_PITCH,
+        v_pitch=_N28_V_PITCH,
+        m1_direction=Direction.HORIZONTAL,
+    )
+    stack = LayerStack(layers=layers, vias=_standard_vias(8))
+    return Technology(
+        name="N7-9T",
+        stack=stack,
+        cell_tracks=9,
+        site_width=_N28_V_PITCH,
+        row_height=9 * _N28_H_PITCH,
+        native_h_pitch=_N7_LOWER_PITCH,
+        native_v_pitch=54,  # 7nm placement grid from the paper
+    )
+
+
+def make_n7_native_stack() -> LayerStack:
+    """The *native* 7nm stack (40nm M1-M6, 80nm M7-M8), pre-scaling.
+
+    Used by the scaling tests that reproduce the paper's Section 4
+    geometry-scaling methodology.
+    """
+    layers = alternating_stack(
+        n_layers=8,
+        h_pitch=_N7_LOWER_PITCH,
+        v_pitch=_N7_LOWER_PITCH,
+        m1_direction=Direction.HORIZONTAL,
+        pitch_overrides={7: _N7_UPPER_PITCH, 8: _N7_UPPER_PITCH},
+    )
+    return LayerStack(layers=layers, vias=_standard_vias(8, include_shapes=False))
+
+
+_PRESETS = {
+    "N28-12T": make_n28_12t,
+    "N28-8T": make_n28_8t,
+    "N7-9T": make_n7_9t,
+}
+
+
+def technology_by_name(name: str) -> Technology:
+    """Look up a preset by its paper name (e.g. ``"N28-12T"``)."""
+    try:
+        factory = _PRESETS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,63 @@
+"""Wire RC derivation for the scaled 7nm enablement (paper Section 4).
+
+The paper's 7nm design enablement lacks BEOL RC data, so it derives
+7nm wire RC from 28nm values:
+
+1. 7nm wire resistance per unit length is taken as 15x the 28nm value
+   (following SLIP'13-style resistivity trends in advanced nodes);
+   capacitance per unit length is kept equal.
+2. Because the 7nm cells are scaled up 2.5x to fit the 28nm BEOL frame
+   (so drawn lengths are 2.5x the "real" 7nm lengths), per-unit-length
+   R and C are divided by 2.5 inside the P&R frame.
+
+Net effect: ``R_N7 = 6 x R_N28`` and ``C_N7 = C_N28 / 2.5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireRc:
+    """Per-unit-length wire parasitics.
+
+    Units are arbitrary but must be consistent (e.g. ohm/µm, fF/µm).
+    """
+
+    r_per_um: float
+    c_per_um: float
+
+    def __post_init__(self) -> None:
+        if self.r_per_um <= 0 or self.c_per_um <= 0:
+            raise ValueError("RC values must be positive")
+
+    def delay_per_um2(self) -> float:
+        """Elmore-style distributed RC slope (R*C per squared length)."""
+        return self.r_per_um * self.c_per_um
+
+
+@dataclass(frozen=True)
+class RcScalingSpec:
+    """The paper's 28nm -> 7nm RC derivation parameters."""
+
+    resistivity_scale: float = 15.0  # native 7nm R vs 28nm R
+    geometry_scale: float = 2.5     # drawn-length stretch in the 28nm frame
+
+    def __post_init__(self) -> None:
+        if self.resistivity_scale <= 0 or self.geometry_scale <= 0:
+            raise ValueError("scales must be positive")
+
+
+def derive_n7_rc(n28: WireRc, spec: RcScalingSpec | None = None) -> WireRc:
+    """Derive scaled-frame 7nm wire RC from 28nm values.
+
+    With the default spec this yields the paper's numbers:
+    ``R_N7 = 6 x R_N28`` (15 / 2.5) and ``C_N7 = C_N28 / 2.5``.
+    """
+    if spec is None:
+        spec = RcScalingSpec()
+    return WireRc(
+        r_per_um=n28.r_per_um * spec.resistivity_scale / spec.geometry_scale,
+        c_per_um=n28.c_per_um / spec.geometry_scale,
+    )

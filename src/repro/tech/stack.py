@@ -1,0 +1,99 @@
+"""BEOL layer stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.layer import Direction, Layer
+from repro.tech.via import ViaDef
+
+
+@dataclass(frozen=True)
+class LayerStack:
+    """An ordered BEOL metal stack with via definitions.
+
+    Layers must be contiguous starting at M1 and alternate is not
+    required but is conventional.  Vias connect adjacent layers only.
+    """
+
+    layers: tuple[Layer, ...]
+    vias: tuple[ViaDef, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for i, layer in enumerate(self.layers, start=1):
+            if layer.index != i:
+                raise ValueError(
+                    f"layers must be contiguous from M1: got {layer.name} at slot {i}"
+                )
+        for via in self.vias:
+            if via.upper > len(self.layers):
+                raise ValueError(f"via {via.name} exceeds the stack")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def layer(self, index: int) -> Layer:
+        """Layer by 1-based metal index."""
+        if not 1 <= index <= len(self.layers):
+            raise KeyError(f"no metal layer M{index}")
+        return self.layers[index - 1]
+
+    def layer_by_name(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name}")
+
+    def vias_between(self, lower: int) -> tuple[ViaDef, ...]:
+        """All via definitions connecting M<lower> and M<lower+1>."""
+        return tuple(v for v in self.vias if v.lower == lower)
+
+    def horizontal_layers(self) -> tuple[Layer, ...]:
+        return tuple(l for l in self.layers if l.direction is Direction.HORIZONTAL)
+
+    def vertical_layers(self) -> tuple[Layer, ...]:
+        return tuple(l for l in self.layers if l.direction is Direction.VERTICAL)
+
+
+def alternating_stack(
+    n_layers: int,
+    h_pitch: int,
+    v_pitch: int,
+    width_frac: float = 0.5,
+    m1_direction: Direction = Direction.HORIZONTAL,
+    pitch_overrides: dict[int, int] | None = None,
+) -> tuple[Layer, ...]:
+    """Build an alternating-direction metal stack.
+
+    Args:
+        n_layers: number of metal layers (M1..Mn).
+        h_pitch: pitch of horizontal layers (nm).
+        v_pitch: pitch of vertical layers (nm).
+        width_frac: drawn width as a fraction of pitch.
+        m1_direction: direction of M1; higher layers alternate.
+        pitch_overrides: optional per-metal-index pitch override, e.g.
+            ``{7: 80, 8: 80}`` for double-pitch top layers.
+    """
+    if n_layers < 1:
+        raise ValueError("need at least one layer")
+    overrides = pitch_overrides or {}
+    layers = []
+    for i in range(1, n_layers + 1):
+        if m1_direction.is_horizontal:
+            direction = Direction.HORIZONTAL if i % 2 == 1 else Direction.VERTICAL
+        else:
+            direction = Direction.VERTICAL if i % 2 == 1 else Direction.HORIZONTAL
+        pitch = overrides.get(i, h_pitch if direction.is_horizontal else v_pitch)
+        width = max(1, int(pitch * width_frac))
+        layers.append(
+            Layer(
+                name=f"M{i}",
+                index=i,
+                direction=direction,
+                pitch=pitch,
+                offset=pitch // 2,
+                width=width,
+            )
+        )
+    return tuple(layers)

@@ -1,0 +1,79 @@
+"""Via definitions and via shapes.
+
+The paper distinguishes the default single-track via (one routing-graph
+vertex) from larger via *shapes* -- square (2x2 tracks) and bar (2x1 /
+1x2 tracks) vias -- which are modeled in the ILP with a representative
+vertex connected to all covered vertices (Section 3.2, Figure 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ViaShape(enum.Enum):
+    """Footprint of a via in units of metal tracks (cols x rows)."""
+
+    SINGLE = (1, 1)
+    BAR_H = (2, 1)
+    BAR_V = (1, 2)
+    SQUARE = (2, 2)
+
+    @property
+    def cols(self) -> int:
+        return self.value[0]
+
+    @property
+    def rows(self) -> int:
+        return self.value[1]
+
+    @property
+    def n_sites(self) -> int:
+        return self.cols * self.rows
+
+
+@dataclass(frozen=True, slots=True)
+class ViaDef:
+    """A usable via type between metal layer ``lower`` and ``lower + 1``.
+
+    Attributes:
+        name: e.g. ``"V12_SQ"``.
+        lower: lower metal index (via connects lower and lower+1).
+        shape: track footprint.
+        cost: routing cost charged per use.  Larger shapes get *lower*
+            cost so the optimizer prefers them for manufacturability,
+            following the paper ("we use lower cost values for larger
+            via shapes").
+    """
+
+    name: str
+    lower: int
+    shape: ViaShape
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.lower < 1:
+            raise ValueError("lower metal index is 1-based")
+        if self.cost < 0:
+            raise ValueError("via cost must be non-negative")
+
+    @property
+    def upper(self) -> int:
+        return self.lower + 1
+
+
+def default_via_cost(shape: ViaShape, base_cost: float = 4.0) -> float:
+    """Default cost for a via of the given shape.
+
+    The paper's experiments use routing cost = wirelength + 4 x #vias
+    for single vias; larger shapes are discounted so that the ILP picks
+    them when space permits.
+    """
+    discount = {
+        ViaShape.SINGLE: 0.0,
+        ViaShape.BAR_H: 0.5,
+        ViaShape.BAR_V: 0.5,
+        ViaShape.SQUARE: 1.0,
+    }[shape]
+    return base_cost - discount

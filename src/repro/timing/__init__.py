@@ -1,0 +1,21 @@
+"""Static timing analysis substrate.
+
+The paper's Table 2 characterizes each benchmark implementation by a
+clock period, and its Section 4 derives wire RC for the scaled 7nm
+enablement so P&R can be "timing-closed".  This package provides the
+matching capability for the synthetic flow: a linear cell delay model,
+Elmore wire delay from routed wiring, and a topological longest-path
+analysis producing critical paths and minimum feasible periods.
+"""
+
+from repro.timing.delay import CellTiming, TimingLibrary, default_timing_library
+from repro.timing.sta import PathPoint, TimingReport, analyze_timing
+
+__all__ = [
+    "CellTiming",
+    "TimingLibrary",
+    "default_timing_library",
+    "PathPoint",
+    "TimingReport",
+    "analyze_timing",
+]

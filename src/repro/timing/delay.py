@@ -1,0 +1,94 @@
+"""Cell delay and capacitance models.
+
+A deliberately simple, widely used abstraction: each cell arc has
+``delay = intrinsic + drive_resistance * load_capacitance``, each input
+pin presents a fixed capacitance, and drive variants (X1/X2) scale the
+drive resistance down.  Units: ps, kOhm, fF (so kOhm x fF = ps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.library import Library
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Timing view of one cell master."""
+
+    cell_name: str
+    intrinsic_ps: float
+    drive_res_kohm: float
+    input_cap_ff: float
+    is_sequential: bool = False
+    clock_pin: str | None = None
+    setup_ps: float = 0.0
+    clk_to_q_ps: float = 0.0
+
+    def delay_ps(self, load_ff: float) -> float:
+        """Input-to-output (or clock-to-Q) delay under a load."""
+        base = self.clk_to_q_ps if self.is_sequential else self.intrinsic_ps
+        return base + self.drive_res_kohm * load_ff
+
+
+# Relative speed/size classes for the synthetic archetypes.
+_BASE_TIMING = {
+    "INV": (8.0, 1.2, 1.0),
+    "BUF": (14.0, 1.0, 1.0),
+    "NAND2": (12.0, 1.6, 1.2),
+    "NOR2": (14.0, 1.8, 1.2),
+    "AND2": (18.0, 1.5, 1.2),
+    "OR2": (19.0, 1.6, 1.2),
+    "XOR2": (24.0, 2.0, 1.6),
+    "XNOR2": (24.0, 2.0, 1.6),
+    "NAND3": (16.0, 1.9, 1.3),
+    "NOR3": (18.0, 2.1, 1.3),
+    "AOI21": (17.0, 1.9, 1.3),
+    "OAI21": (17.0, 1.9, 1.3),
+    "MUX2": (22.0, 1.8, 1.4),
+    "DFF": (0.0, 1.4, 1.1),
+    "DFFR": (0.0, 1.5, 1.2),
+}
+
+_SEQ_SETUP_PS = 20.0
+_SEQ_CLK_TO_Q_PS = 35.0
+
+
+@dataclass
+class TimingLibrary:
+    """Timing views for every cell of a library."""
+
+    name: str
+    views: dict[str, CellTiming]
+
+    def timing(self, cell_name: str) -> CellTiming:
+        try:
+            return self.views[cell_name]
+        except KeyError:
+            raise KeyError(f"no timing view for cell {cell_name!r}") from None
+
+
+def default_timing_library(library: Library, speed_scale: float = 1.0) -> TimingLibrary:
+    """Build timing views for a synthetic library.
+
+    ``speed_scale`` scales all delays (e.g. < 1 for a faster node);
+    drive variants divide the drive resistance by their drive number.
+    """
+    views: dict[str, CellTiming] = {}
+    for cell in library:
+        base = cell.name.rsplit("X", 1)[0]
+        if base not in _BASE_TIMING:
+            raise KeyError(f"no base timing data for archetype {base!r}")
+        intrinsic, res, cap = _BASE_TIMING[base]
+        views[cell.name] = CellTiming(
+            cell_name=cell.name,
+            intrinsic_ps=intrinsic * speed_scale,
+            drive_res_kohm=res * speed_scale / max(1, cell.drive),
+            input_cap_ff=cap * cell.drive,
+            is_sequential=cell.is_sequential,
+            clock_pin="CK" if cell.is_sequential else None,
+            setup_ps=_SEQ_SETUP_PS * speed_scale if cell.is_sequential else 0.0,
+            clk_to_q_ps=_SEQ_CLK_TO_Q_PS * speed_scale if cell.is_sequential else 0.0,
+        )
+    return TimingLibrary(name=f"{library.name}_timing", views=views)

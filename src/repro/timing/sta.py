@@ -1,0 +1,294 @@
+"""Topological longest-path static timing analysis.
+
+Timing graph:
+
+- launch points: sequential cells' outputs (clock-to-Q) and inputs of
+  nets with no sequential fanin (treated as primary-input-like);
+- combinational cells propagate input arrival + cell delay to outputs;
+- nets add Elmore wire delay computed from routed wirelength (or HPWL
+  when no routing is supplied) and the technology's per-unit RC;
+- endpoints: sequential cells' D-type inputs (setup) and nets without
+  sinks.
+
+Synthetic netlists can contain combinational cycles (the generator
+samples sinks freely); feedback arcs discovered during the topological
+pass are cut and reported rather than looping forever -- like an STA
+tool's loop-breaking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cells.pin import PinDirection
+from repro.netlist.design import Design, Net
+from repro.route.wiring import NetRoute
+from repro.tech.rc import WireRc
+from repro.timing.delay import TimingLibrary
+
+
+@dataclass(frozen=True)
+class PathPoint:
+    """One hop of a critical path."""
+
+    instance: str
+    pin: str
+    arrival_ps: float
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`analyze_timing`."""
+
+    max_arrival_ps: float
+    critical_path: list[PathPoint]
+    min_period_ps: float
+    n_endpoints: int
+    broken_loop_arcs: int
+    arrivals: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def slack_ps(self, period_ps: float) -> float:
+        return period_ps - self.min_period_ps
+
+
+def _net_length_um(net: Net, route: "NetRoute | None", design: Design) -> float:
+    """Wire length estimate: routed length, else HPWL, else 0 for
+    unplaced designs (pure gate-delay analysis)."""
+    if route is not None:
+        return route.wirelength / 1000.0
+    if not design.is_fully_placed():
+        return 0.0
+    from repro.place.hpwl import hpwl
+
+    return hpwl(design, net) / 1000.0
+
+
+def _net_wire_delay_ps(
+    net: Net,
+    route: "NetRoute | None",
+    design: Design,
+    rc: WireRc,
+    timing_lib: TimingLibrary,
+) -> float:
+    """Lumped Elmore delay of a net in ps.
+
+    Uses routed wirelength when available, otherwise the placed HPWL;
+    sink pin capacitance adds to the charge the wire must deliver.
+    """
+    length_um = _net_length_um(net, route, design)
+    c_wire = rc.c_per_um * length_um
+    c_pins = 0.0
+    for term in net.terms[1:]:
+        inst = design.instance(term.instance)
+        c_pins += timing_lib.timing(inst.cell.name).input_cap_ff
+    # Distributed wire RC (T-model) plus the full wire R into the pins.
+    r_wire = rc.r_per_um * length_um
+    return r_wire * (c_wire / 2.0 + c_pins)
+
+
+def _net_load_ff(
+    net: Net, route: "NetRoute | None", design: Design, rc: WireRc,
+    timing_lib: TimingLibrary,
+) -> float:
+    load = rc.c_per_um * _net_length_um(net, route, design)
+    for term in net.terms[1:]:
+        inst = design.instance(term.instance)
+        load += timing_lib.timing(inst.cell.name).input_cap_ff
+    return load
+
+
+def analyze_timing(
+    design: Design,
+    timing_lib: TimingLibrary,
+    rc: WireRc,
+    routes: "dict[str, NetRoute] | None" = None,
+) -> TimingReport:
+    """Longest-path analysis over the design.
+
+    Returns worst arrival, the critical path, and the minimum feasible
+    clock period (worst register-to-register arrival + setup).
+    """
+    routes = routes or {}
+
+    # Arc lists: (instance, out-pin) -> [(instance, in-pin, delay)].
+    nets_by_driver: dict[tuple[str, str], Net] = {}
+    for net in design.nets:
+        driver = design.driver_of(net)
+        if driver is not None and len(net.terms) >= 2:
+            nets_by_driver[(driver.instance, driver.pin)] = net
+
+    # In-degree over cells: a cell "fires" when all its connected
+    # inputs have arrivals.  Count only inputs that are driven.
+    driven_inputs: dict[str, int] = {}
+    input_arrival: dict[tuple[str, str], float] = {}
+    for net in design.nets:
+        driver = design.driver_of(net)
+        if driver is None:
+            continue
+        for term in net.terms:
+            if term == driver:
+                continue
+            pin = design.instance(term.instance).cell.pin(term.pin)
+            if pin.direction is PinDirection.INPUT:
+                inst_cell = design.instance(term.instance).cell
+                timing = timing_lib.timing(inst_cell.name)
+                if inst_cell.is_sequential and term.pin != "D":
+                    continue  # clock/reset pins are not data arcs
+                if inst_cell.is_sequential:
+                    continue  # D pins are endpoints, not propagators
+                del timing
+                driven_inputs[term.instance] = driven_inputs.get(term.instance, 0) + 1
+
+    arrivals: dict[tuple[str, str], float] = {}
+    parent: dict[tuple[str, str], tuple[str, str]] = {}
+    endpoint_arrivals: dict[tuple[str, str], float] = {}
+
+    ready: deque[tuple[str, str]] = deque()
+
+    # Seeds: sequential outputs (clk-to-Q) and combinational cells with
+    # no driven inputs (primary-input-like).
+    for inst in design.instances:
+        timing = timing_lib.timing(inst.cell.name)
+        if inst.cell.is_sequential:
+            for out in inst.cell.output_pins():
+                key = (inst.name, out.name)
+                net = nets_by_driver.get(key)
+                load = (
+                    _net_load_ff(net, routes.get(net.name), design, rc, timing_lib)
+                    if net is not None
+                    else 0.0
+                )
+                arrivals[key] = timing.delay_ps(load)
+                ready.append(key)
+        elif driven_inputs.get(inst.name, 0) == 0:
+            for out in inst.cell.output_pins():
+                key = (inst.name, out.name)
+                net = nets_by_driver.get(key)
+                load = (
+                    _net_load_ff(net, routes.get(net.name), design, rc, timing_lib)
+                    if net is not None
+                    else 0.0
+                )
+                arrivals[key] = timing.delay_ps(load)
+                ready.append(key)
+
+    remaining_inputs = dict(driven_inputs)
+    processed_outputs: set[tuple[str, str]] = set()
+
+    def propagate(out_key: tuple[str, str]) -> None:
+        net = nets_by_driver.get(out_key)
+        if net is None:
+            endpoint_arrivals[out_key] = arrivals[out_key]
+            return
+        wire_delay = _net_wire_delay_ps(
+            net, routes.get(net.name), design, rc, timing_lib
+        )
+        for term in net.terms:
+            inst = design.instance(term.instance)
+            pin = inst.cell.pin(term.pin)
+            if (term.instance, term.pin) == out_key:
+                continue
+            if pin.direction is not PinDirection.INPUT:
+                continue
+            in_key = (term.instance, term.pin)
+            at = arrivals[out_key] + wire_delay
+            timing = timing_lib.timing(inst.cell.name)
+            if inst.cell.is_sequential:
+                if term.pin == "D":
+                    total = at + timing.setup_ps
+                    if total > endpoint_arrivals.get(in_key, -1.0):
+                        endpoint_arrivals[in_key] = total
+                        input_arrival[in_key] = at
+                        parent[in_key] = out_key
+                continue
+            if at > input_arrival.get(in_key, -1.0):
+                input_arrival[in_key] = at
+                parent[in_key] = out_key
+            remaining_inputs[term.instance] -= 1
+            if remaining_inputs[term.instance] == 0:
+                _fire(term.instance)
+
+    def _fire(inst_name: str) -> None:
+        inst = design.instance(inst_name)
+        timing = timing_lib.timing(inst.cell.name)
+        worst_in = None
+        worst = -1.0
+        for pin in inst.cell.input_pins():
+            key = (inst_name, pin.name)
+            if key in input_arrival and input_arrival[key] > worst:
+                worst = input_arrival[key]
+                worst_in = key
+        if worst_in is None:
+            worst = 0.0
+        for out in inst.cell.output_pins():
+            out_key = (inst_name, out.name)
+            net = nets_by_driver.get(out_key)
+            load = (
+                _net_load_ff(net, routes.get(net.name), design, rc, timing_lib)
+                if net is not None
+                else 0.0
+            )
+            arrival = worst + timing.delay_ps(load)
+            if arrival > arrivals.get(out_key, -1.0):
+                arrivals[out_key] = arrival
+                if worst_in is not None:
+                    parent[out_key] = worst_in
+                ready.append(out_key)
+
+    while ready:
+        out_key = ready.popleft()
+        if out_key in processed_outputs:
+            continue
+        processed_outputs.add(out_key)
+        propagate(out_key)
+
+    # Loop breaking: cells never fired sit on combinational cycles (or
+    # behind them).  Fire them with whatever inputs arrived, cutting
+    # the unresolved arcs.
+    broken = 0
+    stuck = [
+        name for name, count in remaining_inputs.items() if count > 0
+    ]
+    for name in stuck:
+        broken += remaining_inputs[name]
+        remaining_inputs[name] = 0
+        _fire(name)
+    while ready:
+        out_key = ready.popleft()
+        if out_key in processed_outputs:
+            continue
+        processed_outputs.add(out_key)
+        propagate(out_key)
+
+    if not endpoint_arrivals:
+        return TimingReport(
+            max_arrival_ps=0.0, critical_path=[], min_period_ps=0.0,
+            n_endpoints=0, broken_loop_arcs=broken, arrivals=arrivals,
+        )
+
+    worst_key = max(endpoint_arrivals, key=endpoint_arrivals.get)
+    worst = endpoint_arrivals[worst_key]
+
+    path = [PathPoint(worst_key[0], worst_key[1], worst)]
+    cursor = worst_key
+    lookup = {**arrivals, **input_arrival}
+    seen = {cursor}
+    while cursor in parent:
+        cursor = parent[cursor]
+        if cursor in seen:
+            break
+        seen.add(cursor)
+        path.append(
+            PathPoint(cursor[0], cursor[1], lookup.get(cursor, 0.0))
+        )
+    path.reverse()
+
+    return TimingReport(
+        max_arrival_ps=worst,
+        critical_path=path,
+        min_period_ps=worst,
+        n_endpoints=len(endpoint_arrivals),
+        broken_loop_arcs=broken,
+        arrivals=arrivals,
+    )

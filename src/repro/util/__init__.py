@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG handling and text tables."""
+
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+__all__ = ["make_rng", "format_table"]

@@ -1,0 +1,24 @@
+"""Seeded random number generator helpers.
+
+Every stochastic component in the repository (netlist synthesis,
+placement annealing, clip generation) takes either an integer seed or an
+existing ``random.Random`` so that experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: "int | random.Random | None") -> random.Random:
+    """Return a ``random.Random`` for the given seed-or-rng.
+
+    Passing an existing ``Random`` returns it unchanged, so components
+    can share one stream; passing ``None`` yields a fixed default seed
+    (0) rather than OS entropy -- reproducibility by default.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        seed = 0
+    return random.Random(seed)

@@ -1,0 +1,50 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Format rows as an aligned monospace table.
+
+    Numeric cells are right-aligned, everything else left-aligned.
+    Floats are rendered with 3 decimal places.
+    """
+    rendered: list[list[str]] = []
+    numeric: list[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header count")
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                cells.append(f"{cell:.3f}")
+            else:
+                cells.append(str(cell))
+                if not isinstance(cell, (int, float)):
+                    numeric[i] = False
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Clip and routing visualization (ASCII and SVG).
+
+Produces Figure-7-style clip renderings: pins, obstacles, and (when a
+routing is supplied) per-net wires and vias, layer by layer.
+"""
+
+from repro.viz.ascii_art import render_clip_ascii, render_routing_ascii
+from repro.viz.svg import render_clip_svg
+from repro.viz.chip import render_design_svg
+
+__all__ = [
+    "render_clip_ascii",
+    "render_routing_ascii",
+    "render_clip_svg",
+    "render_design_svg",
+]

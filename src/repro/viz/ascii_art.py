@@ -1,0 +1,76 @@
+"""Plain-text clip renderings, layer by layer."""
+
+from __future__ import annotations
+
+from repro.clips.clip import Clip
+from repro.router.solution import ClipRouting
+
+_NET_MARKS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _net_mark(index: int) -> str:
+    return _NET_MARKS[index % len(_NET_MARKS)]
+
+
+def render_clip_ascii(clip: Clip) -> str:
+    """Render the clip's pins and obstacles, one block per layer slot.
+
+    Pin access vertices show the owning net's letter (uppercase for the
+    source pin), obstacles show ``#``, free vertices ``.``.
+    """
+    marks: dict[tuple[int, int, int], str] = {}
+    for x, y, z in clip.obstacles:
+        marks[(x, y, z)] = "#"
+    for index, net in enumerate(clip.nets):
+        for pin_index, pin in enumerate(net.pins):
+            mark = _net_mark(index)
+            if pin_index == 0:
+                mark = mark.upper()
+            for vertex in pin.access:
+                marks[vertex] = mark
+
+    blocks = []
+    for z in range(clip.nz):
+        direction = "H" if clip.horizontal[z] else "V"
+        lines = [f"M{clip.metal_of(z)} ({direction})"]
+        for y in reversed(range(clip.ny)):
+            row = "".join(
+                marks.get((x, y, z), ".") for x in range(clip.nx)
+            )
+            lines.append(row)
+        blocks.append("\n".join(lines))
+    legend = "  ".join(
+        f"{_net_mark(i)}={net.name}" for i, net in enumerate(clip.nets)
+    )
+    return "\n\n".join(blocks) + f"\n\nnets: {legend} (uppercase = source)"
+
+
+def render_routing_ascii(clip: Clip, routing: ClipRouting) -> str:
+    """Render a decoded routing: wires as net letters, vias as ``*``."""
+    marks: dict[tuple[int, int, int], str] = {}
+    for index, net_sol in enumerate(routing.nets):
+        mark = _net_mark(index)
+        for a, b in net_sol.wire_edges:
+            marks[a] = mark
+            marks[b] = mark
+    for net_sol in routing.nets:
+        for x, y, z in net_sol.vias:
+            marks[(x, y, z)] = "*"
+            marks[(x, y, z + 1)] = "*"
+        for use in net_sol.shape_vias:
+            for vertex in list(use.lower_members) + list(use.upper_members):
+                marks[vertex] = "@"
+
+    blocks = []
+    for z in range(clip.nz):
+        direction = "H" if clip.horizontal[z] else "V"
+        lines = [f"M{clip.metal_of(z)} ({direction})"]
+        for y in reversed(range(clip.ny)):
+            lines.append(
+                "".join(marks.get((x, y, z), ".") for x in range(clip.nx))
+            )
+        blocks.append("\n".join(lines))
+    legend = "  ".join(
+        f"{_net_mark(i)}={net.net_name}" for i, net in enumerate(routing.nets)
+    )
+    return "\n\n".join(blocks) + f"\n\nnets: {legend}  *=via  @=shape via"

@@ -1,0 +1,68 @@
+"""Full-chip SVG rendering: placement, routing density, hotspots."""
+
+from __future__ import annotations
+
+from repro.netlist.design import Design
+from repro.route.congestion import CongestionMap
+
+
+def render_design_svg(
+    design: Design,
+    congestion: CongestionMap | None = None,
+    scale_nm_per_px: int = 50,
+) -> str:
+    """Render a placed design (and optional congestion overlay) as SVG.
+
+    Cells are gray boxes (sequential cells darker); the congestion
+    overlay tints gcells from transparent (idle) to red (saturated).
+    """
+    if design.die is None:
+        raise ValueError("design has no die area")
+    die = design.die
+    width = max(1, die.width // scale_nm_per_px)
+    height = max(1, die.height // scale_nm_per_px)
+
+    def px(value_nm: int) -> float:
+        return value_nm / scale_nm_per_px
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fafafa" '
+        'stroke="#333333"/>',
+    ]
+
+    for inst in design.instances:
+        if not inst.is_placed:
+            continue
+        box = inst.bbox()
+        fill = "#8d99ae" if inst.cell.is_sequential else "#ced4da"
+        parts.append(
+            f'<rect x="{px(box.xlo - die.xlo):.1f}" '
+            f'y="{height - px(box.yhi - die.ylo):.1f}" '
+            f'width="{px(box.width):.1f}" height="{px(box.height):.1f}" '
+            f'fill="{fill}" stroke="#999999" stroke-width="0.3">'
+            f'<title>{inst.name} ({inst.cell.name})</title></rect>'
+        )
+
+    if congestion is not None:
+        tile_nm_x = congestion.tracks_per_gcell * 136
+        tile_nm_y = congestion.tracks_per_gcell * 100
+        for gy in range(congestion.gh):
+            for gx in range(congestion.gw):
+                utilization = congestion.utilization((gx, gy))
+                if utilization <= 0.01:
+                    continue
+                alpha = min(0.75, utilization)
+                parts.append(
+                    f'<rect x="{px(gx * tile_nm_x):.1f}" '
+                    f'y="{height - px((gy + 1) * tile_nm_y):.1f}" '
+                    f'width="{px(tile_nm_x):.1f}" '
+                    f'height="{px(tile_nm_y):.1f}" '
+                    f'fill="#e63946" opacity="{alpha:.2f}">'
+                    f'<title>gcell ({gx},{gy}): '
+                    f'{utilization:.0%}</title></rect>'
+                )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,103 @@
+"""SVG rendering of clips and routings (Figure-7-style artifacts)."""
+
+from __future__ import annotations
+
+from repro.clips.clip import Clip
+from repro.router.solution import ClipRouting
+
+_LAYER_COLORS = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+    "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+)
+_CELL = 28  # px per track
+_PAD = 20
+
+
+def _xy(clip: Clip, x: int, y: int) -> tuple[int, int]:
+    """Track address to SVG pixel (y axis flipped)."""
+    return _PAD + x * _CELL, _PAD + (clip.ny - 1 - y) * _CELL
+
+
+def render_clip_svg(clip: Clip, routing: ClipRouting | None = None) -> str:
+    """Produce a single-panel SVG: grid, pins, and optional routing.
+
+    Layers are color-coded and drawn lowest-first; vias are filled
+    squares; pin access points are open circles labeled by net.
+    """
+    width = 2 * _PAD + (clip.nx - 1) * _CELL
+    height = 2 * _PAD + (clip.ny - 1) * _CELL
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    # Track grid.
+    for x in range(clip.nx):
+        x0, y0 = _xy(clip, x, clip.ny - 1)
+        _x0, y1 = _xy(clip, x, 0)
+        parts.append(
+            f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" '
+            'stroke="#dddddd" stroke-width="1"/>'
+        )
+    for y in range(clip.ny):
+        x0, y0 = _xy(clip, 0, y)
+        x1, _y1 = _xy(clip, clip.nx - 1, y)
+        parts.append(
+            f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" '
+            'stroke="#dddddd" stroke-width="1"/>'
+        )
+
+    # Obstacles.
+    for x, y, z in sorted(clip.obstacles):
+        cx, cy = _xy(clip, x, y)
+        parts.append(
+            f'<rect x="{cx - 5}" y="{cy - 5}" width="10" height="10" '
+            'fill="#222222"/>'
+        )
+
+    # Routing.
+    if routing is not None:
+        for net_sol in routing.nets:
+            for a, b in net_sol.wire_edges:
+                color = _LAYER_COLORS[a[2] % len(_LAYER_COLORS)]
+                x0, y0 = _xy(clip, a[0], a[1])
+                x1, y1 = _xy(clip, b[0], b[1])
+                parts.append(
+                    f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y1}" '
+                    f'stroke="{color}" stroke-width="5" stroke-linecap="round" '
+                    f'opacity="0.8"><title>{net_sol.net_name} '
+                    f'M{clip.metal_of(a[2])}</title></line>'
+                )
+            for x, y, z in net_sol.vias:
+                cx, cy = _xy(clip, x, y)
+                color = _LAYER_COLORS[(z + 1) % len(_LAYER_COLORS)]
+                parts.append(
+                    f'<rect x="{cx - 4}" y="{cy - 4}" width="8" height="8" '
+                    f'fill="{color}" stroke="black" stroke-width="1">'
+                    f'<title>{net_sol.net_name} V{clip.metal_of(z)}'
+                    f'{clip.metal_of(z) + 1}</title></rect>'
+                )
+            for use in net_sol.shape_vias:
+                for x, y, z in use.lower_members:
+                    cx, cy = _xy(clip, x, y)
+                    parts.append(
+                        f'<rect x="{cx - 6}" y="{cy - 6}" width="12" height="12" '
+                        'fill="none" stroke="black" stroke-width="2"/>'
+                    )
+
+    # Pins on top.
+    for net in clip.nets:
+        for pin_index, pin in enumerate(net.pins):
+            for x, y, z in sorted(pin.access):
+                cx, cy = _xy(clip, x, y)
+                fill = "#ffcc00" if pin_index == 0 else "none"
+                parts.append(
+                    f'<circle cx="{cx}" cy="{cy}" r="6" fill="{fill}" '
+                    f'stroke="#b8860b" stroke-width="2">'
+                    f'<title>{net.name} pin {pin_index} '
+                    f'M{clip.metal_of(z)}</title></circle>'
+                )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,42 @@
+"""Shared fixtures: small designs, libraries, and routed layouts."""
+
+import pytest
+
+from repro.cells import generate_library
+from repro.netlist import synthesize_design
+from repro.place import place_design
+from repro.route import RoutingGrid
+from repro.route.detailed_router import route_design
+from repro.tech import make_n28_12t
+
+
+@pytest.fixture(scope="session")
+def n28_12t():
+    return make_n28_12t()
+
+
+@pytest.fixture(scope="session")
+def library_12t(n28_12t):
+    return generate_library(n28_12t)
+
+
+@pytest.fixture(scope="session")
+def small_design(library_12t):
+    """An 80-instance AES-like design (session-scoped; do not mutate)."""
+    return synthesize_design(library_12t, "aes", 80, seed=11)
+
+
+@pytest.fixture(scope="session")
+def placed_design(library_12t):
+    design = synthesize_design(library_12t, "aes", 80, seed=12)
+    result = place_design(design, utilization=0.85, seed=1, sa_moves=600)
+    return design, result
+
+
+@pytest.fixture(scope="session")
+def routed_design(n28_12t, library_12t):
+    design = synthesize_design(library_12t, "m0", 90, seed=13)
+    place_design(design, utilization=0.85, seed=2, sa_moves=600)
+    grid = RoutingGrid.for_die(n28_12t, design.die)
+    routed = route_design(design, grid)
+    return design, grid, routed

@@ -1,0 +1,111 @@
+"""Tests for repro.cells pin/cell/library datamodel."""
+
+import pytest
+
+from repro.cells import Cell, Library, Pin, PinDirection
+from repro.geometry import Rect
+
+
+def pin(name, direction=PinDirection.INPUT, rect=Rect(10, 10, 20, 90), metal=1,
+        supply=False):
+    return Pin(name, direction, ((metal, rect),), is_supply=supply)
+
+
+def cell(name="INVX1", width=272, height=1200, pins=None):
+    if pins is None:
+        pins = (
+            pin("A"),
+            pin("Y", PinDirection.OUTPUT, Rect(100, 10, 110, 90)),
+        )
+    return Cell(name=name, width=width, height=height, pins=pins)
+
+
+class TestPin:
+    def test_requires_geometry(self):
+        with pytest.raises(ValueError):
+            Pin("A", PinDirection.INPUT, ())
+
+    def test_metal_index_validated(self):
+        with pytest.raises(ValueError):
+            pin("A", metal=0)
+
+    def test_bbox_union(self):
+        p = Pin(
+            "A", PinDirection.INPUT,
+            ((1, Rect(0, 0, 10, 10)), (2, Rect(5, 5, 20, 30))),
+        )
+        assert p.bbox() == Rect(0, 0, 20, 30)
+
+    def test_area(self):
+        assert pin("A", rect=Rect(0, 0, 10, 20)).area() == 200
+
+    def test_shapes_on(self):
+        p = Pin(
+            "A", PinDirection.INPUT,
+            ((1, Rect(0, 0, 1, 1)), (2, Rect(2, 2, 3, 3))),
+        )
+        assert p.shapes_on(1) == (Rect(0, 0, 1, 1),)
+        assert p.shapes_on(3) == ()
+
+
+class TestCell:
+    def test_pin_lookup(self):
+        c = cell()
+        assert c.pin("A").direction is PinDirection.INPUT
+        with pytest.raises(KeyError):
+            c.pin("Z")
+
+    def test_duplicate_pin_rejected(self):
+        with pytest.raises(ValueError):
+            cell(pins=(pin("A"), pin("A")))
+
+    def test_pin_outside_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            cell(pins=(pin("A", rect=Rect(0, 0, 300, 100)),))
+
+    def test_degenerate_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            cell(width=0)
+
+    def test_signal_input_output_split(self):
+        c = Cell(
+            "X", 272, 1200,
+            (
+                pin("A"),
+                pin("Y", PinDirection.OUTPUT, Rect(50, 10, 60, 90)),
+                pin("VDD", PinDirection.INOUT, Rect(0, 0, 272, 50), supply=True),
+            ),
+        )
+        assert {p.name for p in c.signal_pins()} == {"A", "Y"}
+        assert [p.name for p in c.input_pins()] == ["A"]
+        assert [p.name for p in c.output_pins()] == ["Y"]
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library("lib", site_width=136, row_height=1200)
+        lib.add(cell())
+        assert "INVX1" in lib
+        assert lib.cell("INVX1").width == 272
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = Library("lib", site_width=136, row_height=1200)
+        lib.add(cell())
+        with pytest.raises(ValueError):
+            lib.add(cell())
+
+    def test_height_mismatch_rejected(self):
+        lib = Library("lib", site_width=136, row_height=800)
+        with pytest.raises(ValueError):
+            lib.add(cell())
+
+    def test_off_site_width_rejected(self):
+        lib = Library("lib", site_width=136, row_height=1200)
+        with pytest.raises(ValueError):
+            lib.add(cell(width=270))
+
+    def test_unknown_cell(self):
+        lib = Library("lib", site_width=136, row_height=1200)
+        with pytest.raises(KeyError):
+            lib.cell("NOPE")

@@ -1,0 +1,93 @@
+"""Tests for the synthetic library generator (Figure 9 pin properties)."""
+
+import pytest
+
+from repro.cells import generate_library
+from repro.cells.generator import LibrarySpec, default_spec
+from repro.tech import make_n7_9t, make_n28_8t, make_n28_12t
+
+
+class TestGeneratedLibraries:
+    def test_all_archetypes_and_drives(self):
+        lib = generate_library(make_n28_12t())
+        assert "NAND2X1" in lib
+        assert "NAND2X2" in lib
+        assert "DFFX1" in lib
+        assert len(lib) == 30  # 15 archetypes x 2 drives
+
+    def test_cell_heights_match_row(self):
+        for tech in (make_n28_12t(), make_n28_8t(), make_n7_9t()):
+            lib = generate_library(tech)
+            for cell in lib:
+                assert cell.height == tech.row_height
+
+    def test_widths_on_site_grid(self):
+        lib = generate_library(make_n28_8t())
+        for cell in lib:
+            assert cell.width % 136 == 0
+
+    def test_sequential_flag(self):
+        lib = generate_library(make_n28_12t())
+        assert lib.cell("DFFX1").is_sequential
+        assert not lib.cell("NAND2X1").is_sequential
+        assert len(lib.sequential()) == 4
+
+
+class TestPinGeometryPerTechnology:
+    def _access_points(self, tech, pin):
+        """Horizontal tracks a pin's M1 stripe crosses."""
+        h = tech.stack.layer(1)
+        (metal, rect), = pin.shapes
+        assert metal == 1
+        return len(
+            [t for t in h.tracks_in_span(rect.ylo, rect.yhi)]
+        )
+
+    def test_access_point_ordering_matches_figure9(self):
+        counts = {}
+        for tech in (make_n28_12t(), make_n28_8t(), make_n7_9t()):
+            lib = generate_library(tech)
+            counts[tech.name] = self._access_points(
+                tech, lib.cell("NAND2X1").pin("A")
+            )
+        assert counts["N28-12T"] > counts["N28-8T"] > counts["N7-9T"]
+        assert counts["N7-9T"] == 2  # the paper's two-access-point 7nm pins
+
+    def test_n7_pins_adjacent_columns(self):
+        tech = make_n7_9t()
+        lib = generate_library(tech)
+        cell = lib.cell("NAND2X1")
+        ax = cell.pin("A").bbox().center.x
+        bx = cell.pin("B").bbox().center.x
+        assert abs(ax - bx) == tech.site_width  # stride 1
+
+    def test_n28_pins_spread(self):
+        tech = make_n28_12t()
+        lib = generate_library(tech)
+        cell = lib.cell("NAND2X1")
+        ax = cell.pin("A").bbox().center.x
+        bx = cell.pin("B").bbox().center.x
+        assert abs(ax - bx) == 2 * tech.site_width  # stride 2
+
+    def test_supply_rails_full_width(self):
+        lib = generate_library(make_n28_12t())
+        cell = lib.cell("INVX1")
+        vdd = cell.pin("VDD")
+        assert vdd.is_supply
+        (metal, rect), = vdd.shapes
+        assert rect.xlo == 0 and rect.xhi == cell.width
+        assert rect.yhi == cell.height
+
+
+class TestSpecValidation:
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            LibrarySpec(pin_span_tracks=0, pin_column_stride=1)
+        with pytest.raises(ValueError):
+            LibrarySpec(pin_span_tracks=2, pin_column_stride=0)
+
+    def test_default_spec_unknown_tech(self):
+        tech = make_n28_12t()
+        object.__setattr__(tech, "name", "WEIRD")
+        with pytest.raises(KeyError):
+            default_spec(tech)

@@ -1,0 +1,95 @@
+"""Tests for pin accessibility analysis (paper Figure 9 discussion)."""
+
+import pytest
+
+from repro.cells import generate_library
+from repro.cells.pinaccess import (
+    analyze_pin_access,
+    library_access_summary,
+    pin_access_points,
+)
+from repro.router import ViaRestriction
+from repro.tech import make_n7_9t, make_n28_8t, make_n28_12t
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return {
+        tech.name: (tech, generate_library(tech))
+        for tech in (make_n28_12t(), make_n28_8t(), make_n7_9t())
+    }
+
+
+class TestAccessPoints:
+    def test_counts_match_figure9_ordering(self, libs):
+        counts = {}
+        for name, (tech, lib) in libs.items():
+            points = pin_access_points(lib.cell("NAND2X1"), tech)
+            counts[name] = len(points["A"])
+        assert counts["N28-12T"] > counts["N28-8T"] > counts["N7-9T"] == 2
+
+    def test_all_signal_pins_reported(self, libs):
+        tech, lib = libs["N28-12T"]
+        points = pin_access_points(lib.cell("AOI21X1"), tech)
+        assert set(points) == {"A1", "A2", "B", "Y"}
+
+    def test_points_within_cell(self, libs):
+        tech, lib = libs["N28-8T"]
+        cell = lib.cell("NAND3X1")
+        v_layer = tech.stack.layer(2)
+        for points in pin_access_points(cell, tech).values():
+            for col, _row in points:
+                assert 0 <= v_layer.track_coord(col) <= cell.width
+
+
+class TestFeasibility:
+    def test_unrestricted_always_feasible(self, libs):
+        for name, (tech, lib) in libs.items():
+            summary = library_access_summary(lib, tech, ViaRestriction.NONE)
+            assert all(summary.values()), name
+
+    def test_n7_fails_under_full_restriction(self, libs):
+        """The paper's justification for skipping RULE9-11 on N7-9T:
+        two adjacent-column access points per pin cannot coexist with
+        diagonal (8-neighbor) via blocking."""
+        tech, lib = libs["N7-9T"]
+        report = analyze_pin_access(
+            lib.cell("NAND2X1"), tech, ViaRestriction.FULL
+        )
+        assert not report.feasible
+        assert report.assignment is None
+
+    def test_n28_survives_full_restriction(self, libs):
+        for name in ("N28-12T", "N28-8T"):
+            tech, lib = libs[name]
+            report = analyze_pin_access(
+                lib.cell("NAND2X1"), tech, ViaRestriction.FULL
+            )
+            assert report.feasible, name
+
+    def test_n7_survives_orthogonal_restriction(self, libs):
+        """RULE6/RULE8 (4 neighbors) remain evaluable on N7-9T."""
+        tech, lib = libs["N7-9T"]
+        report = analyze_pin_access(
+            lib.cell("NAND2X1"), tech, ViaRestriction.ORTHOGONAL
+        )
+        assert report.feasible
+
+    def test_assignment_respects_restriction(self, libs):
+        tech, lib = libs["N28-8T"]
+        report = analyze_pin_access(
+            lib.cell("AOI21X1"), tech, ViaRestriction.FULL
+        )
+        assert report.feasible
+        chosen = list(report.assignment.values())
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1:]:
+                dx, dy = abs(a[0] - b[0]), abs(a[1] - b[1])
+                assert max(dx, dy) > 1, "adjacent access vias"
+
+    def test_min_access_count(self, libs):
+        tech, lib = libs["N7-9T"]
+        report = analyze_pin_access(
+            lib.cell("NAND2X1"), tech, ViaRestriction.NONE
+        )
+        assert report.min_access_count == 2

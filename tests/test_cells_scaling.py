@@ -1,0 +1,86 @@
+"""Tests for the paper's 7nm -> 28nm-frame cell scaling (Section 4)."""
+
+from repro.cells import ScalingSpec, generate_library, scale_cell, scale_library
+from repro.cells.generator import LibrarySpec
+from repro.tech import make_n7_9t
+from repro.tech.presets import Technology
+from repro.tech.stack import LayerStack, alternating_stack
+
+
+def native_n7_tech() -> Technology:
+    """A native-7nm technology frame (40nm pitch, 54nm sites)."""
+    layers = alternating_stack(8, 40, 54, pitch_overrides={7: 80, 8: 80})
+    return Technology(
+        name="N7-NATIVE",
+        stack=LayerStack(layers=layers),
+        cell_tracks=9,
+        site_width=54,
+        row_height=360,  # 9 x 40nm
+        native_h_pitch=40,
+        native_v_pitch=54,
+    )
+
+
+def native_library():
+    return generate_library(
+        native_n7_tech(),
+        LibrarySpec(pin_span_tracks=2, pin_column_stride=1),
+    )
+
+
+class TestScalingSpec:
+    def test_paper_numbers(self):
+        spec = ScalingSpec()
+        assert spec.intermediate_site == 135  # 54 x 2.5
+        assert spec.target_site == 136
+        assert spec.target_row_height == 900
+
+
+class TestScaleCell:
+    def test_width_on_target_grid(self):
+        for cell in native_library():
+            scaled = scale_cell(cell)
+            assert scaled.width % 136 == 0
+
+    def test_height_is_target_row(self):
+        scaled = scale_cell(native_library().cell("NAND2X1"))
+        assert scaled.height == 900
+
+    def test_signal_pins_on_grid(self):
+        # Footnote 3: after scaling, pin x centers must be multiples of
+        # the 136nm placement grid.
+        for cell in native_library():
+            scaled = scale_cell(cell)
+            for pin in scaled.signal_pins():
+                for _metal, rect in pin.shapes:
+                    center_x = (rect.xlo + rect.xhi) // 2
+                    assert center_x % 136 == 0, (cell.name, pin.name)
+
+    def test_pins_stay_inside(self):
+        for cell in native_library():
+            scaled = scale_cell(cell)
+            for pin in scaled.pins:
+                assert scaled.bbox().contains_rect(pin.bbox())
+
+    def test_relative_pin_order_preserved(self):
+        cell = native_library().cell("NAND3X1")
+        scaled = scale_cell(cell)
+        original = [cell.pin(n).bbox().center.x for n in ("A", "B", "C")]
+        after = [scaled.pin(n).bbox().center.x for n in ("A", "B", "C")]
+        assert sorted(range(3), key=lambda i: original[i]) == sorted(
+            range(3), key=lambda i: after[i]
+        )
+
+
+class TestScaleLibrary:
+    def test_library_fits_scaled_frame(self):
+        scaled = scale_library(native_library())
+        assert scaled.site_width == 136
+        assert scaled.row_height == 900
+        assert len(scaled) == len(native_library())
+
+    def test_scaled_cells_load_into_n7_preset_frame(self):
+        tech = make_n7_9t()
+        scaled = scale_library(native_library())
+        assert scaled.row_height == tech.row_height
+        assert scaled.site_width == tech.site_width

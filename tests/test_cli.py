@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rules_command(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RULE1" in out and "RULE11" in out
+
+    def test_route_clip_small(self, capsys):
+        code = main([
+            "route-clip", "--nx", "5", "--ny", "6", "--nz", "3",
+            "--nets", "2", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status=" in out
+        assert "DRC violations: 0" in out
+
+    def test_route_clip_with_rule(self, capsys):
+        code = main([
+            "route-clip", "--nx", "5", "--ny", "6", "--nz", "3",
+            "--nets", "2", "--rule", "RULE6", "--seed", "4",
+        ])
+        assert code == 0
+        assert "4 neighbors blocked" in capsys.readouterr().out
+
+    def test_evaluate_small(self, capsys):
+        code = main([
+            "evaluate", "--tech", "N7-9T", "--clips", "2",
+            "--nx", "5", "--ny", "6", "--nz", "3", "--nets", "2",
+            "--time-limit", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RULE8" in out
+
+    def test_full_flow_small(self, capsys):
+        code = main([
+            "full-flow", "--instances", "40", "--utilization", "0.8",
+            "--max-metal", "5", "--top-k", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pin costs" in out
+
+    def test_unknown_rule_errors(self):
+        with pytest.raises(KeyError):
+            main(["route-clip", "--rule", "RULE99", "--nx", "4", "--ny",
+                  "5", "--nz", "2", "--nets", "1"])

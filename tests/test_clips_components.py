@@ -1,0 +1,72 @@
+"""Tests for connected-component splitting in clip extraction.
+
+A net whose in-window wiring forms several pieces connected *outside*
+the window must become several clip nets (re-routing them as one
+Steiner tree would over-constrain the clip and can make OptRouter's
+"optimum" cost more than the original wiring).
+"""
+
+from repro.clips import ClipWindowSpec, extract_clips
+
+
+def test_component_suffix_names_are_distinct(routed_design):
+    design, grid, routed = routed_design
+    clips = extract_clips(design, grid, routed, ClipWindowSpec(cols=7, rows=10))
+    for clip in clips:
+        names = [net.name for net in clip.nets]
+        assert len(names) == len(set(names)), clip.name
+
+
+def test_component_pins_are_internally_connected(routed_design):
+    """Every clip net's pins must lie in ONE connected component of the
+    original in-window wiring (that is what makes re-routing fair)."""
+    design, grid, routed = routed_design
+    clips = extract_clips(design, grid, routed, ClipWindowSpec(cols=7, rows=10))
+    for clip in clips:
+        x0, y0 = clip.origin
+        for net in clip.nets:
+            base = net.name.rpartition(".")[0] if "." in net.name else net.name
+            edges = routed.edge_sets.get(base, set())
+            # Build adjacency of the net's wiring (global node ids).
+            adjacency: dict[int, set[int]] = {}
+            for edge in edges:
+                a, b = tuple(edge)
+                adjacency.setdefault(a, set()).add(b)
+                adjacency.setdefault(b, set()).add(a)
+            # Pins in global coordinates.
+            pin_nodes = []
+            for pin in net.pins:
+                vertices = [
+                    grid.node_id(x + x0, y + y0, z) for x, y, z in pin.access
+                ]
+                pin_nodes.append(vertices)
+            # All of one pin's vertices count as connected (pin metal),
+            # so start a BFS from the first pin's vertices.
+            start_nodes = set(pin_nodes[0])
+            reached = set(start_nodes)
+            stack = list(start_nodes)
+            terminal_groups = [set(v) for v in pin_nodes]
+            while stack:
+                node = stack.pop()
+                neighbors = set(adjacency.get(node, ()))
+                for group in terminal_groups:
+                    if node in group:
+                        neighbors |= group
+                for nbr in neighbors:
+                    if nbr not in reached:
+                        reached.add(nbr)
+                        stack.append(nbr)
+            for index, vertices in enumerate(pin_nodes[1:], start=1):
+                assert reached & set(vertices), (
+                    f"{clip.name}/{net.name}: pin {index} in a different "
+                    "component"
+                )
+
+
+def test_base_net_name_helper():
+    from repro.improve.local import _base_net_name
+
+    assert _base_net_name("n42") == "n42"
+    assert _base_net_name("n42.1") == "n42"
+    assert _base_net_name("weird.name") == "weird.name"
+    assert _base_net_name("weird.name.2") == "weird.name"

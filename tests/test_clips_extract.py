@@ -1,0 +1,83 @@
+"""Tests for clip extraction from routed designs."""
+
+import pytest
+
+from repro.clips import ClipWindowSpec, extract_clips, select_top_clips
+
+
+@pytest.fixture(scope="module")
+def extracted(routed_design):
+    design, grid, routed = routed_design
+    return design, grid, extract_clips(
+        design, grid, routed, ClipWindowSpec(cols=7, rows=10)
+    )
+
+
+class TestExtraction:
+    def test_produces_clips(self, extracted):
+        _design, _grid, clips = extracted
+        assert len(clips) > 0
+
+    def test_dimensions_bounded_by_window(self, extracted):
+        _design, _grid, clips = extracted
+        for clip in clips:
+            assert 2 <= clip.nx <= 7
+            assert 2 <= clip.ny <= 10
+
+    def test_layer_count_matches_grid(self, extracted):
+        _design, grid, clips = extracted
+        for clip in clips:
+            assert clip.nz == grid.nz
+
+    def test_all_nets_have_two_pins(self, extracted):
+        _design, _grid, clips = extracted
+        for clip in clips:
+            for net in clip.nets:
+                assert len(net.pins) >= 2
+
+    def test_pins_in_bounds(self, extracted):
+        # Clip constructor validates, but double-check obstacles too.
+        _design, _grid, clips = extracted
+        for clip in clips:
+            for vertex in clip.obstacles:
+                assert clip.in_bounds(vertex)
+
+    def test_boundary_pins_exist(self, extracted):
+        _design, _grid, clips = extracted
+        boundary_pins = sum(
+            1
+            for clip in clips
+            for net in clip.nets
+            for p in net.pins
+            if p.on_boundary
+        )
+        assert boundary_pins > 0  # crossing nets must appear somewhere
+
+    def test_clip_names_unique(self, extracted):
+        _design, _grid, clips = extracted
+        names = [clip.name for clip in clips]
+        assert len(names) == len(set(names))
+
+    def test_window_spec_validation(self):
+        with pytest.raises(ValueError):
+            ClipWindowSpec(cols=1, rows=10)
+
+
+class TestSelection:
+    def test_top_k_sorted_descending(self, extracted):
+        _design, _grid, clips = extracted
+        top = select_top_clips(clips, k=5)
+        costs = [clip.pin_cost for clip in top]
+        assert costs == sorted(costs, reverse=True)
+        assert len(top) == min(5, len(clips))
+
+    def test_k_validation(self, extracted):
+        _design, _grid, clips = extracted
+        with pytest.raises(ValueError):
+            select_top_clips(clips, k=0)
+
+    def test_selection_deterministic(self, extracted):
+        _design, _grid, clips = extracted
+        a = [c.name for c in select_top_clips(clips, k=8)]
+        b = [c.name for c in select_top_clips(list(clips), k=8)]
+        assert a == b

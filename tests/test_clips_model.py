@@ -1,0 +1,127 @@
+"""Tests for the clip datamodel and pin-cost metric."""
+
+import pytest
+
+from repro.clips import Clip, ClipNet, ClipPin, PinCostParams, clip_pin_cost
+from repro.clips.clip import paper_directions
+from repro.clips.pincost import pin_cost_breakdown
+
+
+def pin(vertices, area=5000, position=(0, 0), boundary=False):
+    return ClipPin(
+        access=frozenset(vertices), area_nm2=area, position=position,
+        on_boundary=boundary,
+    )
+
+
+def tiny_clip(nets=None, obstacles=frozenset()):
+    if nets is None:
+        nets = (
+            ClipNet("n0", (pin([(0, 0, 0)]), pin([(3, 4, 0)], position=(408, 400)))),
+        )
+    return Clip(
+        name="t", nx=4, ny=5, nz=3,
+        horizontal=paper_directions(3), nets=tuple(nets), obstacles=obstacles,
+    )
+
+
+class TestClipValidation:
+    def test_dimensions(self):
+        with pytest.raises(ValueError):
+            Clip(name="bad", nx=0, ny=5, nz=3,
+                 horizontal=paper_directions(3), nets=())
+
+    def test_direction_flags_length(self):
+        with pytest.raises(ValueError):
+            Clip(name="bad", nx=4, ny=5, nz=3,
+                 horizontal=(True,), nets=())
+
+    def test_out_of_bounds_pin(self):
+        bad = ClipNet("n0", (pin([(9, 9, 9)]), pin([(0, 0, 0)])))
+        with pytest.raises(ValueError):
+            tiny_clip(nets=(bad,))
+
+    def test_out_of_bounds_obstacle(self):
+        with pytest.raises(ValueError):
+            tiny_clip(obstacles=frozenset({(9, 9, 9)}))
+
+    def test_net_needs_two_pins(self):
+        with pytest.raises(ValueError):
+            ClipNet("n0", (pin([(0, 0, 0)]),))
+
+    def test_pin_needs_access(self):
+        with pytest.raises(ValueError):
+            ClipPin(access=frozenset())
+
+
+class TestClipProperties:
+    def test_counts(self):
+        clip = tiny_clip()
+        assert clip.n_vertices == 60
+        assert clip.n_pins == 2
+
+    def test_metal_mapping(self):
+        assert tiny_clip().metal_of(0) == 2
+
+    def test_paper_directions(self):
+        flags = paper_directions(4)
+        assert flags == (False, True, False, True)  # M2 V, M3 H...
+
+    def test_with_pin_cost(self):
+        scored = tiny_clip().with_pin_cost(37.5)
+        assert scored.pin_cost == 37.5
+        assert scored.nets == tiny_clip().nets
+
+
+class TestPinCost:
+    def test_breakdown_components(self):
+        clip = tiny_clip()
+        pec, pac, prc = pin_cost_breakdown(clip)
+        assert pec == 2.0
+        assert pac > 0
+        assert prc > 0
+
+    def test_more_pins_cost_more(self):
+        small = tiny_clip()
+        big = tiny_clip(
+            nets=(
+                ClipNet("n0", (pin([(0, 0, 0)]), pin([(3, 4, 0)]))),
+                ClipNet("n1", (pin([(1, 0, 0)]), pin([(2, 4, 0)]))),
+            )
+        )
+        assert clip_pin_cost(big) > clip_pin_cost(small)
+
+    def test_smaller_pins_cost_more(self):
+        big_pins = tiny_clip(
+            nets=(ClipNet("n0", (pin([(0, 0, 0)], area=80000),
+                                 pin([(3, 4, 0)], area=80000))),)
+        )
+        small_pins = tiny_clip(
+            nets=(ClipNet("n0", (pin([(0, 0, 0)], area=1000),
+                                 pin([(3, 4, 0)], area=1000))),)
+        )
+        assert clip_pin_cost(small_pins) > clip_pin_cost(big_pins)
+
+    def test_closer_pins_cost_more(self):
+        far = tiny_clip(
+            nets=(ClipNet("n0", (pin([(0, 0, 0)], position=(0, 0)),
+                                 pin([(3, 4, 0)], position=(2000, 2000)))),)
+        )
+        near = tiny_clip(
+            nets=(ClipNet("n0", (pin([(0, 0, 0)], position=(0, 0)),
+                                 pin([(3, 4, 0)], position=(100, 0)))),)
+        )
+        assert clip_pin_cost(near) > clip_pin_cost(far)
+
+    def test_boundary_pins_only_partially_count(self):
+        with_boundary = tiny_clip(
+            nets=(ClipNet("n0", (pin([(0, 0, 0)]),
+                                 pin([(3, 4, 1)], boundary=True))),)
+        )
+        pec, pac, prc = pin_cost_breakdown(with_boundary)
+        assert pec == 1.0  # only the cell pin counts
+        assert prc == 0.0  # no pair
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            PinCostParams(theta=0)

@@ -1,0 +1,80 @@
+"""Tests for the switchbox routability metric (future-work direction)."""
+
+from repro.clips import Clip, ClipNet, ClipPin, SyntheticClipSpec, make_synthetic_clip
+from repro.clips.clip import paper_directions
+from repro.clips.routability import routability_breakdown, routability_score
+
+
+def pin(*vertices, boundary=False):
+    return ClipPin(access=frozenset(vertices), on_boundary=boundary)
+
+
+def clip_with(nets, nx=5, ny=6, nz=3):
+    return Clip(
+        name="r", nx=nx, ny=ny, nz=nz,
+        horizontal=paper_directions(nz), nets=tuple(nets),
+    )
+
+
+class TestRoutabilityScore:
+    def test_more_nets_higher_score(self):
+        one = clip_with([ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0))))])
+        two = clip_with(
+            [
+                ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0)))),
+                ClipNet("b", (pin((3, 0, 0)), pin((3, 4, 0)))),
+            ]
+        )
+        assert routability_score(two) > routability_score(one)
+
+    def test_spread_nets_increase_demand(self):
+        compact = clip_with([ClipNet("a", (pin((1, 0, 0)), pin((1, 1, 0))))])
+        spread = clip_with([ClipNet("a", (pin((0, 0, 0)), pin((4, 5, 0))))])
+        assert (
+            routability_breakdown(spread).wire_demand
+            > routability_breakdown(compact).wire_demand
+        )
+
+    def test_via_pressure_counts_direction_crossers(self):
+        # Same-column net: pure vertical on slot 0, no via needed.
+        aligned = clip_with([ClipNet("a", (pin((2, 0, 0)), pin((2, 5, 0))))])
+        # L-shaped net must change layers.
+        crosser = clip_with([ClipNet("a", (pin((0, 0, 0)), pin((4, 5, 0))))])
+        assert (
+            routability_breakdown(crosser).via_pressure
+            > routability_breakdown(aligned).via_pressure
+        )
+
+    def test_boundary_pins_not_counted_as_pin_pressure(self):
+        internal = clip_with(
+            [ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0))))]
+        )
+        with_boundary = clip_with(
+            [ClipNet("a", (pin((1, 0, 0)), pin((0, 4, 1), boundary=True)))]
+        )
+        assert (
+            routability_breakdown(with_boundary).pin_pressure
+            < routability_breakdown(internal).pin_pressure
+        )
+
+    def test_score_positive_on_synthetic_clips(self):
+        for seed in range(5):
+            clip = make_synthetic_clip(
+                SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3), seed=seed
+            )
+            assert routability_score(clip) > 0
+
+    def test_correlates_with_infeasibility_direction(self):
+        # A maximally crowded clip scores higher than a sparse one.
+        sparse = make_synthetic_clip(
+            SyntheticClipSpec(nx=7, ny=10, nz=4, n_nets=1, sinks_per_net=1),
+            seed=1,
+        )
+        crowded = make_synthetic_clip(
+            SyntheticClipSpec(
+                nx=7, ny=10, nz=2, n_nets=5, sinks_per_net=2,
+                access_points_per_pin=2, pin_spacing_cols=1,
+            ),
+            seed=1,
+        )
+        assert routability_score(crowded) > routability_score(sparse)

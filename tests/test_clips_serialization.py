@@ -1,0 +1,66 @@
+"""Tests for clip JSON serialization."""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.clips.serialization import (
+    clip_from_dict,
+    clip_to_dict,
+    dump_clips,
+    load_clips,
+)
+
+
+def sample_clips():
+    return [
+        make_synthetic_clip(
+            SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3), seed=s
+        ).with_pin_cost(float(s))
+        for s in range(3)
+    ]
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        for clip in sample_clips():
+            assert clip_from_dict(clip_to_dict(clip)) == clip
+
+    def test_corpus_round_trip(self):
+        clips = sample_clips()
+        assert load_clips(dump_clips(clips)) == clips
+
+    def test_extracted_clips_round_trip(self, routed_design):
+        from repro.clips import ClipWindowSpec, extract_clips
+
+        design, grid, routed = routed_design
+        clips = extract_clips(design, grid, routed, ClipWindowSpec())
+        back = load_clips(dump_clips(clips[:10]))
+        assert back == clips[:10]
+
+    def test_pin_cost_and_origin_preserved(self):
+        clip = sample_clips()[2]
+        back = clip_from_dict(clip_to_dict(clip))
+        assert back.pin_cost == 2.0
+        assert back.origin == clip.origin
+
+
+class TestValidation:
+    def test_version_checked(self):
+        data = clip_to_dict(sample_clips()[0])
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            clip_from_dict(data)
+
+    def test_non_array_rejected(self):
+        with pytest.raises(ValueError):
+            load_clips("{}")
+
+    def test_routable_after_round_trip(self):
+        from repro.router import OptRouter
+
+        clip = sample_clips()[0]
+        back = clip_from_dict(clip_to_dict(clip))
+        a = OptRouter().route(clip)
+        b = OptRouter().route(back)
+        assert a.status == b.status
+        assert a.cost == b.cost

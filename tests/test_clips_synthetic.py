@@ -1,0 +1,54 @@
+"""Tests for the synthetic clip generator."""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+
+
+class TestSyntheticClips:
+    def test_reproducible(self):
+        a = make_synthetic_clip(seed=3)
+        b = make_synthetic_clip(seed=3)
+        assert a.nets == b.nets
+
+    def test_seed_varies(self):
+        assert make_synthetic_clip(seed=1).nets != make_synthetic_clip(seed=2).nets
+
+    def test_dimensions_from_spec(self):
+        spec = SyntheticClipSpec(nx=9, ny=12, nz=5, n_nets=2)
+        clip = make_synthetic_clip(spec, seed=0)
+        assert (clip.nx, clip.ny, clip.nz) == (9, 12, 5)
+        assert len(clip.horizontal) == 5
+
+    def test_no_overlapping_pins(self):
+        for seed in range(10):
+            clip = make_synthetic_clip(seed=seed)
+            seen = set()
+            for net in clip.nets:
+                for pin in net.pins:
+                    assert not (pin.access & seen), "pin vertices overlap"
+                    seen |= pin.access
+
+    def test_access_point_count(self):
+        spec = SyntheticClipSpec(access_points_per_pin=3, boundary_pin_prob=0.0)
+        clip = make_synthetic_clip(spec, seed=4)
+        for net in clip.nets:
+            for pin in net.pins:
+                assert 1 <= len(pin.access) <= 3
+
+    def test_boundary_pins_on_boundary(self):
+        spec = SyntheticClipSpec(boundary_pin_prob=1.0, n_nets=3)
+        clip = make_synthetic_clip(spec, seed=5)
+        for net in clip.nets:
+            for pin in net.sinks:
+                if pin.on_boundary:
+                    ((x, y, _z),) = tuple(pin.access)
+                    assert (
+                        x in (0, clip.nx - 1) or y in (0, clip.ny - 1)
+                    )
+
+    def test_impossible_spec_raises(self):
+        spec = SyntheticClipSpec(nx=2, ny=2, nz=1, n_nets=30, sinks_per_net=5,
+                                 boundary_pin_prob=0.0)
+        with pytest.raises(ValueError):
+            make_synthetic_clip(spec, seed=0)

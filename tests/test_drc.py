@@ -1,0 +1,179 @@
+"""Tests for the independent DRC checker."""
+
+from repro.clips import Clip, ClipNet, ClipPin
+from repro.clips.clip import paper_directions
+from repro.drc import check_clip_routing
+from repro.router import RuleConfig, ViaRestriction
+from repro.router.solution import ClipRouting, NetSolution
+
+
+def clip_two_nets():
+    return Clip(
+        name="drc", nx=5, ny=5, nz=3,
+        horizontal=paper_directions(3),
+        nets=(
+            ClipNet("a", (
+                ClipPin(access=frozenset({(1, 0, 0)})),
+                ClipPin(access=frozenset({(1, 3, 0)})),
+            )),
+            ClipNet("b", (
+                ClipPin(access=frozenset({(3, 0, 0)})),
+                ClipPin(access=frozenset({(3, 3, 0)})),
+            )),
+        ),
+        obstacles=frozenset({(4, 4, 0)}),
+    )
+
+
+def straight(net_name, col, y0, y1, z=0):
+    return NetSolution(
+        net_name=net_name,
+        wire_edges=[((col, y, z), (col, y + 1, z)) for y in range(y0, y1)],
+    )
+
+
+class TestCleanRouting:
+    def test_valid_solution_passes(self):
+        routing = ClipRouting(
+            nets=[straight("a", 1, 0, 3), straight("b", 3, 0, 3)], cost=6.0
+        )
+        assert check_clip_routing(clip_two_nets(), RuleConfig(), routing) == []
+
+
+class TestOpens:
+    def test_missing_sink_detected(self):
+        routing = ClipRouting(
+            nets=[straight("a", 1, 0, 2), straight("b", 3, 0, 3)], cost=5.0
+        )
+        violations = check_clip_routing(clip_two_nets(), RuleConfig(), routing)
+        assert any(v.kind == "open" and "a" in v.nets for v in violations)
+
+    def test_disconnected_island_detected(self):
+        net = straight("a", 1, 0, 1)
+        net.wire_edges.append(((1, 2, 0), (1, 3, 0)))  # island near sink
+        routing = ClipRouting(nets=[net, straight("b", 3, 0, 3)], cost=5.0)
+        violations = check_clip_routing(clip_two_nets(), RuleConfig(), routing)
+        assert any(v.kind == "open" for v in violations)
+
+
+class TestShortsAndBlockages:
+    def test_shared_vertex_detected(self):
+        bad_b = NetSolution(
+            net_name="b",
+            wire_edges=[((3, y, 0), (3, y + 1, 0)) for y in range(3)]
+            + [((1, 1, 0), (1, 2, 0))],  # overlaps net a's column
+        )
+        routing = ClipRouting(nets=[straight("a", 1, 0, 3), bad_b], cost=0)
+        violations = check_clip_routing(clip_two_nets(), RuleConfig(), routing)
+        assert any(v.kind == "short" for v in violations)
+
+    def test_obstacle_usage_detected(self):
+        net = straight("a", 1, 0, 3)
+        net.wire_edges.append(((4, 3, 0), (4, 4, 0)))  # touches obstacle
+        routing = ClipRouting(nets=[net, straight("b", 3, 0, 3)], cost=0)
+        violations = check_clip_routing(clip_two_nets(), RuleConfig(), routing)
+        assert any(v.kind == "obstacle" for v in violations)
+
+    def test_foreign_pin_detected(self):
+        net = straight("a", 1, 0, 3)
+        net.wire_edges.append(((3, 2, 0), (3, 3, 0)))  # lands on b's pin
+        routing = ClipRouting(nets=[net, straight("b", 3, 0, 2)], cost=0)
+        violations = check_clip_routing(clip_two_nets(), RuleConfig(), routing)
+        assert any(v.kind == "pin_short" for v in violations)
+
+
+class TestDirectionRule:
+    def test_wrong_direction_detected(self):
+        net = NetSolution(
+            net_name="a",
+            wire_edges=[((1, 0, 0), (2, 0, 0))],  # horizontal on vertical M2
+        )
+        routing = ClipRouting(nets=[net], cost=0)
+        violations = check_clip_routing(clip_two_nets(), RuleConfig(), routing)
+        assert any(v.kind == "direction" for v in violations)
+
+
+class TestViaAdjacency:
+    def _routing_with_vias(self, sites):
+        nets = []
+        for index, site in enumerate(sites):
+            nets.append(
+                NetSolution(net_name=f"n{index}", vias=[site])
+            )
+        return ClipRouting(nets=nets, cost=0)
+
+    def test_orthogonal_adjacency_detected(self):
+        rules = RuleConfig(via_restriction=ViaRestriction.ORTHOGONAL)
+        routing = self._routing_with_vias([(1, 1, 0), (1, 2, 0)])
+        violations = check_clip_routing(clip_two_nets(), rules, routing)
+        assert any(v.kind == "via_adjacency" for v in violations)
+
+    def test_diagonal_only_flagged_in_full_mode(self):
+        routing = self._routing_with_vias([(1, 1, 0), (2, 2, 0)])
+        ortho = check_clip_routing(
+            clip_two_nets(),
+            RuleConfig(via_restriction=ViaRestriction.ORTHOGONAL),
+            routing,
+        )
+        full = check_clip_routing(
+            clip_two_nets(),
+            RuleConfig(via_restriction=ViaRestriction.FULL),
+            routing,
+        )
+        assert not any(v.kind == "via_adjacency" for v in ortho)
+        assert any(v.kind == "via_adjacency" for v in full)
+
+    def test_different_cut_layers_ok(self):
+        rules = RuleConfig(via_restriction=ViaRestriction.FULL)
+        routing = self._routing_with_vias([(1, 1, 0), (1, 2, 1)])
+        violations = check_clip_routing(clip_two_nets(), rules, routing)
+        assert not any(v.kind == "via_adjacency" for v in violations)
+
+
+class TestSadpEol:
+    def _facing_tips(self, gap):
+        # Two horizontal wires on slot 1 (M3) of the same row, tips
+        # separated by `gap` columns.
+        a = NetSolution(net_name="a", wire_edges=[((0, 2, 1), (1, 2, 1))])
+        b = NetSolution(
+            net_name="b",
+            wire_edges=[((1 + gap, 2, 1), (2 + gap, 2, 1))],
+        )
+        return ClipRouting(nets=[a, b], cost=0)
+
+    def test_adjacent_tips_flagged(self):
+        rules = RuleConfig(sadp_min_metal=3)
+        violations = check_clip_routing(
+            clip_two_nets(), rules, self._facing_tips(gap=1)
+        )
+        assert any(v.kind == "sadp_eol" for v in violations)
+
+    def test_distant_tips_ok(self):
+        rules = RuleConfig(sadp_min_metal=3)
+        violations = check_clip_routing(
+            clip_two_nets(), rules, self._facing_tips(gap=2)
+        )
+        assert not any(v.kind == "sadp_eol" for v in violations)
+
+    def test_misaligned_same_side_eols_flagged(self):
+        rules = RuleConfig(sadp_min_metal=3)
+        a = NetSolution(net_name="a", wire_edges=[((1, 2, 1), (2, 2, 1))])
+        b = NetSolution(net_name="b", wire_edges=[((2, 3, 1), (3, 3, 1))])
+        routing = ClipRouting(nets=[a, b], cost=0)
+        violations = check_clip_routing(clip_two_nets(), rules, routing)
+        assert any(v.kind == "sadp_eol" for v in violations)
+
+    def test_aligned_same_side_eols_ok(self):
+        rules = RuleConfig(sadp_min_metal=3)
+        a = NetSolution(net_name="a", wire_edges=[((1, 2, 1), (2, 2, 1))])
+        b = NetSolution(net_name="b", wire_edges=[((1, 3, 1), (2, 3, 1))])
+        routing = ClipRouting(nets=[a, b], cost=0)
+        violations = check_clip_routing(clip_two_nets(), rules, routing)
+        assert not any(v.kind == "sadp_eol" for v in violations)
+
+    def test_layers_below_sadp_min_ignored(self):
+        rules = RuleConfig(sadp_min_metal=4)  # M3 (slot 1) not SADP
+        violations = check_clip_routing(
+            clip_two_nets(), rules, self._facing_tips(gap=1)
+        )
+        assert not any(v.kind == "sadp_eol" for v in violations)

@@ -1,0 +1,111 @@
+"""Failure-injection tests: corrupt valid routings, expect DRC to object.
+
+These guard the *checker* itself: a checker that silently accepts
+corrupted geometry would let formulation bugs through the entire
+validation chain.
+"""
+
+import copy
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.drc import check_clip_routing
+from repro.router import OptRouter, RuleConfig, ViaRestriction
+
+
+@pytest.fixture(scope="module")
+def routed_pair():
+    clip = make_synthetic_clip(
+        SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3, sinks_per_net=1),
+        seed=12,
+    )
+    rules = RuleConfig(via_restriction=ViaRestriction.ORTHOGONAL)
+    result = OptRouter().route(clip, rules)
+    assert result.feasible
+    assert check_clip_routing(clip, rules, result.routing) == []
+    return clip, rules, result.routing
+
+
+def corrupted(routing):
+    return copy.deepcopy(routing)
+
+
+class TestInjectedFaults:
+    def test_dropped_edge_detected_as_open(self, routed_pair):
+        clip, rules, routing = routed_pair
+        target = next(
+            net for net in routing.nets if len(net.wire_edges) >= 2
+        )
+        bad = corrupted(routing)
+        victim = next(n for n in bad.nets if n.net_name == target.net_name)
+        # Drop an interior edge (not the last one) to create an island.
+        victim.wire_edges.pop(0)
+        violations = check_clip_routing(clip, rules, bad)
+        assert violations, "dropped edge not detected"
+
+    def test_duplicated_vertex_between_nets_is_short(self, routed_pair):
+        clip, rules, routing = routed_pair
+        nets = [n for n in routing.nets if n.wire_edges]
+        if len(nets) < 2:
+            pytest.skip("need two wired nets")
+        bad = corrupted(routing)
+        a = next(n for n in bad.nets if n.net_name == nets[0].net_name)
+        b = next(n for n in bad.nets if n.net_name == nets[1].net_name)
+        b.wire_edges.append(a.wire_edges[0])
+        violations = check_clip_routing(clip, rules, bad)
+        assert any(v.kind == "short" for v in violations)
+
+    def test_rotated_edge_breaks_direction(self, routed_pair):
+        clip, rules, routing = routed_pair
+        bad = corrupted(routing)
+        victim = next(n for n in bad.nets if n.wire_edges)
+        (x, y, z), (x2, y2, _z2) = victim.wire_edges[0]
+        if x == x2:  # vertical edge -> make it horizontal
+            rotated = ((x, y, z), (x + 1, y, z))
+        else:
+            rotated = ((x, y, z), (x, y + 1, z))
+        victim.wire_edges.append(rotated)
+        violations = check_clip_routing(clip, rules, bad)
+        assert any(v.kind == "direction" for v in violations)
+
+    def test_adjacent_via_injection_detected(self, routed_pair):
+        clip, rules, routing = routed_pair
+        bad = corrupted(routing)
+        victim = next((n for n in bad.nets if n.vias), None)
+        if victim is None:
+            pytest.skip("no vias in solution")
+        x, y, z = victim.vias[0]
+        neighbor = (x + 1, y, z) if x + 1 < clip.nx else (x - 1, y, z)
+        victim.vias.append(neighbor)
+        violations = check_clip_routing(clip, rules, bad)
+        assert any(v.kind == "via_adjacency" for v in violations)
+
+    def test_obstacle_injection_detected(self, routed_pair):
+        clip, rules, routing = routed_pair
+        victim_net = next(n for n in routing.nets if n.wire_edges)
+        used_vertex = victim_net.wire_edges[0][0]
+        corrupted_clip = clip  # same routing, obstacle placed under it
+        from dataclasses import replace
+
+        corrupted_clip = replace(
+            clip, obstacles=frozenset({used_vertex})
+        )
+        violations = check_clip_routing(corrupted_clip, rules, routing)
+        assert any(v.kind == "obstacle" for v in violations)
+
+    def test_foreign_pin_touch_detected(self, routed_pair):
+        clip, rules, routing = routed_pair
+        # Route net A through a pin vertex of net B.
+        other = clip.nets[1]
+        pin_vertex = next(iter(other.pins[0].access))
+        bad = corrupted(routing)
+        victim = next(
+            n for n in bad.nets if n.net_name != other.name and n.wire_edges
+        )
+        x, y, z = pin_vertex
+        # Fabricate an edge landing exactly on the foreign pin vertex.
+        neighbor = (x, y + 1, z) if y + 1 < clip.ny else (x, y - 1, z)
+        victim.wire_edges.append(((x, y, z), neighbor))
+        violations = check_clip_routing(clip, rules, bad)
+        assert any(v.kind == "pin_short" for v in violations)

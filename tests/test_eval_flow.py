@@ -1,0 +1,105 @@
+"""Tests for the Δcost evaluation flow."""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.eval import (
+    INFEASIBLE_DELTA,
+    EvalConfig,
+    evaluate_clips,
+    format_delta_cost_table,
+    format_rule_table,
+    paper_rule,
+    validate_against_baseline,
+)
+from repro.eval.report import format_sorted_traces
+from repro.router import RuleConfig, ViaRestriction
+
+
+@pytest.fixture(scope="module")
+def study():
+    clips = [
+        make_synthetic_clip(
+            SyntheticClipSpec(nx=6, ny=7, nz=3, n_nets=3, sinks_per_net=1,
+                              access_points_per_pin=2, pin_spacing_cols=1),
+            seed=s,
+        )
+        for s in range(5)
+    ]
+    rules = [
+        paper_rule("RULE1"),
+        RuleConfig(name="RULE6", via_restriction=ViaRestriction.ORTHOGONAL),
+        RuleConfig(name="RULE9", via_restriction=ViaRestriction.FULL),
+    ]
+    return evaluate_clips(clips, rules, EvalConfig(time_limit_per_clip=30.0))
+
+
+class TestDeltaCostStudy:
+    def test_outcome_grid_complete(self, study):
+        for rule_name in study.rule_names:
+            assert len(study.outcomes[rule_name]) == len(study.clip_names)
+
+    def test_deltas_nonnegative(self, study):
+        # Adding constraints can never reduce the optimal cost.
+        for rule_name in study.rule_names[1:]:
+            for delta in study.delta_costs(rule_name):
+                assert delta >= 0
+
+    def test_baseline_deltas_zero(self, study):
+        assert all(d == 0 for d in study.delta_costs("RULE1"))
+
+    def test_sorted_trace_ascending(self, study):
+        trace = study.sorted_delta_costs("RULE9")
+        assert trace == sorted(trace)
+
+    def test_infeasible_convention(self, study):
+        for rule_name in study.rule_names:
+            n_inf = study.infeasible_count(rule_name)
+            trace = study.sorted_delta_costs(rule_name)
+            assert sum(1 for d in trace if d >= INFEASIBLE_DELTA) == n_inf
+
+    def test_zero_fraction_bounds(self, study):
+        for rule_name in study.rule_names:
+            assert 0.0 <= study.zero_delta_fraction(rule_name) <= 1.0
+
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            evaluate_clips([], [])
+
+
+class TestReports:
+    def test_rule_table_renders(self):
+        text = format_rule_table([paper_rule("RULE1"), paper_rule("RULE8")])
+        assert "RULE8" in text and "SADP >= M3" in text
+
+    def test_delta_table_renders(self, study):
+        text = format_delta_cost_table(study, title="demo")
+        assert "RULE6" in text
+        assert "infeasible" in text
+
+    def test_traces_render(self, study):
+        text = format_sorted_traces(study)
+        assert "RULE1" in text and "legend" in text
+
+
+class TestValidation:
+    def test_footnote6_property(self):
+        clips = [
+            make_synthetic_clip(
+                SyntheticClipSpec(nx=6, ny=7, nz=3, n_nets=3, sinks_per_net=1),
+                seed=s,
+            )
+            for s in range(4)
+        ]
+        records = validate_against_baseline(clips)
+        comparable = [r for r in records if r.comparable]
+        assert comparable
+        for record in comparable:
+            assert record.delta <= 1e-9
+
+    def test_delta_requires_comparable(self):
+        from repro.eval import ValidationRecord
+
+        record = ValidationRecord("c", None, 5.0)
+        with pytest.raises(ValueError):
+            record.delta

@@ -1,0 +1,76 @@
+"""Unit tests for Δcost study accounting (LIMIT vs infeasible, noise)."""
+
+from repro.eval import INFEASIBLE_DELTA
+from repro.eval.flow import ClipRuleOutcome, DeltaCostStudy
+from repro.eval.report import format_delta_cost_table, format_sorted_traces
+from repro.router.optrouter import RouteStatus
+
+
+def outcome(rule, cost, status=RouteStatus.OPTIMAL):
+    return ClipRuleOutcome(
+        clip_name="c", rule_name=rule, status=status, cost=cost,
+        wirelength=0, n_vias=0, solve_seconds=0.0,
+    )
+
+
+def make_study():
+    study = DeltaCostStudy(
+        clip_names=["c0", "c1", "c2", "c3"],
+        rule_names=["RULE1", "MIX"],
+        baseline_rule="RULE1",
+    )
+    study.outcomes["RULE1"] = [
+        outcome("RULE1", 10.0),
+        outcome("RULE1", 10.0),
+        outcome("RULE1", 10.0),
+        outcome("RULE1", None, RouteStatus.INFEASIBLE),  # baseline dead
+    ]
+    study.outcomes["MIX"] = [
+        outcome("MIX", 10.0 + 1e-9),                      # solver noise
+        outcome("MIX", None, RouteStatus.LIMIT),          # budget out
+        outcome("MIX", None, RouteStatus.INFEASIBLE),     # truly infeasible
+        outcome("MIX", 12.0),                             # baseline-dead clip
+    ]
+    return study
+
+
+class TestAccounting:
+    def test_noise_rounded_to_zero(self):
+        deltas = make_study().delta_costs("MIX")
+        assert 0.0 in deltas
+        assert all(d == 0.0 or d >= INFEASIBLE_DELTA for d in deltas)
+
+    def test_limit_excluded_from_deltas(self):
+        deltas = make_study().delta_costs("MIX")
+        # noise clip + infeasible clip; LIMIT and baseline-dead skipped.
+        assert len(deltas) == 2
+
+    def test_counters(self):
+        study = make_study()
+        assert study.infeasible_count("MIX") == 1
+        assert study.limit_count("MIX") == 1
+
+    def test_baseline_dead_clips_skipped(self):
+        deltas = make_study().delta_costs("MIX")
+        assert 2.0 not in deltas  # c3's 12-10 never computed
+
+    def test_zero_fraction(self):
+        assert make_study().zero_delta_fraction("MIX") == 0.5
+
+    def test_mean_excluding_infeasible(self):
+        assert make_study().mean_delta("MIX") == 0.0
+
+    def test_mean_including_infeasible(self):
+        mean = make_study().mean_delta("MIX", include_infeasible=True)
+        assert mean == (0.0 + INFEASIBLE_DELTA) / 2
+
+
+class TestRendering:
+    def test_infeasible_marked_in_trace(self):
+        text = format_sorted_traces(make_study())
+        mix_line = next(l for l in text.splitlines() if "MIX" in l)
+        assert "X" in mix_line
+
+    def test_table_has_limit_column(self):
+        text = format_delta_cost_table(make_study())
+        assert "limit" in text.splitlines()[0] or "limit" in text

@@ -1,0 +1,59 @@
+"""Tests for rule impact ranking."""
+
+from repro.eval.flow import ClipRuleOutcome, DeltaCostStudy
+from repro.eval.ranking import format_ranking, rank_rules
+from repro.router.optrouter import RouteStatus
+
+
+def outcome(rule, cost, status=RouteStatus.OPTIMAL, clip="c"):
+    return ClipRuleOutcome(
+        clip_name=clip, rule_name=rule, status=status, cost=cost,
+        wirelength=0, n_vias=0, solve_seconds=0.0,
+    )
+
+
+def make_study():
+    study = DeltaCostStudy(
+        clip_names=["c0", "c1", "c2", "c3"],
+        rule_names=["RULE1", "MILD", "COSTLY", "KILLER"],
+        baseline_rule="RULE1",
+    )
+    study.outcomes["RULE1"] = [outcome("RULE1", 10.0) for _ in range(4)]
+    # MILD: one clip +1.
+    study.outcomes["MILD"] = [
+        outcome("MILD", 11.0), outcome("MILD", 10.0),
+        outcome("MILD", 10.0), outcome("MILD", 10.0),
+    ]
+    # COSTLY: all clips +5.
+    study.outcomes["COSTLY"] = [outcome("COSTLY", 15.0) for _ in range(4)]
+    # KILLER: two infeasible, others unchanged.
+    study.outcomes["KILLER"] = [
+        outcome("KILLER", None, RouteStatus.INFEASIBLE),
+        outcome("KILLER", None, RouteStatus.INFEASIBLE),
+        outcome("KILLER", 10.0),
+        outcome("KILLER", 10.0),
+    ]
+    return study
+
+
+class TestRanking:
+    def test_order_matches_severity_intuition(self):
+        impacts = rank_rules(make_study())
+        names = [impact.rule_name for impact in impacts]
+        assert names == ["KILLER", "COSTLY", "MILD"]
+
+    def test_baseline_excluded(self):
+        impacts = rank_rules(make_study())
+        assert all(impact.rule_name != "RULE1" for impact in impacts)
+
+    def test_fractions(self):
+        impacts = {i.rule_name: i for i in rank_rules(make_study())}
+        assert impacts["KILLER"].infeasible_fraction == 0.5
+        assert impacts["COSTLY"].mean_finite_delta == 5.0
+        assert impacts["MILD"].affected_fraction == 0.25
+
+    def test_format(self):
+        text = format_ranking(rank_rules(make_study()))
+        assert "KILLER" in text
+        # title, headers, separator, then the first-ranked row.
+        assert text.splitlines()[3].strip().startswith("1")

@@ -1,0 +1,57 @@
+"""Tests for the Table 3 rule configurations."""
+
+import pytest
+
+from repro.eval import paper_rule, paper_rules, rules_for_technology
+from repro.eval.rule_configs import N7_EXCLUDED
+from repro.router import ViaRestriction
+
+
+class TestPaperRules:
+    def test_eleven_rules(self):
+        rules = paper_rules()
+        assert [r.name for r in rules] == [f"RULE{i}" for i in range(1, 12)]
+
+    def test_rule1_unconstrained(self):
+        rule = paper_rule("RULE1")
+        assert rule.sadp_min_metal is None
+        assert rule.via_restriction is ViaRestriction.NONE
+
+    def test_sadp_tiers(self):
+        assert paper_rule("RULE2").sadp_min_metal == 2
+        assert paper_rule("RULE5").sadp_min_metal == 5
+        assert paper_rule("RULE8").sadp_min_metal == 3
+
+    def test_via_tiers(self):
+        assert paper_rule("RULE6").via_restriction is ViaRestriction.ORTHOGONAL
+        assert paper_rule("RULE9").via_restriction is ViaRestriction.FULL
+        assert paper_rule("RULE11").via_restriction is ViaRestriction.FULL
+
+    def test_case_insensitive(self):
+        assert paper_rule("rule3").name == "RULE3"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            paper_rule("RULE12")
+
+    def test_sadp_applies_to(self):
+        rule = paper_rule("RULE3")
+        assert not rule.sadp_applies_to(2)
+        assert rule.sadp_applies_to(3)
+        assert rule.sadp_applies_to(8)
+
+    def test_describe(self):
+        text = paper_rule("RULE8").describe()
+        assert "SADP >= M3" in text and "4 neighbors" in text
+
+
+class TestTechnologyFilter:
+    def test_n28_gets_all(self):
+        assert len(rules_for_technology("N28-12T")) == 11
+        assert len(rules_for_technology("N28-8T")) == 11
+
+    def test_n7_excludes_diagonal_rules(self):
+        names = [r.name for r in rules_for_technology("N7-9T")]
+        assert names == ["RULE1", "RULE3", "RULE4", "RULE5", "RULE6", "RULE8"]
+        for excluded in N7_EXCLUDED:
+            assert excluded not in names

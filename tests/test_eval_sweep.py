@@ -1,0 +1,47 @@
+"""Tests for the utilization sweep experiment."""
+
+import pytest
+
+from repro.eval.sweep import run_utilization_sweep
+from repro.tech import make_n28_12t
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_utilization_sweep(
+        make_n28_12t(),
+        utilizations=(0.82, 0.90),
+        profiles=("aes", "m0"),
+        n_instances=70,
+        top_k=10,
+        max_metal=5,
+        seed=40,
+    )
+
+
+class TestUtilizationSweep:
+    def test_all_points_collected(self, sweep):
+        assert len(sweep.points) == 4
+        assert {p.profile for p in sweep.points} == {"aes", "m0"}
+
+    def test_achieved_utilization_tracks_target(self, sweep):
+        for point in sweep.points:
+            assert point.utilization_achieved <= point.utilization_target + 0.01
+
+    def test_clip_counts_positive(self, sweep):
+        for point in sweep.points:
+            assert point.n_clips > 0
+            assert point.top_costs
+
+    def test_paper_observation_ranges_overlap(self, sweep):
+        # Figure 8: pin-cost distributions are not design-specific.
+        assert sweep.ranges_overlap_across_profiles()
+
+    def test_drift_bounded(self, sweep):
+        # Figure 8: distributions do not change much with utilization.
+        assert sweep.max_range_drift() < 0.6
+
+    def test_table_renders(self, sweep):
+        table = sweep.to_table()
+        assert "AES" in table and "M0" in table
+        assert "top min" in table

@@ -1,0 +1,66 @@
+"""Tests for the cross-technology comparison."""
+
+import pytest
+
+from repro.eval.techcompare import compare_technologies
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    from repro.clips import SyntheticClipSpec
+    from repro.eval import EvalConfig
+
+    return compare_technologies(
+        tech_names=("N28-12T", "N7-9T"),
+        n_clips=3,
+        base_spec=SyntheticClipSpec(
+            nx=5, ny=7, nz=3, n_nets=2, sinks_per_net=1, boundary_pin_prob=0.3
+        ),
+        config=EvalConfig(time_limit_per_clip=20.0),
+    )
+
+
+class TestTechnologyComparison:
+    def test_studies_per_technology(self, comparison):
+        assert set(comparison.studies) == {"N28-12T", "N7-9T"}
+
+    def test_n7_rule_subset(self, comparison):
+        names = comparison.studies["N7-9T"].rule_names
+        assert "RULE9" not in names
+        assert "RULE8" in names
+
+    def test_sensitivities_finite_for_shared_rules(self, comparison):
+        for tech_name in comparison.studies:
+            value = comparison.sensitivity(tech_name, "RULE6")
+            assert value == value  # not NaN
+            assert value >= 0
+
+    def test_table_renders(self, comparison):
+        table = comparison.to_table()
+        assert "N28-12T" in table and "N7-9T" in table
+        assert "RULE6" in table
+        assert "RULE1" not in table.splitlines()[2]  # baseline excluded
+
+
+class TestCliExtensions:
+    def test_sta_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "sta", "--instances", "40", "--utilization", "0.8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "min feasible period" in out
+        assert "critical path" in out
+
+    def test_improve_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "improve", "--instances", "60", "--utilization", "0.85",
+            "--max-metal", "3", "--max-clips", "2", "--time-limit", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chip routing cost" in out

@@ -1,0 +1,72 @@
+"""Final coverage batch: congestion overflow, SVG obstacles, misc."""
+
+from repro.clips import Clip, ClipNet, ClipPin
+from repro.clips.clip import paper_directions
+from repro.viz import render_clip_svg
+
+
+class TestGlobalRouterOverflow:
+    def test_capacity_override_and_overflow_reporting(self, routed_design):
+        from repro.route.global_router import GlobalRouter
+
+        design, grid, _routed = routed_design
+        tight = GlobalRouter(grid, tracks_per_gcell=7, capacity_per_tile=1)
+        result = tight.route(design)
+        assert result.capacity == 1
+        # With capacity 1 and many nets, some tile must overflow.
+        assert result.overflowed_tiles()
+        assert result.max_usage() > 1
+
+    def test_loose_capacity_no_overflow(self, routed_design):
+        from repro.route.global_router import GlobalRouter
+
+        design, grid, _routed = routed_design
+        loose = GlobalRouter(grid, tracks_per_gcell=7, capacity_per_tile=10**6)
+        result = loose.route(design)
+        assert result.overflowed_tiles() == []
+
+
+class TestSvgObstacles:
+    def test_obstacles_rendered(self):
+        clip = Clip(
+            name="obs", nx=4, ny=4, nz=2,
+            horizontal=paper_directions(2),
+            nets=(
+                ClipNet("a", (
+                    ClipPin(access=frozenset({(0, 0, 0)})),
+                    ClipPin(access=frozenset({(0, 3, 0)})),
+                )),
+            ),
+            obstacles=frozenset({(2, 2, 0), (2, 2, 1)}),
+        )
+        svg = render_clip_svg(clip)
+        assert svg.count('fill="#222222"') == 2  # one square per obstacle
+
+
+class TestSweepTableShape:
+    def test_point_cost_range_empty(self):
+        from repro.eval.sweep import SweepPoint
+
+        point = SweepPoint(
+            profile="aes", utilization_target=0.9,
+            utilization_achieved=0.88, n_clips=0, top_costs=(),
+        )
+        assert point.cost_range == (0.0, 0.0)
+
+    def test_drift_zero_for_single_point(self):
+        from repro.eval.sweep import SweepPoint, UtilizationSweep
+
+        sweep = UtilizationSweep(tech_name="T")
+        sweep.points.append(
+            SweepPoint("aes", 0.9, 0.89, 5, (10.0, 12.0))
+        )
+        assert sweep.max_range_drift() == 0.0
+        assert sweep.ranges_overlap_across_profiles()
+
+
+class TestRedundantViaReportEdge:
+    def test_rate_with_shape_vias_counted(self):
+        from repro.router.redundant import RedundantViaReport
+
+        report = RedundantViaReport(n_vias_total=4)
+        assert report.protection_rate == 0.0

@@ -1,0 +1,41 @@
+"""Tests for repro.geometry.point."""
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestPoint:
+    def test_construction_and_fields(self):
+        p = Point(3, -4)
+        assert p.x == 3
+        assert p.y == -4
+
+    def test_immutability(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 5
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+        assert Point(-1, -1).manhattan_distance(Point(1, 1)) == 4
+
+    def test_chebyshev_distance(self):
+        assert Point(0, 0).chebyshev_distance(Point(3, 4)) == 4
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_ordering(self):
+        assert Point(1, 2) < Point(1, 3) < Point(2, 0)
+
+    def test_as_tuple_and_str(self):
+        assert Point(7, 8).as_tuple() == (7, 8)
+        assert str(Point(7, 8)) == "(7, 8)"
+
+    def test_hashable(self):
+        assert len({Point(1, 1), Point(1, 1), Point(2, 1)}) == 2

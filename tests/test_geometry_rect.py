@@ -1,0 +1,74 @@
+"""Tests for repro.geometry.rect."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+
+
+class TestRectConstruction:
+    def test_basic(self):
+        r = Rect(0, 0, 10, 20)
+        assert r.width == 10
+        assert r.height == 20
+        assert r.area == 200
+
+    def test_degenerate_allowed(self):
+        r = Rect(5, 5, 5, 9)
+        assert r.width == 0
+        assert r.area == 0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(10, 0, 0, 5)
+
+    def test_from_points_any_order(self):
+        assert Rect.from_points(Point(5, 1), Point(2, 7)) == Rect(2, 1, 5, 7)
+
+    def test_from_center(self):
+        assert Rect.from_center(Point(10, 10), 4, 6) == Rect(8, 7, 12, 13)
+
+    def test_from_center_odd_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), 3, 2)
+
+
+class TestRectQueries:
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert not r.contains_point(Point(11, 5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 8, 8))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 12, 8))
+
+    def test_intersects_touching(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 0, 9, 5))
+
+    def test_overlaps_open_excludes_touching(self):
+        assert not Rect(0, 0, 5, 5).overlaps_open(Rect(5, 0, 9, 5))
+        assert Rect(0, 0, 5, 5).overlaps_open(Rect(4, 0, 9, 5))
+
+    def test_intersection(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(3, 3, 9, 9)) == Rect(3, 3, 5, 5)
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_union(self):
+        assert Rect(0, 0, 2, 2).union(Rect(5, 5, 6, 8)) == Rect(0, 0, 6, 8)
+
+    def test_expanded(self):
+        assert Rect(2, 2, 4, 4).expanded(1) == Rect(1, 1, 5, 5)
+        with pytest.raises(ValueError):
+            Rect(2, 2, 4, 4).expanded(-3)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(10, 20) == Rect(10, 20, 11, 21)
+
+    def test_distance_to(self):
+        assert Rect(0, 0, 2, 2).distance_to(Rect(5, 0, 6, 2)) == 3
+        assert Rect(0, 0, 2, 2).distance_to(Rect(5, 7, 6, 9)) == 8
+        assert Rect(0, 0, 2, 2).distance_to(Rect(1, 1, 5, 5)) == 0

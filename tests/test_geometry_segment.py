@@ -1,0 +1,54 @@
+"""Tests for repro.geometry.segment."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Segment
+
+
+class TestSegment:
+    def test_horizontal(self):
+        s = Segment(Point(0, 5), Point(9, 5))
+        assert s.is_horizontal
+        assert not s.is_point
+        assert s.length == 9
+
+    def test_vertical(self):
+        s = Segment(Point(2, 0), Point(2, 4))
+        assert s.is_vertical
+        assert s.length == 4
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(Point(0, 0), Point(1, 1))
+
+    def test_point_segment(self):
+        s = Segment(Point(3, 3), Point(3, 3))
+        assert s.is_point
+        assert s.is_horizontal and s.is_vertical
+        assert s.length == 0
+
+    def test_canonical(self):
+        s = Segment(Point(9, 5), Point(0, 5)).canonical()
+        assert s.a == Point(0, 5)
+
+    def test_bbox(self):
+        assert Segment(Point(4, 1), Point(0, 1)).bbox() == Rect(0, 1, 4, 1)
+
+    def test_points(self):
+        pts = Segment(Point(0, 0), Point(0, 3)).points()
+        assert pts == [Point(0, 0), Point(0, 1), Point(0, 2), Point(0, 3)]
+
+    def test_points_with_step(self):
+        pts = Segment(Point(0, 0), Point(6, 0)).points(step=3)
+        assert pts == [Point(0, 0), Point(3, 0), Point(6, 0)]
+
+    def test_points_bad_step(self):
+        with pytest.raises(ValueError):
+            Segment(Point(0, 0), Point(1, 0)).points(step=0)
+
+    def test_overlaps(self):
+        a = Segment(Point(0, 0), Point(5, 0))
+        b = Segment(Point(5, 0), Point(9, 0))
+        c = Segment(Point(6, 0), Point(9, 0))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

@@ -1,0 +1,47 @@
+"""Tests for repro.geometry.transform."""
+
+from repro.geometry import Orientation, Point, Rect, Transform
+
+
+def make(orient, w=100, h=200, offset=Point(1000, 2000)):
+    return Transform(
+        offset=offset, orientation=orient, cell_width=w, cell_height=h
+    )
+
+
+class TestOrientation:
+    def test_flip_flags(self):
+        assert not Orientation.N.flips_x and not Orientation.N.flips_y
+        assert Orientation.S.flips_x and Orientation.S.flips_y
+        assert Orientation.FN.flips_x and not Orientation.FN.flips_y
+        assert not Orientation.FS.flips_x and Orientation.FS.flips_y
+
+
+class TestTransform:
+    def test_north_is_translation(self):
+        t = make(Orientation.N)
+        assert t.apply_point(Point(10, 20)) == Point(1010, 2020)
+
+    def test_fs_flips_y(self):
+        t = make(Orientation.FS)
+        assert t.apply_point(Point(10, 20)) == Point(1010, 2000 + 200 - 20)
+
+    def test_fn_flips_x(self):
+        t = make(Orientation.FN)
+        assert t.apply_point(Point(10, 20)) == Point(1000 + 100 - 10, 2020)
+
+    def test_s_flips_both(self):
+        t = make(Orientation.S)
+        assert t.apply_point(Point(10, 20)) == Point(1090, 2180)
+
+    def test_apply_rect_stays_wellformed(self):
+        t = make(Orientation.FS)
+        r = t.apply_rect(Rect(10, 20, 30, 60))
+        assert r.xlo <= r.xhi and r.ylo <= r.yhi
+        assert r.width == 20 and r.height == 40
+
+    def test_cell_corners_map_to_cell_bbox(self):
+        for orient in Orientation:
+            t = make(orient)
+            box = t.apply_rect(Rect(0, 0, 100, 200))
+            assert box == Rect(1000, 2000, 1100, 2200)

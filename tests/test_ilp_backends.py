@@ -1,0 +1,116 @@
+"""Tests for the HiGHS and branch-and-bound MILP backends."""
+
+import pytest
+
+from repro.ilp import (
+    BnBOptions,
+    LinExpr,
+    Model,
+    SolveStatus,
+    solve_with_bnb,
+    solve_with_highs,
+)
+
+BACKENDS = [
+    pytest.param(solve_with_highs, id="highs"),
+    pytest.param(solve_with_bnb, id="bnb"),
+]
+
+
+def knapsack():
+    m = Model("knapsack")
+    values = [10, 13, 7, 8, 6]
+    weights = [3, 4, 2, 3, 2]
+    xs = [m.binary(f"x{i}") for i in range(5)]
+    m.add(sum((w * x for w, x in zip(weights, xs)), LinExpr()) <= 7)
+    m.minimize(sum((-v * x for v, x in zip(values, xs)), LinExpr()))
+    return m, xs
+
+
+@pytest.mark.parametrize("solve", BACKENDS)
+class TestBackends:
+    def test_knapsack_optimum(self, solve):
+        m, _xs = knapsack()
+        solution = solve(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-23.0)  # {x0,x1} or {x0,x2,x4}
+
+    def test_infeasible(self, solve):
+        m = Model()
+        x = m.binary("x")
+        m.add(x + 0 >= 2)
+        m.minimize(x + 0)
+        assert solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self, solve):
+        m = Model()
+        x = m.integer("x", 0, 10)
+        y = m.integer("y", 0, 10)
+        m.add(LinExpr({x.index: 1.0, y.index: 1.0}) == 7)
+        m.add(x - y <= 1)
+        m.minimize(-2 * x - y)
+        solution = solve(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.value(x) == 4 and solution.value(y) == 3
+
+    def test_continuous_variables(self, solve):
+        m = Model()
+        x = m.var("x", 0.0, 10.0)
+        b = m.binary("b")
+        m.add(x - 4 * b <= 0)
+        m.minimize(-x + 3 * b)
+        solution = solve(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-1.0)
+        assert solution.value(x) == pytest.approx(4.0)
+
+    def test_empty_model(self, solve):
+        assert solve(Model()).status is SolveStatus.OPTIMAL
+
+    def test_objective_constant_carried(self, solve):
+        m = Model()
+        x = m.binary("x")
+        m.add(x + 0 >= 1)
+        m.minimize(x + 10)
+        assert solve(m).objective == pytest.approx(11.0)
+
+
+class TestAgreement:
+    def test_backends_agree_on_small_instances(self):
+        import random
+
+        rng = random.Random(0)
+        for trial in range(15):
+            m = Model(f"rand{trial}")
+            xs = [m.binary(f"x{i}") for i in range(6)]
+            for _ in range(4):
+                expr = sum(
+                    (rng.choice([1, 2, 3]) * x for x in rng.sample(xs, 3)),
+                    LinExpr(),
+                )
+                m.add(expr <= rng.choice([2, 3, 4]))
+            m.minimize(
+                sum((rng.choice([-3, -2, -1, 1]) * x for x in xs), LinExpr())
+            )
+            a = solve_with_highs(m)
+            b = solve_with_bnb(m)
+            assert a.status == b.status
+            if a.status is SolveStatus.OPTIMAL:
+                assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+
+class TestBnBLimits:
+    def test_node_limit_returns_limit_status(self):
+        m, _ = knapsack()
+        solution = solve_with_bnb(m, BnBOptions(max_nodes=1))
+        assert solution.status in (SolveStatus.LIMIT, SolveStatus.OPTIMAL)
+
+    def test_limit_solution_feasible_if_any(self):
+        m, xs = knapsack()
+        solution = solve_with_bnb(m, BnBOptions(max_nodes=2))
+        if solution.values:
+            weight = sum(
+                w * solution.value(x)
+                for w, x in zip([3, 4, 2, 3, 2], xs)
+            )
+            assert weight <= 7 + 1e-9

@@ -1,0 +1,90 @@
+"""Tests for OptRouter-based local routing improvement."""
+
+import pytest
+
+from repro.improve import improve_routing
+from repro.route.detailed_router import DetailedRouter
+
+
+@pytest.fixture(scope="module")
+def improved(routed_design):
+    import copy
+
+    design, grid, routed = routed_design
+    routed = copy.deepcopy(routed)  # session fixture must stay pristine
+    before_cost = routed.routed_cost()
+    report = improve_routing(design, grid, routed, max_clips=6)
+    return design, grid, routed, before_cost, report
+
+
+class TestImproveRouting:
+    def test_gain_is_nonnegative(self, improved):
+        _d, _g, _routed, _before, report = improved
+        assert report.total_gain >= 0
+        for clip in report.clips:
+            assert clip.gain >= 0
+
+    def test_cost_never_increases(self, improved):
+        _d, _g, routed, before, report = improved
+        after = routed.routed_cost()
+        assert after <= before + 1e-9
+        assert before - after == pytest.approx(report.total_gain, abs=1e-6)
+
+    def test_nets_stay_disjoint(self, improved):
+        _d, _g, routed, _before, _report = improved
+        owner = {}
+        for name, nodes in routed.node_sets.items():
+            for node in nodes:
+                assert owner.setdefault(node, name) == name
+
+    def test_terminals_still_covered(self, improved):
+        design, grid, routed, _before, _report = improved
+        router = DetailedRouter(grid)
+        for net in design.nets:
+            if len(net.terms) < 2 or net.name not in routed.node_sets:
+                continue
+            nodes = routed.node_sets[net.name]
+            for access in router.terminal_nodes(design, net):
+                assert access & nodes, f"{net.name} lost a terminal"
+
+    def test_trees_stay_connected(self, improved):
+        design, grid, routed, _before, _report = improved
+        router = DetailedRouter(grid)
+        nets_by_name = {n.name: n for n in design.nets}
+        for name, edges in routed.edge_sets.items():
+            if not edges:
+                continue
+            adjacency: dict[int, set[int]] = {}
+            for edge in edges:
+                a, b = tuple(edge)
+                adjacency.setdefault(a, set()).add(b)
+                adjacency.setdefault(b, set()).add(a)
+            for access in router.terminal_nodes(design, nets_by_name[name]):
+                nodes = sorted(access)
+                for node in nodes[1:]:
+                    adjacency.setdefault(nodes[0], set()).add(node)
+                    adjacency.setdefault(node, set()).add(nodes[0])
+            start = next(iter(adjacency))
+            reached = {start}
+            stack = [start]
+            while stack:
+                for nbr in adjacency.get(stack.pop(), ()):
+                    if nbr not in reached:
+                        reached.add(nbr)
+                        stack.append(nbr)
+            touched = {n for edge in edges for n in edge}
+            assert touched <= reached
+
+    def test_summary_renders(self, improved):
+        _d, _g, _routed, _before, report = improved
+        text = report.summary()
+        assert "clips improved" in text
+
+    def test_optimum_never_exceeds_existing_wiring(self, improved):
+        """Regression for the pin-feedthrough fix: the ILP optimum of a
+        clip can never cost more than the heuristic wiring it would
+        replace (the existing wiring is a feasible ILP solution)."""
+        _d, _g, _routed, _before, report = improved
+        for clip in report.clips:
+            if clip.new_cost is not None:
+                assert clip.new_cost <= clip.old_cost + 1e-9, clip.clip_name

@@ -1,0 +1,95 @@
+"""LEF/DEF writer-parser round-trip tests."""
+
+import pytest
+
+from repro.geometry import Point, Segment
+from repro.lefdef import parse_def, parse_lef, write_def, write_lef
+from repro.lefdef.def_parser import DefParseError
+from repro.lefdef.lef_parser import LefParseError
+from repro.netlist import Term
+from repro.place import place_design
+from repro.route.wiring import NetRoute, WireSegment, WireVia
+
+
+class TestLefRoundTrip:
+    def test_library_round_trips(self, library_12t, n28_12t):
+        text = write_lef(library_12t, n28_12t)
+        parsed = parse_lef(text)
+        assert parsed.site_width == library_12t.site_width
+        assert parsed.row_height == library_12t.row_height
+        assert sorted(parsed.names()) == sorted(library_12t.names())
+
+    def test_cell_geometry_preserved(self, library_12t):
+        parsed = parse_lef(write_lef(library_12t))
+        for name in library_12t.names():
+            original = library_12t.cell(name)
+            back = parsed.cell(name)
+            assert back.width == original.width
+            assert back.height == original.height
+            for pin in original.pins:
+                assert back.pin(pin.name).shapes == pin.shapes
+                assert back.pin(pin.name).is_supply == pin.is_supply
+
+    def test_comments_ignored(self, library_12t):
+        text = "# header comment\n" + write_lef(library_12t)
+        assert len(parse_lef(text)) == len(library_12t)
+
+    def test_missing_site_rejected(self):
+        with pytest.raises(LefParseError):
+            parse_lef("VERSION 5.8 ;\nEND LIBRARY\n")
+
+
+class TestDefRoundTrip:
+    def test_placed_design_round_trips(self, library_12t):
+        from repro.netlist import synthesize_design
+
+        design = synthesize_design(library_12t, "aes", 30, seed=7)
+        place_design(design, utilization=0.8, seed=0, sa_moves=0)
+        text = write_def(design)
+        parsed = parse_def(text, library_12t)
+        back = parsed.design
+        assert back.name == design.name
+        assert back.die == design.die
+        assert back.n_instances == design.n_instances
+        assert back.n_nets == design.n_nets
+        for inst in design.instances:
+            other = back.instance(inst.name)
+            assert other.location == inst.location
+            assert other.orientation == inst.orientation
+
+    def test_routed_wiring_round_trips(self, library_12t):
+        from repro.netlist import Design
+
+        design = Design("tiny", library_12t)
+        design.add_instance("u0", "INVX1")
+        design.add_instance("u1", "INVX1")
+        design.instance("u0").location = Point(0, 0)
+        design.instance("u1").location = Point(1360, 0)
+        design.add_net("n0", [Term("u0", "Y"), Term("u1", "A")])
+        route = NetRoute(net="n0")
+        route.segments.append(
+            WireSegment(2, Segment(Point(68, 50), Point(68, 850)))
+        )
+        route.vias.append(WireVia(lower=2, at=Point(68, 850)))
+        text = write_def(design, {"n0": route})
+        parsed = parse_def(text, library_12t)
+        back = parsed.routes["n0"]
+        assert back.segments == route.segments
+        assert back.vias[0].lower == 2
+        assert back.vias[0].at == Point(68, 850)
+
+    def test_net_terms_preserved(self, library_12t):
+        from repro.netlist import Design
+
+        design = Design("t2", library_12t)
+        design.add_instance("a", "NAND2X1")
+        design.add_instance("b", "NAND2X1")
+        design.add_net(
+            "n", [Term("a", "Y"), Term("b", "A"), Term("b", "B")]
+        )
+        parsed = parse_def(write_def(design), library_12t)
+        assert parsed.design.net("n").terms == design.net("n").terms
+
+    def test_malformed_def_rejected(self, library_12t):
+        with pytest.raises(DefParseError):
+            parse_def("COMPONENTS 1 ;\nEND COMPONENTS\n", library_12t)

@@ -1,0 +1,90 @@
+"""Tests for repro.netlist.design."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Design, Term
+
+
+def make_design(library_12t):
+    design = Design("d", library_12t)
+    design.add_instance("u0", "NAND2X1")
+    design.add_instance("u1", "INVX1")
+    return design
+
+
+class TestDesignConstruction:
+    def test_add_instance(self, library_12t):
+        design = make_design(library_12t)
+        assert design.n_instances == 2
+        assert design.instance("u0").cell.name == "NAND2X1"
+
+    def test_duplicate_instance(self, library_12t):
+        design = make_design(library_12t)
+        with pytest.raises(ValueError):
+            design.add_instance("u0", "INVX1")
+
+    def test_add_net_validates_pins(self, library_12t):
+        design = make_design(library_12t)
+        with pytest.raises(KeyError):
+            design.add_net("n0", [Term("u0", "NOPE"), Term("u1", "A")])
+
+    def test_add_net_and_connectivity(self, library_12t):
+        design = make_design(library_12t)
+        design.add_net("n0", [Term("u0", "Y"), Term("u1", "A")])
+        assert design.n_nets == 1
+        assert [n.name for n in design.nets_of_instance("u1")] == ["n0"]
+
+    def test_attach_term(self, library_12t):
+        design = make_design(library_12t)
+        design.add_net("n0", [Term("u0", "Y")])
+        design.attach_term("n0", Term("u1", "A"))
+        assert len(design.net("n0")) == 2
+        assert design.nets_of_instance("u1")
+
+    def test_driver_of(self, library_12t):
+        design = make_design(library_12t)
+        net = design.add_net("n0", [Term("u1", "A"), Term("u0", "Y")])
+        assert design.driver_of(net) == Term("u0", "Y")
+
+    def test_unknown_lookups(self, library_12t):
+        design = make_design(library_12t)
+        with pytest.raises(KeyError):
+            design.instance("zz")
+        with pytest.raises(KeyError):
+            design.net("zz")
+
+
+class TestInstancePlacement:
+    def test_unplaced_errors(self, library_12t):
+        design = make_design(library_12t)
+        inst = design.instance("u0")
+        assert not inst.is_placed
+        with pytest.raises(ValueError):
+            inst.bbox()
+
+    def test_placed_bbox_and_pins(self, library_12t):
+        design = make_design(library_12t)
+        inst = design.instance("u0")
+        inst.location = Point(1360, 2400)
+        box = inst.bbox()
+        assert box.xlo == 1360 and box.ylo == 2400
+        shapes = inst.pin_shapes("A")
+        assert all(box.contains_rect(rect) for _m, rect in shapes)
+
+
+class TestStats:
+    def test_utilization(self, library_12t):
+        design = make_design(library_12t)
+        with pytest.raises(ValueError):
+            design.utilization()
+        design.die = Rect(0, 0, 10000, 10000)
+        assert 0 < design.utilization() < 1
+
+    def test_total_cell_area(self, library_12t):
+        design = make_design(library_12t)
+        expected = sum(
+            design.instance(n).cell.width * design.instance(n).cell.height
+            for n in ("u0", "u1")
+        )
+        assert design.total_cell_area() == expected

@@ -1,0 +1,83 @@
+"""Tests for the synthetic netlist generators."""
+
+import pytest
+
+from repro.netlist import synthesize_design
+from repro.netlist.synth import AES_PROFILE, M0_PROFILE, profile_by_name
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert profile_by_name("aes") is AES_PROFILE
+        assert profile_by_name("M0") is M0_PROFILE
+        with pytest.raises(KeyError):
+            profile_by_name("riscv")
+
+
+class TestSynthesis:
+    def test_reproducible(self, library_12t):
+        a = synthesize_design(library_12t, "aes", 60, seed=5)
+        b = synthesize_design(library_12t, "aes", 60, seed=5)
+        assert [i.cell.name for i in a.instances] == [
+            i.cell.name for i in b.instances
+        ]
+        assert [len(n.terms) for n in a.nets] == [len(n.terms) for n in b.nets]
+
+    def test_seed_changes_design(self, library_12t):
+        a = synthesize_design(library_12t, "aes", 60, seed=5)
+        b = synthesize_design(library_12t, "aes", 60, seed=6)
+        assert [i.cell.name for i in a.instances] != [
+            i.cell.name for i in b.instances
+        ]
+
+    def test_instance_count(self, library_12t):
+        design = synthesize_design(library_12t, "m0", 123, seed=0)
+        assert design.n_instances == 123
+
+    def test_no_floating_inputs(self, library_12t):
+        design = synthesize_design(library_12t, "aes", 100, seed=1)
+        connected: dict[tuple[str, str], int] = {}
+        for net in design.nets:
+            for term in net.terms:
+                connected[(term.instance, term.pin)] = (
+                    connected.get((term.instance, term.pin), 0) + 1
+                )
+        for inst in design.instances:
+            for pin in inst.cell.input_pins():
+                assert (inst.name, pin.name) in connected, (
+                    f"floating input {inst.name}/{pin.name}"
+                )
+
+    def test_single_driver_per_net(self, library_12t):
+        design = synthesize_design(library_12t, "aes", 100, seed=2)
+        for net in design.nets:
+            drivers = [
+                t
+                for t in net.terms
+                if design.instance(t.instance).cell.pin(t.pin).direction.value
+                == "OUTPUT"
+            ]
+            assert len(drivers) == 1, net.name
+
+    def test_profiles_differ_in_mix(self, library_12t):
+        aes = synthesize_design(library_12t, "aes", 400, seed=3)
+        m0 = synthesize_design(library_12t, "m0", 400, seed=3)
+
+        def frac(design, base):
+            return sum(
+                1 for i in design.instances if i.cell.name.startswith(base)
+            ) / design.n_instances
+
+        assert frac(aes, "XOR2") > frac(m0, "XOR2")
+        assert frac(m0, "MUX2") > frac(aes, "MUX2")
+
+    def test_m0_has_heavier_fanout_tail(self, library_12t):
+        aes = synthesize_design(library_12t, "aes", 400, seed=4)
+        m0 = synthesize_design(library_12t, "m0", 400, seed=4)
+        max_aes = max(len(n.terms) for n in aes.nets)
+        max_m0 = max(len(n.terms) for n in m0.nets)
+        assert max_m0 >= max_aes
+
+    def test_too_small_rejected(self, library_12t):
+        with pytest.raises(ValueError):
+            synthesize_design(library_12t, "aes", 1, seed=0)

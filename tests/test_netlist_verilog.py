@@ -1,0 +1,76 @@
+"""Tests for structural Verilog IO."""
+
+import pytest
+
+from repro.netlist import synthesize_design
+from repro.netlist.verilog import VerilogParseError, parse_verilog, write_verilog
+
+
+class TestRoundTrip:
+    def test_design_round_trips(self, library_12t):
+        design = synthesize_design(library_12t, "aes", 60, seed=17)
+        text = write_verilog(design)
+        back = parse_verilog(text, library_12t)
+        assert back.name == design.name
+        assert back.n_instances == design.n_instances
+        assert back.n_nets == design.n_nets
+        for inst in design.instances:
+            assert back.instance(inst.name).cell.name == inst.cell.name
+
+    def test_connectivity_preserved(self, library_12t):
+        design = synthesize_design(library_12t, "m0", 50, seed=18)
+        back = parse_verilog(write_verilog(design), library_12t)
+        for net in design.nets:
+            other = back.net(net.name)
+            assert sorted(
+                (t.instance, t.pin) for t in net.terms
+            ) == sorted((t.instance, t.pin) for t in other.terms)
+
+    def test_drivers_first_after_parse(self, library_12t):
+        design = synthesize_design(library_12t, "aes", 40, seed=19)
+        back = parse_verilog(write_verilog(design), library_12t)
+        for net in back.nets:
+            driver = back.driver_of(net)
+            if driver is not None:
+                assert net.terms[0] == driver
+
+
+class TestParser:
+    def test_comments_stripped(self, library_12t):
+        text = (
+            "// header\n"
+            "module t (  );\n"
+            "  wire a; /* block\n comment */\n"
+            "  INVX1 u0 ( .A(a), .Y(a) );\n"
+            "endmodule\n"
+        )
+        design = parse_verilog(text, library_12t)
+        assert design.n_instances == 1
+
+    def test_open_pins_allowed(self, library_12t):
+        text = (
+            "module t (  );\n"
+            "  wire a;\n"
+            "  NAND2X1 u0 ( .A(a), .B(), .Y(a) );\n"
+            "endmodule\n"
+        )
+        design = parse_verilog(text, library_12t)
+        assert len(design.net("a").terms) == 2
+
+    def test_unknown_cell_rejected(self, library_12t):
+        text = "module t (  );\n  MYSTERY u0 ( .A(a) );\nendmodule\n"
+        with pytest.raises(VerilogParseError):
+            parse_verilog(text, library_12t)
+
+    def test_unknown_pin_rejected(self, library_12t):
+        text = "module t (  );\n  INVX1 u0 ( .Q(a) );\nendmodule\n"
+        with pytest.raises(KeyError):
+            parse_verilog(text, library_12t)
+
+    def test_missing_module_rejected(self, library_12t):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("wire a;\n", library_12t)
+
+    def test_missing_endmodule_rejected(self, library_12t):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("module t (  );\n  wire a;\n", library_12t)

@@ -1,0 +1,105 @@
+"""Tests for the placement substrate."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.place import RowGrid, check_placement, place_design, total_hpwl
+from repro.place.hpwl import hpwl
+
+
+class TestRowGrid:
+    def test_basic_geometry(self):
+        grid = RowGrid(die=Rect(0, 0, 1360, 2400), row_height=1200, site_width=136)
+        assert grid.n_rows == 2
+        assert grid.sites_per_row == 10
+        assert grid.row_y(1) == 1200
+        assert grid.site_x(3) == 408
+        assert grid.row_of_y(1250) == 1
+        assert grid.site_of_x(409) == 3
+
+    def test_row_flipping(self):
+        grid = RowGrid(die=Rect(0, 0, 1360, 2400), row_height=1200, site_width=136)
+        assert not grid.row_is_flipped(0)
+        assert grid.row_is_flipped(1)
+
+    def test_misaligned_die_rejected(self):
+        with pytest.raises(ValueError):
+            RowGrid(die=Rect(0, 0, 1360, 2500), row_height=1200, site_width=136)
+
+    def test_for_design_area_capacity(self):
+        grid = RowGrid.for_design_area(
+            total_cell_area=10_000_000, utilization=0.8,
+            row_height=1200, site_width=136,
+        )
+        capacity = grid.n_rows * grid.sites_per_row * 1200 * 136
+        assert capacity >= 10_000_000
+        assert grid.die.area >= 10_000_000 / 0.8 * 0.8  # sanity
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            RowGrid.for_design_area(1000, 0.0, 1200, 136)
+        with pytest.raises(ValueError):
+            RowGrid.for_design_area(1000, 1.5, 1200, 136)
+
+
+class TestPlaceDesign:
+    def test_legal_placement(self, placed_design):
+        design, result = placed_design
+        assert design.is_fully_placed()
+        assert check_placement(design, result.grid) == []
+
+    def test_utilization_near_target(self, placed_design):
+        design, result = placed_design
+        assert 0.6 <= result.utilization <= 0.85
+
+    def test_sa_does_not_worsen_hpwl(self, placed_design):
+        _design, result = placed_design
+        assert result.hpwl_final <= result.hpwl_initial
+
+    def test_hpwl_consistency(self, placed_design):
+        design, result = placed_design
+        assert total_hpwl(design) == result.hpwl_final
+
+    def test_degenerate_nets_cost_zero(self, placed_design):
+        design, _result = placed_design
+        for net in design.nets:
+            if len(net.terms) < 2:
+                assert hpwl(design, net) == 0
+
+
+class TestPlacementChecker:
+    def test_detects_overlap(self, library_12t):
+        from repro.geometry import Point
+        from repro.netlist import Design
+
+        design = Design("overlap", library_12t)
+        design.add_instance("a", "NAND2X1")
+        design.add_instance("b", "NAND2X1")
+        grid = RowGrid(die=Rect(0, 0, 13600, 1200), row_height=1200, site_width=136)
+        design.instance("a").location = Point(0, 0)
+        design.instance("b").location = Point(136, 0)  # overlaps a
+        violations = check_placement(design, grid)
+        assert any(v.kind == "overlap" for v in violations)
+
+    def test_detects_off_grid(self, library_12t):
+        from repro.geometry import Point
+        from repro.netlist import Design
+
+        design = Design("offgrid", library_12t)
+        design.add_instance("a", "NAND2X1")
+        grid = RowGrid(die=Rect(0, 0, 13600, 2400), row_height=1200, site_width=136)
+        design.instance("a").location = Point(135, 600)
+        kinds = {v.kind for v in check_placement(design, grid)}
+        assert "off_site" in kinds and "off_row" in kinds
+
+    def test_detects_unplaced_and_outside(self, library_12t):
+        from repro.geometry import Point
+        from repro.netlist import Design
+
+        design = Design("outside", library_12t)
+        design.add_instance("a", "NAND2X1")
+        design.add_instance("b", "NAND2X1")
+        grid = RowGrid(die=Rect(0, 0, 1360, 1200), row_height=1200, site_width=136)
+        design.instance("b").location = Point(1224, 0)  # extends past die
+        kinds = {v.kind for v in check_placement(design, grid)}
+        assert "unplaced" in kinds and "outside_die" in kinds

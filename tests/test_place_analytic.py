@@ -1,0 +1,58 @@
+"""Tests for the analytical placer."""
+
+import pytest
+
+from repro.netlist import synthesize_design
+from repro.place import analytic_place, check_placement, place_design, total_hpwl
+
+
+@pytest.fixture(scope="module")
+def analytic_result(library_12t):
+    design = synthesize_design(library_12t, "aes", 100, seed=23)
+    result = analytic_place(design, utilization=0.85, seed=0)
+    return design, result
+
+
+class TestAnalyticPlace:
+    def test_placement_legal(self, analytic_result):
+        design, result = analytic_result
+        assert design.is_fully_placed()
+        assert check_placement(design, result.grid) == []
+
+    def test_utilization_close_to_target(self, analytic_result):
+        _design, result = analytic_result
+        assert 0.6 <= result.utilization <= 0.85
+
+    def test_hpwl_consistent(self, analytic_result):
+        design, result = analytic_result
+        assert total_hpwl(design) == result.hpwl_final
+
+    def test_beats_or_matches_random_order_packing(self, library_12t):
+        """Quadratic placement should not lose badly to the greedy
+        packer without SA (both get zero annealing moves)."""
+        a = synthesize_design(library_12t, "m0", 100, seed=24)
+        b = synthesize_design(library_12t, "m0", 100, seed=24)
+        greedy = place_design(a, utilization=0.85, seed=0, sa_moves=0)
+        analytic = analytic_place(b, utilization=0.85, seed=0)
+        assert analytic.hpwl_final <= greedy.hpwl_final * 1.5
+
+    def test_sa_refinement_improves(self, library_12t):
+        design = synthesize_design(library_12t, "aes", 60, seed=25)
+        result = analytic_place(design, utilization=0.85, seed=0, sa_moves=800)
+        assert result.hpwl_final <= result.hpwl_initial
+
+    def test_tiny_design_rejected(self, library_12t):
+        from repro.netlist import Design
+
+        design = Design("one", library_12t)
+        design.add_instance("u0", "INVX1")
+        with pytest.raises(ValueError):
+            analytic_place(design)
+
+    def test_deterministic(self, library_12t):
+        a = synthesize_design(library_12t, "aes", 60, seed=26)
+        b = synthesize_design(library_12t, "aes", 60, seed=26)
+        analytic_place(a, utilization=0.85, seed=1)
+        analytic_place(b, utilization=0.85, seed=1)
+        for inst_a, inst_b in zip(a.instances, b.instances):
+            assert inst_a.location == inst_b.location

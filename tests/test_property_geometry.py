@@ -1,0 +1,98 @@
+"""Property-based tests for geometry primitives."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Orientation, Point, Rect, Segment, Transform
+
+coords = st.integers(min_value=-10_000, max_value=10_000)
+points = st.builds(Point, coords, coords)
+
+
+def rects():
+    return st.builds(lambda a, b: Rect.from_points(a, b), points, points)
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_manhattan_symmetry(self, a, b):
+        assert a.manhattan_distance(b) == b.manhattan_distance(a)
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert a.manhattan_distance(c) <= (
+            a.manhattan_distance(b) + b.manhattan_distance(c)
+        )
+
+    @given(points)
+    def test_add_sub_inverse(self, p):
+        assert (p + Point(5, 7)) - Point(5, 7) == p
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_subset_of_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_intersects_symmetry(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_distance_zero_iff_touching(self, a, b):
+        assert (a.distance_to(b) == 0) == a.intersects(b)
+
+    @given(rects(), st.integers(min_value=0, max_value=100))
+    def test_expand_monotone(self, r, m):
+        grown = r.expanded(m)
+        assert grown.contains_rect(r)
+
+    @given(rects(), coords, coords)
+    def test_translate_preserves_size(self, r, dx, dy):
+        moved = r.translated(dx, dy)
+        assert moved.width == r.width and moved.height == r.height
+
+
+class TestSegmentProperties:
+    @given(points, st.integers(min_value=-500, max_value=500))
+    def test_horizontal_points_count(self, a, dx):
+        seg = Segment(a, a.translated(dx, 0))
+        assert len(seg.points()) == abs(dx) + 1
+
+    @given(points, st.integers(min_value=-500, max_value=500))
+    def test_canonical_idempotent(self, a, dy):
+        seg = Segment(a, a.translated(0, dy))
+        assert seg.canonical() == seg.canonical().canonical()
+
+
+class TestTransformProperties:
+    @given(
+        st.sampled_from(list(Orientation)),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_cell_points_stay_in_placed_bbox(self, orient, px, py):
+        t = Transform(
+            offset=Point(1000, 2000), orientation=orient,
+            cell_width=100, cell_height=200,
+        )
+        mapped = t.apply_point(Point(px, py))
+        assert 1000 <= mapped.x <= 1100
+        assert 2000 <= mapped.y <= 2200
+
+    @given(st.sampled_from(list(Orientation)))
+    def test_orientation_is_involution(self, orient):
+        # Applying the same flip twice returns the original local point.
+        t = Transform(
+            offset=Point(0, 0), orientation=orient,
+            cell_width=100, cell_height=200,
+        )
+        p = Point(30, 40)
+        assert t.apply_point(t.apply_point(p)) == p

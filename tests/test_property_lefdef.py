@@ -1,0 +1,97 @@
+"""Property-based LEF/DEF round-trip tests over generated geometry."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import Cell, Library, Pin, PinDirection
+from repro.geometry import Orientation, Point, Rect
+from repro.lefdef import parse_def, parse_lef, write_def, write_lef
+from repro.netlist import Design, Term
+
+SITE = 136
+ROW = 800
+
+
+@st.composite
+def cells(draw, name="C"):
+    width_sites = draw(st.integers(min_value=2, max_value=8))
+    width = width_sites * SITE
+    pins = []
+    n_pins = draw(st.integers(min_value=1, max_value=4))
+    for index in range(n_pins):
+        xlo = draw(st.integers(min_value=0, max_value=width - 20))
+        ylo = draw(st.integers(min_value=0, max_value=ROW - 20))
+        xhi = draw(st.integers(min_value=xlo + 1, max_value=min(width, xlo + 200)))
+        yhi = draw(st.integers(min_value=ylo + 1, max_value=min(ROW, ylo + 400)))
+        direction = draw(
+            st.sampled_from([PinDirection.INPUT, PinDirection.OUTPUT])
+        )
+        pins.append(
+            Pin(f"P{index}", direction, ((1, Rect(xlo, ylo, xhi, yhi)),))
+        )
+    return Cell(name=name, width=width, height=ROW, pins=tuple(pins))
+
+
+@st.composite
+def libraries(draw):
+    library = Library("hyp", site_width=SITE, row_height=ROW)
+    n = draw(st.integers(min_value=1, max_value=4))
+    for index in range(n):
+        library.add(draw(cells(name=f"C{index}")))
+    return library
+
+
+class TestLefProperty:
+    @given(libraries())
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_exact(self, library):
+        parsed = parse_lef(write_lef(library))
+        assert sorted(parsed.names()) == sorted(library.names())
+        for name in library.names():
+            original = library.cell(name)
+            back = parsed.cell(name)
+            assert back.width == original.width
+            assert back.height == original.height
+            assert {p.name for p in back.pins} == {p.name for p in original.pins}
+            for pin in original.pins:
+                assert back.pin(pin.name).shapes == pin.shapes
+                assert back.pin(pin.name).direction == pin.direction
+
+
+class TestDefProperty:
+    @given(
+        libraries(),
+        st.integers(min_value=2, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_placement_round_trip(self, library, n_instances, rng):
+        design = Design("hyp_design", library)
+        names = library.names()
+        for index in range(n_instances):
+            inst = design.add_instance(f"u{index}", rng.choice(names))
+            inst.location = Point(
+                rng.randrange(0, 50) * SITE, rng.randrange(0, 20) * ROW
+            )
+            inst.orientation = rng.choice(list(Orientation))
+        # Connect output pins to input pins when available.
+        terms = []
+        for inst in design.instances:
+            outs = inst.cell.output_pins()
+            ins = inst.cell.input_pins()
+            if outs:
+                terms.append(Term(inst.name, outs[0].name))
+            elif ins:
+                terms.append(Term(inst.name, ins[0].name))
+        if len(terms) >= 2:
+            design.add_net("n0", terms)
+
+        parsed = parse_def(write_def(design), library)
+        back = parsed.design
+        assert back.n_instances == design.n_instances
+        for inst in design.instances:
+            other = back.instance(inst.name)
+            assert other.location == inst.location
+            assert other.orientation == inst.orientation
+            assert other.cell.name == inst.cell.name
+        if design.nets:
+            assert back.net("n0").terms == design.net("n0").terms

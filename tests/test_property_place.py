@@ -1,0 +1,42 @@
+"""Property-based placement tests: legality over random workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import synthesize_design
+from repro.place import analytic_place, check_placement, place_design
+
+
+class TestPlacementProperties:
+    @given(
+        n=st.integers(min_value=10, max_value=60),
+        util=st.floats(min_value=0.5, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=30),
+        profile=st.sampled_from(["aes", "m0"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_greedy_always_legal(self, library_12t, n, util, seed, profile):
+        design = synthesize_design(library_12t, profile, n, seed=seed)
+        result = place_design(design, utilization=util, seed=seed, sa_moves=50)
+        assert check_placement(design, result.grid) == []
+        assert result.utilization <= util + 1e-9
+
+    @given(
+        n=st.integers(min_value=10, max_value=50),
+        util=st.floats(min_value=0.5, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_analytic_always_legal(self, library_12t, n, util, seed):
+        design = synthesize_design(library_12t, "aes", n, seed=seed)
+        result = analytic_place(design, utilization=util, seed=seed)
+        assert check_placement(design, result.grid) == []
+
+    @given(
+        n=st.integers(min_value=20, max_value=60),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_sa_never_hurts(self, library_12t, n, seed):
+        design = synthesize_design(library_12t, "m0", n, seed=seed)
+        result = place_design(design, utilization=0.85, seed=seed, sa_moves=300)
+        assert result.hpwl_final <= result.hpwl_initial

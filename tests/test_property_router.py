@@ -1,0 +1,69 @@
+"""Property-based tests on OptRouter invariants."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+
+
+def build_clip(spec, seed):
+    """Build a clip or skip the example when the spec is unbuildable."""
+    try:
+        return make_synthetic_clip(spec, seed=seed)
+    except ValueError:
+        assume(False)
+from repro.drc import check_clip_routing
+from repro.router import (
+    BaselineClipRouter,
+    OptRouter,
+    RouteStatus,
+    RuleConfig,
+    ViaRestriction,
+)
+
+specs = st.builds(
+    SyntheticClipSpec,
+    nx=st.integers(min_value=4, max_value=6),
+    ny=st.integers(min_value=5, max_value=8),
+    nz=st.integers(min_value=2, max_value=3),
+    n_nets=st.integers(min_value=1, max_value=3),
+    sinks_per_net=st.just(1),
+    access_points_per_pin=st.integers(min_value=1, max_value=3),
+    boundary_pin_prob=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+class TestOptRouterProperties:
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_solutions_are_drc_clean(self, spec, seed):
+        clip = build_clip(spec, seed)
+        rules = RuleConfig()
+        result = OptRouter().route(clip, rules)
+        if result.status is RouteStatus.OPTIMAL:
+            assert check_clip_routing(clip, rules, result.routing) == []
+            assert result.cost == result.wirelength + 4.0 * result.n_vias
+
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=12, deadline=None)
+    def test_optimal_never_above_baseline(self, spec, seed):
+        clip = build_clip(spec, seed)
+        opt = OptRouter().route(clip)
+        heur = BaselineClipRouter(n_restarts=4).route(clip)
+        if opt.feasible and heur.feasible:
+            assert opt.cost <= heur.cost + 1e-9
+
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_rules_monotonically_increase_cost(self, spec, seed):
+        clip = build_clip(spec, seed)
+        router = OptRouter()
+        base = router.route(clip, RuleConfig())
+        restricted = router.route(
+            clip,
+            RuleConfig(name="R6", via_restriction=ViaRestriction.ORTHOGONAL),
+        )
+        if base.feasible and restricted.feasible:
+            assert restricted.cost >= base.cost - 1e-9
+        if base.status is RouteStatus.INFEASIBLE:
+            # Relaxed problem infeasible => restricted one must be too.
+            assert restricted.status is RouteStatus.INFEASIBLE

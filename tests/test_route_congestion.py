@@ -1,0 +1,49 @@
+"""Tests for the congestion map."""
+
+from repro.route.congestion import build_congestion_map
+
+
+class TestCongestionMap:
+    def test_usage_counts_wire_edges(self, routed_design):
+        _design, grid, routed = routed_design
+        cmap = build_congestion_map(grid, routed, tracks_per_gcell=7)
+        total_wire_edges = 0
+        for edges in routed.edge_sets.values():
+            for edge in edges:
+                a, b = tuple(edge)
+                if grid.node_xyz(a)[2] == grid.node_xyz(b)[2]:
+                    total_wire_edges += 1
+        assert sum(cmap.usage.values()) == total_wire_edges
+
+    def test_utilization_bounds(self, routed_design):
+        _design, grid, routed = routed_design
+        cmap = build_congestion_map(grid, routed, tracks_per_gcell=7)
+        assert 0 < cmap.mean_utilization() <= 1.0
+        assert cmap.mean_utilization() <= cmap.max_utilization()
+
+    def test_hotspots_sorted_and_hot(self, routed_design):
+        _design, grid, routed = routed_design
+        cmap = build_congestion_map(grid, routed, tracks_per_gcell=7)
+        hotspots = cmap.hotspots(threshold=0.5)
+        assert hotspots == sorted(hotspots)
+        for tile in hotspots:
+            assert cmap.utilization(tile) >= 0.5
+
+    def test_ascii_dimensions(self, routed_design):
+        _design, grid, routed = routed_design
+        cmap = build_congestion_map(grid, routed, tracks_per_gcell=7)
+        art = cmap.to_ascii()
+        lines = art.splitlines()
+        assert len(lines) == cmap.gh
+        assert all(len(line) == cmap.gw for line in lines)
+        assert set("".join(lines)) <= set(".-+#")
+
+    def test_empty_routing(self, n28_12t):
+        from repro.geometry import Rect
+        from repro.route import RoutingGrid
+        from repro.route.detailed_router import DetailedRouteResult
+
+        grid = RoutingGrid.for_die(n28_12t, Rect(0, 0, 2720, 2000))
+        cmap = build_congestion_map(grid, DetailedRouteResult())
+        assert cmap.max_utilization() == 0.0
+        assert cmap.hotspots() == []

@@ -1,0 +1,134 @@
+"""Tests for the full-chip detailed router (the commercial-tool stand-in)."""
+
+from repro.route import RoutingGrid
+from repro.route.detailed_router import DetailedRouter, route_design
+from repro.route.global_router import GlobalRouter
+
+
+class TestDetailedRouting:
+    def test_routes_completely(self, routed_design):
+        _design, _grid, routed = routed_design
+        assert routed.failed_nets == []
+
+    def test_all_multiterm_nets_routed(self, routed_design):
+        design, _grid, routed = routed_design
+        expected = {n.name for n in design.nets if len(n.terms) >= 2}
+        assert set(routed.routes) == expected
+
+    def test_no_node_shared_between_nets(self, routed_design):
+        _design, _grid, routed = routed_design
+        seen: dict[int, str] = {}
+        for name, nodes in routed.node_sets.items():
+            for node in nodes:
+                assert seen.get(node, name) == name, "two nets share a node"
+                seen[node] = name
+
+    def test_trees_are_connected(self, routed_design):
+        # Connectivity must account for pin metal: all access nodes of
+        # one terminal are electrically one node, so branches may start
+        # from different access points of the same pin.
+        design, grid, routed = routed_design
+        router = DetailedRouter(grid)
+        nets_by_name = {n.name: n for n in design.nets}
+        for name, edges in routed.edge_sets.items():
+            if not edges:
+                continue
+            adjacency: dict[int, set[int]] = {}
+
+            def connect(a: int, b: int):
+                adjacency.setdefault(a, set()).add(b)
+                adjacency.setdefault(b, set()).add(a)
+
+            for edge in edges:
+                a, b = tuple(edge)
+                connect(a, b)
+            terminals = router.terminal_nodes(design, nets_by_name[name])
+            for access in terminals:
+                access = sorted(access)
+                for node in access[1:]:
+                    connect(access[0], node)
+            start = next(iter(adjacency))
+            reached = {start}
+            stack = [start]
+            while stack:
+                for nbr in adjacency.get(stack.pop(), ()):
+                    if nbr not in reached:
+                        reached.add(nbr)
+                        stack.append(nbr)
+            touched = {n for edge in edges for n in edge}
+            assert touched <= reached
+
+    def test_terminals_covered(self, routed_design):
+        design, grid, routed = routed_design
+        router = DetailedRouter(grid)
+        for net in design.nets:
+            if len(net.terms) < 2 or net.name not in routed.node_sets:
+                continue
+            nodes = routed.node_sets[net.name]
+            for access in router.terminal_nodes(design, net):
+                assert access & nodes, f"terminal of {net.name} not reached"
+
+    def test_wiring_lengths_consistent(self, routed_design):
+        _design, grid, routed = routed_design
+        for name, route in routed.routes.items():
+            edges = routed.edge_sets[name]
+            wire_edges = 0
+            for edge in edges:
+                a, b = tuple(edge)
+                if grid.node_xyz(a)[2] == grid.node_xyz(b)[2]:
+                    wire_edges += 1
+            total_nm = sum(seg.length for seg in route.segments)
+            # Each wire edge spans one x or y pitch.
+            assert total_nm >= wire_edges * min(grid.x_pitch, grid.y_pitch)
+
+    def test_costs_positive(self, routed_design):
+        _design, _grid, routed = routed_design
+        assert routed.total_wirelength_steps > 0
+        assert routed.total_vias > 0
+        assert routed.routed_cost() == (
+            routed.total_wirelength_steps + 4.0 * routed.total_vias
+        )
+
+
+class TestGlobalRouter:
+    def test_tiles_cover_terminals(self, routed_design):
+        design, grid, _routed = routed_design
+        gr = GlobalRouter(grid, tracks_per_gcell=7)
+        result = gr.route(design)
+        for net in design.nets:
+            tiles = result.tiles_per_net[net.name]
+            assert tiles, net.name
+            for tile in gr._net_tiles(design, net):
+                assert tile in tiles
+
+    def test_usage_accounting(self, routed_design):
+        design, grid, _routed = routed_design
+        gr = GlobalRouter(grid, tracks_per_gcell=7)
+        result = gr.route(design)
+        recount: dict[tuple[int, int], int] = {}
+        for tiles in result.tiles_per_net.values():
+            for tile in tiles:
+                recount[tile] = recount.get(tile, 0) + 1
+        assert recount == result.usage
+
+    def test_region_window_bounds(self, routed_design):
+        design, grid, _routed = routed_design
+        gr = GlobalRouter(grid, tracks_per_gcell=7)
+        result = gr.route(design)
+        net = design.nets[0]
+        window = result.region_window(net.name, 2, 7, grid.nx, grid.ny)
+        xlo, ylo, xhi, yhi = window
+        assert 0 <= xlo <= xhi < grid.nx
+        assert 0 <= ylo <= yhi < grid.ny
+
+
+class TestRouteDesignWithoutGlobal:
+    def test_bbox_windows_also_work(self, n28_12t, library_12t):
+        from repro.netlist import synthesize_design
+        from repro.place import place_design
+
+        design = synthesize_design(library_12t, "aes", 40, seed=21)
+        place_design(design, utilization=0.8, seed=3, sa_moves=200)
+        grid = RoutingGrid.for_die(n28_12t, design.die)
+        routed = route_design(design, grid, use_global=False)
+        assert routed.failed_nets == []

@@ -1,0 +1,64 @@
+"""Tests for the full-chip routing grid."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.route import RoutingGrid
+
+
+@pytest.fixture()
+def grid(n28_12t):
+    return RoutingGrid.for_die(n28_12t, Rect(0, 0, 1360, 1000))
+
+
+class TestRoutingGrid:
+    def test_dimensions(self, grid):
+        assert grid.nx == 10  # 1360 / 136
+        assert grid.ny == 10  # 1000 / 100
+        assert grid.nz == 7  # M2..M8
+        assert grid.min_metal == 2
+
+    def test_node_round_trip(self, grid):
+        for node in (0, 5, grid.n_nodes - 1, grid.node_id(3, 4, 2)):
+            x, y, z = grid.node_xyz(node)
+            assert grid.node_id(x, y, z) == node
+
+    def test_coordinates(self, grid):
+        assert grid.col_x(0) == 68
+        assert grid.row_y(0) == 50
+        assert grid.col_x(1) - grid.col_x(0) == 136
+        assert grid.row_y(1) - grid.row_y(0) == 100
+
+    def test_nearest_clamps(self, grid):
+        assert grid.nearest_col(-500) == 0
+        assert grid.nearest_col(10**7) == grid.nx - 1
+        assert grid.nearest_row(55) == 0
+
+    def test_metal_mapping(self, grid):
+        assert grid.metal_of(0) == 2
+        assert grid.z_of_metal(8) == 6
+        with pytest.raises(ValueError):
+            grid.z_of_metal(1)
+
+    def test_layer_directions_alternate(self, grid):
+        # M2 vertical, M3 horizontal, ... (M1 horizontal in the stack)
+        assert not grid.layer_is_horizontal(0)
+        assert grid.layer_is_horizontal(1)
+
+    def test_wire_neighbors_respect_direction(self, grid):
+        # slot 0 = M2 = vertical: neighbors differ in y.
+        nbrs = grid.wire_neighbors(5, 5, 0)
+        assert all(n[0] == 5 and n[2] == 0 for n in nbrs)
+        assert {n[1] for n in nbrs} == {4, 6}
+        # slot 1 = M3 = horizontal: neighbors differ in x.
+        nbrs = grid.wire_neighbors(5, 5, 1)
+        assert {n[0] for n in nbrs} == {4, 6}
+
+    def test_wire_neighbors_at_edges(self, grid):
+        assert len(grid.wire_neighbors(0, 0, 0)) == 1
+        assert len(grid.wire_neighbors(0, 0, 1)) == 1
+
+    def test_via_neighbors(self, grid):
+        assert grid.via_neighbors(0, 0, 0) == [(0, 0, 1)]
+        assert len(grid.via_neighbors(0, 0, 3)) == 2
+        assert grid.via_neighbors(0, 0, grid.nz - 1) == [(0, 0, grid.nz - 2)]

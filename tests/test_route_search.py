@@ -1,0 +1,87 @@
+"""Tests for the detailed-routing A* engine."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.route import RoutingGrid
+from repro.route.search import astar_to_targets
+
+
+@pytest.fixture()
+def grid(n28_12t):
+    return RoutingGrid.for_die(n28_12t, Rect(0, 0, 2720, 2000))
+
+
+def free(_node: int) -> float:
+    return 0.0
+
+
+class TestAstar:
+    def test_straight_shot(self, grid):
+        # Same column, slot 0 (vertical M2): pure wire path.
+        a = grid.node_id(3, 2, 0)
+        b = grid.node_id(3, 8, 0)
+        result = astar_to_targets(
+            grid, {a}, {b}, (0, 0, grid.nx - 1, grid.ny - 1), free
+        )
+        assert result is not None
+        assert result.cost == 6.0
+        assert len(result.path) == 7
+
+    def test_needs_layer_change(self, grid):
+        # Different column and row: must via to a horizontal layer.
+        a = grid.node_id(2, 2, 0)
+        b = grid.node_id(6, 2, 0)
+        result = astar_to_targets(
+            grid, {a}, {b}, (0, 0, grid.nx - 1, grid.ny - 1), free
+        )
+        # 2 vias (up/down) + 4 horizontal steps = 4 + 4*1 + 4 = 12.
+        assert result.cost == 12.0
+
+    def test_blocked_node_avoided(self, grid):
+        a = grid.node_id(3, 2, 0)
+        b = grid.node_id(3, 4, 0)
+        forbidden = grid.node_id(3, 3, 0)
+
+        def cost(node):
+            return float("inf") if node == forbidden else 0.0
+
+        result = astar_to_targets(
+            grid, {a}, {b}, (0, 0, grid.nx - 1, grid.ny - 1), cost
+        )
+        assert result is not None
+        assert forbidden not in result.path
+        assert result.cost > 2.0
+
+    def test_window_confines_search(self, grid):
+        a = grid.node_id(3, 2, 0)
+        b = grid.node_id(3, 8, 0)
+        # Window excludes the target row entirely.
+        result = astar_to_targets(grid, {a}, {b}, (0, 0, grid.nx - 1, 5), free)
+        assert result is None
+
+    def test_multi_source_picks_closest(self, grid):
+        far = grid.node_id(0, 0, 0)
+        near = grid.node_id(5, 7, 0)
+        b = grid.node_id(5, 8, 0)
+        result = astar_to_targets(
+            grid, {far, near}, {b}, (0, 0, grid.nx - 1, grid.ny - 1), free
+        )
+        assert result.path[0] == near
+        assert result.cost == 1.0
+
+    def test_target_penalty_not_charged(self, grid):
+        a = grid.node_id(3, 2, 0)
+        b = grid.node_id(3, 3, 0)
+
+        def cost(node):
+            return 100.0 if node == b else 0.0
+
+        result = astar_to_targets(
+            grid, {a}, {b}, (0, 0, grid.nx - 1, grid.ny - 1), cost
+        )
+        assert result.cost == 1.0
+
+    def test_no_targets_raises(self, grid):
+        with pytest.raises(ValueError):
+            astar_to_targets(grid, {0}, set(), (0, 0, 1, 1), free)

@@ -1,0 +1,45 @@
+"""Tests for the routed-wiring datamodel."""
+
+import pytest
+
+from repro.geometry import Point, Segment
+from repro.route import NetRoute, WireSegment, WireVia
+
+
+class TestWireSegment:
+    def test_length(self):
+        seg = WireSegment(2, Segment(Point(0, 0), Point(0, 500)))
+        assert seg.length == 500
+        assert seg.metal == 2
+
+    def test_metal_validated(self):
+        with pytest.raises(ValueError):
+            WireSegment(0, Segment(Point(0, 0), Point(0, 1)))
+
+
+class TestWireVia:
+    def test_fields(self):
+        via = WireVia(lower=3, at=Point(68, 150), via_name="V34")
+        assert via.lower == 3
+        assert via.via_name == "V34"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireVia(lower=0, at=Point(0, 0))
+
+
+class TestNetRoute:
+    def test_aggregates(self):
+        route = NetRoute(net="n0")
+        route.segments.append(WireSegment(2, Segment(Point(0, 0), Point(0, 300))))
+        route.segments.append(WireSegment(3, Segment(Point(0, 300), Point(272, 300))))
+        route.vias.append(WireVia(lower=2, at=Point(0, 300)))
+        assert route.wirelength == 572
+        assert route.n_vias == 1
+        assert route.metals_used() == {2, 3}
+
+    def test_empty(self):
+        route = NetRoute(net="empty")
+        assert route.wirelength == 0
+        assert route.n_vias == 0
+        assert route.metals_used() == set()

@@ -1,0 +1,93 @@
+"""Tests for the heuristic baseline clip router."""
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.router import BaselineClipRouter, OptRouter, RuleConfig, ViaRestriction
+
+
+def clips(n=6, **kwargs):
+    spec = SyntheticClipSpec(
+        nx=6, ny=8, nz=3, n_nets=3, sinks_per_net=1, **kwargs
+    )
+    return [make_synthetic_clip(spec, seed=s) for s in range(n)]
+
+
+class TestBaselineRouter:
+    def test_routes_simple_clips(self):
+        router = BaselineClipRouter()
+        for clip in clips():
+            result = router.route(clip)
+            assert result.feasible, clip.name
+            assert result.cost == (
+                result.wirelength + 4.0 * result.n_vias
+            )
+
+    def test_never_beats_optrouter(self):
+        """The paper's footnote-6 property: Δcost(opt - heuristic) <= 0."""
+        opt = OptRouter()
+        heuristic = BaselineClipRouter()
+        compared = 0
+        for clip in clips(8):
+            o = opt.route(clip)
+            h = heuristic.route(clip)
+            if o.feasible and h.feasible:
+                compared += 1
+                assert o.cost <= h.cost + 1e-9, clip.name
+        assert compared >= 4
+
+    def test_respects_via_restriction(self):
+        rules = RuleConfig(name="R6", via_restriction=ViaRestriction.ORTHOGONAL)
+        router = BaselineClipRouter()
+        for clip in clips():
+            result = router.route(clip, rules)
+            if not result.feasible:
+                continue
+            sites = [v for n in result.nets for v in n.vias]
+            for i, (x, y, z) in enumerate(sites):
+                for x2, y2, z2 in sites[i + 1:]:
+                    if z == z2:
+                        assert abs(x - x2) + abs(y - y2) != 1, "adjacent vias"
+
+    def test_nets_disjoint(self):
+        router = BaselineClipRouter()
+        for clip in clips():
+            result = router.route(clip)
+            if not result.feasible:
+                continue
+            owner = {}
+            for net in result.nets:
+                used = set()
+                for a, b in net.wire_edges:
+                    used.add(a)
+                    used.add(b)
+                for x, y, z in net.vias:
+                    used.add((x, y, z))
+                    used.add((x, y, z + 1))
+                for v in used:
+                    assert owner.setdefault(v, net.net_name) == net.net_name
+                    owner[v] = net.net_name
+
+    def test_restart_count_reported(self):
+        router = BaselineClipRouter(n_restarts=3)
+        result = router.route(clips(1)[0])
+        assert 1 <= result.restarts_used <= 3
+
+    def test_infeasible_reported(self):
+        from repro.clips import Clip, ClipNet, ClipPin
+        from repro.clips.clip import paper_directions
+
+        # Single layer, pins on different columns: unroutable.
+        clip = Clip(
+            name="imposs", nx=3, ny=3, nz=1,
+            horizontal=paper_directions(1),
+            nets=(
+                ClipNet(
+                    "a",
+                    (
+                        ClipPin(access=frozenset({(0, 0, 0)})),
+                        ClipPin(access=frozenset({(2, 2, 0)})),
+                    ),
+                ),
+            ),
+        )
+        result = BaselineClipRouter(n_restarts=2).route(clip)
+        assert not result.feasible

@@ -1,0 +1,44 @@
+"""Tests for parallel batch clip routing."""
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.router import OptRouter, RuleConfig
+from repro.router.batch import route_clips_parallel
+
+
+def clips(n=4):
+    return [
+        make_synthetic_clip(
+            SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1),
+            seed=s,
+        )
+        for s in range(n)
+    ]
+
+
+class TestBatchRouting:
+    def test_inline_matches_direct(self):
+        population = clips()
+        inline = route_clips_parallel(population, RuleConfig(), n_workers=1)
+        direct = [OptRouter(time_limit=60.0).route(c, RuleConfig()) for c in population]
+        assert [r.cost for r in inline] == [r.cost for r in direct]
+        assert [r.status for r in inline] == [r.status for r in direct]
+
+    def test_parallel_matches_inline(self):
+        population = clips()
+        inline = route_clips_parallel(population, RuleConfig(), n_workers=1)
+        parallel = route_clips_parallel(population, RuleConfig(), n_workers=2)
+        assert [r.cost for r in parallel] == [r.cost for r in inline]
+        assert [r.clip_name for r in parallel] == [c.name for c in population]
+
+    def test_per_clip_rules(self):
+        population = clips(2)
+        rules = [RuleConfig(name="RULE1"), RuleConfig(name="R2", sadp_min_metal=2)]
+        results = route_clips_parallel(population, rules, n_workers=1)
+        assert results[0].rule_name == "RULE1"
+        assert results[1].rule_name == "R2"
+
+    def test_rule_count_mismatch(self):
+        with pytest.raises(ValueError):
+            route_clips_parallel(clips(2), [RuleConfig()], n_workers=1)

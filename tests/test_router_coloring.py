@@ -1,0 +1,124 @@
+"""Tests for LELE double-patterning decomposition."""
+
+from repro.clips import Clip, ClipNet, ClipPin, SyntheticClipSpec, make_synthetic_clip
+from repro.clips.clip import paper_directions
+from repro.router import OptRouter, RuleConfig
+from repro.router.coloring import decompose_lele, extract_runs
+from repro.router.solution import ClipRouting, NetSolution
+
+
+def pin(*vertices):
+    return ClipPin(access=frozenset(vertices))
+
+
+def straight(net_name, col, y0, y1, z=0):
+    return NetSolution(
+        net_name=net_name,
+        wire_edges=[((col, y, z), (col, y + 1, z)) for y in range(y0, y1)],
+    )
+
+
+def clip_5x8(nets):
+    return Clip(
+        name="col", nx=5, ny=8, nz=2,
+        horizontal=paper_directions(2), nets=tuple(nets),
+    )
+
+
+class TestRunExtraction:
+    def test_merges_straight_edges(self):
+        clip = clip_5x8([ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0))))])
+        routing = ClipRouting(nets=[straight("a", 1, 0, 4)], cost=4)
+        runs = extract_runs(clip, routing)
+        assert len(runs) == 1
+        (run,) = runs
+        assert (run.track, run.start, run.end) == (1, 0, 4)
+
+    def test_split_runs_preserved(self):
+        clip = clip_5x8([ClipNet("a", (pin((1, 0, 0)), pin((1, 7, 0))))])
+        net = straight("a", 1, 0, 2)
+        net.wire_edges += straight("a", 1, 5, 7).wire_edges
+        routing = ClipRouting(nets=[net], cost=4)
+        runs = extract_runs(clip, routing)
+        assert len(runs) == 2
+
+
+class TestColoring:
+    def test_adjacent_parallel_runs_get_different_masks(self):
+        clip = clip_5x8(
+            [
+                ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0)))),
+                ClipNet("b", (pin((2, 0, 0)), pin((2, 4, 0)))),
+            ]
+        )
+        routing = ClipRouting(
+            nets=[straight("a", 1, 0, 4), straight("b", 2, 0, 4)], cost=8
+        )
+        report = decompose_lele(clip, routing)
+        assert report.decomposable
+        layer = report.layers[0]
+        colors = {run.track: color for run, color in layer.colors.items()}
+        assert colors[1] != colors[2]
+
+    def test_odd_cycle_reports_conflict(self):
+        # Three mutually conflicting runs (tracks 1,2,3 with reach 2).
+        clip = clip_5x8(
+            [
+                ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0)))),
+                ClipNet("b", (pin((2, 0, 0)), pin((2, 4, 0)))),
+                ClipNet("c", (pin((3, 0, 0)), pin((3, 4, 0)))),
+            ]
+        )
+        routing = ClipRouting(
+            nets=[
+                straight("a", 1, 0, 4),
+                straight("b", 2, 0, 4),
+                straight("c", 3, 0, 4),
+            ],
+            cost=12,
+        )
+        report = decompose_lele(clip, routing, same_mask_reach=2)
+        assert not report.decomposable
+        assert report.total_conflicts >= 1
+
+    def test_disjoint_spans_do_not_conflict(self):
+        clip = clip_5x8(
+            [
+                ClipNet("a", (pin((1, 0, 0)), pin((1, 3, 0)))),
+                ClipNet("b", (pin((2, 5, 0)), pin((2, 7, 0)))),
+            ]
+        )
+        routing = ClipRouting(
+            nets=[straight("a", 1, 0, 3), straight("b", 2, 5, 7)], cost=5
+        )
+        report = decompose_lele(clip, routing)
+        assert report.decomposable
+
+    def test_optrouter_solutions_decompose_at_reach_one(self):
+        # Real routings on alternating unidirectional layers conflict
+        # only through track adjacency: always an interval graph per
+        # pair, bipartite at reach 1.
+        for seed in range(4):
+            clip = make_synthetic_clip(
+                SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3, sinks_per_net=1),
+                seed=seed,
+            )
+            result = OptRouter().route(clip, RuleConfig())
+            if not result.feasible:
+                continue
+            report = decompose_lele(clip, result.routing, same_mask_reach=1)
+            assert report.decomposable, clip.name
+
+    def test_mask_counts_sum(self):
+        clip = clip_5x8(
+            [
+                ClipNet("a", (pin((1, 0, 0)), pin((1, 4, 0)))),
+                ClipNet("b", (pin((3, 0, 0)), pin((3, 4, 0)))),
+            ]
+        )
+        routing = ClipRouting(
+            nets=[straight("a", 1, 0, 4), straight("b", 3, 0, 4)], cost=8
+        )
+        report = decompose_lele(clip, routing)
+        a, b = report.layers[0].mask_counts()
+        assert a + b == 2

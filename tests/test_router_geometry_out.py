@@ -1,0 +1,104 @@
+"""Tests for physical geometry emission."""
+
+import pytest
+
+from repro.clips import Clip, ClipNet, ClipPin, SyntheticClipSpec, make_synthetic_clip
+from repro.clips.clip import paper_directions
+from repro.router import OptRouter, RuleConfig
+from repro.router.geometry_out import (
+    check_min_spacing,
+    routing_to_geometry,
+)
+from repro.tech import make_n28_12t
+
+
+def pin(*vertices):
+    return ClipPin(access=frozenset(vertices))
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_n28_12t()
+
+
+def straight_clip():
+    return Clip(
+        name="geo", nx=5, ny=6, nz=3,
+        horizontal=paper_directions(3),
+        nets=(ClipNet("a", (pin((2, 0, 0)), pin((2, 4, 0)))),),
+    )
+
+
+class TestGeometryEmission:
+    def test_straight_wire_dimensions(self, tech):
+        clip = straight_clip()
+        result = OptRouter().route(clip)
+        geometry = routing_to_geometry(clip, result.routing, tech)
+        wires = geometry.on_metal(2)
+        assert len(wires) == 1
+        (wire,) = wires
+        width = tech.stack.layer(2).width
+        assert wire.rect.width == width
+        # 4 track steps x 100 nm pitch, plus half-width end extensions.
+        assert wire.rect.height == 4 * clip.y_pitch + width
+
+    def test_via_emits_cut_and_pads(self, tech):
+        clip = Clip(
+            name="geo2", nx=5, ny=5, nz=2,
+            horizontal=paper_directions(2),
+            nets=(ClipNet("a", (pin((1, 2, 0)), pin((3, 2, 0)))),),
+        )
+        result = OptRouter().route(clip)
+        geometry = routing_to_geometry(clip, result.routing, tech)
+        cuts = [s for s in geometry.shapes if s.is_via_cut]
+        assert len(cuts) == 2
+        # Each via contributes pads on both metals.
+        m3_shapes = geometry.on_metal(3)
+        assert m3_shapes  # the jog plus via pads
+
+    def test_total_area_positive(self, tech):
+        clip = straight_clip()
+        result = OptRouter().route(clip)
+        geometry = routing_to_geometry(clip, result.routing, tech)
+        assert geometry.total_area() > 0
+
+
+class TestSpacingCheck:
+    def test_optimal_routings_spacing_clean(self, tech):
+        for seed in range(4):
+            clip = make_synthetic_clip(
+                SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3, sinks_per_net=1),
+                seed=seed,
+            )
+            result = OptRouter().route(clip, RuleConfig())
+            if not result.feasible:
+                continue
+            geometry = routing_to_geometry(clip, result.routing, tech)
+            assert check_min_spacing(geometry, tech) == [], clip.name
+
+    def test_fabricated_near_shapes_flagged(self, tech):
+        from repro.router.solution import ClipRouting, NetSolution
+
+        clip = Clip(
+            name="tight", nx=6, ny=6, nz=1,
+            horizontal=paper_directions(1),
+            nets=(
+                ClipNet("a", (pin((1, 0, 0)), pin((1, 3, 0)))),
+                ClipNet("b", (pin((2, 0, 0)), pin((2, 3, 0)))),
+            ),
+            x_pitch=20,  # pathologically tight grid
+        )
+        nets = [
+            NetSolution(
+                net_name="a",
+                wire_edges=[((1, y, 0), (1, y + 1, 0)) for y in range(3)],
+            ),
+            NetSolution(
+                net_name="b",
+                wire_edges=[((2, y, 0), (2, y + 1, 0)) for y in range(3)],
+            ),
+        ]
+        geometry = routing_to_geometry(clip, ClipRouting(nets=nets, cost=0), tech)
+        violations = check_min_spacing(geometry, tech)
+        assert violations
+        assert violations[0].nets == ("a", "b")

@@ -1,0 +1,101 @@
+"""Tests for the switchbox routing graph."""
+
+from repro.clips import make_synthetic_clip, SyntheticClipSpec
+from repro.router import RuleConfig, build_graph
+from repro.router.graph import ArcKind
+
+
+def small_clip():
+    return make_synthetic_clip(
+        SyntheticClipSpec(nx=4, ny=5, nz=3, n_nets=1, sinks_per_net=1),
+        seed=0,
+    )
+
+
+class TestGraphStructure:
+    def test_vertex_count(self):
+        clip = small_clip()
+        g = build_graph(clip, RuleConfig())
+        assert g.n_grid_vertices == 4 * 5 * 3
+        assert g.n_vertices == g.n_grid_vertices  # no shapes by default
+
+    def test_vertex_round_trip(self):
+        g = build_graph(small_clip(), RuleConfig())
+        for vid in range(g.n_grid_vertices):
+            assert g.vid(*g.vertex_xyz(vid)) == vid
+
+    def test_wire_arcs_respect_direction(self):
+        clip = small_clip()
+        g = build_graph(clip, RuleConfig())
+        for arc in g.arcs:
+            if arc.kind is not ArcKind.WIRE:
+                continue
+            (ax, ay, az) = g.vertex_xyz(arc.tail)
+            (bx, by, bz) = g.vertex_xyz(arc.head)
+            assert az == bz
+            if clip.horizontal[az]:
+                assert ay == by and abs(ax - bx) == 1
+            else:
+                assert ax == bx and abs(ay - by) == 1
+
+    def test_wire_arc_count(self):
+        clip = small_clip()  # nx=4 ny=5 nz=3, directions V,H,V
+        g = build_graph(clip, RuleConfig())
+        wires = [a for a in g.arcs if a.kind is ArcKind.WIRE]
+        # slot0 V: 4 cols x 4 edges; slot1 H: 5 rows x 3; slot2 V: 16.
+        assert len(wires) == 2 * (16 + 15 + 16)
+
+    def test_via_arcs_and_sites(self):
+        clip = small_clip()
+        g = build_graph(clip, RuleConfig())
+        vias = [a for a in g.arcs if a.kind is ArcKind.VIA]
+        assert len(vias) == 2 * 4 * 5 * 2  # both directions, 2 cut layers
+        assert len(g.via_site_arcs) == 4 * 5 * 2
+
+    def test_reverse_arcs_linked(self):
+        g = build_graph(small_clip(), RuleConfig())
+        for arc in g.arcs:
+            if arc.reverse >= 0:
+                rev = g.arcs[arc.reverse]
+                assert rev.tail == arc.head and rev.head == arc.tail
+                assert rev.reverse == arc.index
+
+    def test_costs(self):
+        g = build_graph(small_clip(), RuleConfig(), wire_cost=1.0, via_cost=4.0)
+        for arc in g.arcs:
+            if arc.kind is ArcKind.WIRE:
+                assert arc.cost == 1.0
+            elif arc.kind is ArcKind.VIA:
+                assert arc.cost == 4.0
+
+
+class TestShapeVias:
+    def test_shapes_created_when_enabled(self):
+        clip = small_clip()
+        g = build_graph(clip, RuleConfig(allow_via_shapes=True))
+        assert g.shape_instances
+        assert g.n_vertices > g.n_grid_vertices
+
+    def test_shape_members_consistent(self):
+        clip = small_clip()
+        g = build_graph(clip, RuleConfig(allow_via_shapes=True))
+        for inst in g.shape_instances:
+            assert len(inst.lower_members) == inst.shape.n_sites
+            assert len(inst.upper_members) == inst.shape.n_sites
+            for lo, hi in zip(inst.lower_members, inst.upper_members):
+                lx, ly, lz = g.vertex_xyz(lo)
+                hx, hy, hz = g.vertex_xyz(hi)
+                assert (lx, ly) == (hx, hy)
+                assert hz == lz + 1 == inst.lower_slot + 1
+
+    def test_shape_cost_cheaper_than_single(self):
+        g = build_graph(small_clip(), RuleConfig(allow_via_shapes=True))
+        for inst in g.shape_instances:
+            assert inst.cost < g.via_cost
+
+    def test_traversal_cost_sums_to_shape_cost(self):
+        g = build_graph(small_clip(), RuleConfig(allow_via_shapes=True))
+        inst = g.shape_instances[0]
+        # member -> rep and rep -> member each cost half.
+        arc_costs = {g.arcs[a].cost for a in inst.arcs}
+        assert arc_costs == {inst.cost / 2}

@@ -1,0 +1,95 @@
+"""Tests for redundant via insertion (footnote 2)."""
+
+from repro.clips import Clip, ClipNet, ClipPin, SyntheticClipSpec, make_synthetic_clip
+from repro.clips.clip import paper_directions
+from repro.router import OptRouter, RuleConfig, ViaRestriction
+from repro.router.redundant import insert_redundant_vias
+
+
+def routed(clip, rules=None):
+    result = OptRouter().route(clip, rules or RuleConfig())
+    assert result.feasible
+    return result.routing
+
+
+def spacious_clip():
+    return Clip(
+        name="sp", nx=7, ny=9, nz=3,
+        horizontal=paper_directions(3),
+        nets=(
+            ClipNet("a", (
+                ClipPin(access=frozenset({(1, 1, 0)})),
+                ClipPin(access=frozenset({(5, 7, 0)})),
+            )),
+        ),
+    )
+
+
+class TestRedundantVias:
+    def test_spacious_clip_fully_protected(self):
+        clip = spacious_clip()
+        routing = routed(clip)
+        report = insert_redundant_vias(clip, routing)
+        assert report.n_vias_total > 0
+        assert report.protection_rate == 1.0
+
+    def test_extras_unoccupied_and_in_bounds(self):
+        clip = spacious_clip()
+        routing = routed(clip)
+        used = set()
+        for net in routing.nets:
+            used |= net.used_vertices()
+        report = insert_redundant_vias(clip, routing)
+        for rv in report.inserted:
+            x, y, z = rv.extra
+            assert clip.in_bounds((x, y, z))
+            assert (x, y, z) not in used
+            assert (x, y, z + 1) not in used
+
+    def test_extras_adjacent_to_original(self):
+        clip = spacious_clip()
+        report = insert_redundant_vias(clip, routed(clip))
+        for rv in report.inserted:
+            dx = abs(rv.extra[0] - rv.original[0])
+            dy = abs(rv.extra[1] - rv.original[1])
+            assert dx + dy == 1
+            assert rv.extra[2] == rv.original[2]
+
+    def test_respects_via_restriction_between_vias(self):
+        # Crowded clip under orthogonal restriction: no inserted cut may
+        # sit adjacent to a different via.
+        clip = make_synthetic_clip(
+            SyntheticClipSpec(nx=6, ny=8, nz=3, n_nets=3, sinks_per_net=1),
+            seed=6,
+        )
+        rules = RuleConfig(via_restriction=ViaRestriction.ORTHOGONAL)
+        result = OptRouter().route(clip, rules)
+        if not result.feasible:
+            return
+        report = insert_redundant_vias(clip, result.routing, rules)
+        committed = set()
+        for net in result.routing.nets:
+            committed |= set(net.vias)
+        pairs = {(rv.extra, rv.original) for rv in report.inserted}
+        for rv in report.inserted:
+            x, y, z = rv.extra
+            for dx, dy in rules.via_restriction.blocked_offsets():
+                neighbor = (x + dx, y + dy, z)
+                if neighbor == rv.original:
+                    continue
+                assert neighbor not in committed, "adjacent to foreign via"
+
+    def test_protection_rate_zero_without_vias(self):
+        clip = Clip(
+            name="novias", nx=5, ny=5, nz=1,
+            horizontal=paper_directions(1),
+            nets=(
+                ClipNet("a", (
+                    ClipPin(access=frozenset({(2, 0, 0)})),
+                    ClipPin(access=frozenset({(2, 4, 0)})),
+                )),
+            ),
+        )
+        report = insert_redundant_vias(clip, routed(clip))
+        assert report.n_vias_total == 0
+        assert report.protection_rate == 0.0

@@ -1,0 +1,86 @@
+"""Hand-constructed SADP cases with known outcomes.
+
+Two vertical nets on adjacent columns whose straight routings end
+tip-adjacent (misaligned EOLs one track apart) -- legal under LELE,
+forbidden by the Figure-5 SADP patterns.  The tests pin down the exact
+unconstrained optimum and verify that the SADP-constrained optimum is
+strictly costlier yet DRC-clean.
+"""
+
+import pytest
+
+from repro.clips import Clip, ClipNet, ClipPin
+from repro.clips.clip import paper_directions
+from repro.drc import check_clip_routing
+from repro.router import OptRouter, RouteStatus, RuleConfig
+
+
+def pin(*vertices):
+    return ClipPin(access=frozenset(vertices))
+
+
+def tip_adjacent_clip(nz: int) -> Clip:
+    return Clip(
+        name="tips", nx=3, ny=8, nz=nz,
+        horizontal=paper_directions(nz),
+        nets=(
+            ClipNet("a", (pin((0, 0, 0)), pin((0, 3, 0)))),
+            ClipNet("b", (pin((1, 4, 0)), pin((1, 7, 0)))),
+        ),
+    )
+
+
+class TestSadpForcedDetour:
+    def test_unconstrained_optimum_is_straight(self):
+        result = OptRouter().route(tip_adjacent_clip(nz=2), RuleConfig())
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.cost == pytest.approx(6.0)  # two straight runs
+        assert result.n_vias == 0
+
+    def test_straight_solution_violates_sadp_drc(self):
+        clip = tip_adjacent_clip(nz=2)
+        rules = RuleConfig(sadp_min_metal=2)
+        unconstrained = OptRouter().route(clip, RuleConfig())
+        violations = check_clip_routing(clip, rules, unconstrained.routing)
+        assert any(v.kind == "sadp_eol" for v in violations)
+
+    def test_sadp_forces_strictly_higher_cost(self):
+        clip = tip_adjacent_clip(nz=2)
+        rules = RuleConfig(name="SADP", sadp_min_metal=2)
+        result = OptRouter().route(clip, rules)
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.cost > 6.0
+        assert check_clip_routing(clip, rules, result.routing) == []
+
+    def test_single_layer_sadp_infeasible(self):
+        # Without a second layer there is no escape from the pattern.
+        clip = tip_adjacent_clip(nz=1)
+        rules = RuleConfig(sadp_min_metal=2)
+        base = OptRouter().route(clip, RuleConfig())
+        assert base.status is RouteStatus.OPTIMAL
+        constrained = OptRouter().route(clip, rules)
+        assert constrained.status is RouteStatus.INFEASIBLE
+
+    def test_bnb_backend_agrees_on_sadp_cost(self):
+        clip = tip_adjacent_clip(nz=2)
+        rules = RuleConfig(sadp_min_metal=2)
+        highs = OptRouter(backend="highs").route(clip, rules)
+        bnb = OptRouter(backend="bnb", time_limit=120).route(clip, rules)
+        assert bnb.status is RouteStatus.OPTIMAL
+        assert bnb.cost == pytest.approx(highs.cost)
+
+    def test_distant_tips_stay_free(self):
+        # Shift net b one more row up: the EOLs leave every forbidden
+        # offset of Figure 5, so SADP costs nothing.
+        clip = Clip(
+            name="distant", nx=3, ny=9, nz=2,
+            horizontal=paper_directions(2),
+            nets=(
+                ClipNet("a", (pin((0, 0, 0)), pin((0, 3, 0)))),
+                ClipNet("b", (pin((1, 5, 0)), pin((1, 8, 0)))),
+            ),
+        )
+        base = OptRouter().route(clip, RuleConfig())
+        sadp = OptRouter().route(clip, RuleConfig(sadp_min_metal=2))
+        assert base.cost == pytest.approx(6.0)
+        assert sadp.cost == pytest.approx(6.0)

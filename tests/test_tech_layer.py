@@ -1,0 +1,52 @@
+"""Tests for repro.tech.layer."""
+
+import pytest
+
+from repro.tech import Direction, Layer
+
+
+def make_layer(pitch=100, offset=50):
+    return Layer(
+        name="M1", index=1, direction=Direction.HORIZONTAL,
+        pitch=pitch, offset=offset, width=50,
+    )
+
+
+class TestDirection:
+    def test_flags(self):
+        assert Direction.HORIZONTAL.is_horizontal
+        assert not Direction.HORIZONTAL.is_vertical
+        assert Direction.VERTICAL.is_vertical
+        assert not Direction.BIDIR.is_horizontal
+        assert not Direction.BIDIR.is_vertical
+
+
+class TestLayer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Layer("M0", 0, Direction.HORIZONTAL, 100, 0, 50)
+        with pytest.raises(ValueError):
+            Layer("M1", 1, Direction.HORIZONTAL, 0, 0, 50)
+        with pytest.raises(ValueError):
+            Layer("M1", 1, Direction.HORIZONTAL, 100, 0, 0)
+
+    def test_track_coord(self):
+        layer = make_layer()
+        assert layer.track_coord(0) == 50
+        assert layer.track_coord(3) == 350
+
+    def test_nearest_track(self):
+        layer = make_layer()
+        assert layer.nearest_track(50) == 0
+        assert layer.nearest_track(149) == 1
+        assert layer.nearest_track(340) == 3
+
+    def test_tracks_in_span(self):
+        layer = make_layer()
+        assert list(layer.tracks_in_span(0, 1000)) == list(range(10))
+        assert list(layer.tracks_in_span(50, 250)) == [0, 1, 2]
+        assert list(layer.tracks_in_span(51, 249)) == [1]
+
+    def test_tracks_in_span_empty(self):
+        with pytest.raises(ValueError):
+            make_layer().tracks_in_span(10, 5)

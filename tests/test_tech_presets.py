@@ -1,0 +1,65 @@
+"""Tests for repro.tech.presets against the paper's Section 4 numbers."""
+
+import pytest
+
+from repro.tech import (
+    make_n7_9t,
+    make_n28_8t,
+    make_n28_12t,
+    technology_by_name,
+)
+from repro.tech.presets import make_n7_native_stack
+
+
+class TestN28Presets:
+    def test_pitches_match_paper(self):
+        tech = make_n28_12t()
+        assert tech.h_pitch == 100  # horizontal metal pitch
+        assert tech.v_pitch == 136  # vertical metal pitch = placement grid
+
+    def test_row_heights(self):
+        assert make_n28_12t().row_height == 1200
+        assert make_n28_8t().row_height == 800
+
+    def test_eight_metal_stack(self):
+        assert make_n28_12t().stack.n_layers == 8
+
+    def test_m1_not_routable(self):
+        assert make_n28_12t().min_routing_layer == 2
+
+    def test_one_micron_window_is_7x10_tracks(self):
+        # The paper's 1um x 1um clip = 7 vertical x 10 horizontal tracks.
+        tech = make_n28_12t()
+        v = tech.stack.layer(2)
+        h = tech.stack.layer(1)
+        assert len(v.tracks_in_span(0, 999)) == 7
+        assert len(h.tracks_in_span(0, 999)) == 10
+
+
+class TestN7Preset:
+    def test_scaled_into_28nm_beol(self):
+        tech = make_n7_9t()
+        assert tech.h_pitch == 100
+        assert tech.row_height == 900  # 9 tracks
+
+    def test_native_pitches_recorded(self):
+        tech = make_n7_9t()
+        assert tech.native_h_pitch == 40
+        assert tech.native_v_pitch == 54
+
+    def test_native_stack_pitches(self):
+        stack = make_n7_native_stack()
+        assert stack.layer(1).pitch == 40
+        assert stack.layer(6).pitch == 40
+        assert stack.layer(7).pitch == 80
+        assert stack.layer(8).pitch == 80
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert technology_by_name("n28-8t").name == "N28-8T"
+        assert technology_by_name("N7-9T").cell_tracks == 9
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            technology_by_name("N5-6T")

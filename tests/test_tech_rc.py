@@ -1,0 +1,42 @@
+"""Tests for the paper's RC scaling derivation."""
+
+import pytest
+
+from repro.tech.rc import RcScalingSpec, WireRc, derive_n7_rc
+
+
+class TestWireRc:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireRc(r_per_um=0, c_per_um=1)
+        with pytest.raises(ValueError):
+            WireRc(r_per_um=1, c_per_um=-1)
+
+    def test_delay_slope(self):
+        rc = WireRc(r_per_um=2.0, c_per_um=0.2)
+        assert rc.delay_per_um2() == pytest.approx(0.4)
+
+
+class TestDerivation:
+    def test_paper_numbers(self):
+        n28 = WireRc(r_per_um=10.0, c_per_um=0.25)
+        n7 = derive_n7_rc(n28)
+        # R_N7 = 6 x R_N28, C_N7 = C_N28 / 2.5 (paper Section 4).
+        assert n7.r_per_um == pytest.approx(60.0)
+        assert n7.c_per_um == pytest.approx(0.1)
+
+    def test_custom_spec(self):
+        n28 = WireRc(r_per_um=1.0, c_per_um=1.0)
+        n7 = derive_n7_rc(n28, RcScalingSpec(resistivity_scale=10, geometry_scale=2))
+        assert n7.r_per_um == pytest.approx(5.0)
+        assert n7.c_per_um == pytest.approx(0.5)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RcScalingSpec(resistivity_scale=0)
+
+    def test_rc_delay_grows(self):
+        # The derived 7nm wire is slower per squared length: 6 / 2.5 = 2.4x.
+        n28 = WireRc(r_per_um=10.0, c_per_um=0.25)
+        n7 = derive_n7_rc(n28)
+        assert n7.delay_per_um2() == pytest.approx(2.4 * n28.delay_per_um2())

@@ -1,0 +1,64 @@
+"""Tests for repro.tech.stack."""
+
+import pytest
+
+from repro.tech import Direction, LayerStack, ViaDef, ViaShape
+from repro.tech.stack import alternating_stack
+
+
+class TestAlternatingStack:
+    def test_directions_alternate(self):
+        layers = alternating_stack(4, 100, 136)
+        assert [l.direction for l in layers] == [
+            Direction.HORIZONTAL, Direction.VERTICAL,
+            Direction.HORIZONTAL, Direction.VERTICAL,
+        ]
+
+    def test_pitches(self):
+        layers = alternating_stack(4, 100, 136)
+        assert layers[0].pitch == 100
+        assert layers[1].pitch == 136
+
+    def test_pitch_overrides(self):
+        layers = alternating_stack(8, 40, 40, pitch_overrides={7: 80, 8: 80})
+        assert layers[6].pitch == 80
+        assert layers[5].pitch == 40
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            alternating_stack(0, 100, 100)
+
+
+class TestLayerStack:
+    def test_contiguity_enforced(self):
+        layers = alternating_stack(3, 100, 136)
+        with pytest.raises(ValueError):
+            LayerStack(layers=(layers[0], layers[2]))
+
+    def test_layer_lookup(self):
+        stack = LayerStack(layers=alternating_stack(3, 100, 136))
+        assert stack.layer(2).name == "M2"
+        assert stack.layer_by_name("M3").index == 3
+        with pytest.raises(KeyError):
+            stack.layer(4)
+        with pytest.raises(KeyError):
+            stack.layer_by_name("M9")
+
+    def test_via_validation(self):
+        layers = alternating_stack(2, 100, 136)
+        bad = ViaDef("V23", 2, ViaShape.SINGLE, 4.0)
+        with pytest.raises(ValueError):
+            LayerStack(layers=layers, vias=(bad,))
+
+    def test_vias_between(self):
+        layers = alternating_stack(3, 100, 136)
+        v12 = ViaDef("V12", 1, ViaShape.SINGLE, 4.0)
+        v23 = ViaDef("V23", 2, ViaShape.SQUARE, 3.0)
+        stack = LayerStack(layers=layers, vias=(v12, v23))
+        assert stack.vias_between(1) == (v12,)
+        assert stack.vias_between(2) == (v23,)
+
+    def test_direction_queries(self):
+        stack = LayerStack(layers=alternating_stack(4, 100, 136))
+        assert len(stack.horizontal_layers()) == 2
+        assert len(stack.vertical_layers()) == 2

@@ -1,0 +1,37 @@
+"""Tests for repro.tech.via."""
+
+import pytest
+
+from repro.tech import ViaDef, ViaShape
+from repro.tech.via import default_via_cost
+
+
+class TestViaShape:
+    def test_footprints(self):
+        assert ViaShape.SINGLE.n_sites == 1
+        assert ViaShape.BAR_H.cols == 2 and ViaShape.BAR_H.rows == 1
+        assert ViaShape.BAR_V.cols == 1 and ViaShape.BAR_V.rows == 2
+        assert ViaShape.SQUARE.n_sites == 4
+
+
+class TestViaDef:
+    def test_upper(self):
+        v = ViaDef("V34", 3, ViaShape.SINGLE, 4.0)
+        assert v.upper == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViaDef("V01", 0, ViaShape.SINGLE, 4.0)
+        with pytest.raises(ValueError):
+            ViaDef("V12", 1, ViaShape.SINGLE, -1.0)
+
+
+class TestDefaultCost:
+    def test_larger_shapes_cheaper(self):
+        single = default_via_cost(ViaShape.SINGLE)
+        bar = default_via_cost(ViaShape.BAR_H)
+        square = default_via_cost(ViaShape.SQUARE)
+        assert single > bar > square
+
+    def test_paper_base_cost(self):
+        assert default_via_cost(ViaShape.SINGLE) == 4.0

@@ -1,0 +1,112 @@
+"""Tests for the STA substrate."""
+
+import pytest
+
+from repro.netlist import Design, Term
+from repro.tech.rc import WireRc, derive_n7_rc
+from repro.timing import analyze_timing, default_timing_library
+
+RC = WireRc(r_per_um=10.0, c_per_um=0.25)
+
+
+@pytest.fixture(scope="module")
+def timing_lib(library_12t):
+    return default_timing_library(library_12t)
+
+
+def chain_design(library_12t, n_stages=4):
+    """DFF -> INV chain -> DFF."""
+    design = Design("chain", library_12t)
+    design.add_instance("ff_in", "DFFX1")
+    design.add_instance("ff_out", "DFFX1")
+    previous = ("ff_in", "Q")
+    for index in range(n_stages):
+        design.add_instance(f"inv{index}", "INVX1")
+        design.add_net(
+            f"n{index}", [Term(*previous), Term(f"inv{index}", "A")]
+        )
+        previous = (f"inv{index}", "Y")
+    design.add_net("n_end", [Term(*previous), Term("ff_out", "D")])
+    return design
+
+
+class TestTimingLibrary:
+    def test_views_for_all_cells(self, library_12t, timing_lib):
+        for cell in library_12t:
+            view = timing_lib.timing(cell.name)
+            assert view.input_cap_ff > 0
+
+    def test_higher_drive_lower_resistance(self, timing_lib):
+        x1 = timing_lib.timing("INVX1")
+        x2 = timing_lib.timing("INVX2")
+        assert x2.drive_res_kohm < x1.drive_res_kohm
+        assert x2.input_cap_ff > x1.input_cap_ff
+
+    def test_sequential_views(self, timing_lib):
+        dff = timing_lib.timing("DFFX1")
+        assert dff.is_sequential
+        assert dff.setup_ps > 0
+        assert dff.clk_to_q_ps > 0
+
+    def test_unknown_cell(self, timing_lib):
+        with pytest.raises(KeyError):
+            timing_lib.timing("NOPE")
+
+
+class TestChainTiming:
+    def test_longer_chain_slower(self, library_12t, timing_lib):
+        short = analyze_timing(chain_design(library_12t, 2), timing_lib, RC)
+        long = analyze_timing(chain_design(library_12t, 8), timing_lib, RC)
+        assert long.min_period_ps > short.min_period_ps
+
+    def test_critical_path_walks_the_chain(self, library_12t, timing_lib):
+        report = analyze_timing(chain_design(library_12t, 4), timing_lib, RC)
+        instances = [p.instance for p in report.critical_path]
+        assert instances[0] == "ff_in"
+        assert instances[-1] == "ff_out"
+        for index in range(4):
+            assert f"inv{index}" in instances
+
+    def test_arrivals_monotone_along_path(self, library_12t, timing_lib):
+        report = analyze_timing(chain_design(library_12t, 4), timing_lib, RC)
+        arrivals = [p.arrival_ps for p in report.critical_path]
+        assert arrivals == sorted(arrivals)
+
+    def test_slack(self, library_12t, timing_lib):
+        report = analyze_timing(chain_design(library_12t, 4), timing_lib, RC)
+        assert report.slack_ps(report.min_period_ps + 100) == pytest.approx(100)
+        assert report.slack_ps(report.min_period_ps - 50) == pytest.approx(-50)
+
+    def test_endpoint_counted(self, library_12t, timing_lib):
+        report = analyze_timing(chain_design(library_12t, 3), timing_lib, RC)
+        assert report.n_endpoints >= 1
+
+
+class TestRcEffect:
+    def test_slower_wires_increase_period(self, library_12t, timing_lib):
+        design = chain_design(library_12t, 4)
+        from repro.place import place_design
+
+        place_design(design, utilization=0.7, seed=0, sa_moves=0)
+        fast = analyze_timing(design, timing_lib, RC)
+        slow = analyze_timing(design, timing_lib, derive_n7_rc(RC))
+        assert slow.min_period_ps > fast.min_period_ps
+
+
+class TestFullDesign:
+    def test_synthetic_design_analyzes(self, library_12t, timing_lib):
+        from repro.netlist import synthesize_design
+
+        design = synthesize_design(library_12t, "aes", 80, seed=31)
+        report = analyze_timing(design, timing_lib, RC)
+        assert report.min_period_ps > 0
+        assert report.n_endpoints > 0
+        # Loop breaking must terminate and report any cut arcs.
+        assert report.broken_loop_arcs >= 0
+
+    def test_routed_wire_delays_used(self, routed_design, timing_lib):
+        design, _grid, routed = routed_design
+        without = analyze_timing(design, timing_lib, RC)
+        with_routes = analyze_timing(design, timing_lib, RC, routed.routes)
+        assert with_routes.min_period_ps > 0
+        assert without.min_period_ps > 0

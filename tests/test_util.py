@@ -1,0 +1,42 @@
+"""Tests for repro.util."""
+
+import random
+
+from repro.util import format_table, make_rng
+
+
+class TestMakeRng:
+    def test_seed_reproducibility(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_none_is_deterministic(self):
+        assert make_rng(None).random() == make_rng(0).random()
+
+    def test_passthrough(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1.23456), ("b", 10)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.235" in text
+        assert "alpha" in lines[3]  # title, headers, separator, first row
+
+    def test_row_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_numeric_right_alignment(self):
+        text = format_table(("n",), [(5,), (500,)])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  5") or lines[-2].strip() == "5"
+        assert lines[-1].strip() == "500"

@@ -1,0 +1,64 @@
+"""Tests for ASCII and SVG rendering."""
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.router import OptRouter, RuleConfig
+from repro.viz import render_clip_ascii, render_clip_svg, render_routing_ascii
+
+
+def routed_clip():
+    clip = make_synthetic_clip(
+        SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1),
+        seed=2,
+    )
+    result = OptRouter().route(clip, RuleConfig())
+    assert result.feasible
+    return clip, result.routing
+
+
+class TestAsciiRendering:
+    def test_clip_render_has_all_layers(self):
+        clip, _routing = routed_clip()
+        text = render_clip_ascii(clip)
+        for z in range(clip.nz):
+            assert f"M{clip.metal_of(z)}" in text
+
+    def test_grid_dimensions(self):
+        clip, _routing = routed_clip()
+        text = render_clip_ascii(clip)
+        rows = [l for l in text.splitlines() if l and set(l) <= set(".#abAB")]
+        assert rows and all(len(r) == clip.nx for r in rows)
+
+    def test_source_uppercase(self):
+        clip, _routing = routed_clip()
+        text = render_clip_ascii(clip)
+        assert "A" in text  # first net's source marker
+
+    def test_routing_render_marks_vias(self):
+        clip, routing = routed_clip()
+        if any(net.vias for net in routing.nets):
+            assert "*" in render_routing_ascii(clip, routing)
+
+
+class TestSvgRendering:
+    def test_valid_svg_wrapper(self):
+        clip, routing = routed_clip()
+        svg = render_clip_svg(clip, routing)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_contains_wires_and_pins(self):
+        clip, routing = routed_clip()
+        svg = render_clip_svg(clip, routing)
+        assert "<line" in svg
+        assert "<circle" in svg
+
+    def test_clip_only_render(self):
+        clip, _routing = routed_clip()
+        svg = render_clip_svg(clip)
+        assert "<circle" in svg
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        clip, routing = routed_clip()
+        ET.fromstring(render_clip_svg(clip, routing))

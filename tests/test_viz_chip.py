@@ -1,0 +1,43 @@
+"""Tests for full-chip SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.route.congestion import build_congestion_map
+from repro.viz import render_design_svg
+
+
+class TestRenderDesign:
+    def test_valid_xml(self, placed_design):
+        design, _result = placed_design
+        svg = render_design_svg(design)
+        ET.fromstring(svg)
+
+    def test_one_rect_per_instance(self, placed_design):
+        design, _result = placed_design
+        svg = render_design_svg(design)
+        # die background + one per instance.
+        assert svg.count("<rect") == design.n_instances + 1
+
+    def test_congestion_overlay_adds_tiles(self, routed_design):
+        design, grid, routed = routed_design
+        cmap = build_congestion_map(grid, routed, tracks_per_gcell=7)
+        plain = render_design_svg(design)
+        overlaid = render_design_svg(design, cmap)
+        assert overlaid.count("<rect") > plain.count("<rect")
+        assert "gcell" in overlaid
+
+    def test_unplaced_design_rejected(self, library_12t):
+        from repro.netlist import Design
+
+        design = Design("unplaced", library_12t)
+        design.add_instance("u0", "INVX1")
+        with pytest.raises(ValueError):
+            render_design_svg(design)
+
+    def test_sequential_cells_distinct(self, placed_design):
+        design, _result = placed_design
+        svg = render_design_svg(design)
+        if any(inst.cell.is_sequential for inst in design.instances):
+            assert "#8d99ae" in svg
