@@ -14,6 +14,7 @@ asymptotic behaviours empirically:
 
 import pytest
 
+from repro.analysis import lint_routing_ilp
 from repro.clips import SyntheticClipSpec, make_synthetic_clip
 from repro.router import OptRouter, RuleConfig, ViaRestriction
 from repro.router.graph import build_graph
@@ -92,16 +93,19 @@ class TestScalingLaws:
         assert len(g.arcs) == 2 * (wire_pairs + via_pairs)
 
 
+_TABLE_RULES = (
+    RuleConfig(name="RULE1"),
+    RuleConfig(name="RULE6", via_restriction=ViaRestriction.ORTHOGONAL),
+    RuleConfig(name="RULE9", via_restriction=ViaRestriction.FULL),
+    RuleConfig(name="RULE2", sadp_min_metal=2),
+    RuleConfig(name="SHAPES", allow_via_shapes=True),
+)
+
+
 def test_s42_model_size_table(results_dir):
     rows = []
     clip = clip_with(7, 10, 4, 3)
-    for rules in (
-        RuleConfig(name="RULE1"),
-        RuleConfig(name="RULE6", via_restriction=ViaRestriction.ORTHOGONAL),
-        RuleConfig(name="RULE9", via_restriction=ViaRestriction.FULL),
-        RuleConfig(name="RULE2", sadp_min_metal=2),
-        RuleConfig(name="SHAPES", allow_via_shapes=True),
-    ):
+    for rules in _TABLE_RULES:
         stats = model_stats(clip, rules)
         rows.append(
             (
@@ -119,6 +123,41 @@ def test_s42_model_size_table(results_dir):
     )
     print("\n" + table)
     (results_dir / "s42_model_size.txt").write_text(table + "\n")
+
+
+def test_s42_lint_stats_table(results_dir):
+    """Pre-solve lint pass over the Section 4.2 models.
+
+    Every built paper-configuration ILP must lint clean of ERROR
+    findings (the clip is routable, so an error would be a false
+    positive by the linter's soundness contract); warning counts are
+    recorded as a formulation-bloat regression canary.
+    """
+    clip = clip_with(7, 10, 4, 3)
+    router = OptRouter()
+    rows = []
+    for rules in _TABLE_RULES:
+        report = lint_routing_ilp(router.build(clip, rules))
+        assert not report.has_errors, [str(f) for f in report.errors]
+        rows.append(
+            (
+                rules.name,
+                report.stats["n_vars"],
+                report.stats["n_constraints"],
+                len(report.warnings),
+                report.stats.get("n_duplicate_row", 0),
+                report.stats.get("n_dominated_row", 0),
+                report.stats.get("n_unused_variable", 0),
+            )
+        )
+    table = format_table(
+        ("rule", "vars", "constraints", "warnings", "dup rows",
+         "dominated", "unused vars"),
+        rows,
+        title="Pre-solve lint statistics per rule configuration",
+    )
+    print("\n" + table)
+    (results_dir / "s42_lint_stats.txt").write_text(table + "\n")
 
 
 @pytest.mark.benchmark(group="s42")

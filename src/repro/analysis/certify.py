@@ -1,0 +1,312 @@
+"""Clip infeasibility certification without building or solving the ILP.
+
+Static checks on the routing graph *after* rule-driven arc removal
+(unidirectional layers are inherent to :func:`build_graph`; via
+restrictions and blockages prune further).  Two certificate kinds:
+
+- **unreachable-pin** -- per-net reachability.  BFS from the net's
+  source pin over exactly the arcs the ILP formulation would offer the
+  net: physical arcs with neither endpoint blocked (obstacles + other
+  nets' pin metal), shape arcs whose via-shape footprint avoids
+  blockages, plus the zero-cost pin chains that let a net route
+  through its own pin metal.  A sink none of whose access vertices is
+  reached certifies infeasibility.
+
+- **saturated-cut** -- counting over axis-aligned cuts.  A net *must*
+  cross the cut when none of its pins spans it and its source lies on
+  the other side of some sink.  Arc exclusivity gives each crossing
+  net a distinct crossing arc, so ``demand > capacity`` certifies
+  infeasibility.  For layer-interface (z) cuts under via-adjacency
+  restriction, capacity is bounded by a clique-tiling argument: used
+  via sites form an independent set of the blocking graph, and any
+  independent set has at most one site per horizontal domino
+  (orthogonal blocking) or per 2x2 tile (full blocking).
+
+Both checks are relaxations of the ILP: any feasible routing survives
+them, so a certificate is a *sound* proof of infeasibility (the
+soundness contract is exercised by ``tests/test_analysis_certify.py``
+against the real solver).  Cut checks are skipped when via shapes are
+enabled, since shape traversals open crossing paths the counting
+argument does not model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.findings import InfeasibilityCertificate
+from repro.clips.clip import Clip, ClipNet
+from repro.router.graph import ArcKind, SwitchboxGraph, build_graph
+from repro.router.rules import RuleConfig, ViaRestriction
+
+
+def certify_infeasible(
+    clip: Clip,
+    rules: RuleConfig | None = None,
+    graph: SwitchboxGraph | None = None,
+) -> InfeasibilityCertificate | None:
+    """Certify a (clip, rule) pair infeasible, or return ``None``.
+
+    ``None`` means "not certified" -- the pair may still be infeasible
+    for reasons only the solver can prove (the certifier is sound, not
+    complete).
+    """
+    if rules is None:
+        rules = RuleConfig()
+    if graph is None:
+        graph = build_graph(clip, rules)
+
+    certificate = _certify_reachability(clip, rules, graph)
+    if certificate is not None:
+        return certificate
+    if not rules.allow_via_shapes:
+        certificate = _certify_cuts(clip, rules)
+    return certificate
+
+
+# -- reachability -----------------------------------------------------------
+
+
+def _certify_reachability(
+    clip: Clip, rules: RuleConfig, graph: SwitchboxGraph
+) -> InfeasibilityCertificate | None:
+    obstacle_vids = {graph.vid(*v) for v in clip.obstacles}
+    pin_vids = {
+        net.name: {
+            graph.vid(*v) for pin in net.pins for v in pin.access
+        }
+        for net in clip.nets
+    }
+    for net in clip.nets:
+        blocked = set(obstacle_vids)
+        for other, vids in pin_vids.items():
+            if other != net.name:
+                blocked |= vids
+        certificate = _certify_net(clip, rules, graph, net, blocked)
+        if certificate is not None:
+            return certificate
+    return None
+
+
+def _certify_net(
+    clip: Clip,
+    rules: RuleConfig,
+    graph: SwitchboxGraph,
+    net: ClipNet,
+    blocked: set[int],
+) -> InfeasibilityCertificate | None:
+    # Via-shape placements unusable by this net (footprint blocked),
+    # mirroring the formulation's per-net pruning.
+    bad_reps = {
+        inst.rep
+        for inst in graph.shape_instances
+        if any(member in blocked for member in inst.members)
+    }
+    # Pin chains: reaching one access vertex of a pin reaches them all.
+    chain_groups: dict[int, list[tuple[int, ...]]] = {}
+    for pin in net.pins:
+        group = tuple(graph.vid(*v) for v in pin.access)
+        for vid in group:
+            chain_groups.setdefault(vid, []).append(group)
+
+    # The supersource reaches every source access vertex through
+    # virtual arcs, blocked or not; blocked vertices just have no
+    # usable physical arcs (the formulation prunes them).
+    start = [graph.vid(*v) for v in net.source.access]
+    visited: set[int] = set(start)
+    queue = deque(start)
+    while queue:
+        vid = queue.popleft()
+        for group in chain_groups.get(vid, ()):
+            for member in group:
+                if member not in visited:
+                    visited.add(member)
+                    queue.append(member)
+        if vid in blocked:
+            continue  # all physical arcs at a blocked vertex are pruned
+        for arc_index in graph.out_arcs.get(vid, ()):
+            arc = graph.arcs[arc_index]
+            if arc.head in visited or arc.head in blocked:
+                continue
+            if arc.kind is ArcKind.SHAPE and (
+                arc.tail in bad_reps or arc.head in bad_reps
+            ):
+                continue
+            visited.add(arc.head)
+            queue.append(arc.head)
+
+    for sink_no, sink in enumerate(net.sinks):
+        sink_vids = {graph.vid(*v) for v in sink.access}
+        if sink_vids & visited:
+            continue
+        fully_blocked = sink_vids <= blocked
+        return InfeasibilityCertificate(
+            kind="unreachable-pin",
+            clip_name=clip.name,
+            rule_name=rules.name,
+            net_name=net.name,
+            message=(
+                f"sink {sink_no} is unreachable from the source through "
+                f"the rule-pruned graph"
+                + (" (every access vertex is blocked)" if fully_blocked else "")
+            ),
+            witness={
+                "sink": sink_no,
+                "n_access": len(sink_vids),
+                "n_reached": len(visited),
+                "access_blocked": fully_blocked,
+            },
+        )
+    return None
+
+
+# -- saturated cuts ---------------------------------------------------------
+
+
+def _pin_side(pin_coords: list[int], cut: int) -> int:
+    """-1 all below the cut, +1 all at/above, 0 spanning."""
+    below = all(c < cut for c in pin_coords)
+    above = all(c >= cut for c in pin_coords)
+    if below:
+        return -1
+    if above:
+        return 1
+    return 0
+
+
+def _must_cross(clip: Clip, axis: int, cut: int) -> list[str]:
+    """Nets that provably need a physical arc across the cut."""
+    names: list[str] = []
+    for net in clip.nets:
+        sides = []
+        spans = False
+        for pin in net.pins:
+            side = _pin_side([v[axis] for v in pin.access], cut)
+            if side == 0:
+                spans = True  # pin metal crosses for free
+                break
+            sides.append(side)
+        if spans:
+            continue
+        source_side = sides[0]
+        if any(side != source_side for side in sides[1:]):
+            names.append(net.name)
+    return names
+
+
+def _owners(clip: Clip) -> dict[tuple[int, int, int], set[str]]:
+    """Pin-metal ownership: vertex -> nets whose pins cover it."""
+    owners: dict[tuple[int, int, int], set[str]] = {}
+    for net in clip.nets:
+        for pin in net.pins:
+            for vertex in pin.access:
+                owners.setdefault(vertex, set()).add(net.name)
+    return owners
+
+
+def _usable_by_crossers(
+    a: tuple[int, int, int],
+    b: tuple[int, int, int],
+    obstacles: frozenset,
+    owners: dict[tuple[int, int, int], set[str]],
+    crossers: set[str],
+) -> bool:
+    """Can any must-cross net use the arc a-b?
+
+    A vertex covered by a net's pin metal is blocked for every other
+    net, so both endpoints must be free or owned by one common
+    must-cross net.
+    """
+    if a in obstacles or b in obstacles:
+        return False
+    allowed = crossers
+    for vertex in (a, b):
+        own = owners.get(vertex)
+        if own is not None:
+            allowed = allowed & own
+            if not allowed:
+                return False
+    return True
+
+
+def _certify_cuts(
+    clip: Clip, rules: RuleConfig
+) -> InfeasibilityCertificate | None:
+    owners = _owners(clip)
+    obstacles = clip.obstacles
+
+    def certificate(axis_name, cut, crossers, capacity, detail):
+        return InfeasibilityCertificate(
+            kind="saturated-cut",
+            clip_name=clip.name,
+            rule_name=rules.name,
+            message=(
+                f"{len(crossers)} nets must cross the {axis_name}={cut} "
+                f"cut but only {capacity} crossing {detail} are usable"
+            ),
+            witness={
+                "axis": axis_name,
+                "cut": cut,
+                "demand": len(crossers),
+                "capacity": capacity,
+                "nets": sorted(crossers)[:8],
+            },
+        )
+
+    # Wire cuts between adjacent columns (x) and rows (y).
+    for axis, axis_name, extent in ((0, "x", clip.nx), (1, "y", clip.ny)):
+        wire_layers = [
+            z
+            for z in range(clip.nz)
+            if clip.horizontal[z] == (axis == 0)
+        ]
+        for cut in range(1, extent):
+            crossers = set(_must_cross(clip, axis, cut))
+            if not crossers:
+                continue
+            capacity = 0
+            for z in wire_layers:
+                other = clip.ny if axis == 0 else clip.nx
+                for t in range(other):
+                    if axis == 0:
+                        a, b = (cut - 1, t, z), (cut, t, z)
+                    else:
+                        a, b = (t, cut - 1, z), (t, cut, z)
+                    if _usable_by_crossers(a, b, obstacles, owners, crossers):
+                        capacity += 1
+            if len(crossers) > capacity:
+                return certificate(axis_name, cut, crossers, capacity, "arcs")
+
+    # Via cuts between adjacent layer slots.
+    for cut in range(1, clip.nz):
+        crossers = set(_must_cross(clip, 2, cut))
+        if not crossers:
+            continue
+        sites = [
+            (x, y)
+            for y in range(clip.ny)
+            for x in range(clip.nx)
+            if _usable_by_crossers(
+                (x, y, cut - 1), (x, y, cut), obstacles, owners, crossers
+            )
+        ]
+        capacity = _via_capacity(sites, rules.via_restriction)
+        if len(crossers) > capacity:
+            return certificate("z", cut, crossers, capacity, "via sites")
+    return None
+
+
+def _via_capacity(
+    sites: list[tuple[int, int]], restriction: ViaRestriction
+) -> int:
+    """Upper bound on simultaneously usable via sites.
+
+    Adjacent usable sites are mutually exclusive under a via
+    restriction, so any legal placement is an independent set of the
+    blocking graph; tiles that induce cliques bound its size.
+    """
+    if restriction is ViaRestriction.NONE:
+        return len(sites)
+    if restriction is ViaRestriction.ORTHOGONAL:
+        return len({(x // 2, y) for x, y in sites})
+    return len({(x // 2, y // 2) for x, y in sites})

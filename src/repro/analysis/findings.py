@@ -1,0 +1,137 @@
+"""Structured records emitted by the pre-solve static-analysis passes.
+
+Both passes (the model linter and the clip infeasibility certifier)
+report through these types so CLI / eval consumers can render text or
+JSON uniformly:
+
+- :class:`LintFinding`: one issue in a built model.  ``ERROR``
+  findings are guarantees (the model cannot be feasible, or is
+  malformed); ``WARN`` findings are model bloat that a solver
+  tolerates but pre-solve should not produce.
+- :class:`LintReport`: all findings for one model plus size stats.
+- :class:`InfeasibilityCertificate`: a witness that a (clip, rule)
+  pair has no rule-correct routing, produced without building or
+  solving the ILP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How strong a lint finding is."""
+
+    ERROR = "error"  # guaranteed infeasible / malformed model
+    WARN = "warn"    # model bloat; solvable but wasteful
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One issue detected in a built model.
+
+    ``code`` is a stable kebab-case identifier (e.g.
+    ``constant-infeasible-row``); ``context`` carries
+    finding-specific details (row index, variable name, ...).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one model, plus model-size statistics."""
+
+    model_name: str
+    findings: list[LintFinding] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.WARN]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def count(self, code: str) -> int:
+        """Number of findings with the given code."""
+        return sum(1 for f in self.findings if f.code == code)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": self.model_name,
+            "findings": [f.to_dict() for f in self.findings],
+            "stats": dict(self.stats),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.model_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+
+
+@dataclass(frozen=True)
+class InfeasibilityCertificate:
+    """Why a (clip, rule) pair has no rule-correct routing.
+
+    ``kind`` is one of:
+
+    - ``unreachable-pin``: a sink pin cannot be reached from its net's
+      source through the rule-pruned routing graph;
+    - ``saturated-cut``: more nets must cross an axis-aligned cut than
+      the cut has usable crossing arcs (via-adjacency blocking counted
+      through a tiling bound).
+
+    The certifier is *sound*: it only emits a certificate when the ILP
+    is guaranteed infeasible (see ``docs/static_analysis.md``), so a
+    certificate may short-circuit the solve.
+    """
+
+    kind: str
+    clip_name: str
+    rule_name: str
+    message: str
+    net_name: str | None = None
+    witness: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "clip": self.clip_name,
+            "rule": self.rule_name,
+            "net": self.net_name,
+            "message": self.message,
+            "witness": dict(self.witness),
+        }
+
+    def __str__(self) -> str:
+        net = f" net {self.net_name}" if self.net_name else ""
+        return (
+            f"{self.clip_name}/{self.rule_name}{net}: "
+            f"{self.kind} -- {self.message}"
+        )

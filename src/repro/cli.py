@@ -9,6 +9,8 @@ Commands:
 - ``full-flow``: synthesize/place/route a design, extract clips, rank
   them, and report the top pin costs.
 - ``rules``: print the Table 3 rule matrix.
+- ``lint``: pre-solve static analysis of a clip set -- model lint
+  findings plus infeasibility certificates, as text or JSON.
 """
 
 from __future__ import annotations
@@ -78,6 +80,70 @@ def _cmd_evaluate(args) -> int:
     print(format_delta_cost_table(study, title=f"Δcost study ({args.tech})"))
     print(format_sorted_traces(study))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import certify_infeasible, lint_routing_ilp
+    from repro.clips import SyntheticClipSpec, make_synthetic_clip
+    from repro.eval import paper_rule, rules_for_technology
+    from repro.router import OptRouter
+
+    spec = SyntheticClipSpec(
+        nx=args.nx, ny=args.ny, nz=args.nz,
+        n_nets=args.nets, sinks_per_net=args.sinks,
+        access_points_per_pin=args.access_points,
+    )
+    clips = [make_synthetic_clip(spec, seed=s) for s in range(args.clips)]
+    if args.rule:
+        rules = [paper_rule(args.rule)]
+    else:
+        rules = rules_for_technology(args.tech)
+
+    router = OptRouter()
+    records = []
+    n_errors = 0
+    for clip in clips:
+        for rule in rules:
+            certificate = certify_infeasible(clip, rule)
+            report = lint_routing_ilp(router.build(clip, rule))
+            n_errors += len(report.errors)
+            records.append((clip, rule, report, certificate))
+
+    if args.json:
+        payload = [
+            {
+                "clip": clip.name,
+                "rule": rule.name,
+                "lint": report.to_dict(),
+                "certificate": (
+                    certificate.to_dict() if certificate is not None else None
+                ),
+            }
+            for clip, rule, report, certificate in records
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for clip, rule, report, certificate in records:
+            status = "certified-infeasible" if certificate else "ok"
+            print(
+                f"{clip.name} {rule.name}: {status}, "
+                f"{len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s), "
+                f"{report.stats['n_vars']} vars / "
+                f"{report.stats['n_constraints']} rows"
+            )
+            for finding in report.findings:
+                print(f"  {finding}")
+            if certificate is not None:
+                print(f"  {certificate}")
+        n_certified = sum(1 for r in records if r[3] is not None)
+        print(
+            f"linted {len(records)} (clip, rule) pairs: {n_errors} model "
+            f"error(s), {n_certified} certified infeasible"
+        )
+    return 1 if n_errors else 0
 
 
 def _cmd_full_flow(args) -> int:
@@ -194,6 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--access-points", type=int, default=2)
     ev.add_argument("--time-limit", type=float, default=30.0)
 
+    lint = sub.add_parser(
+        "lint", help="pre-solve static analysis of a synthetic clip set"
+    )
+    lint.add_argument("--tech", default="N7-9T")
+    lint.add_argument("--rule", default=None,
+                      help="lint one Table 3 rule instead of the tech set")
+    lint.add_argument("--clips", type=int, default=4)
+    lint.add_argument("--nx", type=int, default=6)
+    lint.add_argument("--ny", type=int, default=8)
+    lint.add_argument("--nz", type=int, default=4)
+    lint.add_argument("--nets", type=int, default=4)
+    lint.add_argument("--sinks", type=int, default=1)
+    lint.add_argument("--access-points", type=int, default=2)
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON instead of text")
+
     flow = sub.add_parser("full-flow", help="synth→place→route→extract→rank")
     flow.add_argument("--tech", default="N28-12T")
     flow.add_argument("--profile", default="aes", choices=("aes", "m0"))
@@ -229,6 +311,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "route-clip": _cmd_route_clip,
     "evaluate": _cmd_evaluate,
+    "lint": _cmd_lint,
     "full-flow": _cmd_full_flow,
     "improve": _cmd_improve,
     "sta": _cmd_sta,

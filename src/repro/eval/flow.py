@@ -13,7 +13,14 @@ from repro.router.rules import RuleConfig
 
 @dataclass(frozen=True)
 class ClipRuleOutcome:
-    """One (clip, rule) evaluation."""
+    """One (clip, rule) evaluation.
+
+    ``certified`` marks pairs proven infeasible by the static
+    certifier (the ILP was never built or solved).
+    ``drc_violations`` is the geometric-check count on the decoded
+    routing (``None`` unless :attr:`EvalConfig.run_drc` is set and the
+    pair was feasible).
+    """
 
     clip_name: str
     rule_name: str
@@ -22,6 +29,8 @@ class ClipRuleOutcome:
     wirelength: int
     n_vias: int
     solve_seconds: float
+    certified: bool = False
+    drc_violations: int | None = None
 
     @property
     def feasible(self) -> bool:
@@ -75,6 +84,24 @@ class DeltaCostStudy:
             if outcome.status is RouteStatus.LIMIT
         )
 
+    def certified_skip_count(self, rule_name: str) -> int:
+        """Clips proven infeasible statically, skipping the solver."""
+        return sum(
+            1 for outcome in self.outcomes[rule_name] if outcome.certified
+        )
+
+    def drc_violation_count(self, rule_name: str) -> "int | None":
+        """Total DRC violations across checked routings, or ``None``
+        when DRC was not run for this rule."""
+        checked = [
+            outcome.drc_violations
+            for outcome in self.outcomes[rule_name]
+            if outcome.drc_violations is not None
+        ]
+        if not checked:
+            return None
+        return sum(checked)
+
     def sorted_delta_costs(self, rule_name: str) -> list[float]:
         """The paper's Figure-10 trace: per-clip Δcost sorted ascending."""
         return sorted(self.delta_costs(rule_name))
@@ -108,12 +135,20 @@ class DeltaCostStudy:
 
 @dataclass(frozen=True)
 class EvalConfig:
-    """Knobs of the evaluation run."""
+    """Knobs of the evaluation run.
+
+    ``certify`` short-circuits statically-provable infeasible pairs
+    before the solver (sound, so Δcost results are unchanged).
+    ``run_drc`` re-checks every decoded feasible routing with the
+    geometric DRC so formulation bugs cannot silently pass the sweep.
+    """
 
     time_limit_per_clip: float | None = 60.0
     wire_cost: float = 1.0
     via_cost: float = 4.0
     backend: str = "highs"
+    certify: bool = True
+    run_drc: bool = False
 
 
 def evaluate_clips(
@@ -135,6 +170,7 @@ def evaluate_clips(
         via_cost=config.via_cost,
         backend=config.backend,
         time_limit=config.time_limit_per_clip,
+        certify=config.certify,
     )
     study = DeltaCostStudy(
         clip_names=[clip.name for clip in clips],
@@ -145,12 +181,19 @@ def evaluate_clips(
         outcomes = []
         for clip in clips:
             result = router.route(clip, rule)
-            outcomes.append(_to_outcome(result))
+            drc_violations = None
+            if config.run_drc and result.feasible and result.routing is not None:
+                from repro.drc import check_clip_routing
+
+                drc_violations = len(check_clip_routing(clip, rule, result.routing))
+            outcomes.append(_to_outcome(result, drc_violations))
         study.outcomes[rule.name] = outcomes
     return study
 
 
-def _to_outcome(result: OptRouteResult) -> ClipRuleOutcome:
+def _to_outcome(
+    result: OptRouteResult, drc_violations: "int | None" = None
+) -> ClipRuleOutcome:
     return ClipRuleOutcome(
         clip_name=result.clip_name,
         rule_name=result.rule_name,
@@ -159,4 +202,6 @@ def _to_outcome(result: OptRouteResult) -> ClipRuleOutcome:
         wirelength=result.wirelength,
         n_vias=result.n_vias,
         solve_seconds=result.solve_seconds,
+        certified=result.certified,
+        drc_violations=drc_violations,
     )

@@ -24,30 +24,40 @@ def format_rule_table(rules: Sequence[RuleConfig], title: str = "Table 3") -> st
 
 
 def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
-    """Summary of a Δcost study: one row per rule."""
+    """Summary of a Δcost study: one row per rule.
+
+    ``certified`` counts solver-free infeasibility proofs; a ``drc``
+    column appears when the study re-checked decoded routings.
+    """
+    with_drc = any(
+        study.drc_violation_count(rule_name) is not None
+        for rule_name in study.rule_names
+    )
     rows = []
     for rule_name in study.rule_names:
         deltas = study.delta_costs(rule_name)
         finite = [d for d in deltas if d < INFEASIBLE_DELTA]
-        rows.append(
-            (
-                rule_name,
-                len(deltas),
-                study.infeasible_count(rule_name),
-                study.limit_count(rule_name),
-                f"{study.zero_delta_fraction(rule_name):.2f}",
-                f"{(sum(finite) / len(finite)) if finite else 0.0:.2f}",
-                f"{max(finite) if finite else 0.0:.1f}",
-            )
-        )
-    return format_table(
-        (
-            "rule", "clips", "infeasible", "limit", "zero_frac",
-            "mean_dcost", "max_dcost",
-        ),
-        rows,
-        title=title,
-    )
+        row = [
+            rule_name,
+            len(deltas),
+            study.infeasible_count(rule_name),
+            study.certified_skip_count(rule_name),
+            study.limit_count(rule_name),
+            f"{study.zero_delta_fraction(rule_name):.2f}",
+            f"{(sum(finite) / len(finite)) if finite else 0.0:.2f}",
+            f"{max(finite) if finite else 0.0:.1f}",
+        ]
+        if with_drc:
+            drc = study.drc_violation_count(rule_name)
+            row.append("-" if drc is None else drc)
+        rows.append(tuple(row))
+    header = [
+        "rule", "clips", "infeasible", "certified", "limit", "zero_frac",
+        "mean_dcost", "max_dcost",
+    ]
+    if with_drc:
+        header.append("drc")
+    return format_table(tuple(header), rows, title=title)
 
 
 def format_sorted_traces(study: DeltaCostStudy, width: int = 60) -> str:

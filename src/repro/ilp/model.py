@@ -16,6 +16,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.findings import LintReport
 
 
 class LinExpr:
@@ -149,7 +153,10 @@ class Constraint:
             raise ValueError(f"bad sense {self.sense!r}")
 
     def named(self, name: str) -> "Constraint":
-        return Constraint(self.expr, self.sense, name)
+        """A renamed copy; the expression is copied too, so mutating
+        either constraint's (mutable) ``LinExpr`` never leaks into the
+        other."""
+        return Constraint(self.expr.copy(), self.sense, name)
 
 
 @dataclass
@@ -214,3 +221,10 @@ class Model:
             "n_constraints": self.n_constraints,
             "n_nonzeros": nonzeros,
         }
+
+    def validate(self) -> "LintReport":
+        """Run the pre-solve model linter (:mod:`repro.analysis`) on
+        this model and return its report."""
+        from repro.analysis.model_lint import lint_model
+
+        return lint_model(self)

@@ -25,6 +25,7 @@ class _Job:
     via_cost: float
     backend: str
     time_limit: float | None
+    certify: bool = True
 
 
 def _run_job(job: _Job) -> OptRouteResult:
@@ -33,6 +34,7 @@ def _run_job(job: _Job) -> OptRouteResult:
         via_cost=job.via_cost,
         backend=job.backend,
         time_limit=job.time_limit,
+        certify=job.certify,
     )
     return router.route(job.clip, job.rules)
 
@@ -67,6 +69,7 @@ def route_clips_parallel(
             via_cost=router.via_cost,
             backend=router.backend,
             time_limit=router.time_limit,
+            certify=router.certify,
         )
         for clip, rule in zip(clips, rule_list)
     ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.analysis.certify import certify_infeasible
+from repro.analysis.findings import InfeasibilityCertificate
 from repro.clips.clip import Clip
 from repro.ilp.bnb import BnBOptions, solve_with_bnb
 from repro.ilp.highs_backend import solve_with_highs
@@ -40,10 +42,16 @@ class OptRouteResult:
     solve_seconds: float = 0.0
     n_nodes: int = 0
     model_stats: dict[str, int] = field(default_factory=dict)
+    certificate: InfeasibilityCertificate | None = None
 
     @property
     def feasible(self) -> bool:
         return self.status is RouteStatus.OPTIMAL
+
+    @property
+    def certified(self) -> bool:
+        """True when infeasibility was proven statically, solver-free."""
+        return self.certificate is not None
 
 
 @dataclass
@@ -56,12 +64,17 @@ class OptRouter:
         backend: ``"highs"`` (default) or ``"bnb"`` (the pure-Python
             cross-validation solver).
         time_limit: per-clip solver budget in seconds (None = none).
+        certify: run the static infeasibility certifier before the
+            solve and short-circuit certified (clip, rule) pairs to
+            ``INFEASIBLE`` without building the ILP.  The certifier is
+            sound, so this never changes a feasible outcome.
     """
 
     wire_cost: float = 1.0
     via_cost: float = 4.0
     backend: str = "highs"
     time_limit: float | None = None
+    certify: bool = True
 
     def build(self, clip: Clip, rules: RuleConfig) -> RoutingIlp:
         """Build (but do not solve) the ILP for inspection/analysis."""
@@ -81,6 +94,15 @@ class OptRouter:
         """Optimally route a clip under a rule configuration."""
         if rules is None:
             rules = RuleConfig()
+        if self.certify:
+            certificate = certify_infeasible(clip, rules)
+            if certificate is not None:
+                return OptRouteResult(
+                    clip_name=clip.name,
+                    rule_name=rules.name,
+                    status=RouteStatus.INFEASIBLE,
+                    certificate=certificate,
+                )
         ilp = self.build(clip, rules)
         solution = self._solve(ilp)
         result = OptRouteResult(

@@ -1,0 +1,203 @@
+"""Tests for the pre-solve model linter."""
+
+from repro.analysis import Severity, lint_model, lint_routing_ilp
+from repro.clips import Clip, ClipNet, ClipPin, SyntheticClipSpec, make_synthetic_clip
+from repro.clips.clip import paper_directions
+from repro.ilp.model import LinExpr, Model
+from repro.router import OptRouter, RuleConfig
+
+
+def codes(report, severity=None):
+    return {
+        f.code
+        for f in report.findings
+        if severity is None or f.severity is severity
+    }
+
+
+class TestRowChecks:
+    def test_constant_infeasible_row(self):
+        m = Model("m")
+        x = m.binary("x")
+        m.add(x - x + 3 <= 0)
+        report = lint_model(m)
+        assert "constant-infeasible-row" in codes(report, Severity.ERROR)
+        assert report.has_errors
+
+    def test_constant_trivial_row_warns(self):
+        m = Model("m")
+        x = m.binary("x")
+        m.add(x - x <= 1)  # -1 <= 0, always true
+        m.minimize(x + 0)
+        report = lint_model(m)
+        assert "constant-row" in codes(report, Severity.WARN)
+        assert not report.has_errors
+
+    def test_bound_infeasible_le(self):
+        m = Model("m")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 3)  # max activity 2
+        m.minimize(x + y)
+        report = lint_model(m)
+        assert "bound-infeasible-row" in codes(report, Severity.ERROR)
+
+    def test_bound_infeasible_eq(self):
+        m = Model("m")
+        x = m.var("x", 0.0, 2.0)
+        m.add(LinExpr({x.index: 1.0}) == 5)
+        m.minimize(x + 0)
+        report = lint_model(m)
+        assert "bound-infeasible-row" in codes(report, Severity.ERROR)
+
+    def test_satisfiable_rows_clean(self):
+        m = Model("m")
+        x, y = m.binary("x"), m.binary("y")
+        m.add(x + y <= 1)
+        m.add(x + y >= 1)
+        m.minimize(x + 2 * y)
+        assert lint_model(m).findings == []
+
+
+class TestVariableChecks:
+    def test_unused_variable(self):
+        m = Model("m")
+        x = m.binary("x")
+        m.binary("dead")
+        m.add(x + 0 <= 1)
+        m.minimize(x + 0)
+        report = lint_model(m)
+        unused = [f for f in report.findings if f.code == "unused-variable"]
+        assert [f.context["var"] for f in unused] == ["dead"]
+
+    def test_objective_only_variable_is_used(self):
+        m = Model("m")
+        x = m.binary("x")
+        m.minimize(x + 0)
+        assert codes(lint_model(m)) == set()
+
+    def test_fixed_variable(self):
+        m = Model("m")
+        x = m.var("x", 2.0, 2.0)
+        m.add(x + 0 <= 5)
+        m.minimize(x + 0)
+        assert "fixed-variable" in codes(lint_model(m), Severity.WARN)
+
+    def test_empty_integer_domain(self):
+        m = Model("m")
+        x = m.var("x", 0.4, 0.6, integer=True)
+        m.add(x + 0 <= 1)
+        m.minimize(x + 0)
+        assert "empty-integer-domain" in codes(lint_model(m), Severity.ERROR)
+
+
+class TestDuplicateChecks:
+    def test_duplicate_row(self):
+        m = Model("m")
+        x, y = m.binary("x"), m.binary("y")
+        m.add(x + y <= 1)
+        m.add(x + y <= 1)
+        m.minimize(x + y)
+        report = lint_model(m)
+        assert report.count("duplicate-row") == 1
+
+    def test_dominated_row(self):
+        m = Model("m")
+        x, y = m.binary("x"), m.binary("y")
+        m.add(x + y <= 1)
+        m.add(x + y <= 2)  # implied by the first
+        m.minimize(x + y)
+        report = lint_model(m)
+        dominated = [f for f in report.findings if f.code == "dominated-row"]
+        assert len(dominated) == 1
+        assert dominated[0].context["row"] == 1
+
+    def test_opposite_senses_not_flagged(self):
+        m = Model("m")
+        x, y = m.binary("x"), m.binary("y")
+        m.add(x + y <= 1)
+        m.add(x + y >= 1)
+        m.minimize(x + y)
+        report = lint_model(m)
+        assert report.count("duplicate-row") == 0
+        assert report.count("dominated-row") == 0
+
+    def test_finding_cap_keeps_stats_exact(self):
+        from repro.analysis.model_lint import MAX_FINDINGS_PER_CODE
+
+        m = Model("m")
+        x, y = m.binary("x"), m.binary("y")
+        n_rows = MAX_FINDINGS_PER_CODE + 10
+        for _ in range(n_rows):
+            m.add(x + y <= 1)
+        m.minimize(x + y)
+        report = lint_model(m)
+        assert report.count("duplicate-row") == MAX_FINDINGS_PER_CODE
+        assert report.stats["n_duplicate_row"] == n_rows - 1
+
+
+def manual_clip(nets, nx=5, ny=5, nz=3, obstacles=frozenset()):
+    return Clip(
+        name="manual", nx=nx, ny=ny, nz=nz,
+        horizontal=paper_directions(nz), nets=tuple(nets),
+        obstacles=frozenset(obstacles),
+    )
+
+
+def net(name, *pin_vertex_sets):
+    pins = tuple(ClipPin(access=frozenset(vs)) for vs in pin_vertex_sets)
+    return ClipNet(name, pins)
+
+
+class TestRoutingIlpLint:
+    def test_healthy_routing_ilp_is_clean(self):
+        clip = make_synthetic_clip(
+            SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1),
+            seed=1,
+        )
+        report = lint_routing_ilp(OptRouter().build(clip, RuleConfig()))
+        assert not report.has_errors
+        assert report.stats["n_vars"] > 0
+
+    def test_empty_commodity(self):
+        # A 3x1 single-layer clip whose vertical layer has no wire
+        # arcs at all: the net has no usable physical arcs.
+        clip = manual_clip(
+            [net("a", [(0, 0, 0)], [(2, 0, 0)])], nx=3, ny=1, nz=1,
+        )
+        report = lint_routing_ilp(OptRouter().build(clip, RuleConfig()))
+        assert "empty-commodity" in codes(report, Severity.ERROR)
+        assert report.stats["n_empty_commodity"] == 1
+
+    def test_disconnected_pin_group(self):
+        # Obstacles sever every arc at the sink's only access vertex,
+        # while the rest of the graph keeps plenty of arcs.
+        clip = manual_clip(
+            [net("a", [(0, 0, 0)], [(1, 1, 0)])],
+            nx=2, ny=3, nz=1,
+            obstacles={(1, 0, 0), (1, 2, 0)},
+        )
+        report = lint_routing_ilp(OptRouter().build(clip, RuleConfig()))
+        assert "disconnected-pin-group" in codes(report, Severity.ERROR)
+
+    def test_coincident_source_sink_not_flagged(self):
+        # Degenerate but feasible: the sink shares the source's metal,
+        # so the commodity needs no physical arcs.
+        clip = manual_clip(
+            [net("a", [(0, 0, 0)], [(0, 0, 0)])], nx=1, ny=1, nz=1,
+        )
+        report = lint_routing_ilp(OptRouter().build(clip, RuleConfig()))
+        assert not report.has_errors
+
+    def test_lint_errors_match_solver(self):
+        # Every ERROR-level routing finding must be a real
+        # infeasibility: cross-check with the exact solver.
+        clip = manual_clip(
+            [net("a", [(0, 0, 0)], [(1, 1, 0)])],
+            nx=2, ny=3, nz=1,
+            obstacles={(1, 0, 0), (1, 2, 0)},
+        )
+        router = OptRouter(certify=False)
+        report = lint_routing_ilp(router.build(clip, RuleConfig()))
+        assert report.has_errors
+        assert not router.route(clip, RuleConfig()).feasible

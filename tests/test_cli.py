@@ -43,6 +43,30 @@ class TestParser:
         assert code == 0
         assert "RULE8" in out
 
+    def test_lint_text(self, capsys):
+        code = main([
+            "lint", "--clips", "2", "--nx", "5", "--ny", "6", "--nz", "3",
+            "--nets", "2", "--rule", "RULE6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RULE6" in out
+        assert "error(s)" in out and "linted" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        code = main([
+            "lint", "--clips", "1", "--nx", "5", "--ny", "6", "--nz", "3",
+            "--nets", "2", "--rule", "RULE1", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload[0]["rule"] == "RULE1"
+        assert "findings" in payload[0]["lint"]
+        assert "stats" in payload[0]["lint"]
+
     def test_full_flow_small(self, capsys):
         code = main([
             "full-flow", "--instances", "40", "--utilization", "0.8",

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.clips import Clip, ClipNet, ClipPin, SyntheticClipSpec, make_synthetic_clip
+from repro.clips.clip import paper_directions
 from repro.eval import (
     INFEASIBLE_DELTA,
     EvalConfig,
@@ -80,6 +81,91 @@ class TestReports:
     def test_traces_render(self, study):
         text = format_sorted_traces(study)
         assert "RULE1" in text and "legend" in text
+
+
+def _cut_saturated_clip():
+    """Two nets forced through one 2x2 via window: certified
+    infeasible under full via-adjacency blocking, feasible under
+    RULE1."""
+    def net(name, *sets):
+        return ClipNet(name, tuple(ClipPin(access=frozenset(v)) for v in sets))
+
+    return Clip(
+        name="zcut", nx=2, ny=2, nz=2, horizontal=paper_directions(2),
+        nets=(
+            net("a", [(0, 0, 0)], [(0, 1, 1)]),
+            net("b", [(1, 0, 0)], [(1, 1, 1)]),
+        ),
+    )
+
+
+class TestStaticAnalysisIntegration:
+    @pytest.fixture(scope="class")
+    def clip_set(self):
+        synthetic = [
+            make_synthetic_clip(
+                SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1,
+                                  access_points_per_pin=2, pin_spacing_cols=1),
+                seed=s,
+            )
+            for s in range(3)
+        ]
+        return synthetic + [_cut_saturated_clip()]
+
+    @pytest.fixture(scope="class")
+    def rules(self):
+        return [
+            paper_rule("RULE1"),
+            RuleConfig(name="RULE9", via_restriction=ViaRestriction.FULL),
+        ]
+
+    def test_certified_skip_reported(self, clip_set, rules):
+        study = evaluate_clips(
+            clip_set, rules, EvalConfig(time_limit_per_clip=30.0)
+        )
+        assert study.certified_skip_count("RULE9") >= 1
+        # Certified pairs count as ordinary infeasibilities downstream.
+        assert (
+            study.infeasible_count("RULE9")
+            >= study.certified_skip_count("RULE9")
+        )
+
+    def test_certified_deltas_byte_identical(self, clip_set, rules):
+        """Short-circuiting certified pairs must not change any Δcost."""
+        with_cert = evaluate_clips(
+            clip_set, rules, EvalConfig(time_limit_per_clip=30.0)
+        )
+        without = evaluate_clips(
+            clip_set, rules,
+            EvalConfig(time_limit_per_clip=30.0, certify=False),
+        )
+        assert without.certified_skip_count("RULE9") == 0
+        for rule_name in with_cert.rule_names:
+            assert (
+                repr(with_cert.delta_costs(rule_name))
+                == repr(without.delta_costs(rule_name))
+            )
+            assert with_cert.infeasible_count(
+                rule_name
+            ) == without.infeasible_count(rule_name)
+
+    def test_run_drc_surfaces_counts(self, clip_set, rules):
+        study = evaluate_clips(
+            clip_set, rules,
+            EvalConfig(time_limit_per_clip=30.0, run_drc=True),
+        )
+        # OptRouter solutions are DRC-clean, so counts exist and are 0.
+        assert study.drc_violation_count("RULE1") == 0
+        for outcome in study.outcomes["RULE1"]:
+            if outcome.feasible:
+                assert outcome.drc_violations == 0
+        text = format_delta_cost_table(study, title="drc run")
+        assert "drc" in text
+        assert "certified" in text
+
+    def test_drc_column_absent_without_flag(self, study):
+        assert study.drc_violation_count("RULE1") is None
+        assert "drc" not in format_delta_cost_table(study).splitlines()[1]
 
 
 class TestValidation:

@@ -73,6 +73,20 @@ class TestConstraints:
         con = m.add(x <= 1, name="cap")
         assert con.name == "cap"
 
+    def test_named_does_not_mutate_shared_state(self):
+        m = Model()
+        x = m.binary("x")
+        original = x <= 1
+        renamed = original.named("cap")
+        # The original keeps its (empty) name and its own expression.
+        assert original.name == ""
+        assert renamed.expr is not original.expr
+        # Mutating one side's LinExpr never leaks into the other.
+        renamed.expr._iadd(x, 1.0)
+        assert original.expr.coefs == {x.index: 1.0}
+        original.expr._iadd(x, 5.0)
+        assert renamed.expr.coefs == {x.index: 2.0}
+
 
 class TestModel:
     def test_variable_kinds(self):
@@ -101,3 +115,22 @@ class TestModel:
             "n_vars": 2, "n_integer_vars": 2,
             "n_constraints": 2, "n_nonzeros": 4,
         }
+
+    def test_validate_delegates_to_linter(self):
+        from repro.analysis import Severity
+
+        m = Model("bad")
+        x = m.binary("x")
+        m.add(x - x + 3 <= 0)  # collapses to the constant row 3 <= 0
+        report = m.validate()
+        assert report.model_name == "bad"
+        assert report.has_errors
+        assert report.errors[0].severity is Severity.ERROR
+        assert report.errors[0].code == "constant-infeasible-row"
+
+    def test_validate_clean_model(self):
+        m = Model()
+        x, y = m.binary("x"), m.binary("y")
+        m.add(x + y <= 1)
+        m.minimize(x + y)
+        assert not m.validate().has_errors
