@@ -4,8 +4,11 @@ Commands:
 
 - ``route-clip``: generate (or load) a clip, route it with OptRouter
   under a named Table 3 rule, print metrics and an ASCII rendering.
-- ``evaluate``: run the Figure-6 Δcost flow on synthetic clips for a
-  technology's applicable rules.
+- ``evaluate`` (alias ``eval``): run the Figure-6 Δcost flow on
+  synthetic clips for a technology's applicable rules, under the
+  fault-tolerant supervisor — supports parallel workers, a backend
+  fallback chain, and resumable checkpoints (``--checkpoint`` /
+  ``--resume``).
 - ``full-flow``: synthesize/place/route a design, extract clips, rank
   them, and report the top pin costs.
 - ``rules``: print the Table 3 rule matrix.
@@ -66,6 +69,11 @@ def _cmd_evaluate(args) -> int:
         rules_for_technology,
     )
     from repro.eval.report import format_sorted_traces
+    from repro.exec import RetryPolicy, SupervisorConfig
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
 
     spec = SyntheticClipSpec(
         nx=args.nx, ny=args.ny, nz=args.nz,
@@ -74,8 +82,22 @@ def _cmd_evaluate(args) -> int:
     )
     clips = [make_synthetic_clip(spec, seed=s) for s in range(args.clips)]
     rules = rules_for_technology(args.tech)
+    fallback = (
+        tuple(name.strip() for name in args.fallback.split(",") if name.strip())
+        if args.fallback
+        else None
+    )
+    supervisor = SupervisorConfig(
+        n_workers=args.workers,
+        isolation="inline" if args.workers == 1 else "process",
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        backends=fallback,
+    )
     study = evaluate_clips(
-        clips, rules, EvalConfig(time_limit_per_clip=args.time_limit)
+        clips, rules, EvalConfig(time_limit_per_clip=args.time_limit),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        supervisor=supervisor,
     )
     print(format_delta_cost_table(study, title=f"Δcost study ({args.tech})"))
     print(format_sorted_traces(study))
@@ -249,7 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--access-points", type=int, default=3)
     route.add_argument("--time-limit", type=float, default=60.0)
 
-    ev = sub.add_parser("evaluate", help="Δcost study on synthetic clips")
+    ev = sub.add_parser(
+        "evaluate", aliases=["eval"], help="Δcost study on synthetic clips"
+    )
     ev.add_argument("--tech", default="N7-9T")
     ev.add_argument("--clips", type=int, default=6)
     ev.add_argument("--nx", type=int, default=6)
@@ -259,6 +283,17 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--sinks", type=int, default=1)
     ev.add_argument("--access-points", type=int, default=2)
     ev.add_argument("--time-limit", type=float, default=30.0)
+    ev.add_argument("--workers", type=int, default=1,
+                    help="supervised worker count (>1 uses process isolation)")
+    ev.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="journal completed (clip, rule) pairs to a JSONL file")
+    ev.add_argument("--resume", action="store_true",
+                    help="resume from --checkpoint, skipping finished pairs")
+    ev.add_argument("--fallback", default=None, metavar="CHAIN",
+                    help="comma-separated backend fallback chain, e.g. "
+                         "'highs,bnb,baseline'")
+    ev.add_argument("--max-attempts", type=int, default=2,
+                    help="attempts per backend before falling back")
 
     lint = sub.add_parser(
         "lint", help="pre-solve static analysis of a synthetic clip set"
@@ -311,6 +346,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "route-clip": _cmd_route_clip,
     "evaluate": _cmd_evaluate,
+    "eval": _cmd_evaluate,
     "lint": _cmd_lint,
     "full-flow": _cmd_full_flow,
     "improve": _cmd_improve,

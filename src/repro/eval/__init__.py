@@ -13,10 +13,13 @@ from repro.eval.rule_configs import (
     rules_for_technology,
 )
 from repro.eval.flow import (
+    FAILURE_STATUSES,
     ClipRuleOutcome,
     DeltaCostStudy,
     EvalConfig,
     evaluate_clips,
+    outcome_from_record,
+    outcome_to_record,
 )
 from repro.eval.validation import ValidationRecord, validate_against_baseline
 from repro.eval.ranking import RuleImpact, format_ranking, rank_rules
@@ -32,10 +35,13 @@ __all__ = [
     "paper_rule",
     "paper_rules",
     "rules_for_technology",
+    "FAILURE_STATUSES",
     "ClipRuleOutcome",
     "DeltaCostStudy",
     "EvalConfig",
     "evaluate_clips",
+    "outcome_from_record",
+    "outcome_to_record",
     "ValidationRecord",
     "validate_against_baseline",
     "format_delta_cost_table",

@@ -1,14 +1,30 @@
-"""The Δcost evaluation flow of Figure 6."""
+"""The Δcost evaluation flow of Figure 6.
+
+Sweeps run under the fault-tolerant supervisor (:mod:`repro.exec`):
+individual solver crashes and wall-clock blowups become per-pair
+ERROR/TIMEOUT outcomes instead of killing the sweep, and an optional
+JSONL checkpoint journal makes interrupted sweeps resumable without
+re-solving finished pairs.
+"""
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.clips.clip import Clip
 from repro.eval.rule_configs import INFEASIBLE_DELTA
-from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.faults import FaultPlan
+from repro.exec.policy import SupervisorConfig
+from repro.exec.runner import RouteJob, SupervisedRunner
+from repro.router.optrouter import OptRouteResult, RouteStatus
 from repro.router.rules import RuleConfig
+
+#: Statuses with no usable solve outcome: excluded from Δcost (they
+#: prove neither optimality nor infeasibility), surfaced in reports.
+FAILURE_STATUSES = (RouteStatus.ERROR, RouteStatus.TIMEOUT)
 
 
 @dataclass(frozen=True)
@@ -19,7 +35,9 @@ class ClipRuleOutcome:
     certifier (the ILP was never built or solved).
     ``drc_violations`` is the geometric-check count on the decoded
     routing (``None`` unless :attr:`EvalConfig.run_drc` is set and the
-    pair was feasible).
+    pair was feasible).  ``backend``/``attempts``/``degraded`` are the
+    supervisor's provenance tags: a degraded outcome was produced by a
+    fallback backend and carries no optimality guarantee.
     """
 
     clip_name: str
@@ -31,10 +49,17 @@ class ClipRuleOutcome:
     solve_seconds: float
     certified: bool = False
     drc_violations: int | None = None
+    backend: str = ""
+    attempts: int = 1
+    degraded: bool = False
 
     @property
     def feasible(self) -> bool:
         return self.status is RouteStatus.OPTIMAL
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILURE_STATUSES
 
 
 @dataclass
@@ -56,8 +81,9 @@ class DeltaCostStudy:
         Infeasible clips get :data:`INFEASIBLE_DELTA` (the paper's
         plotting convention).  Clips whose baseline is infeasible, and
         clips where either solve hit the solver budget (LIMIT) without
-        an optimality proof, are skipped -- Δcost is only meaningful
-        between proven optima.
+        an optimality proof or failed outright (ERROR/TIMEOUT), are
+        skipped -- Δcost is only meaningful between proven optima, and
+        a failure proves neither optimality nor infeasibility.
         """
         base = self.outcomes[self.baseline_rule]
         this = self.outcomes[rule_name]
@@ -65,7 +91,7 @@ class DeltaCostStudy:
         for b, t in zip(base, this):
             if not b.feasible:
                 continue
-            if t.status is RouteStatus.LIMIT:
+            if t.status is RouteStatus.LIMIT or t.failed:
                 continue
             if not t.feasible:
                 deltas.append(INFEASIBLE_DELTA)
@@ -88,6 +114,18 @@ class DeltaCostStudy:
         """Clips proven infeasible statically, skipping the solver."""
         return sum(
             1 for outcome in self.outcomes[rule_name] if outcome.certified
+        )
+
+    def failure_count(self, rule_name: str) -> int:
+        """Clips whose job failed outright (worker crash or reaped at
+        the hard deadline) under this rule."""
+        return sum(1 for outcome in self.outcomes[rule_name] if outcome.failed)
+
+    def degraded_count(self, rule_name: str) -> int:
+        """Clips whose result came from a fallback backend (no
+        optimality guarantee; excluded from Δcost)."""
+        return sum(
+            1 for outcome in self.outcomes[rule_name] if outcome.degraded
         )
 
     def drc_violation_count(self, rule_name: str) -> "int | None":
@@ -155,40 +193,103 @@ def evaluate_clips(
     clips: Sequence[Clip],
     rules: Sequence[RuleConfig],
     config: EvalConfig | None = None,
+    *,
+    checkpoint_path: "str | os.PathLike[str] | None" = None,
+    resume: bool = False,
+    supervisor: SupervisorConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> DeltaCostStudy:
-    """Run OptRouter on every (clip, rule) pair.
+    """Run OptRouter on every (clip, rule) pair under the supervisor.
 
     The first rule in ``rules`` is the Δcost baseline (pass RULE1 first
     to match the paper).
+
+    With ``checkpoint_path``, every completed pair is journaled to a
+    JSONL file as it finishes; ``resume=True`` reloads the journal and
+    skips already-completed pairs, so an interrupted sweep continues
+    where it stopped and reproduces the uninterrupted study exactly
+    (results are deterministic per pair).  Without ``resume`` an
+    existing journal is truncated.  ``supervisor`` selects isolation /
+    retry / fallback policy (default: inline single-worker, matching
+    the historical in-process flow); ``fault_plan`` is for the
+    robustness tests.
     """
     if config is None:
         config = EvalConfig()
     if not rules:
         raise ValueError("need at least one rule configuration")
-    router = OptRouter(
-        wire_cost=config.wire_cost,
-        via_cost=config.via_cost,
-        backend=config.backend,
-        time_limit=config.time_limit_per_clip,
-        certify=config.certify,
-    )
+
+    journal: CheckpointJournal | None = None
+    done: dict[tuple[str, str], ClipRuleOutcome] = {}
+    if checkpoint_path is not None:
+        _require_unique_names(clips, rules)
+        journal = CheckpointJournal(checkpoint_path)
+        if resume:
+            for record in journal.load():
+                outcome = outcome_from_record(record)
+                done[(outcome.clip_name, outcome.rule_name)] = outcome
+        else:
+            journal.clear()
+
+    pairs = [(clip, rule) for rule in rules for clip in clips]
+    pending = [
+        (clip, rule)
+        for clip, rule in pairs
+        if (clip.name, rule.name) not in done
+    ]
+    jobs = [
+        RouteJob(
+            clip=clip,
+            rules=rule,
+            wire_cost=config.wire_cost,
+            via_cost=config.via_cost,
+            backend=config.backend,
+            time_limit=config.time_limit_per_clip,
+            certify=config.certify,
+        )
+        for clip, rule in pending
+    ]
+    if supervisor is None:
+        supervisor = SupervisorConfig(n_workers=1, isolation="inline")
+
+    fresh: dict[tuple[str, str], ClipRuleOutcome] = {}
+
+    def on_result(index: int, result: OptRouteResult) -> None:
+        clip, rule = pending[index]
+        drc_violations = None
+        if config.run_drc and result.feasible and result.routing is not None:
+            from repro.drc import check_clip_routing
+
+            drc_violations = len(check_clip_routing(clip, rule, result.routing))
+        outcome = _to_outcome(result, drc_violations)
+        fresh[(clip.name, rule.name)] = outcome
+        if journal is not None:
+            journal.append(outcome_to_record(outcome))
+
+    SupervisedRunner(supervisor).run(jobs, fault_plan=fault_plan, on_result=on_result)
+
     study = DeltaCostStudy(
         clip_names=[clip.name for clip in clips],
         rule_names=[rule.name for rule in rules],
         baseline_rule=rules[0].name,
     )
     for rule in rules:
-        outcomes = []
-        for clip in clips:
-            result = router.route(clip, rule)
-            drc_violations = None
-            if config.run_drc and result.feasible and result.routing is not None:
-                from repro.drc import check_clip_routing
-
-                drc_violations = len(check_clip_routing(clip, rule, result.routing))
-            outcomes.append(_to_outcome(result, drc_violations))
-        study.outcomes[rule.name] = outcomes
+        study.outcomes[rule.name] = [
+            fresh.get((clip.name, rule.name)) or done[(clip.name, rule.name)]
+            for clip in clips
+        ]
     return study
+
+
+def _require_unique_names(
+    clips: Sequence[Clip], rules: Sequence[RuleConfig]
+) -> None:
+    clip_names = [clip.name for clip in clips]
+    rule_names = [rule.name for rule in rules]
+    if len(set(clip_names)) != len(clip_names):
+        raise ValueError("checkpointing requires unique clip names")
+    if len(set(rule_names)) != len(rule_names):
+        raise ValueError("checkpointing requires unique rule names")
 
 
 def _to_outcome(
@@ -204,4 +305,45 @@ def _to_outcome(
         solve_seconds=result.solve_seconds,
         certified=result.certified,
         drc_violations=drc_violations,
+        backend=result.backend,
+        attempts=result.attempts,
+        degraded=result.degraded,
+    )
+
+
+def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
+    """Checkpoint-journal form of an outcome (version tag added by the
+    journal).  Routing geometry is intentionally not journaled: Δcost
+    accounting only needs the metrics below."""
+    return {
+        "clip": outcome.clip_name,
+        "rule": outcome.rule_name,
+        "status": outcome.status.value,
+        "cost": outcome.cost,
+        "wirelength": outcome.wirelength,
+        "n_vias": outcome.n_vias,
+        "solve_seconds": outcome.solve_seconds,
+        "certified": outcome.certified,
+        "drc": outcome.drc_violations,
+        "backend": outcome.backend,
+        "attempts": outcome.attempts,
+        "degraded": outcome.degraded,
+    }
+
+
+def outcome_from_record(record: dict) -> ClipRuleOutcome:
+    """Rebuild an outcome from its journal record."""
+    return ClipRuleOutcome(
+        clip_name=record["clip"],
+        rule_name=record["rule"],
+        status=RouteStatus(record["status"]),
+        cost=record["cost"],
+        wirelength=record["wirelength"],
+        n_vias=record["n_vias"],
+        solve_seconds=record["solve_seconds"],
+        certified=record["certified"],
+        drc_violations=record.get("drc"),
+        backend=record.get("backend", ""),
+        attempts=record.get("attempts", 1),
+        degraded=record.get("degraded", False),
     )

@@ -27,10 +27,18 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
     """Summary of a Δcost study: one row per rule.
 
     ``certified`` counts solver-free infeasibility proofs; a ``drc``
-    column appears when the study re-checked decoded routings.
+    column appears when the study re-checked decoded routings.  When
+    the supervised sweep contained failures (worker crash / hard
+    deadline) or degraded results (produced by a fallback backend, so
+    non-optimal and excluded from Δcost), ``fail`` and ``degraded``
+    columns flag them.
     """
     with_drc = any(
         study.drc_violation_count(rule_name) is not None
+        for rule_name in study.rule_names
+    )
+    with_faults = any(
+        study.failure_count(rule_name) or study.degraded_count(rule_name)
         for rule_name in study.rule_names
     )
     rows = []
@@ -47,6 +55,9 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
             f"{(sum(finite) / len(finite)) if finite else 0.0:.2f}",
             f"{max(finite) if finite else 0.0:.1f}",
         ]
+        if with_faults:
+            row.append(study.failure_count(rule_name))
+            row.append(study.degraded_count(rule_name))
         if with_drc:
             drc = study.drc_violation_count(rule_name)
             row.append("-" if drc is None else drc)
@@ -55,6 +66,8 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
         "rule", "clips", "infeasible", "certified", "limit", "zero_frac",
         "mean_dcost", "max_dcost",
     ]
+    if with_faults:
+        header += ["fail", "degraded"]
     if with_drc:
         header.append("drc")
     return format_table(tuple(header), rows, title=title)

@@ -1,0 +1,40 @@
+"""Fault-tolerant execution layer for batch routing and eval sweeps.
+
+Public surface:
+
+- :class:`SupervisedRunner` / :class:`RouteJob` — crash-isolated,
+  deadline-enforced, retrying job execution with backend fallback.
+- :class:`SupervisorConfig` / :class:`RetryPolicy` — the policies.
+- :class:`CheckpointJournal` — resumable JSONL sweep journal.
+- :mod:`repro.exec.faults` — deterministic fault injection used by the
+  robustness test suite.
+"""
+
+from repro.exec.checkpoint import RECORD_VERSION, CheckpointJournal
+from repro.exec.faults import (
+    CORRUPT_PAYLOAD,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    apply_fault,
+)
+from repro.exec.policy import DEFAULT_FALLBACK_CHAIN, RetryPolicy, SupervisorConfig
+from repro.exec.runner import RouteJob, SupervisedRunner, SweepAborted
+
+__all__ = [
+    "CORRUPT_PAYLOAD",
+    "CheckpointJournal",
+    "DEFAULT_FALLBACK_CHAIN",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "RECORD_VERSION",
+    "RetryPolicy",
+    "RouteJob",
+    "SupervisedRunner",
+    "SupervisorConfig",
+    "SweepAborted",
+    "apply_fault",
+]

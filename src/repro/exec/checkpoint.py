@@ -1,0 +1,89 @@
+"""On-disk JSONL checkpoint journal for long evaluation sweeps.
+
+One JSON object per line, appended and flushed as each (clip, rule)
+job completes, following the version-tagged-dict conventions of
+:mod:`repro.clips.serialization`.  An interrupted sweep reloads the
+journal and skips finished pairs; a truncated trailing line (the
+classic kill-mid-write artifact) is tolerated, while corruption
+anywhere else raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+RECORD_VERSION = 1
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed job records.
+
+    Thread-safe: the supervised runner appends from supervision
+    threads.  Records are plain dicts; the eval layer owns the
+    outcome <-> record conversion.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]"):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def clear(self) -> None:
+        """Start a fresh journal (truncates any previous run)."""
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync per line)."""
+        tagged = {"v": RECORD_VERSION, **record}
+        line = json.dumps(tagged, sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def load(self) -> list[dict]:
+        """All journaled records, oldest first.
+
+        A malformed *final* line is dropped (interrupted write); a
+        malformed line anywhere else means the journal is corrupt and
+        raises ``ValueError``.
+        """
+        if not self.path.exists():
+            return []
+        lines = [
+            line
+            for line in self.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        records: list[dict] = []
+        for i, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # interrupted mid-write; the pair re-solves
+                raise ValueError(
+                    f"corrupt checkpoint journal {self.path}: "
+                    f"bad record at line {i + 1}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"corrupt checkpoint journal {self.path}: "
+                    f"line {i + 1} is not an object"
+                )
+            if record.get("v") != RECORD_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint record version "
+                    f"{record.get('v')!r} in {self.path}"
+                )
+            records.append(record)
+        return records

@@ -1,0 +1,114 @@
+"""Deterministic fault injection for the supervised runner.
+
+The robustness tests need real failures — dead processes, wedged
+solves, flaky backends, garbage payloads — produced on demand and
+reproducibly.  A :class:`FaultPlan` attaches a :class:`FaultSpec` to
+specific jobs (by position in the batch or by ``(clip, rule)`` key);
+the worker applies the spec at the top of each attempt.
+
+Fault kinds:
+
+- ``CRASH``: the worker process dies hard (``os._exit``), on every
+  attempt.  Inline isolation raises :class:`InjectedCrash` instead
+  (the test process must survive).
+- ``FLAKY``: crash while ``attempt <= fail_attempts``, then behave —
+  exercises the retry/backoff policy.
+- ``SLEEP``: sleep ``sleep_seconds`` before solving — exercises the
+  supervisor's hard wall-clock deadline.
+- ``CORRUPT``: return :data:`CORRUPT_PAYLOAD` instead of a result —
+  exercises supervisor-side payload validation.
+- ``ABORT``: the supervisor raises :class:`~repro.exec.runner.SweepAborted`
+  when it reaches this job — exercises checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    CRASH = "crash"
+    FLAKY = "flaky"
+    SLEEP = "sleep"
+    CORRUPT = "corrupt"
+    ABORT = "abort"
+
+
+class InjectedCrash(RuntimeError):
+    """Inline-isolation stand-in for a hard worker death."""
+
+
+#: Sentinel a CORRUPT fault returns in place of an ``OptRouteResult``.
+CORRUPT_PAYLOAD = "\x00corrupt-result\x00"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    ``only_backend`` restricts the fault to attempts on that backend,
+    letting tests fail a primary backend while its fallbacks behave.
+    """
+
+    kind: FaultKind
+    fail_attempts: int = 1
+    sleep_seconds: float = 30.0
+    exit_code: int = 73
+    only_backend: str | None = None
+
+    def applies_to(self, backend: str) -> bool:
+        return self.only_backend is None or self.only_backend == backend
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Maps jobs to injected faults.
+
+    ``by_key`` entries — keyed ``(clip_name, rule_name)`` — take
+    precedence over ``by_index`` (batch position), and survive the job
+    re-indexing a checkpoint resume performs.
+    """
+
+    by_index: Mapping[int, FaultSpec] = field(default_factory=dict)
+    by_key: Mapping[tuple[str, str], FaultSpec] = field(default_factory=dict)
+
+    def fault_for(
+        self, index: int, clip_name: str, rule_name: str
+    ) -> FaultSpec | None:
+        spec = self.by_key.get((clip_name, rule_name))
+        if spec is not None:
+            return spec
+        return self.by_index.get(index)
+
+
+def apply_fault(
+    spec: FaultSpec | None, backend: str, attempt: int, inline: bool
+) -> str | None:
+    """Apply a fault at the top of a worker attempt.
+
+    Returns :data:`CORRUPT_PAYLOAD` for CORRUPT faults, ``None`` to
+    proceed with the real solve; CRASH/FLAKY faults do not return.
+    ABORT is supervisor-level and is a no-op here.
+    """
+    if spec is None or not spec.applies_to(backend):
+        return None
+    if spec.kind is FaultKind.CRASH:
+        _die(spec, inline)
+    elif spec.kind is FaultKind.FLAKY:
+        if attempt <= spec.fail_attempts:
+            _die(spec, inline)
+    elif spec.kind is FaultKind.SLEEP:
+        time.sleep(spec.sleep_seconds)
+    elif spec.kind is FaultKind.CORRUPT:
+        return CORRUPT_PAYLOAD
+    return None
+
+
+def _die(spec: FaultSpec, inline: bool) -> None:
+    if inline:
+        raise InjectedCrash(f"injected crash (exit code {spec.exit_code})")
+    os._exit(spec.exit_code)

@@ -1,0 +1,88 @@
+"""Retry, backoff, deadline, and fallback policies for supervised runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Fallback chain ending in the heuristic baseline router: exact HiGHS
+#: first, the pure-Python branch-and-bound cross-check second, and the
+#: (non-optimal, always-terminating) sequential A* router last.
+DEFAULT_FALLBACK_CHAIN = ("highs", "bnb", "baseline")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient failures.
+
+    ``max_attempts`` bounds attempts *per backend link*; the backoff
+    before retry ``k`` (0-based) is
+    ``min(backoff_max, backoff_base * backoff_factor ** k)`` seconds.
+    Deterministic (no jitter) so failure scenarios replay exactly.
+    """
+
+    max_attempts: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def backoff_seconds(self, retry: int) -> float:
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** retry)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the supervised runner.
+
+    Attributes:
+        n_workers: concurrent jobs (supervision threads).
+        isolation: ``"process"`` runs each attempt in its own child
+            process (crash isolation + preemptive deadlines);
+            ``"inline"`` runs attempts in the calling process (for
+            debuggers and platforms without cheap fork — crashes are
+            simulated and deadlines enforced post-hoc).
+        retry: per-backend retry/backoff policy.
+        backends: the fallback chain, tried left to right (e.g.
+            :data:`DEFAULT_FALLBACK_CHAIN`).  ``None`` disables
+            fallback: only the job's own backend is used.  A job whose
+            backend appears in the chain starts from that position;
+            otherwise its backend is tried first, then the whole chain.
+        hard_deadline_factor: the hard wall-clock deadline per attempt
+            is ``time_limit * hard_deadline_factor`` — the slack lets a
+            solver finish a solve that honors its (advisory) internal
+            limit.  Must keep the deadline under the acceptance bound
+            of 2x the configured limit.
+        hard_deadline: explicit per-attempt deadline in seconds,
+            overriding the factor.  ``None`` with a job ``time_limit``
+            of ``None`` means no deadline.
+    """
+
+    n_workers: int = 1
+    isolation: str = "process"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    backends: tuple[str, ...] | None = None
+    hard_deadline_factor: float = 1.5
+    hard_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.isolation not in ("process", "inline"):
+            raise ValueError(f"unknown isolation {self.isolation!r}")
+        if self.backends is not None and not self.backends:
+            raise ValueError("backends chain must be non-empty or None")
+        if not 1.0 <= self.hard_deadline_factor <= 2.0:
+            raise ValueError("hard_deadline_factor must be in [1.0, 2.0]")
+
+    def deadline_for(self, time_limit: float | None) -> float | None:
+        """Hard wall-clock deadline for one attempt."""
+        if self.hard_deadline is not None:
+            return self.hard_deadline
+        if time_limit is None:
+            return None
+        return time_limit * self.hard_deadline_factor

@@ -1,0 +1,395 @@
+"""Supervised, fault-tolerant execution of clip-routing jobs.
+
+Replaces the bare ``ProcessPoolExecutor.map`` batch layer: each job
+runs under a supervisor that
+
+- isolates worker crashes (a dead or OOM-killed process becomes a
+  structured ``RouteStatus.ERROR`` result instead of poisoning the
+  pool and losing sibling jobs);
+- enforces the per-clip time limit as a *hard* wall-clock deadline
+  (solvers treat their internal limits as advisory; a wedged attempt
+  is reaped and reported as ``RouteStatus.TIMEOUT``);
+- retries transient failures with bounded exponential backoff, then
+  degrades through a configurable backend fallback chain (e.g.
+  ``highs -> bnb -> baseline``), tagging every result with the
+  backend/attempt that produced it.
+
+Architecture: ``n_workers`` supervision threads each run one job at a
+time; every *attempt* is a fresh child process connected by a pipe.
+The supervisor waits on the pipe with a timeout, so a crash (EOF), a
+wedge (poll timeout), and a success (payload) are all first-class
+outcomes.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import signal
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from threading import Lock
+
+from repro.clips.clip import Clip
+from repro.exec.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    apply_fault,
+)
+from repro.exec.policy import SupervisorConfig
+from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus
+from repro.router.rules import RuleConfig
+
+#: Exit code the worker's SIGTERM handler uses for a clean fast exit.
+_TERM_EXIT = 97
+
+
+class SweepAborted(RuntimeError):
+    """An injected ABORT fault (or external kill) ended the sweep."""
+
+
+@dataclass(frozen=True)
+class RouteJob:
+    """One (clip, rule) routing job.
+
+    ``router`` optionally carries the caller's router instance so its
+    exact settings (including subclasses) are honored; backends other
+    than the router's own are derived with :func:`dataclasses.replace`.
+    """
+
+    clip: Clip
+    rules: RuleConfig
+    wire_cost: float = 1.0
+    via_cost: float = 4.0
+    backend: str = "highs"
+    time_limit: float | None = None
+    certify: bool = True
+    router: OptRouter | None = None
+
+    @classmethod
+    def from_router(
+        cls, clip: Clip, rules: RuleConfig, router: OptRouter
+    ) -> "RouteJob":
+        return cls(
+            clip=clip,
+            rules=rules,
+            wire_cost=router.wire_cost,
+            via_cost=router.via_cost,
+            backend=router.backend,
+            time_limit=router.time_limit,
+            certify=router.certify,
+            router=router,
+        )
+
+
+@dataclass(frozen=True)
+class _Failure:
+    kind: str  # "crash" | "timeout" | "error" | "corrupt"
+    detail: str
+
+
+def _router_for(job: RouteJob, backend: str) -> OptRouter:
+    if job.router is not None:
+        if job.router.backend == backend:
+            return job.router
+        return replace(job.router, backend=backend)
+    return OptRouter(
+        wire_cost=job.wire_cost,
+        via_cost=job.via_cost,
+        backend=backend,
+        time_limit=job.time_limit,
+        certify=job.certify,
+    )
+
+
+def _route_with_backend(job: RouteJob, backend: str) -> OptRouteResult:
+    if backend == "baseline":
+        return _route_with_baseline(job)
+    result = _router_for(job, backend).route(job.clip, job.rules)
+    result.backend = backend
+    return result
+
+
+def _route_with_baseline(job: RouteJob) -> OptRouteResult:
+    """Adapt the heuristic A* router to the OptRouteResult contract.
+
+    A feasible heuristic routing is reported as ``LIMIT`` — a valid
+    routing with no optimality proof — so Δcost accounting (which only
+    compares proven optima) automatically excludes it.  A heuristic
+    failure proves nothing about the clip, so it is ``ERROR``.
+    """
+    from repro.router.baseline import BaselineClipRouter
+
+    base = BaselineClipRouter(wire_cost=job.wire_cost, via_cost=job.via_cost)
+    t0 = time.perf_counter()
+    res = base.route(job.clip, job.rules)
+    elapsed = time.perf_counter() - t0
+    if res.feasible:
+        return OptRouteResult(
+            clip_name=job.clip.name,
+            rule_name=job.rules.name,
+            status=RouteStatus.LIMIT,
+            cost=res.cost,
+            wirelength=res.wirelength,
+            n_vias=res.n_vias,
+            solve_seconds=elapsed,
+            backend="baseline",
+        )
+    return OptRouteResult(
+        clip_name=job.clip.name,
+        rule_name=job.rules.name,
+        status=RouteStatus.ERROR,
+        solve_seconds=elapsed,
+        backend="baseline",
+        diagnostics="baseline heuristic found no routing",
+    )
+
+
+def _attempt_payload(
+    job: RouteJob,
+    backend: str,
+    fault: FaultSpec | None,
+    attempt: int,
+    inline: bool,
+):
+    injected = apply_fault(fault, backend, attempt, inline)
+    if injected is not None:
+        return injected
+    return _route_with_backend(job, backend)
+
+
+def _worker_main(job, backend, fault, attempt, conn) -> None:
+    """Child-process entry: route one attempt, ship the payload back."""
+    # Cooperative interrupt handling: a supervisor terminate() must not
+    # leave the solver wedged in native code longer than necessary.
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: _fast_exit())
+    except ValueError:  # non-main thread (never expected; be safe)
+        pass
+    try:
+        payload = _attempt_payload(job, backend, fault, attempt, inline=False)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - worker must not die silently
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _fast_exit() -> None:
+    import os
+
+    os._exit(_TERM_EXIT)
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else None)
+
+
+class SupervisedRunner:
+    """Runs batches of :class:`RouteJob` under the supervision policy."""
+
+    def __init__(self, config: SupervisorConfig | None = None):
+        self.config = config if config is not None else SupervisorConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[RouteJob],
+        fault_plan: FaultPlan | None = None,
+        on_result: "Callable[[int, OptRouteResult], None] | None" = None,
+    ) -> list[OptRouteResult]:
+        """Run all jobs; results come back in input order.
+
+        ``on_result(index, result)`` fires as each job completes (under
+        a lock when parallel) — the checkpoint hook.  Results are
+        complete even when individual jobs crash or time out; only an
+        injected ABORT fault raises :class:`SweepAborted`.
+        """
+        faults = [
+            fault_plan.fault_for(i, job.clip.name, job.rules.name)
+            if fault_plan is not None
+            else None
+            for i, job in enumerate(jobs)
+        ]
+        results: list[OptRouteResult | None] = [None] * len(jobs)
+        if self.config.n_workers == 1:
+            for i, (job, fault) in enumerate(zip(jobs, faults, strict=True)):
+                result = self.run_one(job, fault, index=i)
+                results[i] = result
+                if on_result is not None:
+                    on_result(i, result)
+            return [r for r in results if r is not None]
+
+        lock = Lock()
+
+        def _task(i: int) -> None:
+            result = self.run_one(jobs[i], faults[i], index=i)
+            with lock:
+                results[i] = result
+                if on_result is not None:
+                    on_result(i, result)
+
+        with ThreadPoolExecutor(max_workers=self.config.n_workers) as pool:
+            futures = [pool.submit(_task, i) for i in range(len(jobs))]
+            for future in futures:
+                future.result()  # propagate SweepAborted / internal errors
+        return [r for r in results if r is not None]
+
+    def run_one(
+        self,
+        job: RouteJob,
+        fault: FaultSpec | None = None,
+        index: int = 0,
+    ) -> OptRouteResult:
+        """Run one job through retry + fallback; never raises for
+        worker failures (ABORT faults excepted)."""
+        if fault is not None and fault.kind is FaultKind.ABORT:
+            raise SweepAborted(
+                f"injected abort at job {index} "
+                f"({job.clip.name}, {job.rules.name})"
+            )
+        chain = self._chain(job)
+        policy = self.config.retry
+        attempts = 0
+        notes: list[str] = []
+        last_failure: _Failure | None = None
+        for depth, backend in enumerate(chain):
+            for retry in range(policy.max_attempts):
+                attempts += 1
+                result, failure = self._attempt(job, backend, fault, attempts)
+                if result is not None:
+                    result.backend = backend
+                    result.attempts = attempts
+                    result.degraded = depth > 0 or backend == "baseline"
+                    if notes:
+                        result.diagnostics = "; ".join(notes)
+                    return result
+                assert failure is not None
+                last_failure = failure
+                notes.append(
+                    f"attempt {attempts} [{backend}]: "
+                    f"{failure.kind}: {failure.detail}"
+                )
+                if failure.kind == "timeout":
+                    break  # deterministic under the same deadline
+                if retry + 1 < policy.max_attempts:
+                    time.sleep(policy.backoff_seconds(retry))
+        status = (
+            RouteStatus.TIMEOUT
+            if last_failure is not None and last_failure.kind == "timeout"
+            else RouteStatus.ERROR
+        )
+        return OptRouteResult(
+            clip_name=job.clip.name,
+            rule_name=job.rules.name,
+            status=status,
+            backend=chain[-1],
+            attempts=attempts,
+            diagnostics="; ".join(notes),
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _chain(self, job: RouteJob) -> tuple[str, ...]:
+        chain = self.config.backends
+        if chain is None:
+            return (job.backend,)
+        if job.backend in chain:
+            return tuple(chain[chain.index(job.backend):])
+        return (job.backend, *chain)
+
+    def _attempt(
+        self, job: RouteJob, backend: str, fault: FaultSpec | None, attempt: int
+    ) -> "tuple[OptRouteResult | None, _Failure | None]":
+        if self.config.isolation == "inline":
+            return self._attempt_inline(job, backend, fault, attempt)
+        return self._attempt_process(job, backend, fault, attempt)
+
+    def _validate(self, payload) -> "tuple[OptRouteResult | None, _Failure | None]":
+        if not isinstance(payload, OptRouteResult):
+            return None, _Failure(
+                "corrupt", f"worker returned {type(payload).__name__!s}, "
+                "not an OptRouteResult"
+            )
+        if payload.status is RouteStatus.ERROR:
+            return None, _Failure(
+                "error", payload.diagnostics or "backend reported an error"
+            )
+        return payload, None
+
+    def _attempt_inline(
+        self, job: RouteJob, backend: str, fault: FaultSpec | None, attempt: int
+    ) -> "tuple[OptRouteResult | None, _Failure | None]":
+        t0 = time.perf_counter()
+        try:
+            payload = _attempt_payload(job, backend, fault, attempt, inline=True)
+        except InjectedCrash as exc:
+            return None, _Failure("crash", str(exc))
+        except Exception as exc:  # worker-equivalent containment
+            return None, _Failure("error", f"{type(exc).__name__}: {exc}")
+        elapsed = time.perf_counter() - t0
+        deadline = self.config.deadline_for(job.time_limit)
+        if deadline is not None and elapsed > deadline:
+            # Inline isolation cannot preempt; enforce the deadline
+            # post-hoc so both isolation modes share semantics.
+            return None, _Failure(
+                "timeout",
+                f"ran {elapsed:.2f}s past hard deadline {deadline:.2f}s",
+            )
+        return self._validate(payload)
+
+    def _attempt_process(
+        self, job: RouteJob, backend: str, fault: FaultSpec | None, attempt: int
+    ) -> "tuple[OptRouteResult | None, _Failure | None]":
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(job, backend, fault, attempt, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = self.config.deadline_for(job.time_limit)
+        try:
+            if not parent_conn.poll(deadline):
+                self._reap(proc)
+                return None, _Failure(
+                    "timeout", f"hard deadline {deadline:.2f}s exceeded; "
+                    "worker terminated"
+                )
+            try:
+                tag, payload = parent_conn.recv()
+            except (EOFError, OSError):
+                proc.join(5.0)
+                return None, _Failure(
+                    "crash", f"worker died without a result "
+                    f"(exit code {proc.exitcode})"
+                )
+        finally:
+            parent_conn.close()
+        proc.join(5.0)
+        if proc.is_alive():
+            self._reap(proc)
+        if tag == "error":
+            return None, _Failure("error", str(payload))
+        return self._validate(payload)
+
+    @staticmethod
+    def _reap(proc) -> None:
+        proc.terminate()
+        proc.join(2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(2.0)

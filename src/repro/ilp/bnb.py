@@ -124,15 +124,22 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf
     n_nodes = 0
+    deadline = None if options.time_limit is None else t0 + options.time_limit
+
+    def expired() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
 
     while heap:
+        if expired():
+            # Hand back the incumbent (when one exists) as LIMIT rather
+            # than continuing to pop/branch past the deadline; at most
+            # one LP solve can overshoot the limit.
+            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
         bound, _t, lb, ub = heapq.heappop(heap)
         if bound >= incumbent_obj - 1e-9:
             break  # best-first: nothing left can improve the incumbent
         n_nodes += 1
         if n_nodes > options.max_nodes:
-            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
-        if options.time_limit is not None and time.perf_counter() - t0 > options.time_limit:
             return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
 
         lp = data.solve_lp(lb, ub)
@@ -148,6 +155,11 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
             incumbent_obj = lp.fun
             incumbent_x = lp.x.copy()
             continue
+
+        if expired():
+            # The deadline elapsed inside the LP solve: don't grow the
+            # tree; report the best incumbent found so far.
+            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
 
         value = lp.x[branch_index]
         down_ub = ub.copy()

@@ -29,7 +29,16 @@ def solve_with_highs(
 
     ``mip_rel_gap`` is 0 by default: OptRouter requires proven-optimal
     solutions for the paper's methodology to be meaningful.
+
+    A non-positive ``time_limit`` returns ``LIMIT`` immediately: a
+    fallback chain that has already spent its wall-clock budget must
+    not start another solve (HiGHS treats its own limit as advisory
+    and can overshoot).  Unexpected solver exceptions are contained as
+    ``ERROR`` solutions so one pathological model cannot take down a
+    whole sweep.
     """
+    if time_limit is not None and time_limit <= 0:
+        return Solution(status=SolveStatus.LIMIT)
     n = model.n_vars
     if n == 0:
         return Solution(status=SolveStatus.OPTIMAL, objective=model.objective.const)
@@ -73,13 +82,19 @@ def solve_with_highs(
         options["time_limit"] = time_limit
 
     t0 = time.perf_counter()
-    result = milp(
-        c=cost,
-        constraints=constraints,
-        integrality=integrality,
-        bounds=bounds,
-        options=options,
-    )
+    try:
+        result = milp(
+            c=cost,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=bounds,
+            options=options,
+        )
+    except (ValueError, TypeError, MemoryError):
+        return Solution(
+            status=SolveStatus.ERROR,
+            solve_seconds=time.perf_counter() - t0,
+        )
     elapsed = time.perf_counter() - t0
 
     status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)

@@ -3,40 +3,23 @@
 The paper closes by noting that clip-level optimal routing "opens up
 the possibility of (massively distributed) local improvement": each
 clip is an independent ILP, so a population parallelizes trivially.
-This module fans clip/rule pairs across worker processes.
+This module fans clip/rule pairs across the supervised runner
+(:mod:`repro.exec.runner`): a crashed or wedged worker yields a
+structured ERROR/TIMEOUT result for its own job only — sibling jobs
+and their input-order positions are preserved.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import replace
 
 from repro.clips.clip import Clip
+from repro.exec.faults import FaultPlan
+from repro.exec.policy import SupervisorConfig
+from repro.exec.runner import RouteJob, SupervisedRunner
 from repro.router.optrouter import OptRouteResult, OptRouter
 from repro.router.rules import RuleConfig
-
-
-@dataclass(frozen=True)
-class _Job:
-    clip: Clip
-    rules: RuleConfig
-    wire_cost: float
-    via_cost: float
-    backend: str
-    time_limit: float | None
-    certify: bool = True
-
-
-def _run_job(job: _Job) -> OptRouteResult:
-    router = OptRouter(
-        wire_cost=job.wire_cost,
-        via_cost=job.via_cost,
-        backend=job.backend,
-        time_limit=job.time_limit,
-        certify=job.certify,
-    )
-    return router.route(job.clip, job.rules)
 
 
 def route_clips_parallel(
@@ -44,14 +27,22 @@ def route_clips_parallel(
     rules: "RuleConfig | Sequence[RuleConfig]",
     n_workers: int = 2,
     router: OptRouter | None = None,
+    supervisor: SupervisorConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[OptRouteResult]:
-    """Route every (clip, rule) pair across worker processes.
+    """Route every (clip, rule) pair under the supervised runner.
 
     ``rules`` may be a single configuration (applied to every clip) or
     one configuration per clip.  Results come back in input order.
-    With ``n_workers <= 1`` the work runs inline (useful under
-    debuggers and on platforms without fork).
+    The ``router``'s settings (including subclasses) are honored in
+    every isolation mode; with ``n_workers == 1`` the work runs inline
+    in this process (useful under debuggers and on platforms without
+    fork).  ``supervisor`` overrides retry/fallback/deadline policy —
+    its worker count is reconciled with ``n_workers`` rather than
+    silently dropping either.
     """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
     if router is None:
         router = OptRouter(time_limit=60.0)
     if isinstance(rules, RuleConfig):
@@ -62,18 +53,14 @@ def route_clips_parallel(
             raise ValueError("need one rule config per clip")
 
     jobs = [
-        _Job(
-            clip=clip,
-            rules=rule,
-            wire_cost=router.wire_cost,
-            via_cost=router.via_cost,
-            backend=router.backend,
-            time_limit=router.time_limit,
-            certify=router.certify,
-        )
-        for clip, rule in zip(clips, rule_list)
+        RouteJob.from_router(clip, rule, router)
+        for clip, rule in zip(clips, rule_list, strict=True)
     ]
-    if n_workers <= 1:
-        return [_run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_run_job, jobs))
+    if supervisor is None:
+        supervisor = SupervisorConfig(
+            n_workers=n_workers,
+            isolation="inline" if n_workers == 1 else "process",
+        )
+    elif supervisor.n_workers != n_workers:
+        supervisor = replace(supervisor, n_workers=n_workers)
+    return SupervisedRunner(supervisor).run(jobs, fault_plan=fault_plan)

@@ -26,11 +26,21 @@ class RouteStatus(enum.Enum):
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"  # no rule-correct routing exists
     LIMIT = "limit"            # solver budget exhausted before a proof
+    TIMEOUT = "timeout"        # reaped at the supervisor's hard deadline
+    ERROR = "error"            # solver/worker failure (crash, bad result)
 
 
 @dataclass
 class OptRouteResult:
-    """Outcome of routing one clip under one rule configuration."""
+    """Outcome of routing one clip under one rule configuration.
+
+    ``backend``/``attempts``/``degraded`` are provenance tags filled in
+    by the supervised runner (:mod:`repro.exec.runner`): which backend
+    produced the result, how many attempts it took across the fallback
+    chain, and whether the producing backend was a non-primary fallback
+    (so the result carries no optimality guarantee).  ``diagnostics``
+    records the failure history for ERROR/TIMEOUT results.
+    """
 
     clip_name: str
     rule_name: str
@@ -43,10 +53,19 @@ class OptRouteResult:
     n_nodes: int = 0
     model_stats: dict[str, int] = field(default_factory=dict)
     certificate: InfeasibilityCertificate | None = None
+    backend: str = ""
+    attempts: int = 1
+    degraded: bool = False
+    diagnostics: str | None = None
 
     @property
     def feasible(self) -> bool:
         return self.status is RouteStatus.OPTIMAL
+
+    @property
+    def failed(self) -> bool:
+        """True when no solve outcome exists (crash or reaped job)."""
+        return self.status in (RouteStatus.ERROR, RouteStatus.TIMEOUT)
 
     @property
     def certified(self) -> bool:
@@ -102,6 +121,7 @@ class OptRouter:
                     rule_name=rules.name,
                     status=RouteStatus.INFEASIBLE,
                     certificate=certificate,
+                    backend=self.backend,
                 )
         ilp = self.build(clip, rules)
         solution = self._solve(ilp)
@@ -112,6 +132,7 @@ class OptRouter:
             solve_seconds=solution.solve_seconds,
             n_nodes=solution.n_nodes,
             model_stats=ilp.model.stats(),
+            backend=self.backend,
         )
         if solution.values and solution.status in (
             SolveStatus.OPTIMAL,
@@ -130,4 +151,8 @@ def _route_status(status: SolveStatus) -> RouteStatus:
         return RouteStatus.OPTIMAL
     if status is SolveStatus.INFEASIBLE:
         return RouteStatus.INFEASIBLE
+    if status in (SolveStatus.ERROR, SolveStatus.UNBOUNDED):
+        # A routing ILP is bounded by construction; either outcome is
+        # a solver failure, not a statement about the clip.
+        return RouteStatus.ERROR
     return RouteStatus.LIMIT

@@ -80,3 +80,37 @@ class TestParser:
         with pytest.raises(KeyError):
             main(["route-clip", "--rule", "RULE99", "--nx", "4", "--ny",
                   "5", "--nz", "2", "--nets", "1"])
+
+
+class TestEvalResume:
+    _ARGS = [
+        "--tech", "N7-9T", "--clips", "2",
+        "--nx", "5", "--ny", "6", "--nz", "3", "--nets", "2",
+        "--time-limit", "20",
+    ]
+
+    def test_eval_alias_with_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        code = main(["eval", *self._ARGS, "--checkpoint", ckpt])
+        first = capsys.readouterr().out
+        assert code == 0
+        assert "RULE8" in first
+
+        # Resume over a finished journal: no pair re-solves, identical table.
+        code = main(["eval", *self._ARGS, "--checkpoint", ckpt, "--resume"])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert second == first
+
+    def test_resume_requires_checkpoint(self, capsys):
+        code = main(["eval", *self._ARGS, "--resume"])
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_fallback_chain_accepted(self, capsys):
+        code = main([
+            "evaluate", *self._ARGS,
+            "--fallback", "highs,bnb,baseline", "--max-attempts", "1",
+        ])
+        assert code == 0
+        assert "RULE1" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for the deterministic fault-injection harness itself."""
+
+import time
+
+import pytest
+
+from repro.exec import (
+    CORRUPT_PAYLOAD,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    apply_fault,
+)
+
+
+class TestFaultSpec:
+    def test_applies_to_any_backend_by_default(self):
+        spec = FaultSpec(FaultKind.CRASH)
+        assert spec.applies_to("highs") and spec.applies_to("baseline")
+
+    def test_only_backend_restricts(self):
+        spec = FaultSpec(FaultKind.CRASH, only_backend="highs")
+        assert spec.applies_to("highs")
+        assert not spec.applies_to("bnb")
+
+
+class TestFaultPlan:
+    def test_by_index_lookup(self):
+        plan = FaultPlan(by_index={2: FaultSpec(FaultKind.CRASH)})
+        assert plan.fault_for(2, "c", "r") is not None
+        assert plan.fault_for(0, "c", "r") is None
+
+    def test_by_key_lookup_survives_reindexing(self):
+        spec = FaultSpec(FaultKind.SLEEP)
+        plan = FaultPlan(by_key={("clip7", "RULE6"): spec})
+        # Same pair at any batch position still draws the fault.
+        assert plan.fault_for(0, "clip7", "RULE6") is spec
+        assert plan.fault_for(99, "clip7", "RULE6") is spec
+        assert plan.fault_for(0, "clip7", "RULE1") is None
+
+    def test_key_takes_precedence_over_index(self):
+        by_key = FaultSpec(FaultKind.SLEEP)
+        by_index = FaultSpec(FaultKind.CRASH)
+        plan = FaultPlan(by_index={0: by_index}, by_key={("c", "r"): by_key})
+        assert plan.fault_for(0, "c", "r") is by_key
+
+
+class TestApplyFault:
+    def test_no_fault_is_noop(self):
+        assert apply_fault(None, "highs", 1, inline=True) is None
+
+    def test_inline_crash_raises(self):
+        with pytest.raises(InjectedCrash):
+            apply_fault(FaultSpec(FaultKind.CRASH), "highs", 1, inline=True)
+
+    def test_crash_skips_other_backends(self):
+        spec = FaultSpec(FaultKind.CRASH, only_backend="highs")
+        assert apply_fault(spec, "bnb", 1, inline=True) is None
+
+    def test_flaky_fails_then_succeeds(self):
+        spec = FaultSpec(FaultKind.FLAKY, fail_attempts=2)
+        for attempt in (1, 2):
+            with pytest.raises(InjectedCrash):
+                apply_fault(spec, "highs", attempt, inline=True)
+        assert apply_fault(spec, "highs", 3, inline=True) is None
+
+    def test_corrupt_returns_marker(self):
+        payload = apply_fault(
+            FaultSpec(FaultKind.CORRUPT), "highs", 1, inline=True
+        )
+        assert payload == CORRUPT_PAYLOAD
+
+    def test_sleep_sleeps_then_proceeds(self):
+        spec = FaultSpec(FaultKind.SLEEP, sleep_seconds=0.05)
+        t0 = time.perf_counter()
+        assert apply_fault(spec, "highs", 1, inline=True) is None
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_abort_is_worker_noop(self):
+        # ABORT is interpreted by the supervisor, never by the worker.
+        assert apply_fault(FaultSpec(FaultKind.ABORT), "highs", 1, inline=True) is None

@@ -1,0 +1,311 @@
+"""End-to-end tests for the supervised fault-tolerant runner.
+
+Every policy is proven against real injected failures: crashed child
+processes, wedged workers reaped at the hard deadline, flaky backends
+that heal under retry, and fallback chains that degrade to the
+heuristic baseline.
+"""
+
+import time
+
+import pytest
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.exec import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SupervisedRunner,
+    SupervisorConfig,
+    SweepAborted,
+)
+from repro.exec.runner import RouteJob
+from repro.router import OptRouter, RouteStatus, RuleConfig
+
+
+def clips(n=3):
+    return [
+        make_synthetic_clip(
+            SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1),
+            seed=s,
+        )
+        for s in range(n)
+    ]
+
+
+def jobs_for(population, time_limit=30.0, backend="highs"):
+    router = OptRouter(time_limit=time_limit, backend=backend)
+    return [
+        RouteJob.from_router(clip, RuleConfig(), router) for clip in population
+    ]
+
+
+def fast_retry(max_attempts=2):
+    return RetryPolicy(max_attempts=max_attempts, backoff_base=0.001)
+
+
+class TestCleanRuns:
+    def test_inline_and_process_agree(self):
+        population = clips()
+        inline = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline")
+        ).run(jobs_for(population))
+        proc = SupervisedRunner(
+            SupervisorConfig(n_workers=2, isolation="process")
+        ).run(jobs_for(population))
+        assert [r.cost for r in inline] == [r.cost for r in proc]
+        assert all(r.status is RouteStatus.OPTIMAL for r in proc)
+        assert all(r.backend == "highs" for r in proc)
+        assert all(r.attempts == 1 for r in proc)
+        assert all(not r.degraded for r in proc)
+
+    def test_on_result_fires_for_every_job(self):
+        population = clips()
+        seen = []
+        SupervisedRunner(
+            SupervisorConfig(n_workers=2, isolation="process")
+        ).run(jobs_for(population), on_result=lambda i, r: seen.append(i))
+        assert sorted(seen) == [0, 1, 2]
+
+
+class TestCrashIsolation:
+    def test_crashed_worker_does_not_lose_siblings(self):
+        population = clips(3)
+        plan = FaultPlan(by_index={1: FaultSpec(FaultKind.CRASH)})
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=2, isolation="process", retry=fast_retry(2)
+            )
+        )
+        results = runner.run(jobs_for(population), fault_plan=plan)
+        # Order preserved, statuses correct, sibling results intact.
+        assert [r.clip_name for r in results] == [c.name for c in population]
+        assert results[0].status is RouteStatus.OPTIMAL
+        assert results[1].status is RouteStatus.ERROR
+        assert results[2].status is RouteStatus.OPTIMAL
+        assert results[0].cost is not None and results[2].cost is not None
+
+    def test_crash_result_carries_diagnostics(self):
+        population = clips(1)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.CRASH, exit_code=73)})
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="process", retry=fast_retry(2)
+            )
+        )
+        result = runner.run(jobs_for(population), fault_plan=plan)[0]
+        assert result.status is RouteStatus.ERROR
+        assert result.attempts == 2  # retried before giving up
+        assert "crash" in result.diagnostics
+        assert "73" in result.diagnostics
+
+    def test_inline_crash_is_contained_too(self):
+        population = clips(2)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.CRASH)})
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="inline", retry=fast_retry(1)
+            )
+        )
+        results = runner.run(jobs_for(population), fault_plan=plan)
+        assert results[0].status is RouteStatus.ERROR
+        assert results[1].status is RouteStatus.OPTIMAL
+
+
+class TestHardDeadline:
+    def test_wedged_worker_reaped_within_twice_the_limit(self):
+        limit = 1.0
+        population = clips(1)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.SLEEP, sleep_seconds=30.0)})
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="process", retry=fast_retry(1)
+            )
+        )
+        t0 = time.perf_counter()
+        result = runner.run(
+            jobs_for(population, time_limit=limit), fault_plan=plan
+        )[0]
+        elapsed = time.perf_counter() - t0
+        assert result.status is RouteStatus.TIMEOUT
+        assert elapsed < 2 * limit
+        assert "deadline" in result.diagnostics
+
+    def test_timeout_skips_retries_on_same_backend(self):
+        population = clips(1)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.SLEEP, sleep_seconds=30.0)})
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="process", retry=fast_retry(3)
+            )
+        )
+        result = runner.run(
+            jobs_for(population, time_limit=0.5), fault_plan=plan
+        )[0]
+        # A deterministic deadline blowup is not retried on the same
+        # backend: one attempt, then give up (no fallback configured).
+        assert result.status is RouteStatus.TIMEOUT
+        assert result.attempts == 1
+
+
+class TestRetry:
+    def test_flaky_backend_succeeds_via_retry(self):
+        population = clips(1)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.FLAKY, fail_attempts=1)})
+        for isolation in ("inline", "process"):
+            runner = SupervisedRunner(
+                SupervisorConfig(
+                    n_workers=1, isolation=isolation, retry=fast_retry(2)
+                )
+            )
+            result = runner.run(jobs_for(population), fault_plan=plan)[0]
+            assert result.status is RouteStatus.OPTIMAL
+            assert result.attempts == 2
+            assert not result.degraded
+            assert "crash" in result.diagnostics  # first attempt recorded
+
+    def test_backoff_is_bounded_and_monotone(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        delays = [policy.backoff_seconds(k) for k in range(5)]
+        assert delays == sorted(delays)
+        assert max(delays) == 0.3
+
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(isolation="thread")
+        with pytest.raises(ValueError):
+            SupervisorConfig(hard_deadline_factor=5.0)
+
+
+class TestFallbackChain:
+    def test_falls_back_to_bnb_with_same_optimum(self):
+        population = clips(1)
+        clean = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline")
+        ).run(jobs_for(population))[0]
+        plan = FaultPlan(
+            by_index={0: FaultSpec(FaultKind.CRASH, only_backend="highs")}
+        )
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1,
+                isolation="process",
+                retry=fast_retry(1),
+                backends=("highs", "bnb"),
+            )
+        )
+        result = runner.run(jobs_for(population), fault_plan=plan)[0]
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.backend == "bnb"
+        assert result.degraded  # non-primary backend is flagged
+        assert result.cost == pytest.approx(clean.cost)
+
+    def test_exhausted_chain_degrades_to_baseline(self):
+        population = clips(1)
+        clean = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline")
+        ).run(jobs_for(population))[0]
+        plan = FaultPlan(
+            by_index={0: FaultSpec(FaultKind.CRASH, only_backend="highs")}
+        )
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1,
+                isolation="process",
+                retry=fast_retry(2),
+                backends=("highs", "baseline"),
+            )
+        )
+        result = runner.run(jobs_for(population), fault_plan=plan)[0]
+        # Baseline produces a routing but no optimality proof: tagged
+        # LIMIT + degraded so Δcost accounting excludes it.
+        assert result.status is RouteStatus.LIMIT
+        assert result.backend == "baseline"
+        assert result.degraded
+        assert result.attempts == 3  # 2 highs crashes + 1 baseline
+        assert result.cost is not None
+        assert result.cost >= clean.cost - 1e-9  # heuristic never beats optimum
+
+    def test_fully_exhausted_chain_reports_error(self):
+        population = clips(1)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.CRASH)})  # all backends
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1,
+                isolation="process",
+                retry=fast_retry(2),
+                backends=("highs", "bnb"),
+            )
+        )
+        result = runner.run(jobs_for(population), fault_plan=plan)[0]
+        assert result.status is RouteStatus.ERROR
+        assert result.attempts == 4
+        assert result.diagnostics.count("crash") == 4
+
+    def test_job_backend_positions_in_chain(self):
+        runner = SupervisedRunner(
+            SupervisorConfig(backends=("highs", "bnb", "baseline"))
+        )
+        population = clips(1)
+        job_bnb = jobs_for(population, backend="bnb")[0]
+        assert runner._chain(job_bnb) == ("bnb", "baseline")
+        job_other = jobs_for(population, backend="exotic")[0]
+        assert runner._chain(job_other) == (
+            "exotic", "highs", "bnb", "baseline"
+        )
+
+
+class TestCorruptResults:
+    def test_corrupt_payload_is_rejected_not_returned(self):
+        population = clips(1)
+        plan = FaultPlan(by_index={0: FaultSpec(FaultKind.CORRUPT)})
+        for isolation in ("inline", "process"):
+            runner = SupervisedRunner(
+                SupervisorConfig(
+                    n_workers=1, isolation=isolation, retry=fast_retry(1)
+                )
+            )
+            result = runner.run(jobs_for(population), fault_plan=plan)[0]
+            assert result.status is RouteStatus.ERROR
+            assert "corrupt" in result.diagnostics
+
+    def test_corrupt_primary_recovers_via_fallback(self):
+        population = clips(1)
+        plan = FaultPlan(
+            by_index={0: FaultSpec(FaultKind.CORRUPT, only_backend="highs")}
+        )
+        runner = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1,
+                isolation="inline",
+                retry=fast_retry(1),
+                backends=("highs", "bnb"),
+            )
+        )
+        result = runner.run(jobs_for(population), fault_plan=plan)[0]
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.backend == "bnb"
+
+
+class TestAbort:
+    def test_abort_fault_raises_sweep_aborted(self):
+        population = clips(2)
+        plan = FaultPlan(by_index={1: FaultSpec(FaultKind.ABORT)})
+        runner = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline")
+        )
+        completed = []
+        with pytest.raises(SweepAborted):
+            runner.run(
+                jobs_for(population),
+                fault_plan=plan,
+                on_result=lambda i, r: completed.append(i),
+            )
+        assert completed == [0]  # jobs before the abort were delivered

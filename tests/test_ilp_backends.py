@@ -114,3 +114,61 @@ class TestBnBLimits:
                 for w, x in zip([3, 4, 2, 3, 2], xs)
             )
             assert weight <= 7 + 1e-9
+
+
+def _routing_model(nx=6, ny=8, nz=4, n_nets=4, seed=0):
+    from repro.clips import SyntheticClipSpec, make_synthetic_clip
+    from repro.router import OptRouter, RuleConfig
+
+    clip = make_synthetic_clip(
+        SyntheticClipSpec(nx=nx, ny=ny, nz=nz, n_nets=n_nets, sinks_per_net=1),
+        seed=seed,
+    )
+    return OptRouter().build(clip, RuleConfig()).model
+
+
+class TestTimeLimits:
+    """Regression: the time limit is a deadline, not a suggestion."""
+
+    def test_bnb_zero_limit_returns_limit_immediately(self):
+        import time
+
+        m = _routing_model()
+        t0 = time.perf_counter()
+        solution = solve_with_bnb(m, BnBOptions(time_limit=0.0))
+        elapsed = time.perf_counter() - t0
+        assert solution.status is SolveStatus.LIMIT
+        assert elapsed < 1.0  # no node loop ran past the expired deadline
+
+    def test_bnb_respects_tiny_limit_within_tolerance(self):
+        import time
+
+        m = _routing_model(n_nets=5, seed=3)
+        limit = 0.05
+        t0 = time.perf_counter()
+        solution = solve_with_bnb(m, BnBOptions(time_limit=limit))
+        elapsed = time.perf_counter() - t0
+        assert solution.status in (SolveStatus.LIMIT, SolveStatus.OPTIMAL,
+                                   SolveStatus.INFEASIBLE)
+        # At most one LP solve may overshoot the deadline; LP solves on
+        # these models are milliseconds, so a generous 2s bound proves
+        # the loop no longer ignores the limit.
+        assert elapsed < limit + 2.0
+
+    def test_bnb_limit_keeps_incumbent_when_one_exists(self):
+        m, xs = knapsack()
+        # Node budget forces LIMIT after the first integral incumbent.
+        solution = solve_with_bnb(m, BnBOptions(max_nodes=3))
+        if solution.status is SolveStatus.LIMIT and solution.values:
+            weight = sum(
+                w * solution.value(x) for w, x in zip([3, 4, 2, 3, 2], xs)
+            )
+            assert weight <= 7 + 1e-9
+
+    def test_highs_nonpositive_limit_short_circuits(self):
+        m = _routing_model()
+        solution = solve_with_highs(m, time_limit=0.0)
+        assert solution.status is SolveStatus.LIMIT
+        assert not solution.values
+        solution = solve_with_highs(m, time_limit=-1.0)
+        assert solution.status is SolveStatus.LIMIT

@@ -42,3 +42,77 @@ class TestBatchRouting:
     def test_rule_count_mismatch(self):
         with pytest.raises(ValueError):
             route_clips_parallel(clips(2), [RuleConfig()], n_workers=1)
+
+    def test_rule_surplus_mismatch(self):
+        # The job builder zips strictly: a surplus can't slip through
+        # even if the earlier length check were bypassed.
+        with pytest.raises(ValueError):
+            route_clips_parallel(clips(2), [RuleConfig()] * 3, n_workers=1)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            route_clips_parallel(clips(1), RuleConfig(), n_workers=0)
+        with pytest.raises(ValueError):
+            route_clips_parallel(clips(1), RuleConfig(), n_workers=-2)
+
+    def test_inline_honors_router_subclass(self):
+        """A caller-supplied router's behavior must not be silently
+        dropped on the inline path."""
+        calls = []
+
+        class CountingRouter(OptRouter):
+            def route(self, clip, rules=None):
+                calls.append(clip.name)
+                return super().route(clip, rules)
+
+        population = clips(2)
+        results = route_clips_parallel(
+            population, RuleConfig(), n_workers=1,
+            router=CountingRouter(time_limit=30.0),
+        )
+        assert calls == [c.name for c in population]
+        assert all(r.feasible for r in results)
+
+    def test_results_tagged_with_backend(self):
+        results = route_clips_parallel(clips(2), RuleConfig(), n_workers=1)
+        assert all(r.backend == "highs" for r in results)
+        assert all(r.attempts == 1 for r in results)
+
+
+class TestBatchFaultTolerance:
+    def test_crashing_worker_does_not_lose_other_jobs(self):
+        from repro.exec import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            RetryPolicy,
+            SupervisorConfig,
+        )
+        from repro.router import RouteStatus
+
+        population = clips(4)
+        plan = FaultPlan(by_index={2: FaultSpec(FaultKind.CRASH)})
+        supervisor = SupervisorConfig(
+            n_workers=2, isolation="process",
+            retry=RetryPolicy(max_attempts=1),
+        )
+        results = route_clips_parallel(
+            population, RuleConfig(), n_workers=2,
+            supervisor=supervisor, fault_plan=plan,
+        )
+        clean = route_clips_parallel(population, RuleConfig(), n_workers=1)
+        assert [r.clip_name for r in results] == [c.name for c in population]
+        statuses = [r.status for r in results]
+        assert statuses[2] is RouteStatus.ERROR
+        for i in (0, 1, 3):
+            assert statuses[i] is RouteStatus.OPTIMAL
+            assert results[i].cost == clean[i].cost
+
+    def test_supervisor_worker_count_reconciled(self):
+        from repro.exec import SupervisorConfig
+
+        supervisor = SupervisorConfig(n_workers=4, isolation="inline")
+        results = route_clips_parallel(
+            clips(2), RuleConfig(), n_workers=1, supervisor=supervisor
+        )
+        assert all(r.feasible for r in results)
