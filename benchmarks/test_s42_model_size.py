@@ -160,6 +160,26 @@ def test_s42_lint_stats_table(results_dir):
     (results_dir / "s42_lint_stats.txt").write_text(table + "\n")
 
 
+def test_lint_time_stays_linear_in_rows():
+    """Support-signature bucketing keeps lint near-linear in row count.
+
+    The via-shape configuration builds the largest Section 4.2 model;
+    an all-pairs duplicate scan made lint dominate bench time here, so
+    the bound is a regression canary for the bucketed implementation.
+    """
+    import time
+
+    clip = clip_with(7, 10, 4, 3)
+    ilp = OptRouter().build(clip, RuleConfig(allow_via_shapes=True))
+    t0 = time.perf_counter()
+    report = lint_routing_ilp(ilp)
+    elapsed = time.perf_counter() - t0
+    assert not report.has_errors
+    # Generous wall-clock ceiling (~50x observed on a laptop): catches
+    # a quadratic regression without flaking on slow CI machines.
+    assert elapsed < 5.0, f"lint took {elapsed:.2f}s on {ilp.model.stats()}"
+
+
 @pytest.mark.benchmark(group="s42")
 def test_bench_model_build(benchmark):
     clip = clip_with(7, 10, 4, 3)

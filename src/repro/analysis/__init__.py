@@ -1,5 +1,6 @@
-"""Pre-solve static analysis: ILP model linting and clip infeasibility
-certification (see ``docs/static_analysis.md``)."""
+"""Pre-solve static analysis: ILP model linting, clip infeasibility
+certification, and presolve model reduction (see
+``docs/static_analysis.md``)."""
 
 from repro.analysis.findings import (
     InfeasibilityCertificate,
@@ -9,6 +10,14 @@ from repro.analysis.findings import (
 )
 from repro.analysis.model_lint import lint_model, lint_routing_ilp
 from repro.analysis.certify import certify_infeasible
+from repro.analysis.decompose import Component, decompose_model
+from repro.analysis.presolve import (
+    PresolveResult,
+    PresolveTrace,
+    presolve_model,
+    presolve_routing_ilp,
+    solve_reduced,
+)
 
 __all__ = [
     "InfeasibilityCertificate",
@@ -18,4 +27,11 @@ __all__ = [
     "lint_model",
     "lint_routing_ilp",
     "certify_infeasible",
+    "Component",
+    "decompose_model",
+    "PresolveResult",
+    "PresolveTrace",
+    "presolve_model",
+    "presolve_routing_ilp",
+    "solve_reduced",
 ]

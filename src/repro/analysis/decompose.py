@@ -1,0 +1,128 @@
+"""Connected-component decomposition of a MILP.
+
+Two variables are connected when they share a constraint row; the
+components of that graph are independent subproblems whose objectives
+add.  On reduced routing models this splits nets confined to disjoint
+regions of the clip graph into separate ILPs that solve much faster
+than their union.
+
+Variables that appear in no row form no component here -- the
+presolve ``unconstrained-column`` pass fixes those analytically, and
+the backends' trivial-model fast path covers any that remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ilp.model import Constraint, LinExpr, Model
+
+
+@dataclass(frozen=True)
+class Component:
+    """One independent subproblem of a decomposed model.
+
+    ``var_map`` maps the parent model's variable index to this
+    component's variable index, so sub-solutions can be scattered back
+    into the parent's variable space.
+    """
+
+    model: Model
+    var_map: dict[int, int]
+
+
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[max(ri, rj)] = min(ri, rj)
+
+
+def decompose_model(model: Model) -> list[Component]:
+    """Split ``model`` into independent components.
+
+    Returns components ordered by their smallest parent variable index
+    (deterministic).  A model with a single component comes back as one
+    Component whose model is a rebuilt copy, so callers can treat the
+    single- and multi-component cases uniformly.  The parent objective
+    constant is NOT distributed -- each component model carries a zero
+    objective constant and the caller re-adds ``model.objective.const``
+    exactly once when merging.
+    """
+    n = len(model.variables)
+    uf = _UnionFind(n)
+    for con in model.constraints:
+        indices = iter(con.expr.coefs)
+        first = next(indices, None)
+        if first is None:
+            continue
+        for j in indices:
+            uf.union(first, j)
+
+    # Group constrained variables by root; leave unconstrained ones to
+    # whichever component comes first (they are analytically separable
+    # anyway, and presolve normally fixed them already).
+    roots: dict[int, list[int]] = {}
+    constrained = set()
+    for con in model.constraints:
+        constrained.update(con.expr.coefs)
+    for j in range(n):
+        if j in constrained:
+            roots.setdefault(uf.find(j), []).append(j)
+    unconstrained = [j for j in range(n) if j not in constrained]
+    if not roots:
+        if n == 0:
+            return []
+        roots = {n: []}  # single pseudo-component for the loose columns
+    if unconstrained:
+        first_root = min(roots)
+        roots[first_root] = sorted(roots[first_root] + unconstrained)
+
+    components: list[Component] = []
+    for root in sorted(roots):
+        members = roots[root]
+        sub = Model(name=f"{model.name}__c{len(components)}")
+        var_map: dict[int, int] = {}
+        for j in members:
+            parent_var = model.variables[j]
+            var_map[j] = sub.var(
+                parent_var.name,
+                parent_var.lb,
+                parent_var.ub,
+                integer=parent_var.is_integer,
+            ).index
+        member_set = var_map.keys()
+        for con in model.constraints:
+            if not con.expr.coefs:
+                continue
+            first = next(iter(con.expr.coefs))
+            if first not in member_set:
+                continue
+            expr = LinExpr(
+                {var_map[j]: c for j, c in con.expr.coefs.items()},
+                con.expr.const,
+            )
+            sub.constraints.append(Constraint(expr, con.sense, con.name))
+        sub.objective = LinExpr(
+            {
+                var_map[j]: c
+                for j, c in model.objective.coefs.items()
+                if j in member_set
+            },
+            0.0,
+        )
+        components.append(Component(model=sub, var_map=var_map))
+    return components

@@ -174,16 +174,29 @@ def _check_variables(model: Model, emit) -> None:
 
 
 def _check_duplicates(model: Model, emit) -> None:
-    # Group rows by (sense, coefficient vector); within a group the row
-    # with the tightest right-hand side implies the rest.  Normalized
-    # form is ``expr + const (sense) 0``, i.e. rhs = -const.
+    # Bucket rows by support signature (sense + sorted variable index
+    # set), then normalize each row by a positive scale inside the
+    # bucket.  Support collisions are rare in routing models, so the
+    # within-bucket comparison stays near-linear in row count, and
+    # positive-scale normalization also catches scaled copies (e.g.
+    # ``2x + 2y <= 2`` duplicating ``x + y <= 1``) that an exact
+    # coefficient-vector grouping misses.  Normalized form is
+    # ``expr + const (sense) 0``, i.e. rhs = -const.
     groups: dict[tuple, list[tuple[int, float]]] = {}
     for row, con in enumerate(model.constraints):
         if not con.expr.coefs:
             continue  # constant rows are handled by _check_rows
-        signature = (con.sense, tuple(sorted(con.expr.coefs.items())))
-        groups.setdefault(signature, []).append((row, -con.expr.const))
-    for (sense, _), rows in groups.items():
+        support = tuple(sorted(con.expr.coefs))
+        # Dividing by |coef| keeps the scale positive, so the sense is
+        # preserved and rows that are positive multiples of each other
+        # land on the same normalized key.
+        scale = abs(con.expr.coefs[support[0]]) or 1.0
+        normalized = tuple(
+            round(con.expr.coefs[j] / scale, 12) for j in support
+        )
+        signature = (con.sense, support, normalized)
+        groups.setdefault(signature, []).append((row, -con.expr.const / scale))
+    for (sense, _, _), rows in groups.items():
         if len(rows) < 2:
             continue
         if sense == "<=":

@@ -1,0 +1,1071 @@
+"""Sound model-reduction passes over a built MILP.
+
+Each pass rewrites a mutable working form of the model
+(:class:`Work`) and returns how many changes it made; the fixpoint
+driver in :mod:`repro.analysis.presolve` iterates the passes until
+none fires.  Every rewrite preserves the model's feasibility status
+and its optimal objective value (though not necessarily the full
+feasible set -- e.g. flow circulations disconnected from any
+commodity path are removed), and every variable/row the passes touch
+is recorded so solutions of the reduced model lift back to the
+original variable space.
+
+Pass catalog (see ``docs/static_analysis.md``):
+
+- ``fix``: fix a variable to a value (seeded by per-net reachability
+  on routing ILPs, and fired by singleton rows / degenerate bounds);
+- ``singleton-row``: a row with one variable becomes a bound update
+  (equality rows substitute the variable outright);
+- ``bound-propagation``: per-row activity bounds remove redundant
+  rows, prove infeasibility, and tighten variable bounds (with
+  integer rounding);
+- ``coefficient-tightening``: classic presolve tightening of binary
+  coefficients in inequality rows (integer-equivalent, tighter LP
+  relaxation);
+- ``forced-subset``: a row forcing one unit into binaries that sit
+  inside a unit packing row fixes the packing row's other members;
+- ``dual-fixing``: variables whose movement toward a bound can never
+  hurt any row or the objective are pinned there;
+- ``duplicate-row``: support-bucketed, scale-normalized elimination
+  of duplicate/dominated rows, keeping the tightest;
+- ``clique-merge``: pairwise mutual-exclusion rows (witnessed by unit
+  packing rows and by cliques derived from balance equalities) merge
+  into maximal clique rows;
+- ``implication-merge``: SADP indicator families ``x + y_i - z <= 1``
+  with pairwise-conflicting ``y_i`` collapse into one row;
+- ``indicator-merge``: rows differing only in a single negated binary
+  merge into one scaled row;
+- ``uturn-row``: routing-seeded removal of exhausted two-variable
+  arc-exclusivity rows (see :func:`make_uturn_row_pass`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.ilp.model import Constraint, LinExpr, Model, Var
+
+_TOL = 1e-9
+#: Digits kept when normalizing coefficient vectors for row comparison.
+_NORM_DIGITS = 12
+
+
+@dataclass
+class _Row:
+    """One constraint in working form: ``coefs . x (sense) rhs``."""
+
+    coefs: dict[int, float]
+    sense: str  # "<=", ">=", "=="
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class Work:
+    """Mutable working representation of a model under reduction."""
+
+    name: str
+    lb: list[float]
+    ub: list[float]
+    integer: list[bool]
+    var_names: list[str]
+    obj: dict[int, float]
+    obj_const: float
+    rows: list[_Row | None]
+    col_rows: dict[int, set[int]]
+    fixed: dict[int, float] = field(default_factory=dict)
+    infeasible_reason: str | None = None
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_model(cls, model: Model) -> "Work":
+        rows: list[_Row | None] = []
+        col_rows: dict[int, set[int]] = {}
+        for r, con in enumerate(model.constraints):
+            rows.append(
+                _Row(dict(con.expr.coefs), con.sense, -con.expr.const, con.name)
+            )
+            for j in con.expr.coefs:
+                col_rows.setdefault(j, set()).add(r)
+        return cls(
+            name=model.name,
+            lb=[v.lb for v in model.variables],
+            ub=[v.ub for v in model.variables],
+            integer=[v.is_integer for v in model.variables],
+            var_names=[v.name for v in model.variables],
+            obj=dict(model.objective.coefs),
+            obj_const=model.objective.const,
+            rows=rows,
+            col_rows=col_rows,
+        )
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def infeasible(self) -> bool:
+        return self.infeasible_reason is not None
+
+    def note(self, pass_name: str, n: int = 1) -> None:
+        self.counts[pass_name] = self.counts.get(pass_name, 0) + n
+
+    def mark_infeasible(self, reason: str) -> None:
+        if self.infeasible_reason is None:
+            self.infeasible_reason = reason
+
+    def remove_row(self, r: int) -> None:
+        row = self.rows[r]
+        if row is None:
+            return
+        for j in row.coefs:
+            live = self.col_rows.get(j)
+            if live is not None:
+                live.discard(r)
+        self.rows[r] = None
+
+    def fix_var(self, j: int, value: float, reason: str) -> bool:
+        """Fix variable ``j`` and substitute it out of every row.
+
+        Returns False (and marks the model infeasible) when the value
+        contradicts the variable's bounds or integrality.
+        """
+        if j in self.fixed:
+            if abs(self.fixed[j] - value) > 1e-6:
+                self.mark_infeasible(
+                    f"variable {self.var_names[j]} fixed to conflicting "
+                    f"values {self.fixed[j]:g} and {value:g} ({reason})"
+                )
+                return False
+            return True
+        if self.integer[j]:
+            snapped = round(value)
+            if abs(snapped - value) > 1e-6:
+                self.mark_infeasible(
+                    f"integer variable {self.var_names[j]} forced to "
+                    f"fractional value {value:g} ({reason})"
+                )
+                return False
+            value = float(snapped)
+        if value < self.lb[j] - 1e-6 or value > self.ub[j] + 1e-6:
+            self.mark_infeasible(
+                f"variable {self.var_names[j]} forced to {value:g} outside "
+                f"bounds [{self.lb[j]:g}, {self.ub[j]:g}] ({reason})"
+            )
+            return False
+        self.fixed[j] = value
+        self.lb[j] = self.ub[j] = value
+        self.obj_const += self.obj.pop(j, 0.0) * value
+        for r in list(self.col_rows.get(j, ())):
+            row = self.rows[r]
+            if row is None:
+                continue
+            coef = row.coefs.pop(j, 0.0)
+            row.rhs -= coef * value
+            if not row.coefs:
+                self._finish_empty_row(r, row)
+        self.col_rows.pop(j, None)
+        self.note("fix")
+        return True
+
+    def _finish_empty_row(self, r: int, row: _Row) -> None:
+        violated = (
+            (row.sense == "<=" and row.rhs < -_TOL)
+            or (row.sense == ">=" and row.rhs > _TOL)
+            or (row.sense == "==" and abs(row.rhs) > _TOL)
+        )
+        if violated:
+            self.mark_infeasible(
+                f"row {row.name or r} reduced to 0 {row.sense} {row.rhs:g}"
+            )
+        self.remove_row(r)
+
+    def tighten_lb(self, j: int, lb: float) -> bool:
+        if self.integer[j]:
+            lb = math.ceil(lb - 1e-6)
+        if lb <= self.lb[j] + _TOL:
+            return False
+        if lb > self.ub[j] + 1e-6:
+            self.mark_infeasible(
+                f"variable {self.var_names[j]}: implied lb {lb:g} exceeds "
+                f"ub {self.ub[j]:g}"
+            )
+            return True
+        self.lb[j] = lb
+        self.note("bound-propagation")
+        if abs(self.ub[j] - self.lb[j]) <= _TOL:
+            self.fix_var(j, self.lb[j], "bounds closed")
+        return True
+
+    def tighten_ub(self, j: int, ub: float) -> bool:
+        if self.integer[j]:
+            ub = math.floor(ub + 1e-6)
+        if ub >= self.ub[j] - _TOL:
+            return False
+        if ub < self.lb[j] - 1e-6:
+            self.mark_infeasible(
+                f"variable {self.var_names[j]}: implied ub {ub:g} below "
+                f"lb {self.lb[j]:g}"
+            )
+            return True
+        self.ub[j] = ub
+        self.note("bound-propagation")
+        if abs(self.ub[j] - self.lb[j]) <= _TOL:
+            self.fix_var(j, self.lb[j], "bounds closed")
+        return True
+
+    def activity_range(self, row: _Row) -> tuple[float, float]:
+        lo = hi = 0.0
+        for j, coef in row.coefs.items():
+            a, b = coef * self.lb[j], coef * self.ub[j]
+            lo += min(a, b)
+            hi += max(a, b)
+        return lo, hi
+
+
+# -- passes -----------------------------------------------------------------
+
+
+def pass_singleton_rows(work: Work) -> int:
+    """Rows with one variable: substitute (==) or fold into bounds."""
+    changed = 0
+    for r, row in enumerate(work.rows):
+        if work.infeasible:
+            break
+        if row is None or len(row.coefs) != 1:
+            continue
+        ((j, coef),) = row.coefs.items()
+        if abs(coef) < _TOL:
+            work._finish_empty_row(r, row)
+            continue
+        bound = row.rhs / coef
+        if row.sense == "==":
+            work.remove_row(r)
+            work.fix_var(j, bound, f"singleton equality row {row.name or r}")
+            changed += 1
+            work.note("singleton-row")
+            continue
+        upper = (row.sense == "<=") == (coef > 0)
+        work.remove_row(r)
+        if upper:
+            work.tighten_ub(j, bound)
+        else:
+            work.tighten_lb(j, bound)
+        work.note("singleton-row")
+        changed += 1
+    return changed
+
+
+def pass_bound_propagation(work: Work) -> int:
+    """Remove redundant rows, prove infeasibility, tighten bounds."""
+    changed = 0
+    for r, row in enumerate(work.rows):
+        if work.infeasible:
+            break
+        if row is None or len(row.coefs) < 2:
+            continue
+        lo, hi = work.activity_range(row)
+        rhs = row.rhs
+        if row.sense == "<=":
+            if lo > rhs + _TOL:
+                work.mark_infeasible(
+                    f"row {row.name or r}: min activity {lo:g} > rhs {rhs:g}"
+                )
+                return changed + 1
+            if hi <= rhs + _TOL:
+                work.remove_row(r)
+                work.note("redundant-row")
+                changed += 1
+                continue
+        elif row.sense == ">=":
+            if hi < rhs - _TOL:
+                work.mark_infeasible(
+                    f"row {row.name or r}: max activity {hi:g} < rhs {rhs:g}"
+                )
+                return changed + 1
+            if lo >= rhs - _TOL:
+                work.remove_row(r)
+                work.note("redundant-row")
+                changed += 1
+                continue
+        else:  # ==
+            if lo > rhs + _TOL or hi < rhs - _TOL:
+                work.mark_infeasible(
+                    f"row {row.name or r}: activity [{lo:g}, {hi:g}] "
+                    f"excludes rhs {rhs:g}"
+                )
+                return changed + 1
+            if hi - lo <= _TOL:
+                work.remove_row(r)
+                work.note("redundant-row")
+                changed += 1
+                continue
+        changed += _propagate_row_bounds(work, row, lo, hi)
+    return changed
+
+
+def _propagate_row_bounds(work: Work, row: _Row, lo: float, hi: float) -> int:
+    """Implied per-variable bounds from one row's activity range."""
+    changed = 0
+    # For <=: coef*x_j <= rhs - (lo - min-term_j); for >= / == analogous.
+    le_like = row.sense in ("<=", "==")
+    ge_like = row.sense in (">=", "==")
+    n_fixed_before = len(work.fixed)
+    for j, coef in list(row.coefs.items()):
+        if abs(coef) < _TOL:
+            continue
+        if len(work.fixed) != n_fixed_before:
+            # A tighten closed some variable's bounds and fix_var
+            # rewrote this row (and lo/hi) under us; stop and let the
+            # next fixpoint iteration re-derive bounds from fresh
+            # activity ranges rather than mixing stale and new state.
+            break
+        if j in row.coefs and row.coefs[j] != coef:
+            break  # coefficient rewritten mid-iteration; same story
+        term_lo = min(coef * work.lb[j], coef * work.ub[j])
+        term_hi = max(coef * work.lb[j], coef * work.ub[j])
+        if le_like and not math.isinf(lo):
+            # coef * x_j <= rhs - (lo - term_lo)
+            limit = row.rhs - (lo - term_lo)
+            if coef > 0:
+                if work.tighten_ub(j, limit / coef):
+                    changed += 1
+            else:
+                if work.tighten_lb(j, limit / coef):
+                    changed += 1
+        if work.infeasible:
+            return changed
+        if ge_like and not math.isinf(hi):
+            # coef * x_j >= rhs - (hi - term_hi)
+            limit = row.rhs - (hi - term_hi)
+            if coef > 0:
+                if work.tighten_lb(j, limit / coef):
+                    changed += 1
+            else:
+                if work.tighten_ub(j, limit / coef):
+                    changed += 1
+        if work.infeasible:
+            return changed
+    return changed
+
+
+def pass_coefficient_tightening(work: Work) -> int:
+    """Tighten binary coefficients in inequality rows.
+
+    For ``S + a_j x_j <= b`` with binary ``x_j``, ``a_j > 0`` and the
+    other terms' max activity ``U <= b``: the ``x_j = 0`` branch is
+    unconstrained, so ``a_j' = a_j - (b - U)`` and ``b' = U`` is
+    integer-equivalent with a tighter LP relaxation (symmetrically for
+    ``a_j < 0`` and for ``>=`` rows).
+    """
+    changed = 0
+    for r, row in enumerate(work.rows):
+        if work.infeasible:
+            break
+        if row is None or row.sense == "==" or len(row.coefs) < 2:
+            continue
+        sign = 1.0 if row.sense == "<=" else -1.0
+        # Work in <= space: sum (sign*coef) x <= sign*rhs.
+        rhs = sign * row.rhs
+        hi_total = 0.0
+        finite = True
+        for j, coef in row.coefs.items():
+            c = sign * coef
+            term_hi = max(c * work.lb[j], c * work.ub[j])
+            if math.isinf(term_hi):
+                finite = False
+                break
+            hi_total += term_hi
+        if not finite or hi_total <= rhs + _TOL:
+            continue  # redundant rows are bound-propagation's job
+        for j in list(row.coefs):
+            if not work.integer[j] or work.lb[j] != 0.0 or work.ub[j] != 1.0:
+                continue
+            c = sign * row.coefs[j]
+            term_hi = max(c, 0.0)
+            others_hi = hi_total - term_hi
+            if c > _TOL and others_hi <= rhs - _TOL:
+                slack = rhs - others_hi  # > 0
+                if c > slack + _TOL:
+                    new_c = c - (rhs - others_hi)
+                    row.coefs[j] = sign * new_c
+                    rhs = others_hi
+                    row.rhs = sign * rhs
+                    hi_total = others_hi + max(new_c, 0.0)
+                    work.note("coefficient-tightening")
+                    changed += 1
+    return changed
+
+
+def _row_signature(row: _Row) -> tuple[tuple[int, ...], tuple[float, ...], str, float]:
+    """Scale-normalized (support, coefs, sense, rhs) for row bucketing.
+
+    Rows proportional by a positive factor normalize identically; a
+    negative factor flips the sense, so ``-x - y >= -1`` matches
+    ``x + y <= 1``.
+    """
+    items = sorted(row.coefs.items())
+    support = tuple(j for j, _ in items)
+    pivot = items[0][1]
+    scale = 1.0 / pivot
+    coefs = tuple(round(c * scale, _NORM_DIGITS) for _, c in items)
+    sense = row.sense
+    if pivot < 0 and sense != "==":
+        sense = "<=" if sense == ">=" else ">="
+    return support, coefs, sense, round(row.rhs * scale, _NORM_DIGITS)
+
+
+def pass_duplicate_rows(work: Work) -> int:
+    """Drop duplicate/dominated rows, bucketed by support signature."""
+    changed = 0
+    groups: dict[tuple, list[tuple[int, float]]] = {}
+    for r, row in enumerate(work.rows):
+        if row is None or not row.coefs:
+            continue
+        support, coefs, sense, rhs = _row_signature(row)
+        groups.setdefault((support, coefs, sense), []).append((r, rhs))
+    for (_, _, sense), members in groups.items():
+        if len(members) < 2:
+            continue
+        if sense == "<=":
+            keep = min(members, key=lambda item: (item[1], item[0]))
+        elif sense == ">=":
+            keep = max(members, key=lambda item: (item[1], -item[0]))
+        else:
+            keep = members[0]
+        for r, rhs in members:
+            if r == keep[0]:
+                continue
+            if sense == "==" and abs(rhs - keep[1]) > _TOL:
+                work.mark_infeasible(
+                    f"equality rows {keep[0]} and {r} share coefficients "
+                    f"but need rhs {keep[1]:g} and {rhs:g}"
+                )
+                return changed + 1
+            work.remove_row(r)
+            work.note("duplicate-row")
+            changed += 1
+    return changed
+
+
+def pass_forced_subset(work: Work) -> int:
+    """Fix packing-row members excluded by a forced variable subset.
+
+    A row that implies ``sum_{j in P} x_j >= r`` over binaries with
+    ``r >= 1`` (an equality or inequality whose remaining terms have
+    bounded activity) forces at least one unit into P.  If P lies
+    inside a unit packing row ``sum_{j in W} x_j <= 1``, the members
+    of ``W \\ P`` can never be 1 and are fixed to 0; if ``r > 1`` the
+    two rows are outright contradictory.  On routing models this
+    fires at pin vertices with a single access point: once the
+    singleton pass fixes the pin's virtual arc, the access vertex's
+    flow-conservation row forces one unit into the net's entering
+    arcs, which sit inside the vertex-capacity row -- so every other
+    net's arc entering that vertex is fixed to 0, and the fixes
+    cascade through exclusivity, adjacency, and SADP rows.
+    """
+    changed = 0
+    packing: dict[int, set[int]] = {}
+    for r, row in enumerate(work.rows):
+        if row is not None and _is_unit_packing_row(work, row):
+            for j in row.coefs:
+                packing.setdefault(j, set()).add(r)
+    if not packing:
+        return 0
+    for r in range(len(work.rows)):
+        if work.infeasible:
+            break
+        base = work.rows[r]
+        if base is None or not base.coefs:
+            continue
+        directions = []
+        if base.sense in ("==", ">="):
+            directions.append(1.0)
+        if base.sense in ("==", "<="):
+            directions.append(-1.0)
+        for sign in directions:
+            row = work.rows[r]
+            if row is None:
+                break
+            forced: list[int] = []
+            others_max = 0.0
+            bounded = True
+            for j, coef in row.coefs.items():
+                a = sign * coef
+                if (
+                    abs(a - 1.0) <= _TOL
+                    and work.integer[j]
+                    and work.lb[j] == 0.0
+                    and work.ub[j] == 1.0
+                ):
+                    forced.append(j)
+                else:
+                    hi = work.ub[j] if a > 0 else work.lb[j]
+                    if math.isinf(hi):
+                        bounded = False
+                        break
+                    others_max += a * hi
+            if not bounded or not forced:
+                continue
+            r_low = sign * row.rhs - others_max
+            if r_low < 1.0 - _TOL:
+                continue
+            common: set[int] | None = None
+            for j in forced:
+                rows_j = packing.get(j)
+                if not rows_j:
+                    common = None
+                    break
+                common = set(rows_j) if common is None else common & rows_j
+                if not common:
+                    break
+            if not common:
+                continue
+            if r_low > 1.0 + _TOL:
+                work.mark_infeasible(
+                    f"row {row.name or r} forces {r_low:g} units into "
+                    f"variables a packing row caps at one"
+                )
+                return changed + 1
+            forced_set = set(forced)
+            for w in sorted(common):
+                wrow = work.rows[w]
+                if wrow is None or not _is_unit_packing_row(work, wrow):
+                    continue
+                for j in [k for k in wrow.coefs if k not in forced_set]:
+                    if j in work.fixed or work.infeasible:
+                        continue
+                    work.fix_var(j, 0.0, "forced-subset exclusion")
+                    work.note("forced-subset")
+                    changed += 1
+    return changed
+
+
+def pass_dual_fixing(work: Work) -> int:
+    """Fix variables whose movement toward one bound can never hurt.
+
+    Minimizing: if ``c_j >= 0`` and every row relaxes as ``x_j``
+    decreases (``<=`` rows with nonnegative coefficient, ``>=`` rows
+    with nonpositive coefficient, no equality rows), any feasible
+    point stays feasible and no worse with ``x_j = lb`` -- so fix it
+    there (symmetrically to ``ub`` for ``c_j <= 0``).  Preserves
+    feasibility status and optimal objective, not the full solution
+    set.
+    """
+    changed = 0
+    for j in range(len(work.var_names)):
+        if work.infeasible:
+            break
+        if j in work.fixed:
+            continue
+        rows = [work.rows[r] for r in work.col_rows.get(j, ())]
+        if not rows:
+            continue  # pass_unconstrained_columns owns no-row columns
+        cost = work.obj.get(j, 0.0)
+        down_safe = cost >= 0.0 and not math.isinf(work.lb[j])
+        up_safe = cost <= 0.0 and not math.isinf(work.ub[j])
+        for row in rows:
+            if row is None:
+                continue
+            coef = row.coefs.get(j, 0.0)
+            if row.sense == "==":
+                down_safe = up_safe = False
+                break
+            if row.sense == "<=":
+                down_safe = down_safe and coef >= 0.0
+                up_safe = up_safe and coef <= 0.0
+            else:
+                down_safe = down_safe and coef <= 0.0
+                up_safe = up_safe and coef >= 0.0
+            if not down_safe and not up_safe:
+                break
+        if down_safe:
+            work.fix_var(j, work.lb[j], "dual fixing (down-safe)")
+            work.note("dual-fixing")
+            changed += 1
+        elif up_safe:
+            work.fix_var(j, work.ub[j], "dual fixing (up-safe)")
+            work.note("dual-fixing")
+            changed += 1
+    return changed
+
+
+def pass_clique_merge(work: Work) -> int:
+    """Merge pairwise mutual-exclusion rows into clique rows.
+
+    A ``<= 1`` row with unit coefficients over nonnegative binaries
+    says "at most one of these is 1", so any two of its variables
+    conflict.  A set of variables that conflict *pairwise* admits the
+    clique row ``sum x <= 1`` -- exact on integer points (at most one
+    member can be 1) and strictly tighter than the pairwise rows on
+    the LP relaxation.  The pass greedily extends each such row to a
+    maximal clique and, when the clique row covers several existing
+    rows with fewer nonzeros than their sum, replaces them.
+
+    Conflict witnesses stay live across merges: a removed row's
+    variable pairs are all contained in the merged row's support, so
+    every recorded conflict is always backed by a remaining row and
+    the rewrite never invents an edge.  This collapses the paper's
+    via-adjacency neighborhoods (constraint (5) surroundings) and
+    SADP forbidden-pattern pairs (11)-(12) dramatically under the
+    FULL via restriction, where 2x2 site tiles are 4-cliques.
+    """
+    witness = _conflict_witnesses(work)
+    unit_support: dict[int, frozenset[int]] = {}
+    var_rows: dict[int, set[int]] = {}
+    for r, row in enumerate(work.rows):
+        if row is None or not _is_unit_packing_row(work, row):
+            continue
+        unit_support[r] = frozenset(row.coefs)
+        for j in row.coefs:
+            var_rows.setdefault(j, set()).add(r)
+
+    def conflicting(u: int, v: int) -> bool:
+        rows_u = witness.get(u)
+        return bool(rows_u) and not rows_u.isdisjoint(witness.get(v, ()))
+
+    changed = 0
+    for r in sorted(unit_support):
+        if work.rows[r] is None or r not in unit_support:
+            continue
+        support = set(unit_support[r])
+        touching: set[int] = set()
+        for j in support:
+            touching |= var_rows[j]
+        candidates: set[int] = set()
+        for rr in touching:
+            candidates |= unit_support[rr]
+        candidates -= support
+        for x in sorted(candidates):
+            if x not in var_rows:
+                continue
+            if all(conflicting(x, s) for s in support):
+                support.add(x)
+                touching |= var_rows[x]
+        covered = [
+            rr
+            for rr in sorted(touching)
+            if work.rows[rr] is not None and unit_support[rr] <= support
+        ]
+        if len(covered) < 2:
+            continue
+        covered_nonzeros = sum(len(unit_support[rr]) for rr in covered)
+        if len(support) >= covered_nonzeros:
+            continue  # no nonzero win; keep the pairwise form
+        for rr in covered:
+            for j in unit_support[rr]:
+                var_rows[j].discard(rr)
+            work.remove_row(rr)
+            unit_support.pop(rr)
+        merged = _Row(
+            {j: 1.0 for j in support}, "<=", 1.0, name=f"clique_{min(support)}"
+        )
+        new_index = len(work.rows)
+        work.rows.append(merged)
+        unit_support[new_index] = frozenset(support)
+        for j in support:
+            work.col_rows.setdefault(j, set()).add(new_index)
+            var_rows.setdefault(j, set()).add(new_index)
+            witness.setdefault(j, set()).add(new_index)
+        work.note("clique-merge", len(covered))
+        changed += len(covered)
+    return changed
+
+
+def _is_unit_packing_row(work: Work, row: _Row) -> bool:
+    """``<= 1`` with unit coefficients over nonnegative binaries."""
+    if row.sense != "<=" or abs(row.rhs - 1.0) > _TOL or len(row.coefs) < 2:
+        return False
+    return all(abs(c - 1.0) <= _TOL for c in row.coefs.values()) and all(
+        work.integer[j] and work.lb[j] == 0.0 and work.ub[j] == 1.0
+        for j in row.coefs
+    )
+
+
+def _conflict_witnesses(work: Work) -> dict[int, set[int]]:
+    """Variable -> witness ids proving pairwise mutual exclusion.
+
+    Two binaries sharing a witness can never both be 1.  Witnesses are
+    (a) live unit packing rows -- all members of an all-unit ``<= 1``
+    row over nonnegative binaries are pairwise exclusive -- and (b)
+    cliques *derived* from balance equalities: in ``sum P - sum N ==
+    0`` over unit-coefficient binaries, if ``sum N <= 1`` is known
+    (``|N| == 1``, or all of N inside one packing row), then ``sum P
+    <= 1`` follows, so P is a clique (and symmetrically N).  On
+    routing models this derives "at most one arc of a net leaves a
+    vertex" from flow conservation plus the vertex-capacity row, which
+    no packing row states directly.
+    """
+    witness: dict[int, set[int]] = {}
+    for r, row in enumerate(work.rows):
+        if row is None or not _is_unit_packing_row(work, row):
+            continue
+        for j in row.coefs:
+            witness.setdefault(j, set()).add(r)
+
+    def covered_by_one_packing_row(members: list[int]) -> bool:
+        if len(members) == 1:
+            return True
+        common: set[int] | None = None
+        for j in members:
+            rows_j = {w for w in witness.get(j, ()) if w >= 0}
+            common = rows_j if common is None else common & rows_j
+            if not common:
+                return False
+        return bool(common)
+
+    # Derived cliques get negative ids so they can never collide with
+    # row indices (merge passes append rows while witnesses are live).
+    next_id = -1
+    for row in list(work.rows):
+        if row is None or row.sense != "==" or abs(row.rhs) > _TOL:
+            continue
+        pos: list[int] = []
+        neg: list[int] = []
+        shaped = True
+        for j, coef in row.coefs.items():
+            if not (
+                work.integer[j] and work.lb[j] == 0.0 and work.ub[j] == 1.0
+            ):
+                shaped = False
+                break
+            if abs(coef - 1.0) <= _TOL:
+                pos.append(j)
+            elif abs(coef + 1.0) <= _TOL:
+                neg.append(j)
+            else:
+                shaped = False
+                break
+        if not shaped or not pos or not neg:
+            continue
+        for clique, bound_side in ((pos, neg), (neg, pos)):
+            if len(clique) < 2:
+                continue
+            if not covered_by_one_packing_row(bound_side):
+                continue
+            for j in clique:
+                witness.setdefault(j, set()).add(next_id)
+            next_id -= 1
+    return witness
+
+
+def pass_implication_merge(work: Work) -> int:
+    """Merge implication rows ``x + y_i - z <= 1`` sharing ``(z, x)``.
+
+    The paper's SADP EOL linearization (constraints (6)-(8)) emits one
+    row per (wire arc, crossing arc) pair: ``e_wire + e_cross - p <=
+    1`` ("both used forces the indicator up").  When the crossing
+    arcs ``y_i`` of one family are pairwise conflicting -- witnessed
+    by unit packing rows such as via-adjacency or vertex-capacity
+    cliques, which guarantee at most one ``y_i`` is 1 -- the family
+    collapses to the single row ``x + sum y_i - z <= 1``:
+
+    - merged implies each member (the dropped ``y`` terms are
+      nonnegative);
+    - members + conflicts imply merged (if ``y_k = 1`` the member row
+      for ``y_k`` bounds the LHS; if all ``y`` are 0 it is trivial);
+
+    so the integer feasible set is exactly preserved while ``3L``
+    nonzeros become ``L + 2``.
+    """
+    witness = _conflict_witnesses(work)
+
+    def conflicting(u: int, v: int) -> bool:
+        rows_u = witness.get(u)
+        return bool(rows_u) and not rows_u.isdisjoint(witness.get(v, ()))
+
+    # Canonicalize candidates to "<=" form: two +1 vars, one -1 var,
+    # rhs 1, all binary.
+    families: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for r, row in enumerate(work.rows):
+        if row is None or len(row.coefs) != 3 or row.sense == "==":
+            continue
+        flip = -1.0 if row.sense == ">=" else 1.0
+        if abs(flip * row.rhs - 1.0) > _TOL:
+            continue
+        pos, neg = [], []
+        for j, coef in row.coefs.items():
+            value = flip * coef
+            if abs(value - 1.0) <= _TOL:
+                pos.append(j)
+            elif abs(value + 1.0) <= _TOL:
+                neg.append(j)
+        if len(pos) != 2 or len(neg) != 1:
+            continue
+        if not all(
+            work.integer[j] and work.lb[j] == 0.0 and work.ub[j] == 1.0
+            for j in row.coefs
+        ):
+            continue
+        x, y = pos
+        (z,) = neg
+        families.setdefault((z, x), []).append((r, y))
+        families.setdefault((z, y), []).append((r, x))
+
+    changed = 0
+    consumed: set[int] = set()
+    # Largest families first so each row lands in its best merge.
+    for (z, x), members in sorted(
+        families.items(), key=lambda item: (-len(item[1]), item[0])
+    ):
+        live = [(r, y) for r, y in members if r not in consumed]
+        if len(live) < 2:
+            continue
+        ys = [y for _, y in live]
+        if len(set(ys)) != len(ys):
+            continue  # duplicate-row pass owns identical members
+        if not all(
+            conflicting(a, b)
+            for i, a in enumerate(ys)
+            for b in ys[i + 1 :]
+        ):
+            continue
+        for r, _y in live:
+            consumed.add(r)
+            work.remove_row(r)
+        coefs = {x: 1.0, z: -1.0}
+        for y in ys:
+            coefs[y] = 1.0
+        merged = _Row(coefs, "<=", 1.0, name=f"impl_{z}_{x}")
+        new_index = len(work.rows)
+        work.rows.append(merged)
+        for j in coefs:
+            work.col_rows.setdefault(j, set()).add(new_index)
+        work.note("implication-merge", len(live))
+        changed += len(live)
+    return changed
+
+
+def pass_indicator_merge(work: Work) -> int:
+    """Merge rows ``A - p_i <= r`` sharing body A into one scaled row.
+
+    The SADP linearization emits *twin* indicator lower bounds for the
+    same arc pattern -- one for ``p_pos`` and one for ``p_neg`` -- so
+    after implication merging many rows differ only in their single
+    negated binary.  ``k`` such rows with identical positive body
+    ``A`` (unit coefficients over binaries, integral at integer
+    points) and identical rhs merge into ``k*A - sum p_i <= k*r``:
+
+    - members imply merged (sum them);
+    - merged implies members on integer points: ``A <= r`` leaves
+      every member slack; ``A == r + 1`` forces ``sum p_i >= k``,
+      i.e. all indicators up, which is what each member demands; and
+      ``A > r + 1`` violates merged and members alike.
+
+    No conflict witnesses are needed, and ``k*(|A| + 1)`` nonzeros
+    become ``|A| + k`` -- a strict win for every ``k >= 2``.
+    """
+    groups: dict[tuple, list[tuple[int, int]]] = {}
+    for r, row in enumerate(work.rows):
+        if row is None or row.sense == "==" or len(row.coefs) < 2:
+            continue
+        flip = -1.0 if row.sense == ">=" else 1.0
+        body: list[int] = []
+        neg: list[int] = []
+        shaped = True
+        for j, coef in row.coefs.items():
+            value = flip * coef
+            if abs(value - 1.0) <= _TOL:
+                body.append(j)
+            elif abs(value + 1.0) <= _TOL:
+                neg.append(j)
+            else:
+                shaped = False
+                break
+        if not shaped or len(neg) != 1 or not body:
+            continue
+        if not all(
+            work.integer[j] and work.lb[j] == 0.0 and work.ub[j] == 1.0
+            for j in row.coefs
+        ):
+            continue
+        key = (frozenset(body), round(flip * row.rhs, _NORM_DIGITS))
+        groups.setdefault(key, []).append((r, neg[0]))
+
+    changed = 0
+    for (body_set, rhs), members in groups.items():
+        if len(members) < 2:
+            continue
+        indicators = [p for _, p in members]
+        if len(set(indicators)) != len(indicators):
+            continue  # duplicate-row pass owns identical members
+        k = float(len(members))
+        for r, _p in members:
+            work.remove_row(r)
+        coefs = {j: k for j in body_set}
+        for p in indicators:
+            coefs[p] = -1.0
+        merged = _Row(coefs, "<=", k * rhs, name=f"ind_{min(body_set)}")
+        new_index = len(work.rows)
+        work.rows.append(merged)
+        for j in coefs:
+            work.col_rows.setdefault(j, set()).add(new_index)
+        work.note("indicator-merge", len(members))
+        changed += len(members)
+    return changed
+
+
+def make_uturn_row_pass(
+    pairs: "set[frozenset[int]]",
+) -> "Callable[[Work], int]":
+    """Build a pass removing exhausted U-turn exclusivity rows.
+
+    ``pairs`` names forward/reverse arc variable pairs of one net
+    whose objective costs are strictly positive (the routing caller
+    derives them from the graph).  Once every other variable of an
+    arc-exclusivity row is fixed, the surviving 2-variable row ``e_a +
+    e_rev <= 1`` only forbids the net from traversing the same
+    undirected segment in both directions -- a 2-cycle.  Cancelling
+    such a cycle keeps every flow-conservation equality balanced (the
+    pair enters and leaves both endpoints together), relaxes every
+    remaining inequality (the variables appear there with nonnegative
+    coefficients in ``<=`` rows and nonpositive in ``>=`` rows), and
+    strictly lowers the objective -- so no optimal solution uses one,
+    and dropping the row preserves both status and optimal value.
+
+    The structural facts the argument needs are re-verified against
+    the *current* (possibly rewritten) rows before each removal, so
+    the pass stays sound no matter which other reductions ran first.
+    """
+
+    def safe(work: Work, pair_row: int, j: int, other: int) -> bool:
+        for r in work.col_rows.get(j, ()):
+            if r == pair_row:
+                continue
+            row = work.rows[r]
+            if row is None:
+                continue
+            coef = row.coefs.get(j)
+            if coef is None:
+                continue
+            if row.sense == "==":
+                if abs(coef + row.coefs.get(other, 0.0)) > _TOL:
+                    return False
+            elif row.sense == "<=":
+                if coef < -_TOL:
+                    return False
+            elif coef > _TOL:
+                return False
+        return True
+
+    def pass_uturn_rows(work: Work) -> int:
+        changed = 0
+        for r, row in enumerate(work.rows):
+            if (
+                row is None
+                or row.sense != "<="
+                or len(row.coefs) != 2
+                or abs(row.rhs - 1.0) > _TOL
+            ):
+                continue
+            pair = frozenset(row.coefs)
+            if pair not in pairs:
+                continue
+            ja, jr = sorted(pair)
+            if not all(abs(c - 1.0) <= _TOL for c in row.coefs.values()):
+                continue
+            if (
+                work.obj.get(ja, 0.0) <= _TOL
+                or work.obj.get(jr, 0.0) <= _TOL
+            ):
+                continue
+            if not (safe(work, r, ja, jr) and safe(work, r, jr, ja)):
+                continue
+            work.remove_row(r)
+            work.note("uturn-row")
+            changed += 1
+        return changed
+
+    return pass_uturn_rows
+
+
+#: The fixpoint pass sequence (order matters only for speed).
+PASSES = (
+    pass_singleton_rows,
+    pass_bound_propagation,
+    pass_coefficient_tightening,
+    pass_forced_subset,
+    pass_dual_fixing,
+    pass_duplicate_rows,
+    pass_clique_merge,
+    pass_implication_merge,
+    pass_indicator_merge,
+)
+
+
+# -- extraction -------------------------------------------------------------
+
+
+def extract_model(work: Work) -> tuple[Model, dict[int, int]]:
+    """Build the reduced model; return it plus old->new column map."""
+    reduced = Model(name=f"{work.name}__presolved")
+    col_map: dict[int, int] = {}
+    for j, name in enumerate(work.var_names):
+        if j in work.fixed:
+            continue
+        col_map[j] = reduced.var(
+            name, work.lb[j], work.ub[j], integer=work.integer[j]
+        ).index
+    for row in work.rows:
+        if row is None:
+            continue
+        expr = LinExpr(
+            {col_map[j]: coef for j, coef in row.coefs.items()}, -row.rhs
+        )
+        reduced.constraints.append(Constraint(expr, row.sense, row.name))
+    objective = LinExpr(
+        {col_map[j]: coef for j, coef in work.obj.items() if j in col_map},
+        work.obj_const,
+    )
+    reduced.objective = objective
+    return reduced, col_map
+
+
+def live_counts(work: Work) -> tuple[int, int, int]:
+    """(rows, cols, nonzeros) still present in the working model."""
+    rows = sum(1 for row in work.rows if row is not None)
+    cols = len(work.var_names) - len(work.fixed)
+    nonzeros = sum(len(row.coefs) for row in work.rows if row is not None)
+    return rows, cols, nonzeros
+
+
+def _unused_variable_value(
+    lb: float, ub: float, coef: float
+) -> float | None:
+    """Optimal value of a variable appearing in no constraint."""
+    if coef > 0 or (coef == 0 and not math.isinf(lb)):
+        return lb if not math.isinf(lb) else None
+    if coef < 0:
+        return ub if not math.isinf(ub) else None
+    return ub if not math.isinf(ub) else 0.0
+
+
+def pass_unconstrained_columns(work: Work) -> int:
+    """Fix columns that appear in no remaining row to their optimal
+    bound (minimization: lb for positive cost, ub for negative)."""
+    changed = 0
+    for j in range(len(work.var_names)):
+        if work.infeasible:
+            break
+        if j in work.fixed:
+            continue
+        if work.col_rows.get(j):
+            continue
+        value = _unused_variable_value(work.lb[j], work.ub[j], work.obj.get(j, 0.0))
+        if value is None:
+            continue  # unbounded column; leave it for the solver
+        work.fix_var(j, value, "appears in no constraint")
+        work.note("unconstrained-column")
+        changed += 1
+    return changed
+
+
+def var_handle(work: Work, j: int) -> Var:
+    """A read-only Var view of working column ``j`` (for diagnostics)."""
+    return Var(
+        index=j,
+        name=work.var_names[j],
+        lb=work.lb[j],
+        ub=work.ub[j],
+        is_integer=work.integer[j],
+    )

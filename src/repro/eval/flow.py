@@ -52,6 +52,9 @@ class ClipRuleOutcome:
     backend: str = ""
     attempts: int = 1
     degraded: bool = False
+    #: presolve accounting (zero when presolve was off / skipped).
+    presolve_seconds: float = 0.0
+    presolve_nonzeros_removed: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -140,6 +143,17 @@ class DeltaCostStudy:
             return None
         return sum(checked)
 
+    def presolve_seconds_total(self, rule_name: str) -> float:
+        """Total wall time spent in presolve across the rule's clips."""
+        return sum(o.presolve_seconds for o in self.outcomes[rule_name])
+
+    def presolve_nonzeros_removed_total(self, rule_name: str) -> int:
+        """Total constraint-matrix nonzeros removed by presolve across
+        the rule's clips (0 when presolve was disabled)."""
+        return sum(
+            o.presolve_nonzeros_removed for o in self.outcomes[rule_name]
+        )
+
     def sorted_delta_costs(self, rule_name: str) -> list[float]:
         """The paper's Figure-10 trace: per-clip Δcost sorted ascending."""
         return sorted(self.delta_costs(rule_name))
@@ -179,6 +193,9 @@ class EvalConfig:
     before the solver (sound, so Δcost results are unchanged).
     ``run_drc`` re-checks every decoded feasible routing with the
     geometric DRC so formulation bugs cannot silently pass the sweep.
+    ``presolve`` reduces each ILP with the fixpoint presolve engine
+    before solving (sound; lifted routings are DRC-verified in the
+    router itself).
     """
 
     time_limit_per_clip: float | None = 60.0
@@ -187,6 +204,7 @@ class EvalConfig:
     backend: str = "highs"
     certify: bool = True
     run_drc: bool = False
+    presolve: bool = True
 
 
 def evaluate_clips(
@@ -246,6 +264,7 @@ def evaluate_clips(
             backend=config.backend,
             time_limit=config.time_limit_per_clip,
             certify=config.certify,
+            presolve=config.presolve,
         )
         for clip, rule in pending
     ]
@@ -295,6 +314,7 @@ def _require_unique_names(
 def _to_outcome(
     result: OptRouteResult, drc_violations: "int | None" = None
 ) -> ClipRuleOutcome:
+    stats = result.presolve_stats
     return ClipRuleOutcome(
         clip_name=result.clip_name,
         rule_name=result.rule_name,
@@ -308,6 +328,8 @@ def _to_outcome(
         backend=result.backend,
         attempts=result.attempts,
         degraded=result.degraded,
+        presolve_seconds=float(stats.get("presolve_seconds", 0.0)),
+        presolve_nonzeros_removed=int(stats.get("nonzeros_removed", 0)),
     )
 
 
@@ -328,6 +350,8 @@ def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
         "backend": outcome.backend,
         "attempts": outcome.attempts,
         "degraded": outcome.degraded,
+        "presolve_seconds": outcome.presolve_seconds,
+        "presolve_nnz_removed": outcome.presolve_nonzeros_removed,
     }
 
 
@@ -346,4 +370,6 @@ def outcome_from_record(record: dict) -> ClipRuleOutcome:
         backend=record.get("backend", ""),
         attempts=record.get("attempts", 1),
         degraded=record.get("degraded", False),
+        presolve_seconds=record.get("presolve_seconds", 0.0),
+        presolve_nonzeros_removed=record.get("presolve_nnz_removed", 0),
     )

@@ -31,7 +31,11 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
     the supervised sweep contained failures (worker crash / hard
     deadline) or degraded results (produced by a fallback backend, so
     non-optimal and excluded from Δcost), ``fail`` and ``degraded``
-    columns flag them.
+    columns flag them.  When the sweep ran with the presolve engine, a
+    ``pre_nnz`` column (total nonzeros removed, a deterministic
+    quantity — wall time is journaled but kept out of the table so
+    resumed sweeps reproduce it byte-for-byte) summarizes its work per
+    rule.
     """
     with_drc = any(
         study.drc_violation_count(rule_name) is not None
@@ -39,6 +43,11 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
     )
     with_faults = any(
         study.failure_count(rule_name) or study.degraded_count(rule_name)
+        for rule_name in study.rule_names
+    )
+    with_presolve = any(
+        study.presolve_nonzeros_removed_total(rule_name)
+        or study.presolve_seconds_total(rule_name)
         for rule_name in study.rule_names
     )
     rows = []
@@ -61,6 +70,8 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
         if with_drc:
             drc = study.drc_violation_count(rule_name)
             row.append("-" if drc is None else drc)
+        if with_presolve:
+            row.append(study.presolve_nonzeros_removed_total(rule_name))
         rows.append(tuple(row))
     header = [
         "rule", "clips", "infeasible", "certified", "limit", "zero_frac",
@@ -70,6 +81,8 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
         header += ["fail", "degraded"]
     if with_drc:
         header.append("drc")
+    if with_presolve:
+        header.append("pre_nnz")
     return format_table(tuple(header), rows, title=title)
 
 

@@ -67,6 +67,7 @@ class RouteJob:
     backend: str = "highs"
     time_limit: float | None = None
     certify: bool = True
+    presolve: bool = True
     router: OptRouter | None = None
 
     @classmethod
@@ -81,6 +82,7 @@ class RouteJob:
             backend=router.backend,
             time_limit=router.time_limit,
             certify=router.certify,
+            presolve=router.presolve,
             router=router,
         )
 
@@ -102,6 +104,7 @@ def _router_for(job: RouteJob, backend: str) -> OptRouter:
         backend=backend,
         time_limit=job.time_limit,
         certify=job.certify,
+        presolve=job.presolve,
     )
 
 

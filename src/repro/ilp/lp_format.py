@@ -4,6 +4,12 @@ The paper's OptRouter hands its ILPs to ILOG CPLEX; exporting our
 models in the LP interchange format keeps that path open (any LP-file
 solver -- CPLEX, Gurobi, HiGHS CLI, SCIP -- can consume the output)
 and doubles as a human-readable model dump for debugging.
+
+Output is byte-deterministic: terms are emitted in variable-index
+order, constraints in sorted (name, position) order, and the Bounds /
+Binaries / Generals sections in sorted variable-name order.  Two
+builds of the same model therefore serialize identically, which makes
+presolve traces and checkpoint journals diffable.
 """
 
 from __future__ import annotations
@@ -37,29 +43,41 @@ def write_lp(model: Model) -> str:
         lines.append(f"\\ constant offset {model.objective.const:g} not encoded")
 
     lines.append("Subject To")
-    for index, con in enumerate(model.constraints):
-        name = con.name or f"c{index}"
+    named = sorted(
+        (con.name or f"c{index}", index, con)
+        for index, con in enumerate(model.constraints)
+    )
+    for name, _, con in named:
         rhs = -con.expr.const
         op = {"<=": "<=", ">=": ">=", "==": "="}[con.sense]
         lines.append(f" {name}: {_expr_text(model, con.expr)} {op} {rhs:g}")
 
-    bounded = [
-        v for v in model.variables
-        if not (v.is_integer and v.lb == 0.0 and v.ub == 1.0)
-    ]
+    bounded = sorted(
+        (
+            v for v in model.variables
+            if not (v.is_integer and v.lb == 0.0 and v.ub == 1.0)
+        ),
+        key=lambda v: v.name,
+    )
     if bounded:
         lines.append("Bounds")
         for v in bounded:
             ub = "+inf" if v.ub == float("inf") else f"{v.ub:g}"
             lines.append(f" {v.lb:g} <= {v.name} <= {ub}")
 
-    binaries = [v for v in model.variables if v.is_integer and v.ub == 1.0 and v.lb == 0.0]
-    generals = [v for v in model.variables if v.is_integer and v not in binaries]
+    binaries = sorted(
+        v.name for v in model.variables
+        if v.is_integer and v.ub == 1.0 and v.lb == 0.0
+    )
+    generals = sorted(
+        v.name for v in model.variables
+        if v.is_integer and not (v.ub == 1.0 and v.lb == 0.0)
+    )
     if binaries:
         lines.append("Binaries")
-        lines.append(" " + " ".join(v.name for v in binaries))
+        lines.append(" " + " ".join(binaries))
     if generals:
         lines.append("Generals")
-        lines.append(" " + " ".join(v.name for v in generals))
+        lines.append(" " + " ".join(generals))
     lines.append("End")
     return "\n".join(lines) + "\n"

@@ -13,9 +13,11 @@ from dataclasses import dataclass, field
 
 from repro.analysis.certify import certify_infeasible
 from repro.analysis.findings import InfeasibilityCertificate
+from repro.analysis.presolve import presolve_routing_ilp, solve_reduced
 from repro.clips.clip import Clip
 from repro.ilp.bnb import BnBOptions, solve_with_bnb
 from repro.ilp.highs_backend import solve_with_highs
+from repro.ilp.model import Model
 from repro.ilp.status import Solution, SolveStatus
 from repro.router.formulation import RoutingIlp, build_routing_ilp
 from repro.router.rules import RuleConfig
@@ -52,6 +54,9 @@ class OptRouteResult:
     solve_seconds: float = 0.0
     n_nodes: int = 0
     model_stats: dict[str, int] = field(default_factory=dict)
+    #: :meth:`PresolveTrace.stats` of the presolve run (empty when
+    #: presolve was disabled or certification short-circuited).
+    presolve_stats: dict[str, float] = field(default_factory=dict)
     certificate: InfeasibilityCertificate | None = None
     backend: str = ""
     attempts: int = 1
@@ -87,6 +92,13 @@ class OptRouter:
             solve and short-circuit certified (clip, rule) pairs to
             ``INFEASIBLE`` without building the ILP.  The certifier is
             sound, so this never changes a feasible outcome.
+        presolve: reduce the ILP with the :mod:`repro.analysis`
+            presolve engine, solve the reduced model per connected
+            component, and lift the solution back.  Sound (identical
+            status and optimal objective); every lifted routing is
+            additionally re-verified by the DRC oracle, and a lifted
+            routing that fails DRC is reported as ERROR rather than
+            silently trusted.
     """
 
     wire_cost: float = 1.0
@@ -94,6 +106,7 @@ class OptRouter:
     backend: str = "highs"
     time_limit: float | None = None
     certify: bool = True
+    presolve: bool = True
 
     def build(self, clip: Clip, rules: RuleConfig) -> RoutingIlp:
         """Build (but do not solve) the ILP for inspection/analysis."""
@@ -101,13 +114,20 @@ class OptRouter:
             clip, rules, wire_cost=self.wire_cost, via_cost=self.via_cost
         )
 
-    def _solve(self, ilp: RoutingIlp) -> Solution:
+    def _solve_model(self, model: Model, time_limit: float | None) -> Solution:
         if self.backend == "highs":
-            return solve_with_highs(ilp.model, time_limit=self.time_limit)
+            return solve_with_highs(model, time_limit=time_limit)
         if self.backend == "bnb":
-            options = BnBOptions(time_limit=self.time_limit)
-            return solve_with_bnb(ilp.model, options)
+            options = BnBOptions(time_limit=time_limit)
+            return solve_with_bnb(model, options)
         raise ValueError(f"unknown backend {self.backend!r}")
+
+    def _solve(self, ilp: RoutingIlp) -> tuple[Solution, dict[str, float]]:
+        if not self.presolve:
+            return self._solve_model(ilp.model, self.time_limit), {}
+        pre = presolve_routing_ilp(ilp)
+        solution = solve_reduced(pre, self._solve_model, self.time_limit)
+        return solution, pre.trace.stats()
 
     def route(self, clip: Clip, rules: RuleConfig | None = None) -> OptRouteResult:
         """Optimally route a clip under a rule configuration."""
@@ -124,7 +144,7 @@ class OptRouter:
                     backend=self.backend,
                 )
         ilp = self.build(clip, rules)
-        solution = self._solve(ilp)
+        solution, presolve_stats = self._solve(ilp)
         result = OptRouteResult(
             clip_name=clip.name,
             rule_name=rules.name,
@@ -132,6 +152,7 @@ class OptRouter:
             solve_seconds=solution.solve_seconds,
             n_nodes=solution.n_nodes,
             model_stats=ilp.model.stats(),
+            presolve_stats=presolve_stats,
             backend=self.backend,
         )
         if solution.values and solution.status in (
@@ -143,6 +164,21 @@ class OptRouter:
             result.cost = solution.objective
             result.wirelength = routing.total_wirelength
             result.n_vias = routing.total_vias
+            if self.presolve:
+                # Imported here: repro.drc depends on router.solution,
+                # so a module-level import would be circular.
+                from repro.drc.checker import check_clip_routing
+
+                violations = check_clip_routing(clip, rules, routing)
+                if violations:
+                    # The DRC oracle contradicts the lifted solution:
+                    # a presolve soundness bug, never a clip property.
+                    result.status = RouteStatus.ERROR
+                    result.routing = None
+                    result.diagnostics = (
+                        "presolve oracle: lifted routing fails DRC: "
+                        + "; ".join(str(v) for v in violations[:5])
+                    )
         return result
 
 

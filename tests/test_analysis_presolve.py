@@ -1,0 +1,367 @@
+"""Tests for the presolve engine (reductions, decomposition, lifting).
+
+The load-bearing property is the soundness contract: presolving never
+changes the model's status or its optimal objective, and any lifted
+incumbent is feasible for the original model.  A hypothesis sweep over
+randomized synthetic clips enforces it end-to-end (raw solve vs
+presolved solve, plus the DRC checker as an independent oracle on the
+lifted routing); deterministic cases pin each reduction pass.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    decompose_model,
+    presolve_model,
+    presolve_routing_ilp,
+    solve_reduced,
+)
+from repro.analysis.presolve import (
+    aggregate_via_adjacency,
+    reachability_fixes,
+    uturn_pairs,
+)
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.drc import check_clip_routing
+from repro.eval import paper_rule
+from repro.ilp.highs_backend import solve_with_highs
+from repro.ilp.model import LinExpr, Model
+from repro.ilp.status import SolveStatus
+from repro.router import OptRouter, RouteStatus
+from repro.router.solution import decode_solution
+
+
+def highs(model, time_limit=None):
+    return solve_with_highs(model, time_limit=time_limit)
+
+
+def presolve_and_solve(ilp, time_limit=None):
+    pre = presolve_routing_ilp(ilp)
+    return pre, solve_reduced(pre, highs, time_limit)
+
+
+class TestPasses:
+    def test_singleton_row_fixes_binary(self):
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + 0 <= 0)
+        m.add(x + y >= 1)
+        m.minimize(x + y)
+        pre = presolve_model(m)
+        assert pre.status is None
+        assert pre.trace.pass_counts.get("singleton-row", 0) >= 1
+        assert pre.trace.fixed[x.index] == 0.0
+        # x=0 forces y=1 through the >= row.
+        assert pre.trace.fixed[y.index] == 1.0
+        assert pre.reduced.n_vars == 0
+
+    def test_redundant_row_removed(self):
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y <= 5)  # never binding for binaries
+        m.minimize(x + y)
+        pre = presolve_model(m)
+        assert pre.trace.pass_counts.get("redundant-row", 0) >= 1
+        assert pre.reduced.n_constraints == 0
+
+    def test_duplicate_rows_deduplicated(self):
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        z = m.binary("z")
+        m.add(x + y + z <= 1)
+        m.add(x + y + z <= 1)
+        m.minimize(-x - y - z)
+        pre = presolve_model(m)
+        assert pre.trace.pass_counts.get("duplicate-row", 0) == 1
+        assert pre.reduced.n_constraints == 1
+
+    def test_infeasible_bounds_detected(self):
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 3)
+        m.minimize(x + y)
+        pre = presolve_model(m)
+        assert pre.status is SolveStatus.INFEASIBLE
+        assert pre.reason
+
+    def test_forced_subset_excludes_packing_complement(self):
+        # x1 + x2 >= 2 forces both; {x1, x2, x3} packs => x3 = 0.
+        m = Model("t")
+        x1 = m.binary("x1")
+        x2 = m.binary("x2")
+        x3 = m.binary("x3")
+        m.add(x1 + x2 >= 2)
+        m.add(x1 + x2 + x3 <= 1)
+        m.minimize(LinExpr())
+        pre = presolve_model(m)
+        # The packing row then caps x1 + x2 at 1 < 2: infeasible, and
+        # presolve must prove it (forced-subset + propagation).
+        assert pre.status is SolveStatus.INFEASIBLE
+
+    def test_forced_subset_fixes_complement_feasibly(self):
+        m = Model("t")
+        x1 = m.binary("x1")
+        x2 = m.binary("x2")
+        x3 = m.binary("x3")
+        m.add(x1 + 0 >= 1)
+        m.add(x1 + x2 + x3 <= 1)
+        m.minimize(-x2 - x3)
+        pre = presolve_model(m)
+        assert pre.status is None
+        assert pre.trace.fixed[x1.index] == 1.0
+        assert pre.trace.fixed[x2.index] == 0.0
+        assert pre.trace.fixed[x3.index] == 0.0
+
+    def test_dual_fixing_pins_costly_free_variable(self):
+        # x only appears in <= rows with positive coefficient and has
+        # positive cost: an optimal solution sets it to its lower bound.
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y <= 1)
+        m.add(y + 0 >= 1)
+        m.minimize(2 * x + y)
+        pre = presolve_model(m)
+        assert pre.trace.fixed[x.index] == 0.0
+
+    def test_indicator_merge_preserves_optimum(self):
+        # Two indicator rows with the same unit body and rhs merge
+        # into one row; the optimum must not move.
+        m = Model("t")
+        x1 = m.binary("x1")
+        x2 = m.binary("x2")
+        p1 = m.binary("p1")
+        p2 = m.binary("p2")
+        m.add(x1 + x2 - p1 <= 1)
+        m.add(x1 + x2 - p2 <= 1)
+        m.add(x1 + x2 >= 2)
+        m.minimize(5 * p1 + 5 * p2 - x1 - x2)
+        pre = presolve_model(m)
+        solution = solve_reduced(pre, highs)
+        raw = highs(m)
+        assert solution.status is raw.status is SolveStatus.OPTIMAL
+        assert math.isclose(solution.objective, raw.objective, abs_tol=1e-6)
+
+    def test_unconstrained_column_pinned_to_best_bound(self):
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(y + 0 >= 1)
+        m.minimize(-3 * x + y)  # x unconstrained, negative cost -> 1
+        pre = presolve_model(m)
+        assert pre.trace.fixed[x.index] == 1.0
+
+    def test_input_model_is_not_mutated(self):
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y <= 1)
+        m.add(x + 0 <= 0)
+        m.minimize(-x - y)
+        before = m.stats()
+        presolve_model(m)
+        assert m.stats() == before
+
+
+class TestCloneIndependence:
+    def test_clone_is_deep_for_rows_and_objective(self):
+        m = Model("t")
+        x = m.binary("x")
+        m.add(x + 0 <= 1)
+        m.minimize(x + 0)
+        c = m.clone()
+        c.constraints[0].expr.coefs[x.index] = 99.0
+        c.objective.coefs[x.index] = 99.0
+        assert m.constraints[0].expr.coefs[x.index] == 1.0
+        assert m.objective.coefs[x.index] == 1.0
+
+
+class TestDecomposition:
+    def _two_block_model(self):
+        m = Model("blocks")
+        a1 = m.binary("a1")
+        a2 = m.binary("a2")
+        b1 = m.binary("b1")
+        b2 = m.binary("b2")
+        m.add(a1 + a2 >= 1)
+        m.add(b1 + b2 >= 1)
+        m.minimize(a1 + 2 * a2 + 3 * b1 + b2)
+        return m
+
+    def test_independent_blocks_split(self):
+        components = decompose_model(self._two_block_model())
+        assert len(components) == 2
+        sizes = sorted(c.model.n_vars for c in components)
+        assert sizes == [2, 2]
+
+    def test_component_solve_matches_monolithic(self):
+        m = self._two_block_model()
+        pre = presolve_model(m)
+        split = solve_reduced(pre, highs, decompose=True)
+        mono = solve_reduced(pre, highs, decompose=False)
+        raw = highs(m)
+        assert split.status is mono.status is raw.status is SolveStatus.OPTIMAL
+        assert math.isclose(split.objective, raw.objective, abs_tol=1e-6)
+        assert math.isclose(mono.objective, raw.objective, abs_tol=1e-6)
+        # The lifted solution covers every original variable.
+        assert set(split.values) == set(range(m.n_vars))
+
+    def test_fully_presolved_model_needs_no_solver(self):
+        m = Model("t")
+        x = m.binary("x")
+        m.add(x + 0 >= 1)
+        m.minimize(3 * x)
+        pre = presolve_model(m)
+        assert pre.reduced.n_vars == 0
+
+        def exploding_solver(model, time_limit=None):
+            raise AssertionError("solver must not be called")
+
+        solution = solve_reduced(pre, exploding_solver)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert math.isclose(solution.objective, 3.0, abs_tol=1e-9)
+        assert solution.values[x.index] == 1.0
+
+
+class TestRoutingSeeds:
+    def _ilp(self, rule="RULE1", seed=0, **kw):
+        spec = SyntheticClipSpec(
+            nx=kw.get("nx", 4), ny=kw.get("ny", 5), nz=kw.get("nz", 4),
+            n_nets=kw.get("n_nets", 3), sinks_per_net=1,
+            access_points_per_pin=2,
+        )
+        clip = make_synthetic_clip(spec, seed=seed)
+        return clip, OptRouter().build(clip, paper_rule(rule))
+
+    def test_reachability_fixes_are_zero_fixes(self):
+        _, ilp = self._ilp()
+        fixes, empty = reachability_fixes(ilp)
+        assert empty == 0
+        assert all(v == 0.0 for v in fixes.values())
+
+    def test_uturn_pairs_are_costed_variable_pairs(self):
+        _, ilp = self._ilp()
+        pairs = uturn_pairs(ilp)
+        assert pairs
+        obj = ilp.model.objective.coefs
+        for pair in pairs:
+            assert len(pair) == 2
+            assert all(obj.get(j, 0.0) > 0.0 for j in pair)
+
+    def test_presolve_shrinks_routing_model(self):
+        _, ilp = self._ilp(rule="RULE7")
+        pre = presolve_routing_ilp(ilp)
+        stats = pre.trace.stats()
+        assert stats["nonzeros_after"] < stats["nonzeros_before"]
+        assert stats["rows_after"] < stats["rows_before"]
+        assert pre.trace.iterations >= 1
+
+
+class TestViaUsageAggregation:
+    def _ilp(self, rule):
+        spec = SyntheticClipSpec(
+            nx=4, ny=4, nz=4, n_nets=3, sinks_per_net=1,
+            access_points_per_pin=2,
+        )
+        clip = make_synthetic_clip(spec, seed=3)
+        return OptRouter().build(clip, paper_rule(rule))
+
+    def test_no_restriction_is_identity(self):
+        ilp = self._ilp("RULE1")  # no via restriction -> no adjacency rows
+        model, rewritten, n_aux = aggregate_via_adjacency(ilp)
+        assert model is ilp.model
+        assert (rewritten, n_aux) == (0, 0)
+
+    def test_aggregation_shrinks_and_preserves_optimum(self):
+        ilp = self._ilp("RULE7")
+        model, rewritten, n_aux = aggregate_via_adjacency(ilp)
+        assert model is not ilp.model
+        assert rewritten > 0 and n_aux > 0
+        before = sum(len(c.expr.coefs) for c in ilp.model.constraints)
+        after = sum(len(c.expr.coefs) for c in model.constraints)
+        assert after < before
+        raw = highs(ilp.model, time_limit=60.0)
+        agg = highs(model, time_limit=60.0)
+        assert agg.status is raw.status
+        assert math.isclose(agg.objective, raw.objective, abs_tol=1e-6)
+
+    def test_lifted_values_stay_in_original_space(self):
+        ilp = self._ilp("RULE7")
+        pre, lifted = presolve_and_solve(ilp, time_limit=60.0)
+        assert "via-usage-aggregation" in pre.trace.pass_counts
+        assert pre.trace.n_vars_before == ilp.model.n_vars
+        assert lifted.values
+        assert max(lifted.values) < ilp.model.n_vars
+
+
+RULE_POOL = ("RULE1", "RULE5", "RULE7", "RULE11")
+
+
+class TestEquivalenceSweep:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        nx=st.integers(min_value=3, max_value=5),
+        ny=st.integers(min_value=3, max_value=5),
+        nz=st.integers(min_value=2, max_value=4),
+        n_nets=st.integers(min_value=2, max_value=3),
+        rule_no=st.integers(min_value=0, max_value=len(RULE_POOL) - 1),
+    )
+    def test_presolve_preserves_status_and_objective(
+        self, seed, nx, ny, nz, n_nets, rule_no
+    ):
+        spec = SyntheticClipSpec(
+            nx=nx, ny=ny, nz=nz, n_nets=n_nets, sinks_per_net=1,
+            access_points_per_pin=2, pin_spacing_cols=1,
+        )
+        try:
+            clip = make_synthetic_clip(spec, seed=seed)
+        except ValueError:
+            return  # spec too tight for this seed
+        rules = paper_rule(RULE_POOL[rule_no])
+        ilp = OptRouter().build(clip, rules)
+        raw = highs(ilp.model, time_limit=60.0)
+        pre, lifted = presolve_and_solve(ilp, time_limit=60.0)
+        assert lifted.status is raw.status, (
+            f"status drift on {clip.name}/{rules.name}: "
+            f"raw {raw.status} vs presolved {lifted.status}"
+        )
+        if raw.status is SolveStatus.OPTIMAL:
+            assert math.isclose(lifted.objective, raw.objective, abs_tol=1e-6)
+            routing = decode_solution(ilp, lifted)
+            assert not check_clip_routing(clip, rules, routing), (
+                "lifted routing fails DRC"
+            )
+
+
+class TestRouterIntegration:
+    def _clip(self):
+        spec = SyntheticClipSpec(
+            nx=4, ny=5, nz=5, n_nets=3, sinks_per_net=1,
+            access_points_per_pin=2,
+        )
+        return make_synthetic_clip(spec, seed=2)
+
+    def test_route_with_and_without_presolve_agree(self):
+        clip = self._clip()
+        rules = paper_rule("RULE7")
+        on = OptRouter(time_limit=60.0).route(clip, rules)
+        off = OptRouter(time_limit=60.0, presolve=False).route(clip, rules)
+        assert on.status is off.status is RouteStatus.OPTIMAL
+        assert math.isclose(on.cost, off.cost, abs_tol=1e-6)
+        assert on.presolve_stats["nonzeros_removed"] > 0
+        assert off.presolve_stats == {}
+
+    def test_presolved_routing_passes_drc(self):
+        clip = self._clip()
+        rules = paper_rule("RULE11")
+        result = OptRouter(time_limit=60.0).route(clip, rules)
+        assert result.status is RouteStatus.OPTIMAL
+        assert not check_clip_routing(clip, rules, result.routing)
