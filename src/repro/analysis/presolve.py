@@ -102,12 +102,18 @@ class PresolveTrace:
             for old, new in self.col_map.items():
                 values[old] = reduced_solution.values.get(new, 0.0)
             lifted.values = values
-        elif self.fixed and reduced_solution.status in (
-            SolveStatus.OPTIMAL,
-            SolveStatus.LIMIT,
+        elif (
+            self.fixed
+            and not self.col_map
+            and reduced_solution.status
+            in (SolveStatus.OPTIMAL, SolveStatus.LIMIT)
         ):
-            # A fully-presolved model solves with an empty value map;
-            # the fixed assignments ARE the solution.
+            # A fully-presolved model (no live variables left) solves
+            # with an empty value map; the fixed assignments ARE the
+            # solution.  With live variables remaining, an empty value
+            # map means no incumbent (e.g. LIMIT before any feasible
+            # point), and the lifted solution must stay incumbent-free
+            # rather than fabricate an all-zeros routing.
             lifted.values = dict(self.fixed)
         return lifted
 
@@ -452,6 +458,32 @@ def presolve_routing_ilp(
         # U variables exist only inside the reduced model.
         n_original_vars = ilp.model.n_vars
         pre.original = ilp.model
+        # Surviving auxiliaries (indices >= n_original_vars in the
+        # untrimmed col_map), their defining rows ``usage - U <= 0``
+        # (the only rows where an auxiliary carries a negative
+        # coefficient), and their nonzeros in the rewritten adjacency
+        # rows are aggregation artifacts, not presolve leftovers;
+        # exclude them from the *_after counts so the before/after
+        # deltas compare like with like in original-model terms and
+        # never go negative just because aggregation added auxiliaries.
+        aux_live = {
+            new for old, new in pre.trace.col_map.items()
+            if old >= n_original_vars
+        }
+        aux_rows = 0
+        aux_nonzeros = 0
+        for con in pre.reduced.constraints:
+            hits = [j for j in con.expr.coefs if j in aux_live]
+            if not hits:
+                continue
+            if any(con.expr.coefs[j] < 0.0 for j in hits):
+                aux_rows += 1
+                aux_nonzeros += len(con.expr.coefs)
+            else:
+                aux_nonzeros += len(hits)
+        pre.trace.n_vars_after -= len(aux_live)
+        pre.trace.n_rows_after -= aux_rows
+        pre.trace.n_nonzeros_after -= aux_nonzeros
         pre.trace.col_map = {
             old: new for old, new in pre.trace.col_map.items()
             if old < n_original_vars

@@ -844,7 +844,8 @@ def pass_indicator_merge(work: Work) -> int:
     after implication merging many rows differ only in their single
     negated binary.  ``k`` such rows with identical positive body
     ``A`` (unit coefficients over binaries, integral at integer
-    points) and identical rhs merge into ``k*A - sum p_i <= k*r``:
+    points) and identical *integral* rhs merge into
+    ``k*A - sum p_i <= k*r``:
 
     - members imply merged (sum them);
     - merged implies members on integer points: ``A <= r`` leaves
@@ -885,6 +886,12 @@ def pass_indicator_merge(work: Work) -> int:
     changed = 0
     for (body_set, rhs), members in groups.items():
         if len(members) < 2:
+            continue
+        if abs(rhs - round(rhs)) > _TOL:
+            # The merged row only implies the members at integer
+            # points when the rhs is integral (the argument needs
+            # A == r + 1 to force every indicator up); a fractional
+            # rhs would make the merge unsound.
             continue
         indicators = [p for _, p in members]
         if len(set(indicators)) != len(indicators):

@@ -29,7 +29,7 @@ from repro.drc import check_clip_routing
 from repro.eval import paper_rule
 from repro.ilp.highs_backend import solve_with_highs
 from repro.ilp.model import LinExpr, Model
-from repro.ilp.status import SolveStatus
+from repro.ilp.status import Solution, SolveStatus
 from repro.router import OptRouter, RouteStatus
 from repro.router.solution import decode_solution
 
@@ -149,6 +149,29 @@ class TestPasses:
         assert solution.status is raw.status is SolveStatus.OPTIMAL
         assert math.isclose(solution.objective, raw.objective, abs_tol=1e-6)
 
+    def test_indicator_merge_skips_fractional_rhs(self):
+        # Twin indicator rows with fractional rhs must NOT merge: the
+        # scaled row k*A - sum p_i <= k*r only implies the members on
+        # integer points when r is integral.  Merging here would relax
+        # the model (sum <= 2 with a single indicator up) and shift
+        # the optimum below the true -1.0.
+        m = Model("t")
+        x1 = m.binary("x1")
+        x2 = m.binary("x2")
+        x3 = m.binary("x3")
+        p1 = m.binary("p1")
+        p2 = m.binary("p2")
+        m.add(x1 + x2 + x3 - p1 <= 1.5)
+        m.add(x1 + x2 + x3 - p2 <= 1.5)
+        m.minimize(-x1 - x2 - x3 + 0.8 * p1 + 0.8 * p2)
+        pre = presolve_model(m)
+        assert pre.trace.pass_counts.get("indicator-merge", 0) == 0
+        solution = solve_reduced(pre, highs)
+        raw = highs(m)
+        assert solution.status is raw.status is SolveStatus.OPTIMAL
+        assert math.isclose(solution.objective, raw.objective, abs_tol=1e-6)
+        assert math.isclose(raw.objective, -1.0, abs_tol=1e-6)
+
     def test_unconstrained_column_pinned_to_best_bound(self):
         m = Model("t")
         x = m.binary("x")
@@ -212,6 +235,32 @@ class TestDecomposition:
         assert math.isclose(mono.objective, raw.objective, abs_tol=1e-6)
         # The lifted solution covers every original variable.
         assert set(split.values) == set(range(m.n_vars))
+
+    def test_limit_without_incumbent_lifts_without_incumbent(self):
+        # A LIMIT with no solver values on a partially-presolved model
+        # (live variables remain) must NOT fabricate an incumbent from
+        # the fixed assignments: downstream decoding would read every
+        # live variable as 0 and ship a bogus empty routing.
+        m = Model("t")
+        x = m.binary("x")
+        y = m.binary("y")
+        z = m.binary("z")
+        m.add(x + 0 <= 0)  # presolve fixes x = 0
+        m.add(y + z >= 1)  # y, z stay live for the solver
+        m.minimize(x + y + z)
+        pre = presolve_model(m)
+        assert pre.trace.fixed[x.index] == 0.0
+        assert pre.trace.col_map  # live variables remain
+        no_incumbent = Solution(status=SolveStatus.LIMIT)
+        assert not pre.trace.lift(no_incumbent).values
+
+        def limit_solver(model, time_limit=None):
+            return Solution(status=SolveStatus.LIMIT)
+
+        for decompose in (False, True):
+            solution = solve_reduced(pre, limit_solver, decompose=decompose)
+            assert solution.status is SolveStatus.LIMIT
+            assert not solution.values
 
     def test_fully_presolved_model_needs_no_solver(self):
         m = Model("t")
@@ -291,6 +340,22 @@ class TestViaUsageAggregation:
         agg = highs(model, time_limit=60.0)
         assert agg.status is raw.status
         assert math.isclose(agg.objective, raw.objective, abs_tol=1e-6)
+
+    def test_aggregation_stats_exclude_auxiliaries(self):
+        # The *_after counts must exclude surviving Uvia auxiliaries,
+        # their defining rows and their nonzeros, so the before/after
+        # deltas compare in original-model terms and never go negative.
+        ilp = self._ilp("RULE7")
+        pre = presolve_routing_ilp(ilp)
+        assert "via-usage-aggregation" in pre.trace.pass_counts
+        stats = pre.trace.stats()
+        assert stats["cols_before"] == ilp.model.n_vars
+        assert stats["rows_before"] == ilp.model.n_constraints
+        assert stats["cols_removed"] >= 0
+        assert stats["rows_removed"] >= 0
+        assert stats["nonzeros_removed"] >= 0
+        # No auxiliary leaks into the lifted variable space either.
+        assert all(old < ilp.model.n_vars for old in pre.trace.col_map)
 
     def test_lifted_values_stay_in_original_space(self):
         ilp = self._ilp("RULE7")
