@@ -101,6 +101,8 @@ def _cmd_evaluate(args) -> int:
         EvalConfig(
             time_limit_per_clip=args.time_limit,
             presolve=not args.no_presolve,
+            incremental=not args.no_incremental,
+            solve_cache_dir=args.solve_cache,
         ),
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -108,6 +110,24 @@ def _cmd_evaluate(args) -> int:
     )
     print(format_delta_cost_table(study, title=f"Δcost study ({args.tech})"))
     print(format_sorted_traces(study))
+    if args.timing:
+        from repro.eval.report import format_timing_table
+
+        print(format_timing_table(study))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.ilp.solve_cache import SolveCache
+
+    cache = SolveCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"solve cache at {stats['root']}: {stats['entries']} "
+              f"entries, {stats['bytes']} bytes")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} cache entries from {args.dir}")
     return 0
 
 
@@ -366,6 +386,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attempts per backend before falling back")
     ev.add_argument("--no-presolve", action="store_true",
                     help="solve the raw ILPs without the presolve engine")
+    ev.add_argument("--no-incremental", action="store_true",
+                    help="disable cross-rule warm starts (cold solve "
+                         "per (clip, rule) pair, historical order)")
+    ev.add_argument("--solve-cache", default=None, metavar="DIR",
+                    help="persistent content-addressed solve cache; "
+                         "repeated sweeps replay identical solves")
+    ev.add_argument("--timing", action="store_true",
+                    help="also print per-rule phase timing medians "
+                         "(build/presolve/solve, warm/cache counts)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a persistent solve cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--dir", required=True, metavar="DIR",
+                       help="solve-cache directory")
 
     lint = sub.add_parser(
         "lint", help="pre-solve static analysis of a synthetic clip set"
@@ -437,6 +473,7 @@ _COMMANDS = {
     "route-clip": _cmd_route_clip,
     "evaluate": _cmd_evaluate,
     "eval": _cmd_evaluate,
+    "cache": _cmd_cache,
     "lint": _cmd_lint,
     "presolve": _cmd_presolve,
     "full-flow": _cmd_full_flow,

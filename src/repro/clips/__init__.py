@@ -11,7 +11,13 @@ PRC, θ = 500) and the top-K most difficult ones feed OptRouter.
 """
 
 from repro.clips.clip import Clip, ClipNet, ClipPin
-from repro.clips.pincost import PinCostParams, clip_pin_cost, pin_cost_breakdown
+from repro.clips.pincost import (
+    PinCostParams,
+    clip_pin_cost,
+    clip_pin_costs,
+    pin_cost_breakdown,
+    pin_cost_breakdown_scalar,
+)
 from repro.clips.extract import ClipWindowSpec, extract_clips
 from repro.clips.synthetic import SyntheticClipSpec, make_synthetic_clip
 from repro.clips.select import select_top_clips
@@ -22,7 +28,9 @@ __all__ = [
     "ClipPin",
     "PinCostParams",
     "clip_pin_cost",
+    "clip_pin_costs",
     "pin_cost_breakdown",
+    "pin_cost_breakdown_scalar",
     "ClipWindowSpec",
     "extract_clips",
     "SyntheticClipSpec",

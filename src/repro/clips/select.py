@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.clips.clip import Clip
-from repro.clips.pincost import PinCostParams, clip_pin_cost
+from repro.clips.pincost import PinCostParams, clip_pin_costs
 
 
 def select_top_clips(
@@ -20,11 +20,19 @@ def select_top_clips(
 ) -> list[Clip]:
     """Score all clips and return the ``k`` highest-cost ones.
 
-    The returned clips carry their score in ``pin_cost``, sorted
-    descending.  Ties break on clip name for determinism.
+    Scoring is batched (:func:`repro.clips.pincost.clip_pin_costs`)
+    so a ~10K-clip population is one vectorized pass, as in the
+    paper's per-technology ranking.  The returned clips carry their
+    score in ``pin_cost``, sorted descending.  Ties break on clip
+    name for determinism.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
-    scored = [clip.with_pin_cost(clip_pin_cost(clip, params)) for clip in clips]
+    clip_list = list(clips)
+    costs = clip_pin_costs(clip_list, params)
+    scored = [
+        clip.with_pin_cost(cost)
+        for clip, cost in zip(clip_list, costs, strict=True)
+    ]
     scored.sort(key=lambda c: (-c.pin_cost, c.name))
     return scored[:k]

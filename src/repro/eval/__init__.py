@@ -28,6 +28,7 @@ from repro.eval.report import (
     format_delta_cost_table,
     format_rule_table,
     format_sorted_traces,
+    format_timing_table,
 )
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "format_delta_cost_table",
     "format_rule_table",
     "format_sorted_traces",
+    "format_timing_table",
     "RuleImpact",
     "format_ranking",
     "rank_rules",

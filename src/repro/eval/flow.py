@@ -20,7 +20,7 @@ from repro.exec.faults import FaultPlan
 from repro.exec.policy import SupervisorConfig
 from repro.exec.runner import RouteJob, SupervisedRunner
 from repro.router.optrouter import OptRouteResult, RouteStatus
-from repro.router.rules import RuleConfig
+from repro.router.rules import RuleConfig, is_restriction
 
 #: Statuses with no usable solve outcome: excluded from Δcost (they
 #: prove neither optimality nor infeasibility), surfaced in reports.
@@ -55,6 +55,13 @@ class ClipRuleOutcome:
     #: presolve accounting (zero when presolve was off / skipped).
     presolve_seconds: float = 0.0
     presolve_nonzeros_removed: int = 0
+    #: formulation build time (zero for warm shortcuts / certified).
+    build_seconds: float = 0.0
+    #: warm-shortcut provenance ("" = cold solve); see
+    #: :class:`repro.router.optrouter.WarmStart`.
+    warm_used: str = ""
+    #: the solve was replayed from the persistent solve cache.
+    cache_hit: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -205,6 +212,13 @@ class EvalConfig:
     certify: bool = True
     run_drc: bool = False
     presolve: bool = True
+    #: schedule each clip's rules as one group (baseline first) so the
+    #: baseline outcome warm-starts follower rules that are pure
+    #: restrictions of it -- sound shortcuts only, identical results
+    #: (see docs/performance.md).  Off = historical rule-major order.
+    incremental: bool = True
+    #: directory of the persistent solve cache (None = disabled).
+    solve_cache_dir: str | None = None
 
 
 def evaluate_clips(
@@ -249,14 +263,21 @@ def evaluate_clips(
         else:
             journal.clear()
 
-    pairs = [(clip, rule) for rule in rules for clip in clips]
+    baseline = rules[0]
+    if config.incremental:
+        # Clip-major, baseline rule first: each clip's rules form one
+        # warm-start group on one worker.
+        pairs = [(clip, rule) for clip in clips for rule in rules]
+    else:
+        pairs = [(clip, rule) for rule in rules for clip in clips]
     pending = [
         (clip, rule)
         for clip, rule in pairs
         if (clip.name, rule.name) not in done
     ]
-    jobs = [
-        RouteJob(
+
+    def make_job(clip: Clip, rule: RuleConfig) -> RouteJob:
+        job = RouteJob(
             clip=clip,
             rules=rule,
             wire_cost=config.wire_cost,
@@ -265,9 +286,28 @@ def evaluate_clips(
             time_limit=config.time_limit_per_clip,
             certify=config.certify,
             presolve=config.presolve,
+            solve_cache_dir=config.solve_cache_dir,
         )
-        for clip, rule in pending
-    ]
+        if config.incremental and rule.name != baseline.name:
+            # A resumed sweep may hold the clip's baseline outcome in
+            # the journal (no routing there, but the proof/bound
+            # transfer) -- pre-seed what the in-group derive cannot.
+            prior = done.get((clip.name, baseline.name))
+            if prior is not None:
+                job = _warm_from_outcome(job, baseline, prior)
+        return job
+
+    if config.incremental:
+        groups: list[list[RouteJob]] = []
+        by_clip: dict[str, list[RouteJob]] = {}
+        for clip, rule in pending:
+            group = by_clip.get(clip.name)
+            if group is None:
+                group = by_clip[clip.name] = []
+                groups.append(group)
+            group.append(make_job(clip, rule))
+    else:
+        groups = [[make_job(clip, rule)] for clip, rule in pending]
     if supervisor is None:
         supervisor = SupervisorConfig(n_workers=1, isolation="inline")
 
@@ -285,7 +325,20 @@ def evaluate_clips(
         if journal is not None:
             journal.append(outcome_to_record(outcome))
 
-    SupervisedRunner(supervisor).run(jobs, fault_plan=fault_plan, on_result=on_result)
+    def derive(job: RouteJob, group_results: list[OptRouteResult]) -> RouteJob:
+        base = next(
+            (r for r in group_results if r.rule_name == baseline.name), None
+        )
+        if base is None:
+            return job
+        return _warm_from_result(job, baseline, base)
+
+    SupervisedRunner(supervisor).run_groups(
+        groups,
+        fault_plan=fault_plan,
+        on_result=on_result,
+        derive=derive if config.incremental else None,
+    )
 
     study = DeltaCostStudy(
         clip_names=[clip.name for clip in clips],
@@ -298,6 +351,51 @@ def evaluate_clips(
             for clip in clips
         ]
     return study
+
+
+def _warm_from_result(
+    job: RouteJob, baseline: RuleConfig, base: OptRouteResult
+) -> RouteJob:
+    """Rewrite a follower job with warm-start fields from its clip's
+    baseline result.  Only sound transfers are made: the follower must
+    be a pure restriction of the baseline, and the baseline outcome
+    must be trustworthy (not degraded -- fallback backends carry no
+    optimality or infeasibility proof)."""
+    from dataclasses import replace
+
+    if base.degraded or not is_restriction(baseline, job.rules):
+        return job
+    if base.status is RouteStatus.INFEASIBLE:
+        return replace(job, warm_infeasible=True)
+    if (
+        base.status is RouteStatus.OPTIMAL
+        and base.routing is not None
+        and base.cost is not None
+    ):
+        return replace(
+            job,
+            warm_routing=base.routing,
+            warm_cost=base.cost,
+            warm_lower_bound=base.cost,
+        )
+    return job
+
+
+def _warm_from_outcome(
+    job: RouteJob, baseline: RuleConfig, prior: ClipRuleOutcome
+) -> RouteJob:
+    """Warm fields from a *journaled* baseline outcome (resume path).
+    The journal stores no routing geometry, so only the infeasibility
+    proof and the lower bound transfer."""
+    from dataclasses import replace
+
+    if prior.degraded or not is_restriction(baseline, job.rules):
+        return job
+    if prior.status is RouteStatus.INFEASIBLE:
+        return replace(job, warm_infeasible=True)
+    if prior.status is RouteStatus.OPTIMAL and prior.cost is not None:
+        return replace(job, warm_lower_bound=prior.cost)
+    return job
 
 
 def _require_unique_names(
@@ -330,6 +428,9 @@ def _to_outcome(
         degraded=result.degraded,
         presolve_seconds=float(stats.get("presolve_seconds", 0.0)),
         presolve_nonzeros_removed=int(stats.get("nonzeros_removed", 0)),
+        build_seconds=result.build_seconds,
+        warm_used=result.warm_used,
+        cache_hit=result.cache_hit,
     )
 
 
@@ -352,6 +453,9 @@ def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
         "degraded": outcome.degraded,
         "presolve_seconds": outcome.presolve_seconds,
         "presolve_nnz_removed": outcome.presolve_nonzeros_removed,
+        "build_seconds": outcome.build_seconds,
+        "warm_used": outcome.warm_used,
+        "cache_hit": outcome.cache_hit,
     }
 
 
@@ -372,4 +476,7 @@ def outcome_from_record(record: dict) -> ClipRuleOutcome:
         degraded=record.get("degraded", False),
         presolve_seconds=record.get("presolve_seconds", 0.0),
         presolve_nonzeros_removed=record.get("presolve_nnz_removed", 0),
+        build_seconds=record.get("build_seconds", 0.0),
+        warm_used=record.get("warm_used", ""),
+        cache_hit=record.get("cache_hit", False),
     )

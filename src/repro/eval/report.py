@@ -31,11 +31,12 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
     the supervised sweep contained failures (worker crash / hard
     deadline) or degraded results (produced by a fallback backend, so
     non-optimal and excluded from Δcost), ``fail`` and ``degraded``
-    columns flag them.  When the sweep ran with the presolve engine, a
-    ``pre_nnz`` column (total nonzeros removed, a deterministic
-    quantity — wall time is journaled but kept out of the table so
-    resumed sweeps reproduce it byte-for-byte) summarizes its work per
-    rule.
+    columns flag them.  Presolve work (nonzeros removed, wall time) is
+    deliberately absent: warm starts and solve-cache hits skip the
+    presolve entirely, so those quantities depend on execution
+    strategy, and this table must reproduce byte-for-byte across
+    cold, resumed, and cache-replayed sweeps.  Use
+    :func:`format_timing_table` for the execution diagnostics.
     """
     with_drc = any(
         study.drc_violation_count(rule_name) is not None
@@ -43,11 +44,6 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
     )
     with_faults = any(
         study.failure_count(rule_name) or study.degraded_count(rule_name)
-        for rule_name in study.rule_names
-    )
-    with_presolve = any(
-        study.presolve_nonzeros_removed_total(rule_name)
-        or study.presolve_seconds_total(rule_name)
         for rule_name in study.rule_names
     )
     rows = []
@@ -70,8 +66,6 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
         if with_drc:
             drc = study.drc_violation_count(rule_name)
             row.append("-" if drc is None else drc)
-        if with_presolve:
-            row.append(study.presolve_nonzeros_removed_total(rule_name))
         rows.append(tuple(row))
     header = [
         "rule", "clips", "infeasible", "certified", "limit", "zero_frac",
@@ -81,9 +75,42 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
         header += ["fail", "degraded"]
     if with_drc:
         header.append("drc")
-    if with_presolve:
-        header.append("pre_nnz")
     return format_table(tuple(header), rows, title=title)
+
+
+def format_timing_table(study: DeltaCostStudy, title: str = "Timing") -> str:
+    """Per-rule phase accounting: median build / presolve / solve wall
+    times plus warm-shortcut and solve-cache hit counts.
+
+    Opt-in (``repro evaluate --timing``) and deliberately separate
+    from :func:`format_delta_cost_table`: wall clocks vary run to run,
+    and the main report must stay byte-reproducible across resumed and
+    cache-replayed sweeps.
+    """
+    import statistics
+
+    rows = []
+    for rule_name in study.rule_names:
+        outcomes = study.outcomes[rule_name]
+        if not outcomes:
+            continue
+        rows.append((
+            rule_name,
+            len(outcomes),
+            f"{statistics.median(o.build_seconds for o in outcomes):.4f}",
+            f"{statistics.median(o.presolve_seconds for o in outcomes):.4f}",
+            f"{statistics.median(o.solve_seconds for o in outcomes):.4f}",
+            sum(1 for o in outcomes if o.warm_used == "reused-optimal"),
+            sum(1 for o in outcomes if o.warm_used == "inherited-infeasible"),
+            sum(1 for o in outcomes if o.cache_hit),
+            study.presolve_nonzeros_removed_total(rule_name),
+        ))
+    return format_table(
+        ("rule", "clips", "med_build_s", "med_presolve_s", "med_solve_s",
+         "warm_opt", "warm_inf", "cache_hits", "pre_nnz"),
+        rows,
+        title=title,
+    )
 
 
 def format_sorted_traces(study: DeltaCostStudy, width: int = 60) -> str:

@@ -40,8 +40,9 @@ from repro.exec.faults import (
     apply_fault,
 )
 from repro.exec.policy import SupervisorConfig
-from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus
+from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus, WarmStart
 from repro.router.rules import RuleConfig
+from repro.router.solution import ClipRouting
 
 #: Exit code the worker's SIGTERM handler uses for a clean fast exit.
 _TERM_EXIT = 97
@@ -69,6 +70,28 @@ class RouteJob:
     certify: bool = True
     presolve: bool = True
     router: OptRouter | None = None
+    #: cross-rule warm-start seed (set by the incremental sweep's
+    #: ``derive`` hook or by a resumed journal's baseline outcome).
+    warm_routing: "ClipRouting | None" = None
+    warm_cost: float | None = None
+    warm_lower_bound: float | None = None
+    warm_infeasible: bool = False
+    #: persistent solve-cache directory (None = no cache).
+    solve_cache_dir: str | None = None
+
+    def warm_start(self) -> "WarmStart | None":
+        if (
+            self.warm_routing is None
+            and self.warm_lower_bound is None
+            and not self.warm_infeasible
+        ):
+            return None
+        return WarmStart(
+            routing=self.warm_routing,
+            cost=self.warm_cost,
+            lower_bound=self.warm_lower_bound,
+            infeasible=self.warm_infeasible,
+        )
 
     @classmethod
     def from_router(
@@ -95,9 +118,21 @@ class _Failure:
 
 def _router_for(job: RouteJob, backend: str) -> OptRouter:
     if job.router is not None:
-        if job.router.backend == backend:
-            return job.router
-        return replace(job.router, backend=backend)
+        router = job.router
+        if router.backend != backend:
+            router = replace(router, backend=backend)
+        if job.solve_cache_dir is not None and router.solve_cache is None:
+            from repro.ilp.solve_cache import SolveCache
+
+            router = replace(
+                router, solve_cache=SolveCache(job.solve_cache_dir)
+            )
+        return router
+    solve_cache = None
+    if job.solve_cache_dir is not None:
+        from repro.ilp.solve_cache import SolveCache
+
+        solve_cache = SolveCache(job.solve_cache_dir)
     return OptRouter(
         wire_cost=job.wire_cost,
         via_cost=job.via_cost,
@@ -105,13 +140,22 @@ def _router_for(job: RouteJob, backend: str) -> OptRouter:
         time_limit=job.time_limit,
         certify=job.certify,
         presolve=job.presolve,
+        solve_cache=solve_cache,
     )
 
 
 def _route_with_backend(job: RouteJob, backend: str) -> OptRouteResult:
     if backend == "baseline":
         return _route_with_baseline(job)
-    result = _router_for(job, backend).route(job.clip, job.rules)
+    router = _router_for(job, backend)
+    warm = job.warm_start()
+    # Only seeded jobs pass the keyword: OptRouter subclasses that
+    # predate the warm path and override route(clip, rules) keep
+    # working everywhere no seed is scheduled.
+    if warm is None:
+        result = router.route(job.clip, job.rules)
+    else:
+        result = router.route(job.clip, job.rules, warm=warm)
     result.backend = backend
     return result
 
@@ -219,32 +263,75 @@ class SupervisedRunner:
         complete even when individual jobs crash or time out; only an
         injected ABORT fault raises :class:`SweepAborted`.
         """
+        return self.run_groups(
+            [[job] for job in jobs], fault_plan=fault_plan, on_result=on_result
+        )
+
+    def run_groups(
+        self,
+        groups: Sequence[Sequence[RouteJob]],
+        fault_plan: FaultPlan | None = None,
+        on_result: "Callable[[int, OptRouteResult], None] | None" = None,
+        derive: (
+            "Callable[[RouteJob, list[OptRouteResult]], RouteJob] | None"
+        ) = None,
+    ) -> list[OptRouteResult]:
+        """Run groups of jobs; jobs within a group run *in order on
+        one worker*, so later jobs can be rewritten from earlier
+        results — the cross-rule warm-start mechanism (one group per
+        clip, the baseline rule first).
+
+        ``derive(job, group_results)`` is called before each non-first
+        job of a group with the results produced so far *in that
+        group*; it returns the (possibly rewritten) job to run.
+        Parallelism is across groups.  Fault indices and
+        ``on_result`` indices are flat positions in the concatenated
+        job order, so journals and fault plans are agnostic of the
+        grouping.
+        """
+        flat: list[RouteJob] = [job for group in groups for job in group]
         faults = [
             fault_plan.fault_for(i, job.clip.name, job.rules.name)
             if fault_plan is not None
             else None
-            for i, job in enumerate(jobs)
+            for i, job in enumerate(flat)
         ]
-        results: list[OptRouteResult | None] = [None] * len(jobs)
-        if self.config.n_workers == 1:
-            for i, (job, fault) in enumerate(zip(jobs, faults, strict=True)):
-                result = self.run_one(job, fault, index=i)
-                results[i] = result
-                if on_result is not None:
-                    on_result(i, result)
+        starts: list[int] = []
+        offset = 0
+        for group in groups:
+            starts.append(offset)
+            offset += len(group)
+        results: list[OptRouteResult | None] = [None] * len(flat)
+        lock = Lock()
+        sequential = self.config.n_workers == 1
+
+        def _run_group(g: int) -> None:
+            group_results: list[OptRouteResult] = []
+            for j, job in enumerate(groups[g]):
+                index = starts[g] + j
+                if derive is not None and group_results:
+                    job = derive(job, group_results)
+                result = self.run_one(job, faults[index], index=index)
+                group_results.append(result)
+                if sequential:
+                    results[index] = result
+                    if on_result is not None:
+                        on_result(index, result)
+                else:
+                    with lock:
+                        results[index] = result
+                        if on_result is not None:
+                            on_result(index, result)
+
+        if sequential:
+            for g in range(len(groups)):
+                _run_group(g)
             return [r for r in results if r is not None]
 
-        lock = Lock()
-
-        def _task(i: int) -> None:
-            result = self.run_one(jobs[i], faults[i], index=i)
-            with lock:
-                results[i] = result
-                if on_result is not None:
-                    on_result(i, result)
-
         with ThreadPoolExecutor(max_workers=self.config.n_workers) as pool:
-            futures = [pool.submit(_task, i) for i in range(len(jobs))]
+            futures = [
+                pool.submit(_run_group, g) for g in range(len(groups))
+            ]
             for future in futures:
                 future.result()  # propagate SweepAborted / internal errors
         return [r for r in results if r is not None]

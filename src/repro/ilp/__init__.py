@@ -18,7 +18,8 @@ from repro.ilp.model import Constraint, LinExpr, Model, Var
 from repro.ilp.status import Solution, SolveStatus
 from repro.ilp.highs_backend import solve_with_highs
 from repro.ilp.bnb import BnBOptions, solve_with_bnb
-from repro.ilp.lp_format import write_lp
+from repro.ilp.lp_format import write_lp, write_lp_canonical
+from repro.ilp.solve_cache import CacheEntry, SolveCache
 
 __all__ = [
     "Model",
@@ -31,4 +32,7 @@ __all__ = [
     "solve_with_bnb",
     "BnBOptions",
     "write_lp",
+    "write_lp_canonical",
+    "CacheEntry",
+    "SolveCache",
 ]

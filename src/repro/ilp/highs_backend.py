@@ -24,11 +24,22 @@ def solve_with_highs(
     model: Model,
     time_limit: float | None = None,
     mip_rel_gap: float = 0.0,
+    warm_start: dict[int, float] | None = None,
+    lower_bound: float | None = None,
 ) -> Solution:
     """Solve a model exactly with HiGHS branch-and-cut.
 
     ``mip_rel_gap`` is 0 by default: OptRouter requires proven-optimal
     solutions for the paper's methodology to be meaningful.
+
+    ``warm_start`` is a candidate feasible point (variable index ->
+    value).  ``scipy.optimize.milp`` cannot seed HiGHS with an
+    incumbent, so the point is used two ways: it is validated with
+    :meth:`Model.is_feasible` (an infeasible point is discarded, never
+    returned), and when its objective meets a trusted ``lower_bound``
+    (true objective space) the solve is skipped entirely and the point
+    returned as OPTIMAL.  A feasible point that does not meet the
+    bound falls through to a normal cold solve.
 
     A non-positive ``time_limit`` returns ``LIMIT`` immediately: a
     fallback chain that has already spent its wall-clock budget must
@@ -37,6 +48,21 @@ def solve_with_highs(
     ``ERROR`` solutions so one pathological model cannot take down a
     whole sweep.
     """
+    if warm_start is not None and lower_bound is not None:
+        t0 = time.perf_counter()
+        if model.is_feasible(warm_start):
+            objective = model.objective_value(warm_start)
+            if objective <= lower_bound + 1e-6:
+                values = {}
+                for v in model.variables:
+                    value = float(warm_start.get(v.index, v.lb))
+                    values[v.index] = round(value) if v.is_integer else value
+                return Solution(
+                    status=SolveStatus.OPTIMAL,
+                    objective=objective,
+                    values=values,
+                    solve_seconds=time.perf_counter() - t0,
+                )
     if time_limit is not None and time_limit <= 0:
         return Solution(status=SolveStatus.LIMIT)
     n = model.n_vars

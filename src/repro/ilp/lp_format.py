@@ -10,6 +10,14 @@ order, constraints in sorted (name, position) order, and the Bounds /
 Binaries / Generals sections in sorted variable-name order.  Two
 builds of the same model therefore serialize identically, which makes
 presolve traces and checkpoint journals diffable.
+
+:func:`write_lp_canonical` goes further and is *insertion-order
+invariant*: terms are keyed by variable name (not index), rows are
+content-sorted with positional auto-names dropped, floats use exact
+``repr``, and the model name is excluded.  Two semantically equal
+models built in any variable/constraint order serialize to the same
+bytes -- the content-address for the persistent solve cache
+(:mod:`repro.ilp.solve_cache`).
 """
 
 from __future__ import annotations
@@ -80,4 +88,44 @@ def write_lp(model: Model) -> str:
         lines.append("Generals")
         lines.append(" " + " ".join(generals))
     lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def _canonical_expr(model: Model, expr: LinExpr) -> str:
+    """Name-keyed, exact-float rendering of a linear expression."""
+    terms = sorted(
+        (model.variables[index].name, coef)
+        for index, coef in expr.coefs.items()
+        if coef != 0.0
+    )
+    body = " ".join(f"{coef!r} {name}" for name, coef in terms)
+    return f"{body} | {expr.const!r}"
+
+
+def write_lp_canonical(model: Model) -> str:
+    """Insertion-order-invariant serialization for content addressing.
+
+    Two models with the same variables (by name/bounds/integrality),
+    the same constraint *set*, and the same objective produce
+    byte-identical output regardless of the order anything was added
+    in.  Any coefficient, bound, sense, rhs, or integrality change
+    produces different output.  Constraint names are dropped (the
+    default positional ``c{i}`` names would leak insertion order);
+    the model name is dropped too.  Not valid LP-file syntax -- this
+    is a cache key, not an interchange format.
+    """
+    lines = ["canonical-lp v1"]
+    lines.append("min " + _canonical_expr(model, model.objective))
+    rows = sorted(
+        f"{con.sense} {_canonical_expr(model, con.expr)}"
+        for con in model.constraints
+    )
+    lines.extend(rows)
+    lines.append("vars")
+    lines.extend(
+        sorted(
+            f"{v.name} {v.lb!r} {v.ub!r} {'i' if v.is_integer else 'c'}"
+            for v in model.variables
+        )
+    )
     return "\n".join(lines) + "\n"

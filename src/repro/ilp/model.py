@@ -222,6 +222,47 @@ class Model:
             "n_nonzeros": nonzeros,
         }
 
+    def objective_value(self, values: dict[int, float]) -> float:
+        """Objective (including the constant) at a point; variables
+        missing from ``values`` sit at their lower bound."""
+        total = self.objective.const
+        for index, coef in self.objective.coefs.items():
+            total += coef * values.get(index, self.variables[index].lb)
+        return total
+
+    def is_feasible(self, values: dict[int, float], tol: float = 1e-6) -> bool:
+        """True when the point satisfies bounds, integrality, and every
+        constraint to within ``tol``.  Missing variables sit at their
+        lower bound (which must then be finite).
+
+        This is the warm-start gate: a seeded incumbent is only
+        admitted after passing this check, so a stale or rule-invalid
+        point can never become the reported solution.
+        """
+
+        def at(index: int) -> float:
+            return values.get(index, self.variables[index].lb)
+
+        for v in self.variables:
+            x = at(v.index)
+            if x != x or x in (float("inf"), float("-inf")):
+                return False
+            if x < v.lb - tol or x > v.ub + tol:
+                return False
+            if v.is_integer and abs(x - round(x)) > tol:
+                return False
+        for con in self.constraints:
+            lhs = con.expr.const
+            for index, coef in con.expr.coefs.items():
+                lhs += coef * at(index)
+            if con.sense == "<=" and lhs > tol:
+                return False
+            if con.sense == ">=" and lhs < -tol:
+                return False
+            if con.sense == "==" and abs(lhs) > tol:
+                return False
+        return True
+
     def clone(self, name: str | None = None) -> "Model":
         """A deep, independent copy (rewrite passes mutate the copy).
 

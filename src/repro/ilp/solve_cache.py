@@ -1,0 +1,206 @@
+"""Content-addressed persistent cache of MILP solve outcomes.
+
+A solve is pure: the same model under the same solver options always
+admits the same status and optimal objective.  Keying on the SHA-256
+of the insertion-order-invariant serialization
+(:func:`repro.ilp.lp_format.write_lp_canonical`) plus the canonical
+JSON of the solver options therefore lets repeated and resumed sweeps
+skip identical solves entirely -- a second ``repro evaluate
+--solve-cache`` run over an unchanged clip set performs zero backend
+solves.
+
+Entries store the status, objective, and solution values **by
+variable name** (indices are an insertion-order artifact; names are
+what the canonical key is built from), plus the original solve/
+presolve accounting so a cache hit reproduces the journaled record of
+the run that populated it.  Writes are atomic (temp file + rename)
+and a malformed or version-mismatched entry reads as a miss, so a
+shared or interrupted cache degrades to extra solves, never to wrong
+results.
+
+Statuses cached: OPTIMAL, INFEASIBLE, and LIMIT (the time limit is
+part of the key, so a LIMIT outcome is only replayed for the same
+budget).  ERROR outcomes are never cached -- crashes are environment,
+not model, properties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ilp.lp_format import write_lp_canonical
+from repro.ilp.model import Model
+from repro.ilp.status import Solution, SolveStatus
+
+ENTRY_VERSION = 1
+
+#: Outcomes worth persisting (see module docstring).
+_CACHEABLE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.LIMIT)
+
+
+@dataclass
+class CacheEntry:
+    """One cached solve outcome, in model-independent (name-keyed) form."""
+
+    status: SolveStatus
+    objective: float | None = None
+    values_by_name: dict[str, float] = field(default_factory=dict)
+    best_bound: float | None = None
+    n_nodes: int = 0
+    solve_seconds: float = 0.0
+    presolve_stats: dict[str, float] = field(default_factory=dict)
+
+    def to_solution(self, model: Model) -> Solution:
+        """Remap name-keyed values onto this model's variable indices."""
+        by_name = {v.name: v.index for v in model.variables}
+        values = {
+            by_name[name]: value
+            for name, value in self.values_by_name.items()
+            if name in by_name
+        }
+        return Solution(
+            status=self.status,
+            objective=self.objective,
+            values=values,
+            best_bound=self.best_bound,
+            n_nodes=self.n_nodes,
+            solve_seconds=self.solve_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "v": ENTRY_VERSION,
+            "status": self.status.value,
+            "objective": self.objective,
+            "values": self.values_by_name,
+            "best_bound": self.best_bound,
+            "n_nodes": self.n_nodes,
+            "solve_seconds": self.solve_seconds,
+            "presolve_stats": self.presolve_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheEntry":
+        return cls(
+            status=SolveStatus(payload["status"]),
+            objective=payload["objective"],
+            values_by_name=dict(payload["values"]),
+            best_bound=payload.get("best_bound"),
+            n_nodes=int(payload.get("n_nodes", 0)),
+            solve_seconds=float(payload.get("solve_seconds", 0.0)),
+            presolve_stats=dict(payload.get("presolve_stats", {})),
+        )
+
+
+class SolveCache:
+    """Sharded on-disk store of :class:`CacheEntry` objects.
+
+    Safe to share between threads and processes: reads of a missing or
+    half-written entry are misses; writes go through a same-directory
+    temp file and ``os.replace``.  No locks are held (instances are
+    pickled into worker processes by the supervised runner).
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def key_for(model: Model, options: dict) -> str:
+        """SHA-256 over the canonical model bytes and solver options."""
+        payload = write_lp_canonical(model) + json.dumps(
+            options, sort_keys=True, default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, model: Model, options: dict) -> "CacheEntry | None":
+        path = self._path(self.key_for(model, options))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("v") != ENTRY_VERSION:
+                raise ValueError("entry version mismatch")
+            entry = CacheEntry.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        model: Model,
+        options: dict,
+        solution: Solution,
+        presolve_stats: "dict[str, float] | None" = None,
+    ) -> bool:
+        """Persist a solve outcome; returns False for uncacheable ones."""
+        if solution.status not in _CACHEABLE:
+            return False
+        by_index = {v.index: v.name for v in model.variables}
+        entry = CacheEntry(
+            status=solution.status,
+            objective=solution.objective,
+            values_by_name={
+                by_index[index]: value
+                for index, value in solution.values.items()
+                if index in by_index
+            },
+            best_bound=solution.best_bound,
+            n_nodes=solution.n_nodes,
+            solve_seconds=solution.solve_seconds,
+            presolve_stats=dict(presolve_stats or {}),
+        )
+        path = self._path(self.key_for(model, options))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry.to_dict(), fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> dict:
+        files = self._entry_files()
+        return {
+            "root": str(self.root),
+            "entries": len(files),
+            "bytes": sum(f.stat().st_size for f in files),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        files = self._entry_files()
+        for f in files:
+            try:
+                f.unlink()
+            except OSError:
+                pass
+        return len(files)

@@ -9,11 +9,16 @@ Public entry point:
     <RouteStatus.OPTIMAL: 'optimal'>
 """
 
-from repro.router.rules import RuleConfig, SadpParams, ViaRestriction
+from repro.router.rules import RuleConfig, SadpParams, ViaRestriction, is_restriction
 from repro.router.graph import SwitchboxGraph, build_graph
-from repro.router.formulation import RoutingIlp, build_routing_ilp
+from repro.router.formulation import (
+    BaseFormulation,
+    FormulationCache,
+    RoutingIlp,
+    build_routing_ilp,
+)
 from repro.router.solution import ClipRouting, NetSolution, decode_solution
-from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus
+from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus, WarmStart
 from repro.router.baseline import BaselineClipRouter, BaselineResult
 
 __all__ = [
@@ -22,6 +27,8 @@ __all__ = [
     "ViaRestriction",
     "SwitchboxGraph",
     "build_graph",
+    "BaseFormulation",
+    "FormulationCache",
     "RoutingIlp",
     "build_routing_ilp",
     "ClipRouting",
@@ -30,6 +37,8 @@ __all__ = [
     "OptRouter",
     "OptRouteResult",
     "RouteStatus",
+    "WarmStart",
+    "is_restriction",
     "BaselineClipRouter",
     "BaselineResult",
 ]

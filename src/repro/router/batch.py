@@ -29,6 +29,7 @@ def route_clips_parallel(
     router: OptRouter | None = None,
     supervisor: SupervisorConfig | None = None,
     fault_plan: FaultPlan | None = None,
+    solve_cache_dir: str | None = None,
 ) -> list[OptRouteResult]:
     """Route every (clip, rule) pair under the supervised runner.
 
@@ -39,7 +40,9 @@ def route_clips_parallel(
     in this process (useful under debuggers and on platforms without
     fork).  ``supervisor`` overrides retry/fallback/deadline policy —
     its worker count is reconciled with ``n_workers`` rather than
-    silently dropping either.
+    silently dropping either.  ``solve_cache_dir`` points every worker
+    at a shared persistent solve cache (repeated populations replay
+    identical solves from disk).
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -53,7 +56,10 @@ def route_clips_parallel(
             raise ValueError("need one rule config per clip")
 
     jobs = [
-        RouteJob.from_router(clip, rule, router)
+        replace(
+            RouteJob.from_router(clip, rule, router),
+            solve_cache_dir=solve_cache_dir,
+        )
         for clip, rule in zip(clips, rule_list, strict=True)
     ]
     if supervisor is None:

@@ -32,7 +32,8 @@ physically sound and DRC-checkable:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, replace
 
 from repro.clips.clip import Clip, ClipNet
 from repro.ilp.model import LinExpr, Model, Var
@@ -57,6 +58,12 @@ class NetVars:
     def e_at(self, arc: int) -> "Var | None":
         return self.e.get(arc)
 
+    def for_rule(self) -> "NetVars":
+        """A per-rule view: e/f/virtual structure shared (the core is
+        rule-independent), p stores fresh (SADP indicators are created
+        per rule delta)."""
+        return replace(self, p_pos={}, p_neg={})
+
 
 @dataclass
 class RoutingIlp:
@@ -68,28 +75,199 @@ class RoutingIlp:
     rules: RuleConfig
 
 
+@dataclass
+class BaseFormulation:
+    """The rule-independent core of a clip's routing ILP, built once.
+
+    Holds the switchbox graph (including every net's virtual
+    supersource/supersink structure), the net variables, and the core
+    model: flow conservation, arc exclusivity, e/f coupling, vertex
+    capacity, shape-footprint blocking (when via shapes are offered)
+    and the cost objective.  Table 3's rule deltas -- via-adjacency
+    rows and SADP indicator blocks -- are layered onto a clone by
+    :meth:`specialize`, which never mutates the base, so one base
+    serves the whole RULE1..RULE11 sweep of a clip.
+
+    The only rule field the core depends on is ``allow_via_shapes``
+    (it changes the graph itself); bases are therefore keyed on it.
+    """
+
+    clip: Clip
+    allow_via_shapes: bool
+    wire_cost: float
+    via_cost: float
+    graph: SwitchboxGraph
+    model: Model
+    nets: list[NetVars]
+
+    @classmethod
+    def build(
+        cls,
+        clip: Clip,
+        *,
+        allow_via_shapes: bool = False,
+        wire_cost: float = 1.0,
+        via_cost: float = 4.0,
+    ) -> "BaseFormulation":
+        core_rules = RuleConfig(allow_via_shapes=allow_via_shapes)
+        graph = build_graph(
+            clip, core_rules, wire_cost=wire_cost, via_cost=via_cost
+        )
+        model = Model(name=f"optroute_{clip.name}_core")
+        builder = _Builder(clip, core_rules, graph, model)
+        builder.build_core()
+        return cls(
+            clip=clip,
+            allow_via_shapes=allow_via_shapes,
+            wire_cost=wire_cost,
+            via_cost=via_cost,
+            graph=graph,
+            model=model,
+            nets=builder.nets,
+        )
+
+    def specialize(self, rules: RuleConfig) -> RoutingIlp:
+        """Apply one rule configuration as a delta on a model clone."""
+        if rules.allow_via_shapes != self.allow_via_shapes:
+            raise ValueError(
+                "rule wants allow_via_shapes="
+                f"{rules.allow_via_shapes} but the base was built with "
+                f"{self.allow_via_shapes} (different graphs)"
+            )
+        model = self.model.clone(
+            name=f"optroute_{self.clip.name}_{rules.name}"
+        )
+        nets = [nv.for_rule() for nv in self.nets]
+        builder = _Builder(self.clip, rules, self.graph, model, nets=nets)
+        builder.build_delta()
+        return RoutingIlp(model=model, graph=self.graph, nets=nets, rules=rules)
+
+
+class FormulationCache:
+    """Per-process LRU of :class:`BaseFormulation` instances.
+
+    Keyed on clip *identity* plus the core knobs.  Clips are frozen
+    dataclasses and the cache keeps strong references, so an id key
+    can neither go stale through mutation nor be reused while cached.
+    Thread-safe: the supervised runner specializes from several
+    supervision threads; ``specialize`` itself only reads the base.
+    """
+
+    def __init__(self, max_entries: int = 4):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, tuple[Clip, BaseFormulation]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def base_for(
+        self,
+        clip: Clip,
+        *,
+        allow_via_shapes: bool = False,
+        wire_cost: float = 1.0,
+        via_cost: float = 4.0,
+    ) -> BaseFormulation:
+        key = (id(clip), allow_via_shapes, wire_cost, via_cost)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._entries[key] = entry  # re-insert: LRU order
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+        # Build outside the lock; a racing duplicate build is wasted
+        # work, never a correctness problem (bases are equivalent).
+        base = BaseFormulation.build(
+            clip,
+            allow_via_shapes=allow_via_shapes,
+            wire_cost=wire_cost,
+            via_cost=via_cost,
+        )
+        with self._lock:
+            self._entries[key] = (clip, base)
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        return base
+
+    def specialize(
+        self,
+        clip: Clip,
+        rules: RuleConfig,
+        wire_cost: float = 1.0,
+        via_cost: float = 4.0,
+    ) -> RoutingIlp:
+        base = self.base_for(
+            clip,
+            allow_via_shapes=rules.allow_via_shapes,
+            wire_cost=wire_cost,
+            via_cost=via_cost,
+        )
+        return base.specialize(rules)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Module-level cache shared by every OptRouter in the process: the
+#: supervised runner builds a fresh router per attempt, so a
+#: router-owned cache would never see two rules of the same clip.
+_BASE_CACHE = FormulationCache()
+
+
 def build_routing_ilp(
     clip: Clip,
     rules: RuleConfig,
     wire_cost: float = 1.0,
     via_cost: float = 4.0,
+    *,
+    reuse: bool = True,
 ) -> RoutingIlp:
-    """Build the complete routing ILP for a clip under a rule config."""
-    graph = build_graph(clip, rules, wire_cost=wire_cost, via_cost=via_cost)
-    model = Model(name=f"optroute_{clip.name}_{rules.name}")
-    builder = _Builder(clip, rules, graph, model)
-    builder.build()
-    return RoutingIlp(model=model, graph=graph, nets=builder.nets, rules=rules)
+    """Build the complete routing ILP for a clip under a rule config.
+
+    With ``reuse`` (the default) the rule-independent core comes from
+    the process-wide :class:`FormulationCache` and only the rule delta
+    is built; ``reuse=False`` forces a cold build (benchmark control).
+    """
+    if reuse:
+        return _BASE_CACHE.specialize(
+            clip, rules, wire_cost=wire_cost, via_cost=via_cost
+        )
+    base = BaseFormulation.build(
+        clip,
+        allow_via_shapes=rules.allow_via_shapes,
+        wire_cost=wire_cost,
+        via_cost=via_cost,
+    )
+    return base.specialize(rules)
 
 
 class _Builder:
-    def __init__(self, clip: Clip, rules: RuleConfig, graph: SwitchboxGraph, model: Model):
+    def __init__(
+        self,
+        clip: Clip,
+        rules: RuleConfig,
+        graph: SwitchboxGraph,
+        model: Model,
+        nets: "list[NetVars] | None" = None,
+    ):
         self.clip = clip
         self.rules = rules
         self.graph = graph
         self.model = model
-        self.nets: list[NetVars] = []
-        self.n_physical_arcs = len(graph.arcs)  # arcs shared by all nets
+        self.nets: list[NetVars] = nets if nets is not None else []
+        # Arcs shared by all nets.  Net vars append per-net virtual
+        # arcs to the graph, so count physical arcs from the grid
+        # structure rather than the current arc list (a delta builder
+        # sees the graph *after* every net's virtual arcs were added).
+        self.n_physical_arcs = (
+            min(nv.virtual_arcs[0] for nv in self.nets if nv.virtual_arcs)
+            if self.nets
+            else len(graph.arcs)
+        )
         self._rep_vertices = {inst.rep for inst in graph.shape_instances}
 
     # ---- helpers --------------------------------------------------------
@@ -115,9 +293,10 @@ class _Builder:
 
     # ---- build ----------------------------------------------------------
 
-    def build(self) -> None:
+    def build_core(self) -> None:
+        """The rule-independent model: everything Table 3 cannot touch
+        (given the graph, i.e. given ``allow_via_shapes``)."""
         pin_vertices = self._pin_vertices_by_net()
-        shape_ok_members: dict[int, set[int]] = {}
 
         for k, net in enumerate(self.clip.nets):
             blocked = self._blocked_for(net, pin_vertices)
@@ -128,13 +307,22 @@ class _Builder:
         self._e_f_coupling()
         self._flow_conservation()
         self._vertex_capacity()
-        if self.rules.via_restriction.blocked_offsets():
-            self._via_adjacency()
         if self.rules.allow_via_shapes:
             self._shape_blocking()
+        self._objective()
+
+    def build_delta(self) -> None:
+        """The rule-dependent rows, appended to a core clone: via
+        adjacency blocking and the SADP indicator blocks (which add
+        the per-rule p variables)."""
+        if self.rules.via_restriction.blocked_offsets():
+            self._via_adjacency()
         if self.rules.sadp_min_metal is not None:
             self._sadp_rules()
-        self._objective()
+
+    def build(self) -> None:
+        self.build_core()
+        self.build_delta()
 
     def _make_net_vars(self, k: int, net: ClipNet, blocked: set[int]) -> NetVars:
         g, m = self.graph, self.model

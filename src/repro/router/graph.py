@@ -82,6 +82,10 @@ class SwitchboxGraph:
         default_factory=dict
     )  # (x, y, lower_slot) -> (up_arc, down_arc)
     n_vertices: int = 0
+    #: (tail, head) -> arc index, physical WIRE arcs only.  Virtual
+    #: arcs (layer -1) are excluded, so lookups keep the historical
+    #: "physical arc wins" semantics of the old linear scan.
+    wire_arc_index: dict[tuple[int, int], int] = field(default_factory=dict)
 
     # -- vertex addressing ------------------------------------------------
 
@@ -115,6 +119,8 @@ class SwitchboxGraph:
         self.arcs.append(Arc(index, tail, head, kind, cost, layer))
         self.out_arcs[tail].append(index)
         self.in_arcs[head].append(index)
+        if kind is ArcKind.WIRE and layer >= 0:
+            self.wire_arc_index[(tail, head)] = index
         return index
 
     def _add_arc_pair(
@@ -137,12 +143,8 @@ class SwitchboxGraph:
     # -- queries ------------------------------------------------------------
 
     def wire_arc_between(self, a: int, b: int) -> int | None:
-        """Index of the wire arc a->b if it exists."""
-        for index in self.out_arcs.get(a, ()):
-            arc = self.arcs[index]
-            if arc.head == b and arc.kind is ArcKind.WIRE:
-                return index
-        return None
+        """Index of the physical wire arc a->b if it exists (O(1))."""
+        return self.wire_arc_index.get((a, b))
 
     def cross_arcs_at(self, vid: int) -> list[int]:
         """All non-wire (via/shape/virtual) arcs incident to ``vid``."""

@@ -9,6 +9,7 @@ configurable.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.certify import certify_infeasible
@@ -18,10 +19,39 @@ from repro.clips.clip import Clip
 from repro.ilp.bnb import BnBOptions, solve_with_bnb
 from repro.ilp.highs_backend import solve_with_highs
 from repro.ilp.model import Model
+from repro.ilp.solve_cache import SolveCache
 from repro.ilp.status import Solution, SolveStatus
 from repro.router.formulation import RoutingIlp, build_routing_ilp
 from repro.router.rules import RuleConfig
 from repro.router.solution import ClipRouting, decode_solution
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Cross-rule seed for :meth:`OptRouter.route`.
+
+    Produced by the incremental sweep (:mod:`repro.eval.flow`) from a
+    clip's *baseline* outcome, for follower rules that are pure
+    restrictions of the baseline (see
+    :func:`repro.router.rules.is_restriction`):
+
+    - ``infeasible``: the baseline was *proven* infeasible; every
+      restriction inherits the proof, so the follower is INFEASIBLE
+      without building or solving anything.
+    - ``routing``/``cost``: the baseline's optimal routing.  If it
+      passes the follower rule's DRC oracle and ``cost`` meets
+      ``lower_bound``, it is returned as the follower's optimum --
+      again solver-free.  A routing that fails DRC is discarded (it
+      can never be returned), and the solve proceeds cold.
+    - ``lower_bound``: the baseline's optimal objective, valid for the
+      follower because restrictions only shrink the feasible set over
+      the same objective.
+    """
+
+    routing: "ClipRouting | None" = None
+    cost: float | None = None
+    lower_bound: float | None = None
+    infeasible: bool = False
 
 
 class RouteStatus(enum.Enum):
@@ -51,7 +81,17 @@ class OptRouteResult:
     wirelength: int = 0
     n_vias: int = 0
     routing: ClipRouting | None = None
+    #: pure backend time; see also ``build_seconds`` /
+    #: ``presolve_seconds`` -- the three phases are disjoint, so their
+    #: sum is the pair's compute cost.
     solve_seconds: float = 0.0
+    build_seconds: float = 0.0
+    presolve_seconds: float = 0.0
+    #: ``""`` for a cold solve, else the solver-free shortcut taken:
+    #: ``"inherited-infeasible"`` or ``"reused-optimal"``.
+    warm_used: str = ""
+    #: the solve came from the persistent solve cache, not a backend.
+    cache_hit: bool = False
     n_nodes: int = 0
     model_stats: dict[str, int] = field(default_factory=dict)
     #: :meth:`PresolveTrace.stats` of the presolve run (empty when
@@ -107,11 +147,17 @@ class OptRouter:
     time_limit: float | None = None
     certify: bool = True
     presolve: bool = True
+    #: reuse the per-clip BaseFormulation from the process-wide cache
+    #: (off = cold rebuild per call; the benchmark's control arm).
+    reuse_formulation: bool = True
+    #: persistent content-addressed solve cache (None = disabled).
+    solve_cache: SolveCache | None = None
 
     def build(self, clip: Clip, rules: RuleConfig) -> RoutingIlp:
         """Build (but do not solve) the ILP for inspection/analysis."""
         return build_routing_ilp(
-            clip, rules, wire_cost=self.wire_cost, via_cost=self.via_cost
+            clip, rules, wire_cost=self.wire_cost, via_cost=self.via_cost,
+            reuse=self.reuse_formulation,
         )
 
     def _solve_model(self, model: Model, time_limit: float | None) -> Solution:
@@ -129,8 +175,66 @@ class OptRouter:
         solution = solve_reduced(pre, self._solve_model, self.time_limit)
         return solution, pre.trace.stats()
 
-    def route(self, clip: Clip, rules: RuleConfig | None = None) -> OptRouteResult:
-        """Optimally route a clip under a rule configuration."""
+    def _cache_options(self) -> dict:
+        """The solver knobs that make an otherwise-identical model
+        solve differently; part of the solve-cache key."""
+        return {
+            "backend": self.backend,
+            "time_limit": self.time_limit,
+            "presolve": self.presolve,
+        }
+
+    def _check_warm(
+        self, clip: Clip, rules: RuleConfig, warm: WarmStart
+    ) -> "OptRouteResult | None":
+        """Try the solver-free warm shortcuts; None = solve cold."""
+        if warm.infeasible:
+            return OptRouteResult(
+                clip_name=clip.name,
+                rule_name=rules.name,
+                status=RouteStatus.INFEASIBLE,
+                backend=self.backend,
+                warm_used="inherited-infeasible",
+                diagnostics="baseline rule proven infeasible; "
+                "restriction inherits the proof",
+            )
+        if (
+            warm.routing is None
+            or warm.cost is None
+            or warm.lower_bound is None
+            or warm.cost > warm.lower_bound + 1e-6
+        ):
+            return None
+        from repro.drc.checker import check_clip_routing  # avoid cycle
+
+        if check_clip_routing(clip, rules, warm.routing):
+            return None  # infeasible under the new rule: never reuse
+        return OptRouteResult(
+            clip_name=clip.name,
+            rule_name=rules.name,
+            status=RouteStatus.OPTIMAL,
+            cost=warm.cost,
+            wirelength=warm.routing.total_wirelength,
+            n_vias=warm.routing.total_vias,
+            routing=warm.routing,
+            backend=self.backend,
+            warm_used="reused-optimal",
+        )
+
+    def route(
+        self,
+        clip: Clip,
+        rules: RuleConfig | None = None,
+        warm: WarmStart | None = None,
+    ) -> OptRouteResult:
+        """Optimally route a clip under a rule configuration.
+
+        ``warm`` carries a baseline rule's outcome (see
+        :class:`WarmStart`); it is only ever used through sound
+        shortcuts -- an inherited infeasibility proof, or a routing
+        re-verified by the DRC oracle whose cost meets the inherited
+        lower bound -- so results are identical to a cold solve.
+        """
         if rules is None:
             rules = RuleConfig()
         if self.certify:
@@ -143,13 +247,39 @@ class OptRouter:
                     certificate=certificate,
                     backend=self.backend,
                 )
+        if warm is not None:
+            shortcut = self._check_warm(clip, rules, warm)
+            if shortcut is not None:
+                return shortcut
+        t0 = time.perf_counter()
         ilp = self.build(clip, rules)
-        solution, presolve_stats = self._solve(ilp)
+        build_seconds = time.perf_counter() - t0
+        cache_hit = False
+        cache_options = self._cache_options()
+        solution: Solution | None = None
+        presolve_stats: dict[str, float] = {}
+        if self.solve_cache is not None:
+            entry = self.solve_cache.get(ilp.model, cache_options)
+            if entry is not None:
+                solution = entry.to_solution(ilp.model)
+                presolve_stats = entry.presolve_stats
+                cache_hit = True
+        if solution is None:
+            solution, presolve_stats = self._solve(ilp)
+            if self.solve_cache is not None:
+                self.solve_cache.put(
+                    ilp.model, cache_options, solution, presolve_stats
+                )
         result = OptRouteResult(
             clip_name=clip.name,
             rule_name=rules.name,
             status=_route_status(solution.status),
             solve_seconds=solution.solve_seconds,
+            build_seconds=build_seconds,
+            presolve_seconds=float(
+                presolve_stats.get("presolve_seconds", 0.0)
+            ),
+            cache_hit=cache_hit,
             n_nodes=solution.n_nodes,
             model_stats=ilp.model.stats(),
             presolve_stats=presolve_stats,

@@ -95,3 +95,41 @@ class RuleConfig:
             f"{self.name}: {sadp}, "
             f"{self.via_restriction.value} neighbors blocked"
         )
+
+
+def is_restriction(base: RuleConfig, other: RuleConfig) -> bool:
+    """True when ``other`` only *adds* constraints relative to ``base``.
+
+    Formally: every routing feasible under ``other`` is feasible under
+    ``base`` (the rule deltas of Table 3 -- via-adjacency blocking and
+    SADP EOL patterns -- are pure restrictions of the routing space),
+    and both rules route over the same graph with the same arc costs.
+    When this holds, ``base``'s optimal objective is a valid lower
+    bound on ``other``'s optimum, and a ``base``-optimal routing that
+    passes ``other``'s DRC is ``other``-optimal.  The cross-rule warm
+    path (:mod:`repro.eval.flow`) relies on exactly this predicate.
+
+    It does NOT hold when ``other`` *relaxes* anything: offering via
+    shapes that ``base`` lacks (cheaper arcs appear), dropping one of
+    ``base``'s blocked via offsets, or forbidding fewer SADP sites on a
+    layer ``base`` patterns.
+    """
+    if base.allow_via_shapes != other.allow_via_shapes:
+        # Different graphs (shape-via arcs exist on one side only):
+        # objectives are not comparable in either direction.
+        return False
+    if not set(base.via_restriction.blocked_offsets()) <= set(
+        other.via_restriction.blocked_offsets()
+    ):
+        return False
+    if base.sadp_min_metal is not None:
+        if other.sadp_min_metal is None:
+            return False
+        if other.sadp_min_metal > base.sadp_min_metal:
+            return False  # other patterns fewer layers
+        if not (
+            set(base.sadp.opposite_offsets) <= set(other.sadp.opposite_offsets)
+            and set(base.sadp.same_offsets) <= set(other.sadp.same_offsets)
+        ):
+            return False
+    return True

@@ -1,10 +1,16 @@
 """Tests for the clip datamodel and pin-cost metric."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.clips import Clip, ClipNet, ClipPin, PinCostParams, clip_pin_cost
 from repro.clips.clip import paper_directions
-from repro.clips.pincost import pin_cost_breakdown
+from repro.clips.pincost import (
+    clip_pin_costs,
+    pin_cost_breakdown,
+    pin_cost_breakdown_scalar,
+)
 
 
 def pin(vertices, area=5000, position=(0, 0), boundary=False):
@@ -125,3 +131,71 @@ class TestPinCost:
     def test_theta_validation(self):
         with pytest.raises(ValueError):
             PinCostParams(theta=0)
+
+
+PIN_SPEC = st.tuples(
+    st.integers(min_value=100, max_value=100_000),  # area (nm^2)
+    st.integers(min_value=0, max_value=5000),       # x (nm)
+    st.integers(min_value=0, max_value=5000),       # y (nm)
+    st.booleans(),                                  # on_boundary
+)
+
+
+def _clip_from_specs(specs, name="h"):
+    pins = tuple(
+        pin([(0, 0, 0)], area=a, position=(x, y), boundary=b)
+        for a, x, y, b in specs
+    )
+    return Clip(
+        name=name, nx=4, ny=5, nz=3,
+        horizontal=paper_directions(3), nets=(ClipNet("n0", pins),),
+    )
+
+
+class TestVectorizedOracle:
+    """The numpy pin-cost path against the scalar reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(PIN_SPEC, min_size=2, max_size=12))
+    def test_breakdown_matches_scalar(self, specs):
+        clip = _clip_from_specs(specs)
+        vec = pin_cost_breakdown(clip)
+        ref = pin_cost_breakdown_scalar(clip)
+        for got, want in zip(vec, ref, strict=True):
+            assert got == pytest.approx(want, rel=1e-12, abs=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(PIN_SPEC, min_size=2, max_size=8),
+                    min_size=1, max_size=6))
+    def test_batch_matches_per_clip(self, populations):
+        clips = [
+            _clip_from_specs(specs, name=f"h{i}")
+            for i, specs in enumerate(populations)
+        ]
+        batch = clip_pin_costs(clips)
+        for cost, clip in zip(batch, clips, strict=True):
+            assert cost == pytest.approx(clip_pin_cost(clip), rel=1e-12)
+
+    def test_batch_handles_all_boundary_clip(self):
+        # A clip whose pins are all boundary crossings contributes an
+        # empty segment to the reduceat pass; its cost must be 0, not
+        # a neighbour's leaked term.
+        empty = _clip_from_specs(
+            [(5000, 0, 0, True), (5000, 100, 100, True)], name="empty"
+        )
+        full = _clip_from_specs(
+            [(5000, 0, 0, False), (5000, 100, 100, False)], name="full"
+        )
+        costs = clip_pin_costs([full, empty, full])
+        assert costs[1] == 0.0
+        assert costs[0] == costs[2] == pytest.approx(clip_pin_cost(full))
+
+    def test_batch_of_nothing(self):
+        assert clip_pin_costs([]) == []
+
+    def test_custom_params_flow_through(self):
+        params = PinCostParams(theta=250.0, area_unit_nm2=50.0)
+        clip = _clip_from_specs([(4000, 0, 0, False), (9000, 300, 40, False)])
+        assert clip_pin_costs([clip], params)[0] == pytest.approx(
+            sum(pin_cost_breakdown_scalar(clip, params))
+        )

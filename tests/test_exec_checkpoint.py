@@ -118,8 +118,10 @@ class TestResume:
         reference = evaluate_clips(population, rule_set, CONFIG)
         reference_table = format_delta_cost_table(reference)
 
-        # Kill the sweep at the 5th of 6 pairs (keyed, so it fires at
-        # that exact pair regardless of batch position).
+        # Kill the sweep partway through (keyed, so it fires at that
+        # exact pair regardless of batch position).  The incremental
+        # schedule is clip-major: clip0 finishes both rules, clip1
+        # finishes RULE1, then the abort fires on clip1/RULE6.
         abort_plan = FaultPlan(
             by_key={(population[1].name, "RULE6"): FaultSpec(FaultKind.ABORT)}
         )
@@ -129,7 +131,7 @@ class TestResume:
                 checkpoint_path=path, fault_plan=abort_plan,
             )
         journal = CheckpointJournal(path)
-        assert len(journal.load()) == 4  # RULE1 x3 + RULE6 x1 completed
+        assert len(journal.load()) == 3  # clip0 x2 rules + clip1 RULE1
 
         # Resume with a crash fault armed on an already-completed pair:
         # if the pair were re-solved it would come back ERROR and the
