@@ -530,7 +530,11 @@ def solve_reduced(
     if not components:
         # Presolve fixed every variable: the model is solved.
         return pre.trace.lift(
-            Solution(status=SolveStatus.OPTIMAL, objective=reduced.objective.const)
+            Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=reduced.objective.const,
+                best_bound=reduced.objective.const,
+            )
         )
 
     deadline = None if time_limit is None else time.perf_counter() + time_limit
@@ -580,6 +584,15 @@ def _merge_component_solutions(
             sum(s.objective for s in solutions if s.objective is not None)
             + reduced.objective.const
         )
+        # Component objectives are independent, so proven per-component
+        # dual bounds add; one missing bound leaves the merge unbounded
+        # (None).  Component models carry a zero objective constant.
+        bounds = [s.best_bound for s in solutions]
+        if all(b is not None for b in bounds):
+            merged.best_bound = (
+                sum(b for b in bounds if b is not None)
+                + reduced.objective.const
+            )
         values: dict[int, float] = {}
         for component, sub in zip(components, solutions):
             for parent_index, local_index in component.var_map.items():

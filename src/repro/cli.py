@@ -14,6 +14,9 @@ Commands:
 - ``rules``: print the Table 3 rule matrix.
 - ``lint``: pre-solve static analysis of a clip set -- model lint
   findings plus infeasibility certificates, as text or JSON.
+- ``audit``: integrity scan of sweep artifacts -- checkpoint journal
+  and/or solve cache -- quarantining corrupt records; exits non-zero
+  when anything was quarantined.
 - ``presolve``: run the fixpoint model-reduction engine on a clip
   set's ILPs and report size deltas, pass counts, and component
   decomposition, as text or JSON.
@@ -103,6 +106,8 @@ def _cmd_evaluate(args) -> int:
             presolve=not args.no_presolve,
             incremental=not args.no_incremental,
             solve_cache_dir=args.solve_cache,
+            audit=not args.no_audit,
+            cross_check_fraction=args.cross_check,
         ),
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -110,11 +115,16 @@ def _cmd_evaluate(args) -> int:
     )
     print(format_delta_cost_table(study, title=f"Δcost study ({args.tech})"))
     print(format_sorted_traces(study))
+    if not args.no_audit:
+        from repro.eval import format_audit_table
+
+        print(format_audit_table(study))
     if args.timing:
         from repro.eval.report import format_timing_table
 
         print(format_timing_table(study))
-    return 0
+    unhealed = sum(study.unhealed_count(r) for r in study.rule_names)
+    return 1 if unhealed else 0
 
 
 def _cmd_cache(args) -> int:
@@ -129,6 +139,29 @@ def _cmd_cache(args) -> int:
     removed = cache.clear()
     print(f"cleared {removed} cache entries from {args.dir}")
     return 0
+
+
+def _cmd_audit(args) -> int:
+    import json
+
+    from repro.verify import scan_cache, scan_journal
+
+    if not args.journal and not args.solve_cache:
+        print("audit needs --journal and/or --solve-cache", file=sys.stderr)
+        return 2
+    reports = []
+    if args.journal:
+        reports.append(scan_journal(args.journal))
+    if args.solve_cache:
+        reports.append(scan_cache(args.solve_cache))
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report)
+            for detail in report.details:
+                print(f"  {detail}")
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def _cmd_lint(args) -> int:
@@ -395,6 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--timing", action="store_true",
                     help="also print per-rule phase timing medians "
                          "(build/presolve/solve, warm/cache counts)")
+    ev.add_argument("--no-audit", action="store_true",
+                    help="skip independent result certification "
+                         "(trust the solver's claims unchecked)")
+    ev.add_argument("--cross-check", type=float, default=0.0,
+                    metavar="FRACTION",
+                    help="re-solve this deterministic fraction of pairs "
+                         "on the alternate backend and compare claims")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear a persistent solve cache"
@@ -402,6 +442,18 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--dir", required=True, metavar="DIR",
                        help="solve-cache directory")
+
+    audit = sub.add_parser(
+        "audit", help="integrity scan of sweep artifacts (journal, cache)"
+    )
+    audit.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint journal to validate (corrupt "
+                            "records are quarantined to a sidecar)")
+    audit.add_argument("--solve-cache", default=None, metavar="DIR",
+                       help="solve cache to validate (corrupt entries "
+                            "move to its quarantine/ subdirectory)")
+    audit.add_argument("--json", action="store_true",
+                       help="emit reports as JSON instead of text")
 
     lint = sub.add_parser(
         "lint", help="pre-solve static analysis of a synthetic clip set"
@@ -474,6 +526,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "eval": _cmd_evaluate,
     "cache": _cmd_cache,
+    "audit": _cmd_audit,
     "lint": _cmd_lint,
     "presolve": _cmd_presolve,
     "full-flow": _cmd_full_flow,

@@ -25,6 +25,7 @@ from repro.eval.validation import ValidationRecord, validate_against_baseline
 from repro.eval.ranking import RuleImpact, format_ranking, rank_rules
 from repro.eval.sweep import UtilizationSweep, run_utilization_sweep
 from repro.eval.report import (
+    format_audit_table,
     format_delta_cost_table,
     format_rule_table,
     format_sorted_traces,
@@ -45,6 +46,7 @@ __all__ = [
     "outcome_to_record",
     "ValidationRecord",
     "validate_against_baseline",
+    "format_audit_table",
     "format_delta_cost_table",
     "format_rule_table",
     "format_sorted_traces",

@@ -38,6 +38,12 @@ class ClipRuleOutcome:
     pair was feasible).  ``backend``/``attempts``/``degraded`` are the
     supervisor's provenance tags: a degraded outcome was produced by a
     fallback backend and carries no optimality guarantee.
+
+    ``audited``/``audit_ok``/``quarantined``/``healed`` are the
+    trust-but-verify tags (:mod:`repro.verify`): whether the result
+    was independently certified, whether its certificate passed,
+    whether the original result failed its audit and was set aside,
+    and whether a cold re-solve replaced it with a certified one.
     """
 
     clip_name: str
@@ -62,6 +68,18 @@ class ClipRuleOutcome:
     warm_used: str = ""
     #: the solve was replayed from the persistent solve cache.
     cache_hit: bool = False
+    #: best proven dual/lower bound (true objective space).
+    bound: float | None = None
+    #: ``cost - bound``; 0.0 for OPTIMAL, the optimality gap for LIMIT.
+    gap: float | None = None
+    #: a :mod:`repro.verify` certificate was computed for this pair.
+    audited: bool = False
+    #: the certificate of the *final* result passed (None = not audited).
+    audit_ok: bool | None = None
+    #: the original result failed its audit and was quarantined.
+    quarantined: bool = False
+    #: a cold re-solve replaced the quarantined result and certified.
+    healed: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -70,6 +88,11 @@ class ClipRuleOutcome:
     @property
     def failed(self) -> bool:
         return self.status in FAILURE_STATUSES
+
+    @property
+    def unhealed(self) -> bool:
+        """Quarantined and never replaced by a certified result."""
+        return self.quarantined and not self.healed
 
 
 @dataclass
@@ -138,6 +161,27 @@ class DeltaCostStudy:
             1 for outcome in self.outcomes[rule_name] if outcome.degraded
         )
 
+    def audited_count(self, rule_name: str) -> int:
+        """Clips whose final result carries a verify certificate."""
+        return sum(1 for o in self.outcomes[rule_name] if o.audited)
+
+    def audit_failure_count(self, rule_name: str) -> int:
+        """Clips whose *final* result failed its certificate."""
+        return sum(1 for o in self.outcomes[rule_name] if o.audit_ok is False)
+
+    def quarantined_count(self, rule_name: str) -> int:
+        """Clips whose original result was caught lying by the audit."""
+        return sum(1 for o in self.outcomes[rule_name] if o.quarantined)
+
+    def healed_count(self, rule_name: str) -> int:
+        """Quarantined clips replaced by a certified cold re-solve."""
+        return sum(1 for o in self.outcomes[rule_name] if o.healed)
+
+    def unhealed_count(self, rule_name: str) -> int:
+        """Quarantined clips that stayed uncertified (reported as
+        ERROR; a chaos-audited sweep must end with zero of these)."""
+        return sum(1 for o in self.outcomes[rule_name] if o.unhealed)
+
     def drc_violation_count(self, rule_name: str) -> "int | None":
         """Total DRC violations across checked routings, or ``None``
         when DRC was not run for this rule."""
@@ -203,6 +247,16 @@ class EvalConfig:
     ``presolve`` reduces each ILP with the fixpoint presolve engine
     before solving (sound; lifted routings are DRC-verified in the
     router itself).
+
+    ``audit`` independently certifies every non-failed result
+    (:mod:`repro.verify`): geometry-recomputed objective, independent
+    connectivity, DRC oracle, bound tightness, infeasibility
+    confirmation.  A result that fails its certificate is quarantined
+    and *healed* -- re-solved cold (no warm start, no cache, no fault
+    plan) and re-audited; an unhealable pair is reported as ERROR so
+    it cannot contaminate Δcost.  ``cross_check_fraction`` additionally
+    re-solves that deterministic fraction of pairs on the alternate
+    backend and compares claims.
     """
 
     time_limit_per_clip: float | None = 60.0
@@ -219,6 +273,11 @@ class EvalConfig:
     incremental: bool = True
     #: directory of the persistent solve cache (None = disabled).
     solve_cache_dir: str | None = None
+    #: certify every result; quarantine and heal audit failures.
+    audit: bool = True
+    #: deterministic fraction of pairs cross-checked on the alternate
+    #: backend (0 = certificates only, no extra solves).
+    cross_check_fraction: float = 0.0
 
 
 def evaluate_clips(
@@ -313,14 +372,84 @@ def evaluate_clips(
 
     fresh: dict[tuple[str, str], ClipRuleOutcome] = {}
 
+    auditor = None
+    if config.audit:
+        from repro.verify.audit import AuditConfig, ResultAuditor
+
+        auditor = ResultAuditor(
+            wire_cost=config.wire_cost,
+            via_cost=config.via_cost,
+            backend=config.backend,
+            config=AuditConfig(
+                cross_check_fraction=config.cross_check_fraction,
+                time_limit=config.time_limit_per_clip,
+            ),
+        )
+
+    def heal(clip: Clip, rule: RuleConfig) -> OptRouteResult:
+        """Cold re-solve of a quarantined pair: primary backend, no
+        warm start, no solve cache, and crucially no fault plan -- the
+        heal path must not share the machinery that produced the lie."""
+        from repro.router.optrouter import OptRouter
+
+        result = OptRouter(
+            wire_cost=config.wire_cost,
+            via_cost=config.via_cost,
+            backend=config.backend,
+            time_limit=config.time_limit_per_clip,
+            certify=config.certify,
+            presolve=config.presolve,
+        ).route(clip, rule)
+        result.backend = config.backend
+        return result
+
     def on_result(index: int, result: OptRouteResult) -> None:
         clip, rule = pending[index]
+        audited = False
+        audit_ok: "bool | None" = None
+        was_quarantined = False
+        was_healed = False
+        if auditor is not None and not result.failed:
+            certificate = auditor.audit(clip, rule, result)
+            audited = True
+            audit_ok = certificate.ok
+            if not certificate.ok:
+                was_quarantined = True
+                replacement = heal(clip, rule)
+                recertificate = auditor.audit(clip, rule, replacement)
+                if not replacement.failed and recertificate.ok:
+                    result = replacement
+                    was_healed = True
+                    audit_ok = True
+                else:
+                    result = OptRouteResult(
+                        clip_name=clip.name,
+                        rule_name=rule.name,
+                        status=RouteStatus.ERROR,
+                        backend=result.backend,
+                        attempts=result.attempts,
+                        diagnostics=(
+                            "audit quarantine (unhealed): "
+                            + "; ".join(
+                                str(check)
+                                for check in certificate.failures()
+                            )
+                        ),
+                    )
+                    audit_ok = False
         drc_violations = None
         if config.run_drc and result.feasible and result.routing is not None:
             from repro.drc import check_clip_routing
 
             drc_violations = len(check_clip_routing(clip, rule, result.routing))
-        outcome = _to_outcome(result, drc_violations)
+        outcome = _to_outcome(
+            result,
+            drc_violations,
+            audited=audited,
+            audit_ok=audit_ok,
+            quarantined=was_quarantined,
+            healed=was_healed,
+        )
         fresh[(clip.name, rule.name)] = outcome
         if journal is not None:
             journal.append(outcome_to_record(outcome))
@@ -410,7 +539,13 @@ def _require_unique_names(
 
 
 def _to_outcome(
-    result: OptRouteResult, drc_violations: "int | None" = None
+    result: OptRouteResult,
+    drc_violations: "int | None" = None,
+    *,
+    audited: bool = False,
+    audit_ok: "bool | None" = None,
+    quarantined: bool = False,
+    healed: bool = False,
 ) -> ClipRuleOutcome:
     stats = result.presolve_stats
     return ClipRuleOutcome(
@@ -431,6 +566,12 @@ def _to_outcome(
         build_seconds=result.build_seconds,
         warm_used=result.warm_used,
         cache_hit=result.cache_hit,
+        bound=result.bound,
+        gap=result.gap,
+        audited=audited,
+        audit_ok=audit_ok,
+        quarantined=quarantined,
+        healed=healed,
     )
 
 
@@ -456,6 +597,12 @@ def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
         "build_seconds": outcome.build_seconds,
         "warm_used": outcome.warm_used,
         "cache_hit": outcome.cache_hit,
+        "bound": outcome.bound,
+        "gap": outcome.gap,
+        "audited": outcome.audited,
+        "audit_ok": outcome.audit_ok,
+        "quarantined": outcome.quarantined,
+        "healed": outcome.healed,
     }
 
 
@@ -479,4 +626,10 @@ def outcome_from_record(record: dict) -> ClipRuleOutcome:
         build_seconds=record.get("build_seconds", 0.0),
         warm_used=record.get("warm_used", ""),
         cache_hit=record.get("cache_hit", False),
+        bound=record.get("bound"),
+        gap=record.get("gap"),
+        audited=record.get("audited", False),
+        audit_ok=record.get("audit_ok"),
+        quarantined=record.get("quarantined", False),
+        healed=record.get("healed", False),
     )

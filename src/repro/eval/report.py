@@ -78,6 +78,39 @@ def format_delta_cost_table(study: DeltaCostStudy, title: str = "") -> str:
     return format_table(tuple(header), rows, title=title)
 
 
+def format_audit_table(study: DeltaCostStudy, title: str = "Audit") -> str:
+    """Per-rule trust accounting of the verify layer.
+
+    ``audited`` counts results carrying an independent certificate,
+    ``quarantined`` the original results caught lying, ``healed`` the
+    quarantined pairs replaced by a certified cold re-solve, and
+    ``unhealed`` the pairs that stayed uncertified (reported as ERROR
+    and excluded from Δcost).  A chaos-audited sweep passes iff
+    ``unhealed`` is zero everywhere and the Δcost table matches the
+    clean run byte for byte.
+
+    Deliberately separate from :func:`format_delta_cost_table`: audit
+    counts depend on the fault plan and sampling knobs, while the main
+    table must stay byte-reproducible across clean, chaos, resumed and
+    cache-replayed sweeps.
+    """
+    rows = []
+    for rule_name in study.rule_names:
+        rows.append((
+            rule_name,
+            len(study.outcomes[rule_name]),
+            study.audited_count(rule_name),
+            study.quarantined_count(rule_name),
+            study.healed_count(rule_name),
+            study.unhealed_count(rule_name),
+        ))
+    return format_table(
+        ("rule", "clips", "audited", "quarantined", "healed", "unhealed"),
+        rows,
+        title=title,
+    )
+
+
 def format_timing_table(study: DeltaCostStudy, title: str = "Timing") -> str:
     """Per-rule phase accounting: median build / presolve / solve wall
     times plus warm-shortcut and solve-cache hit counts.
@@ -94,6 +127,9 @@ def format_timing_table(study: DeltaCostStudy, title: str = "Timing") -> str:
         outcomes = study.outcomes[rule_name]
         if not outcomes:
             continue
+        # Worst optimality gap left by budget-exhausted (LIMIT) solves
+        # under this rule; "-" when every solve concluded.
+        gaps = [o.gap for o in outcomes if o.gap is not None and o.gap > 0]
         rows.append((
             rule_name,
             len(outcomes),
@@ -104,10 +140,11 @@ def format_timing_table(study: DeltaCostStudy, title: str = "Timing") -> str:
             sum(1 for o in outcomes if o.warm_used == "inherited-infeasible"),
             sum(1 for o in outcomes if o.cache_hit),
             study.presolve_nonzeros_removed_total(rule_name),
+            f"{max(gaps):.1f}" if gaps else "-",
         ))
     return format_table(
         ("rule", "clips", "med_build_s", "med_presolve_s", "med_solve_s",
-         "warm_opt", "warm_inf", "cache_hits", "pre_nnz"),
+         "warm_opt", "warm_inf", "cache_hits", "pre_nnz", "max_gap"),
         rows,
         title=title,
     )

@@ -18,6 +18,9 @@ from repro.exec.faults import (
     FaultSpec,
     InjectedCrash,
     apply_fault,
+    flip_bit,
+    mutate_result,
+    truncate_file,
 )
 from repro.exec.policy import DEFAULT_FALLBACK_CHAIN, RetryPolicy, SupervisorConfig
 from repro.exec.runner import RouteJob, SupervisedRunner, SweepAborted
@@ -37,4 +40,7 @@ __all__ = [
     "SupervisorConfig",
     "SweepAborted",
     "apply_fault",
+    "flip_bit",
+    "mutate_result",
+    "truncate_file",
 ]

@@ -2,10 +2,20 @@
 
 One JSON object per line, appended and flushed as each (clip, rule)
 job completes, following the version-tagged-dict conventions of
-:mod:`repro.clips.serialization`.  An interrupted sweep reloads the
-journal and skips finished pairs; a truncated trailing line (the
-classic kill-mid-write artifact) is tolerated, while corruption
-anywhere else raises.
+:mod:`repro.clips.serialization`.  Every record is additionally
+*sealed* with a SHA-256 checksum of its canonical form
+(:mod:`repro.util.integrity`), so silent corruption of the artifact --
+bit flips, partial writes, manual edits, version skew -- is detected
+at load time instead of resuming a sweep from wrong data.
+
+An interrupted sweep reloads the journal and skips finished pairs.
+Loading is *tolerant*: any record that fails to parse, carries an
+unknown schema version, or fails its checksum is moved to a sidecar
+quarantine file (``<journal>.quarantine``) and dropped from the
+resume set -- the affected pair simply re-solves, which heals both
+the result and (after compaction) the artifact.  A load therefore
+never raises on a corrupt journal and never resumes from a record it
+cannot vouch for.
 """
 
 from __future__ import annotations
@@ -15,7 +25,12 @@ import os
 import threading
 from pathlib import Path
 
-RECORD_VERSION = 1
+from repro.util.integrity import seal_record, verify_seal
+
+#: Current record schema.  v2 added the integrity seal; v1 records
+#: (pre-seal) are quarantined rather than trusted -- a resumed pair
+#: re-solves, which is always sound.
+RECORD_VERSION = 2
 
 
 class CheckpointJournal:
@@ -24,11 +39,19 @@ class CheckpointJournal:
     Thread-safe: the supervised runner appends from supervision
     threads.  Records are plain dicts; the eval layer owns the
     outcome <-> record conversion.
+
+    After :meth:`load`, ``quarantined`` holds a ``(line_number,
+    reason, raw_line)`` tuple per rejected record of that load.
     """
 
     def __init__(self, path: "str | os.PathLike[str]"):
         self.path = Path(path)
         self._lock = threading.Lock()
+        self.quarantined: list[tuple[int, str, str]] = []
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".quarantine")
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -40,8 +63,8 @@ class CheckpointJournal:
             self.path.write_text("")
 
     def append(self, record: dict) -> None:
-        """Durably append one record (flush + fsync per line)."""
-        tagged = {"v": RECORD_VERSION, **record}
+        """Durably append one sealed record (flush + fsync per line)."""
+        tagged = seal_record({"v": RECORD_VERSION, **record})
         line = json.dumps(tagged, sort_keys=True)
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -50,40 +73,84 @@ class CheckpointJournal:
                 fh.flush()
                 os.fsync(fh.fileno())
 
-    def load(self) -> list[dict]:
-        """All journaled records, oldest first.
+    def load(self, heal: bool = True) -> list[dict]:
+        """All trustworthy journaled records, oldest first.
 
-        A malformed *final* line is dropped (interrupted write); a
-        malformed line anywhere else means the journal is corrupt and
-        raises ``ValueError``.
+        Records that fail parsing, schema, or checksum validation are
+        written to the sidecar quarantine file and dropped; with
+        ``heal`` (the default) the journal is then atomically
+        compacted to only the surviving records, so quarantining is
+        one-shot rather than repeated on every load.
         """
+        with self._lock:
+            return self._load_locked(heal)
+
+    def _load_locked(self, heal: bool) -> list[dict]:
+        self.quarantined = []
         if not self.path.exists():
             return []
-        lines = [
-            line
-            for line in self.path.read_text(encoding="utf-8").splitlines()
-            if line.strip()
+        # Decode per line, not per file: one bit flip into an invalid
+        # UTF-8 byte must quarantine that record, not crash the load.
+        raw_lines = [
+            raw for raw in self.path.read_bytes().splitlines() if raw.strip()
         ]
         records: list[dict] = []
-        for i, line in enumerate(lines):
+        kept_lines: list[str] = []
+        for i, raw in enumerate(raw_lines):
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if i == len(lines) - 1:
-                    break  # interrupted mid-write; the pair re-solves
-                raise ValueError(
-                    f"corrupt checkpoint journal {self.path}: "
-                    f"bad record at line {i + 1}"
-                ) from None
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"corrupt checkpoint journal {self.path}: "
-                    f"line {i + 1} is not an object"
-                )
-            if record.get("v") != RECORD_VERSION:
-                raise ValueError(
-                    f"unsupported checkpoint record version "
-                    f"{record.get('v')!r} in {self.path}"
-                )
-            records.append(record)
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                self.quarantined.append((
+                    i + 1,
+                    "invalid UTF-8 (corrupted bytes)",
+                    raw.decode("utf-8", errors="replace"),
+                ))
+                continue
+            reason = _validate_line(line)
+            if reason is None:
+                records.append(json.loads(line))
+                kept_lines.append(line)
+            else:
+                self.quarantined.append((i + 1, reason, line))
+        if self.quarantined:
+            self._write_quarantine()
+            if heal:
+                self._compact(kept_lines)
         return records
+
+    def _write_quarantine(self) -> None:
+        with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+            for line_number, reason, raw in self.quarantined:
+                fh.write(
+                    json.dumps(
+                        {"line": line_number, "reason": reason, "raw": raw}
+                    )
+                    + "\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _compact(self, kept_lines: list[str]) -> None:
+        """Atomically rewrite the journal with only valid records."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for line in kept_lines:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+
+def _validate_line(line: str) -> "str | None":
+    """Reason the line is untrustworthy, or None when it is valid."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return "unparseable JSON (truncated or corrupted write)"
+    if not isinstance(record, dict):
+        return "record is not an object"
+    if record.get("v") != RECORD_VERSION:
+        return f"unsupported record version {record.get('v')!r}"
+    if not verify_seal(record):
+        return "checksum mismatch (content does not match its seal)"
+    return None

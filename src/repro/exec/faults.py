@@ -19,6 +19,23 @@ Fault kinds:
   exercises supervisor-side payload validation.
 - ``ABORT``: the supervisor raises :class:`~repro.exec.runner.SweepAborted`
   when it reaches this job — exercises checkpoint/resume.
+- ``WRONG_OBJECTIVE``: let the real solve finish, then silently shift
+  the claimed cost by ``objective_delta`` — a *plausible lie* that
+  passes every structural check in the runner and must be caught by
+  the :mod:`repro.verify` audit (geometry recomputation + bound
+  tightness).
+- ``WRONG_STATUS``: flip a solved OPTIMAL into a claimed INFEASIBLE
+  (routing and cost dropped) — caught only by the audit's
+  alternate-backend infeasibility confirmation.
+
+The last two never fail the job; they corrupt its *answer*.  That is
+the point: they model a buggy backend or bit-flipped payload, and the
+chaos tests assert that the certification layer — not the supervisor —
+quarantines and heals them.
+
+:func:`flip_bit` and :func:`truncate_file` are the matching
+*artifact*-level faults: deterministic in-place corruption of journal
+or cache files for integrity-audit tests.
 """
 
 from __future__ import annotations
@@ -28,6 +45,10 @@ import os
 import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.router.optrouter import OptRouteResult
 
 
 class FaultKind(enum.Enum):
@@ -36,6 +57,8 @@ class FaultKind(enum.Enum):
     SLEEP = "sleep"
     CORRUPT = "corrupt"
     ABORT = "abort"
+    WRONG_OBJECTIVE = "wrong_objective"
+    WRONG_STATUS = "wrong_status"
 
 
 class InjectedCrash(RuntimeError):
@@ -59,6 +82,10 @@ class FaultSpec:
     sleep_seconds: float = 30.0
     exit_code: int = 73
     only_backend: str | None = None
+    #: cost shift a WRONG_OBJECTIVE fault applies to an OPTIMAL claim.
+    #: Negative by default: claiming a better-than-true optimum is the
+    #: worst lie (it silently skews the Δcost study downward).
+    objective_delta: float = -1.0
 
     def applies_to(self, backend: str) -> bool:
         return self.only_backend is None or self.only_backend == backend
@@ -108,7 +135,68 @@ def apply_fault(
     return None
 
 
+def mutate_result(
+    spec: FaultSpec | None, backend: str, result: "OptRouteResult"
+) -> "OptRouteResult":
+    """Apply a post-solve answer-corruption fault, if any.
+
+    Runs after the real solve in the worker, so the lie is carried by
+    an otherwise structurally valid :class:`OptRouteResult` — the
+    supervisor's payload validation cannot (and should not) catch it.
+    """
+    from repro.router.optrouter import RouteStatus
+
+    if spec is None or not spec.applies_to(backend):
+        return result
+    if spec.kind is FaultKind.WRONG_OBJECTIVE:
+        if result.status is RouteStatus.OPTIMAL and result.cost is not None:
+            result.cost = result.cost + spec.objective_delta
+            result.diagnostics = "injected wrong objective"
+    elif spec.kind is FaultKind.WRONG_STATUS:
+        if result.status is RouteStatus.OPTIMAL:
+            result.status = RouteStatus.INFEASIBLE
+            result.cost = None
+            result.wirelength = 0
+            result.n_vias = 0
+            result.routing = None
+            result.bound = None
+            result.gap = None
+            result.certificate = None
+            result.diagnostics = "injected wrong status"
+    return result
+
+
 def _die(spec: FaultSpec, inline: bool) -> None:
     if inline:
         raise InjectedCrash(f"injected crash (exit code {spec.exit_code})")
     os._exit(spec.exit_code)
+
+
+# -- artifact-level faults ---------------------------------------------------
+
+
+def flip_bit(
+    path: "str | os.PathLike[str]", byte_index: int, bit: int = 0
+) -> None:
+    """Flip one bit of a file in place (deterministic corruption).
+
+    ``byte_index`` may be negative (offset from the end).  Flipping a
+    bit inside a sealed record's content breaks its checksum; flipping
+    one inside the stored checksum breaks the match just the same —
+    either way the integrity audit must quarantine the record.
+    """
+    with open(path, "r+b") as fh:
+        data = bytearray(fh.read())
+        if not data:
+            raise ValueError(f"cannot corrupt empty file {path}")
+        data[byte_index] ^= 1 << (bit & 7)
+        fh.seek(0)
+        fh.write(bytes(data))
+        fh.truncate()
+
+
+def truncate_file(path: "str | os.PathLike[str]", drop_bytes: int) -> None:
+    """Chop ``drop_bytes`` off the end of a file (a torn write)."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(max(0, size - drop_bytes))

@@ -38,6 +38,7 @@ from repro.exec.faults import (
     FaultSpec,
     InjectedCrash,
     apply_fault,
+    mutate_result,
 )
 from repro.exec.policy import SupervisorConfig
 from repro.router.optrouter import OptRouteResult, OptRouter, RouteStatus, WarmStart
@@ -205,7 +206,7 @@ def _attempt_payload(
     injected = apply_fault(fault, backend, attempt, inline)
     if injected is not None:
         return injected
-    return _route_with_backend(job, backend)
+    return mutate_result(fault, backend, _route_with_backend(job, backend))
 
 
 def _worker_main(job, backend, fault, attempt, conn) -> None:

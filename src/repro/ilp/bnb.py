@@ -130,13 +130,24 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
     t0 = time.perf_counter()
     data = _LpData(model)
     if data.n == 0:
-        return Solution(status=SolveStatus.OPTIMAL, objective=data.obj_const)
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=data.obj_const,
+            best_bound=data.obj_const,
+        )
 
     tie = itertools.count()  # FIFO tiebreak; ndarray bounds aren't orderable
     root = (-math.inf, next(tie), data.lb.copy(), data.ub.copy())
     heap = [root]
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf  # raw c.x, without the objective constant
+    # Best proven global lower bound in raw objective space.  Best-first
+    # pop order makes the heap minimum a valid global bound at any
+    # point; a node popped but not yet expanded can still hide an
+    # optimum as low as its own LP value, so mid-node returns take the
+    # minimum of the two.  Exported on LIMIT so callers can report the
+    # incumbent/bound gap, and audited against OPTIMAL claims.
+    global_lower = -math.inf
     n_nodes = 0
     deadline = None if options.time_limit is None else t0 + options.time_limit
     # External bound in raw objective space (heap bounds / incumbent_obj
@@ -148,6 +159,9 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
 
     def bound_met(raw_obj: float) -> bool:
         return raw_bound is not None and raw_obj <= raw_bound + 1e-9
+
+    if raw_bound is not None:
+        global_lower = max(global_lower, raw_bound)
 
     if options.incumbent is not None and model.is_feasible(options.incumbent):
         x0 = data.lb.copy()
@@ -171,13 +185,22 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
             # Hand back the incumbent (when one exists) as LIMIT rather
             # than continuing to pop/branch past the deadline; at most
             # one LP solve can overshoot the limit.
-            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
+            return _limit_solution(
+                model, data, incumbent_x, incumbent_obj, n_nodes, t0,
+                max(global_lower, heap[0][0]),
+            )
         bound, _t, lb, ub = heapq.heappop(heap)
         if bound >= incumbent_obj - 1e-9:
             break  # best-first: nothing left can improve the incumbent
+        # Best-first pop order: every remaining node's stored bound is
+        # >= this one, so the popped bound is the global lower bound.
+        global_lower = max(global_lower, bound)
         n_nodes += 1
         if n_nodes > options.max_nodes:
-            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
+            return _limit_solution(
+                model, data, incumbent_x, incumbent_obj, n_nodes, t0,
+                global_lower,
+            )
 
         lp = data.solve_lp(lb, ub)
         if lp.status == 2:  # infeasible node
@@ -200,8 +223,13 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
 
         if expired():
             # The deadline elapsed inside the LP solve: don't grow the
-            # tree; report the best incumbent found so far.
-            return _limit_solution(model, data, incumbent_x, incumbent_obj, n_nodes, t0)
+            # tree; report the best incumbent found so far.  The popped
+            # node's LP value tightened its bound, but siblings still
+            # queued may sit lower.
+            return _limit_solution(
+                model, data, incumbent_x, incumbent_obj, n_nodes, t0,
+                max(global_lower, min(lp.fun, heap[0][0] if heap else math.inf)),
+            )
 
         value = lp.x[branch_index]
         down_ub = ub.copy()
@@ -232,21 +260,40 @@ def _values_from(model: Model, x: np.ndarray) -> dict[int, float]:
     return values
 
 
-def _final_solution(model, data, x, obj, n_nodes, t0, status) -> Solution:
+def _final_solution(
+    model, data, x, obj, n_nodes, t0, status, lower: float | None = None
+) -> Solution:
+    objective = obj + data.obj_const
+    if status is SolveStatus.OPTIMAL:
+        # The optimality proof is exhaustion (or a met external bound):
+        # the proven dual bound coincides with the objective.
+        best_bound: float | None = objective
+    else:
+        best_bound = (
+            None if lower is None or not math.isfinite(lower)
+            else lower + data.obj_const
+        )
     return Solution(
         status=status,
-        objective=obj + data.obj_const,
+        objective=objective,
         values=_values_from(model, x),
+        best_bound=best_bound,
         n_nodes=n_nodes,
         solve_seconds=time.perf_counter() - t0,
     )
 
 
-def _limit_solution(model, data, x, obj, n_nodes, t0) -> Solution:
+def _limit_solution(model, data, x, obj, n_nodes, t0, lower: float) -> Solution:
     if x is None:
         return Solution(
             status=SolveStatus.LIMIT,
+            best_bound=(
+                None if not math.isfinite(lower) else lower + data.obj_const
+            ),
             n_nodes=n_nodes,
             solve_seconds=time.perf_counter() - t0,
         )
-    return _final_solution(model, data, x, obj, n_nodes, t0, SolveStatus.LIMIT)
+    return _final_solution(
+        model, data, x, obj, n_nodes, t0, SolveStatus.LIMIT,
+        lower=min(lower, obj),
+    )

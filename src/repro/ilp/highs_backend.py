@@ -61,13 +61,20 @@ def solve_with_highs(
                     status=SolveStatus.OPTIMAL,
                     objective=objective,
                     values=values,
+                    # The caller's trusted bound IS the optimality
+                    # proof for this shortcut.
+                    best_bound=lower_bound,
                     solve_seconds=time.perf_counter() - t0,
                 )
     if time_limit is not None and time_limit <= 0:
         return Solution(status=SolveStatus.LIMIT)
     n = model.n_vars
     if n == 0:
-        return Solution(status=SolveStatus.OPTIMAL, objective=model.objective.const)
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=model.objective.const,
+            best_bound=model.objective.const,
+        )
 
     cost = np.zeros(n)
     for index, coef in model.objective.coefs.items():
@@ -132,14 +139,23 @@ def solve_with_highs(
             values[v.index] = round(value) if v.is_integer else value
         solution.values = values
         solution.objective = float(result.fun) + model.objective.const
-        if status is SolveStatus.LIMIT:
-            # A feasible incumbent exists even though the limit was hit.
+        if status in (SolveStatus.OPTIMAL, SolveStatus.LIMIT):
+            # Export HiGHS' proven dual bound (true objective space).
+            # On OPTIMAL it must meet the objective -- the audit layer
+            # (repro.verify) asserts exactly that; on LIMIT it prices
+            # the incumbent/bound gap.
+            dual = getattr(result, "mip_dual_bound", None)
             solution.best_bound = (
-                float(result.mip_dual_bound)
-                if result.mip_dual_bound is not None
-                else None
+                float(dual) + model.objective.const
+                if dual is not None
+                else (
+                    solution.objective
+                    if status is SolveStatus.OPTIMAL
+                    else None
+                )
             )
     if status is SolveStatus.OPTIMAL and solution.objective is None:
         solution.objective = model.objective.const
+        solution.best_bound = solution.objective
     solution.n_nodes = int(getattr(result, "mip_node_count", 0) or 0)
     return solution

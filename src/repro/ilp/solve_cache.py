@@ -13,10 +13,14 @@ Entries store the status, objective, and solution values **by
 variable name** (indices are an insertion-order artifact; names are
 what the canonical key is built from), plus the original solve/
 presolve accounting so a cache hit reproduces the journaled record of
-the run that populated it.  Writes are atomic (temp file + rename)
-and a malformed or version-mismatched entry reads as a miss, so a
-shared or interrupted cache degrades to extra solves, never to wrong
-results.
+the run that populated it.  Writes are atomic (temp file + rename).
+
+Every entry is *sealed* with a SHA-256 checksum of its canonical JSON
+form (:mod:`repro.util.integrity`).  A malformed, version-mismatched,
+or checksum-failing entry is moved into a ``quarantine/`` subdirectory
+and reads as a miss, so a corrupted, shared, or interrupted cache
+degrades to extra solves -- never to wrong results -- and the re-solve
+that follows heals the entry in place.
 
 Statuses cached: OPTIMAL, INFEASIBLE, and LIMIT (the time limit is
 part of the key, so a LIMIT outcome is only replayed for the same
@@ -36,8 +40,14 @@ from pathlib import Path
 from repro.ilp.lp_format import write_lp_canonical
 from repro.ilp.model import Model
 from repro.ilp.status import Solution, SolveStatus
+from repro.util.integrity import seal_record, verify_seal
 
-ENTRY_VERSION = 1
+#: v2 added the per-entry integrity seal; unsealed v1 entries read as
+#: misses (the re-solve rewrites them sealed).
+ENTRY_VERSION = 2
+
+#: Subdirectory corrupt entries are moved into (never read as hits).
+QUARANTINE_DIR = "quarantine"
 
 #: Outcomes worth persisting (see module docstring).
 _CACHEABLE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.LIMIT)
@@ -73,7 +83,7 @@ class CacheEntry:
         )
 
     def to_dict(self) -> dict:
-        return {
+        return seal_record({
             "v": ENTRY_VERSION,
             "status": self.status.value,
             "objective": self.objective,
@@ -82,7 +92,7 @@ class CacheEntry:
             "n_nodes": self.n_nodes,
             "solve_seconds": self.solve_seconds,
             "presolve_stats": self.presolve_stats,
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CacheEntry":
@@ -110,6 +120,7 @@ class SolveCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -128,16 +139,53 @@ class SolveCache:
 
     def get(self, model: Model, options: dict) -> "CacheEntry | None":
         path = self._path(self.key_for(model, options))
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload.get("v") != ENTRY_VERSION:
-                raise ValueError("entry version mismatch")
-            entry = CacheEntry.from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+        entry, reason = self._read_entry(path)
+        if entry is None:
+            if reason is not None and reason != "absent":
+                self._quarantine(path, reason)
             self.misses += 1
             return None
         self.hits += 1
         return entry
+
+    @staticmethod
+    def _read_entry(path: Path) -> "tuple[CacheEntry | None, str | None]":
+        """Parse and validate one entry file; (entry, None) on success,
+        (None, reason) on failure ("absent" = no file, not corruption)."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None, "absent"
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None, "unparseable JSON (truncated or corrupted write)"
+        if not isinstance(payload, dict):
+            return None, "entry is not an object"
+        if payload.get("v") != ENTRY_VERSION:
+            return None, f"unsupported entry version {payload.get('v')!r}"
+        if not verify_seal(payload):
+            return None, "checksum mismatch (content does not match its seal)"
+        try:
+            return CacheEntry.from_dict(payload), None
+        except (ValueError, KeyError, TypeError) as exc:
+            return None, f"malformed entry: {type(exc).__name__}: {exc}"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it can never read as a hit;
+        the next put() of the same key heals the slot with a fresh
+        solve.  The sidecar note records why."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            with open(
+                qdir / (path.name + ".reason"), "w", encoding="utf-8"
+            ) as fh:
+                fh.write(reason + "\n")
+        except OSError:
+            return  # racing reader already moved it; counting is best-effort
+        self.quarantined += 1
 
     def put(
         self,
@@ -183,7 +231,17 @@ class SolveCache:
     def _entry_files(self) -> list[Path]:
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*/*.json"))
+        return sorted(
+            f
+            for f in self.root.glob("*/*.json")
+            if f.parent.name != QUARANTINE_DIR
+        )
+
+    def _quarantine_files(self) -> list[Path]:
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return []
+        return sorted(qdir.glob("*.json"))
 
     def stats(self) -> dict:
         files = self._entry_files()
@@ -193,6 +251,28 @@ class SolveCache:
             "bytes": sum(f.stat().st_size for f in files),
             "hits": self.hits,
             "misses": self.misses,
+            "quarantined": len(self._quarantine_files()),
+        }
+
+    def scan(self) -> dict:
+        """Validate every entry on disk, quarantining corrupt ones.
+
+        Returns ``{"checked": n, "valid": n, "quarantined": [(name,
+        reason), ...]}`` -- the integrity audit behind ``repro audit
+        --solve-cache``.
+        """
+        quarantined: list[tuple[str, str]] = []
+        files = self._entry_files()
+        for path in files:
+            entry, reason = self._read_entry(path)
+            if entry is None and reason not in (None, "absent"):
+                assert reason is not None
+                self._quarantine(path, reason)
+                quarantined.append((path.name, reason))
+        return {
+            "checked": len(files),
+            "valid": len(files) - len(quarantined),
+            "quarantined": quarantined,
         }
 
     def clear(self) -> int:

@@ -92,6 +92,15 @@ class OptRouteResult:
     warm_used: str = ""
     #: the solve came from the persistent solve cache, not a backend.
     cache_hit: bool = False
+    #: best proven dual/lower bound on the optimum (true objective
+    #: space), exported by the backend.  OPTIMAL claims must have
+    #: ``bound == cost`` -- the :mod:`repro.verify` audit asserts it.
+    bound: float | None = None
+    #: ``cost - bound`` for LIMIT results carrying an incumbent, so a
+    #: budget-exhausted row is interpretable (how far from proven
+    #: optimal it might be).  0.0 for OPTIMAL; ``None`` when either
+    #: side is unknown.
+    gap: float | None = None
     n_nodes: int = 0
     model_stats: dict[str, int] = field(default_factory=dict)
     #: :meth:`PresolveTrace.stats` of the presolve run (empty when
@@ -217,6 +226,8 @@ class OptRouter:
             wirelength=warm.routing.total_wirelength,
             n_vias=warm.routing.total_vias,
             routing=warm.routing,
+            bound=warm.lower_bound,
+            gap=0.0,
             backend=self.backend,
             warm_used="reused-optimal",
         )
@@ -280,11 +291,14 @@ class OptRouter:
                 presolve_stats.get("presolve_seconds", 0.0)
             ),
             cache_hit=cache_hit,
+            bound=solution.best_bound,
             n_nodes=solution.n_nodes,
             model_stats=ilp.model.stats(),
             presolve_stats=presolve_stats,
             backend=self.backend,
         )
+        if result.status is RouteStatus.OPTIMAL:
+            result.gap = 0.0
         if solution.values and solution.status in (
             SolveStatus.OPTIMAL,
             SolveStatus.LIMIT,
@@ -294,6 +308,12 @@ class OptRouter:
             result.cost = solution.objective
             result.wirelength = routing.total_wirelength
             result.n_vias = routing.total_vias
+            if (
+                result.status is RouteStatus.LIMIT
+                and result.cost is not None
+                and result.bound is not None
+            ):
+                result.gap = max(0.0, result.cost - result.bound)
             if self.presolve:
                 # Imported here: repro.drc depends on router.solution,
                 # so a module-level import would be circular.

@@ -1,0 +1,48 @@
+"""Checksum sealing of JSON artifact records.
+
+The checkpoint journal (:mod:`repro.exec.checkpoint`) and the
+persistent solve cache (:mod:`repro.ilp.solve_cache`) both persist
+results that later sweeps trust without re-solving.  A record is
+*sealed* by embedding the SHA-256 of its canonical JSON form under the
+``sha`` key; a reader that re-derives the digest detects any
+post-write corruption (bit flips, partial writes, manual edits) and
+can quarantine the record instead of resuming from silently wrong
+data.
+
+Stdlib-only on purpose: both artifact layers sit below the router and
+verify packages in the import graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: Key under which the seal digest is stored inside the record itself.
+SEAL_KEY = "sha"
+
+
+def canonical_checksum(record: dict) -> str:
+    """SHA-256 hex digest of the record's canonical JSON form.
+
+    The ``sha`` key itself is excluded, so sealing is idempotent and
+    verification can recompute the digest from a sealed record.
+    """
+    payload = {k: v for k, v in record.items() if k != SEAL_KEY}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def seal_record(record: dict) -> dict:
+    """Return a copy of the record with its ``sha`` seal embedded."""
+    sealed = {k: v for k, v in record.items() if k != SEAL_KEY}
+    sealed[SEAL_KEY] = canonical_checksum(sealed)
+    return sealed
+
+
+def verify_seal(record: dict) -> bool:
+    """True iff the record carries a seal that matches its content."""
+    digest = record.get(SEAL_KEY)
+    if not isinstance(digest, str):
+        return False
+    return digest == canonical_checksum(record)

@@ -1,0 +1,43 @@
+"""Independent result certification and artifact integrity (trust-but-verify).
+
+Public surface:
+
+- :func:`certify_result` / :class:`ResultCertificate` -- solver-free
+  audit of one routing result: geometry-recomputed objective,
+  independent connectivity, DRC oracle, dual-bound tightness, static
+  infeasibility confirmation.
+- :class:`ResultAuditor` / :class:`AuditConfig` -- certificates plus
+  solver-level escalation (deterministic cross-backend sampling,
+  alternate-backend infeasibility confirmation).
+- :func:`scan_journal` / :func:`scan_cache` / :class:`IntegrityReport`
+  -- checksum audits of the checkpoint journal and solve cache, with
+  quarantine-and-heal semantics.
+
+See the "Trust model" section of ``docs/robustness.md``.
+"""
+
+from repro.verify.audit import AuditConfig, ResultAuditor, sample_key
+from repro.verify.certificate import (
+    COST_TOL,
+    CertificateCheck,
+    ResultCertificate,
+    certify_result,
+    check_connectivity,
+    recompute_cost,
+)
+from repro.verify.integrity import IntegrityReport, scan_cache, scan_journal
+
+__all__ = [
+    "COST_TOL",
+    "AuditConfig",
+    "CertificateCheck",
+    "IntegrityReport",
+    "ResultAuditor",
+    "ResultCertificate",
+    "certify_result",
+    "check_connectivity",
+    "recompute_cost",
+    "sample_key",
+    "scan_cache",
+    "scan_journal",
+]

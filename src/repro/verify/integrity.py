@@ -1,0 +1,94 @@
+"""Artifact integrity audits for journals and solve caches.
+
+Thin, report-producing wrappers over the sealed-artifact machinery in
+:mod:`repro.exec.checkpoint` and :mod:`repro.ilp.solve_cache`, used by
+the ``repro audit`` CLI.  Scanning is *healing*: corrupt records are
+quarantined to their sidecars (and the journal compacted) as a side
+effect, so a subsequent resumed or cache-backed sweep re-solves
+exactly the damaged pairs and nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of scanning one artifact."""
+
+    artifact: str  # "journal" | "solve-cache"
+    path: str
+    checked: int = 0
+    valid: int = 0
+    quarantined: int = 0
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.quarantined == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "artifact": self.artifact,
+            "path": self.path,
+            "checked": self.checked,
+            "valid": self.valid,
+            "quarantined": self.quarantined,
+            "ok": self.ok,
+            "details": list(self.details),
+        }
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else f"{self.quarantined} quarantined"
+        return (
+            f"{self.artifact} {self.path}: {self.checked} record(s), "
+            f"{self.valid} valid, {verdict}"
+        )
+
+
+def scan_journal(path: "str | os.PathLike[str]") -> IntegrityReport:
+    """Validate every record of a checkpoint journal.
+
+    Corrupt records are quarantined to ``<journal>.quarantine`` and
+    the journal compacted (see :meth:`CheckpointJournal.load`).
+    """
+    from repro.exec.checkpoint import CheckpointJournal
+
+    journal = CheckpointJournal(path)
+    records = journal.load()
+    report = IntegrityReport(
+        artifact="journal",
+        path=str(journal.path),
+        checked=len(records) + len(journal.quarantined),
+        valid=len(records),
+        quarantined=len(journal.quarantined),
+        details=[
+            f"line {line_number}: {reason}"
+            for line_number, reason, _raw in journal.quarantined
+        ],
+    )
+    return report
+
+
+def scan_cache(root: "str | os.PathLike[str]") -> IntegrityReport:
+    """Validate every entry of a persistent solve cache.
+
+    Corrupt entries are moved to the cache's ``quarantine/`` directory
+    (see :meth:`SolveCache.scan`).
+    """
+    from repro.ilp.solve_cache import SolveCache
+
+    cache = SolveCache(root)
+    outcome = cache.scan()
+    return IntegrityReport(
+        artifact="solve-cache",
+        path=str(cache.root),
+        checked=outcome["checked"],
+        valid=outcome["valid"],
+        quarantined=len(outcome["quarantined"]),
+        details=[
+            f"{name}: {reason}" for name, reason in outcome["quarantined"]
+        ],
+    )

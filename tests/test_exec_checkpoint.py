@@ -51,7 +51,9 @@ class TestJournal:
         journal.append({"clip": "b", "rule": "R", "cost": None})
         records = journal.load()
         assert [r["clip"] for r in records] == ["a", "b"]
-        assert records[0]["v"] == 1
+        assert records[0]["v"] == 2
+        assert "sha" in records[0]
+        assert not journal.quarantined
 
     def test_missing_file_loads_empty(self, tmp_path):
         assert CheckpointJournal(tmp_path / "absent.jsonl").load() == []
@@ -72,8 +74,11 @@ class TestJournal:
         path.write_text(text[: len(text) - 12])
         records = journal.load()
         assert [r["clip"] for r in records] == ["a"]
+        assert len(journal.quarantined) == 1
+        assert "JSON" in journal.quarantined[0][1]
+        assert journal.quarantine_path.exists()
 
-    def test_corrupt_middle_line_raises(self, tmp_path):
+    def test_corrupt_middle_line_quarantined(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
         journal = CheckpointJournal(path)
         journal.append({"clip": "a", "rule": "R"})
@@ -81,14 +86,46 @@ class TestJournal:
         lines = path.read_text().splitlines()
         lines[0] = "{broken"
         path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(ValueError, match="corrupt"):
-            journal.load()
+        records = journal.load()
+        assert [r["clip"] for r in records] == ["b"]
+        assert len(journal.quarantined) == 1
+        # The sidecar keeps the raw evidence for post-mortem.
+        sidecar = [
+            json.loads(line)
+            for line in journal.quarantine_path.read_text().splitlines()
+        ]
+        assert sidecar[0]["raw"] == "{broken"
 
-    def test_unknown_version_raises(self, tmp_path):
+    def test_unknown_version_quarantined(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
         path.write_text(json.dumps({"v": 99, "clip": "a"}) + "\n")
-        with pytest.raises(ValueError, match="version"):
-            CheckpointJournal(path).load()
+        journal = CheckpointJournal(path)
+        assert journal.load() == []
+        assert "version" in journal.quarantined[0][1]
+
+    def test_tampered_record_quarantined(self, tmp_path):
+        """A well-formed record whose content no longer matches its
+        seal (a flipped digit, a manual edit) must not be trusted."""
+        path = tmp_path / "ckpt.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append({"clip": "a", "rule": "R", "cost": 21.0})
+        path.write_text(path.read_text().replace("21.0", "12.0"))
+        assert journal.load() == []
+        assert "checksum" in journal.quarantined[0][1]
+
+    def test_load_heals_by_compacting(self, tmp_path):
+        """Quarantining is one-shot: after a load, the journal holds
+        only valid records and re-loads clean."""
+        path = tmp_path / "ckpt.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append({"clip": "a", "rule": "R"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("garbage\n")
+        assert len(journal.load()) == 1
+        assert len(journal.quarantined) == 1
+        assert "garbage" not in path.read_text()
+        assert len(journal.load()) == 1
+        assert journal.quarantined == []
 
 
 class TestOutcomeRecords:

@@ -1,0 +1,179 @@
+"""Tests for independent result certification (repro.verify)."""
+
+from dataclasses import replace
+
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.eval import paper_rule
+from repro.router import OptRouter, RouteStatus
+from repro.router.optrouter import OptRouteResult
+from repro.verify import (
+    AuditConfig,
+    ResultAuditor,
+    certify_result,
+    check_connectivity,
+    recompute_cost,
+    sample_key,
+)
+
+
+def small_clip(seed=0):
+    return make_synthetic_clip(
+        SyntheticClipSpec(
+            nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1,
+            access_points_per_pin=2,
+        ),
+        seed=seed,
+    )
+
+
+RULES = paper_rule("RULE1")
+
+
+def optimal_result(clip, rules=RULES, **router_kwargs):
+    result = OptRouter(time_limit=30.0, **router_kwargs).route(clip, rules)
+    assert result.status is RouteStatus.OPTIMAL
+    return result
+
+
+class TestCertificate:
+    def test_honest_optimal_passes(self):
+        clip = small_clip()
+        result = optimal_result(clip)
+        certificate = certify_result(clip, RULES, result)
+        assert certificate.ok
+        names = {check.name for check in certificate.checks}
+        assert {
+            "has-routing", "geometry-metrics", "geometry-objective",
+            "connectivity", "drc-clean", "bound-tight",
+        } <= names
+        assert not certificate.unverified
+
+    def test_wrong_objective_fails_two_checks(self):
+        clip = small_clip()
+        result = replace(optimal_result(clip))
+        result.cost = result.cost - 1.0
+        certificate = certify_result(clip, RULES, result)
+        assert not certificate.ok
+        failed = {check.name for check in certificate.failures()}
+        assert "geometry-objective" in failed
+        assert "bound-tight" in failed
+
+    def test_wrong_metrics_fail(self):
+        clip = small_clip()
+        result = replace(optimal_result(clip))
+        result.wirelength += 3
+        certificate = certify_result(clip, RULES, result)
+        assert {c.name for c in certificate.failures()} >= {"geometry-metrics"}
+
+    def test_optimal_without_bound_fails(self):
+        clip = small_clip()
+        result = replace(optimal_result(clip), bound=None)
+        certificate = certify_result(clip, RULES, result)
+        assert "bound-tight" in {c.name for c in certificate.failures()}
+
+    def test_optimal_without_routing_fails(self):
+        clip = small_clip()
+        result = OptRouteResult(
+            clip_name=clip.name, rule_name=RULES.name,
+            status=RouteStatus.OPTIMAL, cost=10.0,
+        )
+        certificate = certify_result(clip, RULES, result)
+        assert "has-routing" in {c.name for c in certificate.failures()}
+
+    def test_dropped_wire_edge_breaks_connectivity(self):
+        clip = small_clip()
+        result = optimal_result(clip)
+        routing = result.routing
+        victim = max(routing.nets, key=lambda n: len(n.wire_edges))
+        victim.wire_edges.pop()
+        assert check_connectivity(clip, routing)
+
+    def test_recompute_cost_matches_router(self):
+        clip = small_clip()
+        result = optimal_result(clip)
+        assert abs(recompute_cost(result.routing) - result.cost) < 1e-9
+
+    def test_false_infeasible_claim_is_flagged_unverified(self):
+        clip = small_clip()
+        lie = OptRouteResult(
+            clip_name=clip.name, rule_name=RULES.name,
+            status=RouteStatus.INFEASIBLE,
+        )
+        certificate = certify_result(clip, RULES, lie)
+        # The static certifier is sound: it cannot confirm a lie, so
+        # the claim escalates instead of silently passing.
+        assert certificate.ok  # no check failed...
+        assert "infeasible-claim" in certificate.unverified  # ...but flagged
+
+    def test_error_results_have_nothing_to_certify(self):
+        clip = small_clip()
+        result = OptRouteResult(
+            clip_name=clip.name, rule_name=RULES.name,
+            status=RouteStatus.ERROR,
+        )
+        certificate = certify_result(clip, RULES, result)
+        assert certificate.ok and not certificate.checks
+
+    def test_certificate_to_dict_and_str(self):
+        clip = small_clip()
+        certificate = certify_result(clip, RULES, optimal_result(clip))
+        payload = certificate.to_dict()
+        assert payload["ok"] is True
+        assert payload["clip"] == clip.name
+        assert "PASS" in str(certificate)
+
+
+class TestAuditor:
+    def test_sample_key_is_deterministic_and_uniform_range(self):
+        a = sample_key("clip_a", "RULE3")
+        assert a == sample_key("clip_a", "RULE3")
+        assert 0.0 <= a < 1.0
+        assert a != sample_key("clip_a", "RULE4")
+
+    def test_zero_fraction_never_samples(self):
+        auditor = ResultAuditor(config=AuditConfig(cross_check_fraction=0.0))
+        assert not auditor.sampled("c", "r")
+
+    def test_full_fraction_cross_checks_agreeing_optimal(self):
+        clip = small_clip()
+        result = optimal_result(clip)
+        auditor = ResultAuditor(
+            config=AuditConfig(cross_check_fraction=1.0, time_limit=30.0)
+        )
+        certificate = auditor.audit(clip, RULES, result)
+        assert certificate.ok
+        assert "cross-backend" in {c.name for c in certificate.checks}
+
+    def test_cross_check_refutes_false_infeasible(self):
+        clip = small_clip()
+        lie = OptRouteResult(
+            clip_name=clip.name, rule_name=RULES.name,
+            status=RouteStatus.INFEASIBLE, backend="highs",
+        )
+        auditor = ResultAuditor(config=AuditConfig(time_limit=30.0))
+        certificate = auditor.audit(clip, RULES, lie)
+        assert not certificate.ok
+        assert "cross-backend" in {c.name for c in certificate.failures()}
+        assert "infeasible-claim" not in certificate.unverified
+
+    def test_cross_check_refutes_shifted_objective(self):
+        clip = small_clip()
+        lie = replace(optimal_result(clip))
+        lie.cost = lie.cost - 1.0
+        lie.bound = lie.cost  # forge a consistent bound too
+        lie.wirelength -= 1  # and metrics; only a solver can refute now
+        lie.routing = None
+        # (no routing: has-routing already fails, but prove the
+        # cross-check independently disagrees on the objective)
+        auditor = ResultAuditor(
+            config=AuditConfig(cross_check_fraction=1.0, time_limit=30.0)
+        )
+        certificate = auditor.audit(clip, RULES, lie)
+        failed = {c.name for c in certificate.failures()}
+        assert "cross-backend" in failed
+
+    def test_config_rejects_bad_fraction(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="cross_check_fraction"):
+            AuditConfig(cross_check_fraction=1.5)
