@@ -17,6 +17,7 @@ JSON uniformly:
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -53,6 +54,15 @@ class LintFinding:
             "context": dict(self.context),
         }
 
+    def sort_key(self) -> tuple[str, str, str, str]:
+        """Total order for deterministic report serialization."""
+        return (
+            self.severity.value,
+            self.code,
+            self.message,
+            json.dumps(self.context, sort_keys=True, default=str),
+        )
+
     def __str__(self) -> str:
         return f"[{self.severity.value}] {self.code}: {self.message}"
 
@@ -84,7 +94,10 @@ class LintReport:
     def to_dict(self) -> dict[str, Any]:
         return {
             "model": self.model_name,
-            "findings": [f.to_dict() for f in self.findings],
+            "findings": [
+                f.to_dict()
+                for f in sorted(self.findings, key=LintFinding.sort_key)
+            ],
             "stats": dict(self.stats),
         }
 

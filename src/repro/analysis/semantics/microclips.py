@@ -1,0 +1,169 @@
+"""Micro-clip corpus for the formulation-equivalence checker.
+
+Each micro-clip is a hand-built, deliberately tiny switchbox whose
+local routing pattern space is small enough to enumerate exhaustively,
+while still exercising one or more rule families: via adjacency
+blocking, SADP end-of-line patterns (on M2 through M5, so every
+Table-3 ``SADP >= Mx`` configuration binds somewhere in the corpus),
+shorts / vertex capacity, preferred-direction wiring, and blockages.
+
+All corpus nets are 2-pin: the enumerator's pattern space (one
+source-sink path per net, optionally extended with a cycle) then
+covers the ILP's integer assignment space exactly, because e = f for
+2-pin nets and flow conservation decomposes any support into a path
+plus arc-disjoint cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clips.clip import Clip, ClipNet, ClipPin, Vertex, paper_directions
+
+
+@dataclass(frozen=True)
+class MicroClip:
+    """One corpus entry: the clip plus enumeration hints."""
+
+    clip: Clip
+    #: rule families this clip was designed to exercise.
+    families: tuple[str, ...]
+    #: also enumerate wrong-direction wire edges (direction family).
+    include_offdirection: bool = False
+
+
+def _pin(*vertices: Vertex) -> ClipPin:
+    return ClipPin(access=frozenset(vertices))
+
+
+def _net(name: str, source: ClipPin, sink: ClipPin) -> ClipNet:
+    return ClipNet(name=name, pins=(source, sink))
+
+
+def _clip(
+    name: str,
+    nx: int,
+    ny: int,
+    nz: int,
+    nets: tuple[ClipNet, ...],
+    obstacles: frozenset[Vertex] = frozenset(),
+) -> Clip:
+    return Clip(
+        name=name,
+        nx=nx,
+        ny=ny,
+        nz=nz,
+        horizontal=paper_directions(nz),
+        nets=nets,
+        obstacles=obstacles,
+    )
+
+
+def _mc_via() -> MicroClip:
+    """3x2x2: two nets whose vias compete in the middle columns.
+
+    Net ``a`` runs from a column-0 pin to an upper-layer pin at x=2;
+    net ``b`` must hop columns 1->2 through the upper layer, so its two
+    vias sit laterally adjacent to each other and to a's wires --
+    exercising via adjacency, shorts, vertex capacity, and routing
+    over the foreign pin metal at (1, y, 0).
+    """
+    a = _net("a", _pin((0, 0, 0), (0, 1, 0)), _pin((2, 0, 1)))
+    b = _net("b", _pin((1, 0, 0), (1, 1, 0)), _pin((2, 0, 0), (2, 1, 0)))
+    return MicroClip(
+        clip=_clip("mc-via", 3, 2, 2, (a, b)),
+        families=("via_adjacency", "shorts"),
+    )
+
+
+def _mc_sadp_m2() -> MicroClip:
+    """3x4x1, all-M2: two vertical runs whose line ends interact.
+
+    Net ``a`` may start its column-0 run at y=0 or y=1 (two-vertex
+    pin); starting at y=0 puts its bottom EOL one track along and one
+    track across from b's bottom EOL at (1, 1) -- a forbidden
+    same-polarity misalignment -- while starting at y=1 aligns them,
+    which SADP line-end cutting permits.
+    """
+    a = _net("a", _pin((0, 0, 0), (0, 1, 0)), _pin((0, 3, 0)))
+    b = _net("b", _pin((1, 1, 0)), _pin((1, 3, 0)))
+    return MicroClip(
+        clip=_clip("mc-sadp2", 3, 4, 1, (a, b)),
+        families=("sadp_eol",),
+    )
+
+
+def _mc_sadp_m3() -> MicroClip:
+    """4x2x2: two horizontal M3 runs with interacting EOLs.
+
+    Net ``a`` crosses the clip on the upper (M3) layer; net ``b``
+    makes a short M3 run one track over.  Their end-of-lines land on
+    forbidden same/opposite offsets unless a detours, and every detour
+    spends extra vias whose sites neighbor each other -- coupling the
+    SADP and via-adjacency families.
+    """
+    a = _net("a", _pin((0, 0, 0)), _pin((3, 0, 0)))
+    b = _net("b", _pin((1, 1, 0)), _pin((2, 1, 0)))
+    return MicroClip(
+        clip=_clip("mc-sadp3", 4, 2, 2, (a, b)),
+        families=("sadp_eol", "via_adjacency", "shorts"),
+    )
+
+
+def _mc_block() -> MicroClip:
+    """3x2x2 with an obstacle at (1, 0, 1).
+
+    Net ``a``'s direct upper-layer run passes through the obstacle
+    (DRC-flagged, ILP-unrepresentable); the y=1 detour is clean but
+    brushes against net ``b``'s pin and wire.
+    """
+    a = _net("a", _pin((0, 0, 0)), _pin((2, 0, 0)))
+    b = _net("b", _pin((1, 1, 0)), _pin((1, 0, 0)))
+    return MicroClip(
+        clip=_clip(
+            "mc-block", 3, 2, 2, (a, b), obstacles=frozenset({(1, 0, 1)})
+        ),
+        families=("blockages", "shorts"),
+    )
+
+
+def _mc_tall() -> MicroClip:
+    """2x2x4 (M2..M5): one net climbing the full stack.
+
+    Detour patterns create stacked and laterally adjacent vias on
+    three cut layers and same-net EOL pairs on every metal, so the
+    ``SADP >= M4`` / ``>= M5`` configurations and both via-adjacency
+    modes all bind somewhere in the pattern space.
+    """
+    a = _net("a", _pin((0, 0, 0)), _pin((1, 1, 3)))
+    return MicroClip(
+        clip=_clip("mc-tall", 2, 2, 4, (a,)),
+        families=("sadp_eol", "via_adjacency"),
+    )
+
+
+def _mc_dir() -> MicroClip:
+    """2x2x1: the sink is only reachable against the layer direction.
+
+    With off-direction edges in the enumeration universe, every
+    pattern carries a direction violation and the ILP (which has no
+    arcs against the preferred direction) must reject them all.
+    """
+    a = _net("a", _pin((0, 0, 0)), _pin((1, 1, 0)))
+    return MicroClip(
+        clip=_clip("mc-dir", 2, 2, 1, (a,)),
+        families=("directions",),
+        include_offdirection=True,
+    )
+
+
+def micro_corpus() -> list[MicroClip]:
+    """The deterministic equivalence-checking corpus, in fixed order."""
+    return [
+        _mc_via(),
+        _mc_sadp_m2(),
+        _mc_sadp_m3(),
+        _mc_block(),
+        _mc_tall(),
+        _mc_dir(),
+    ]

@@ -1,0 +1,390 @@
+"""Model-level restriction proofs between rule configurations.
+
+:func:`repro.router.rules.is_restriction` answers "is ``other`` a pure
+restriction of ``base``?" syntactically, from the rule parameters.
+This module answers the same question *semantically, on the built
+models*: ``other`` restricts ``base`` on a clip exactly when every
+feasible point of ``other``'s ILP is feasible in ``base``'s.  Both
+models come from the same :class:`BaseFormulation` core, so the shared
+rows and columns are literally identical and only the per-rule *delta
+rows* (via-adjacency blocking, SADP indicator blocks) need proof.
+
+Each base delta row is discharged by the cheapest sufficient method:
+
+1. **match** -- the row appears verbatim (canonically, by variable
+   *name*: per-rule SADP indicators get fresh indices but deterministic
+   names) among ``other``'s rows;
+2. **dominated** -- an ``other`` row pointwise-dominates it over the
+   nonnegative orthant (all model variables have lb >= 0);
+3. **lp** -- an LP certificate: optimizing the row's left-hand side
+   over ``other``'s LP relaxation cannot violate the row.  Sound for
+   the integer hull (integer points are LP-feasible); incomplete, so a
+   failed LP never *disproves* restriction -- the proof just doesn't
+   hold and callers must fall back to a cold solve.
+
+The resulting :class:`RestrictionProof` is what the incremental sweep
+(:mod:`repro.eval.flow`) consumes to certify warm-start edges, cross-
+checked against the syntactic predicate.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.semantics.report import SCHEMA_VERSION
+from repro.clips.clip import Clip
+from repro.ilp.model import Constraint, Model
+from repro.router.formulation import BaseFormulation
+from repro.router.rules import RuleConfig, is_restriction
+
+_TOL = 1e-9
+
+#: A canonical row: (sense, const, ((var_name, coef), ...) sorted).
+_CanonRow = tuple[str, float, tuple[tuple[str, float], ...]]
+
+
+def _canon(model: Model, row: Constraint) -> _CanonRow:
+    terms = tuple(
+        sorted(
+            (model.variables[index].name, round(coef, 9))
+            for index, coef in row.expr.coefs.items()
+        )
+    )
+    return (row.sense, round(row.expr.const, 9), terms)
+
+
+@dataclass(frozen=True)
+class RestrictionProof:
+    """Certificate that ``other`` restricts ``base`` on one clip.
+
+    ``holds`` is True only when *every* base delta row was discharged;
+    ``methods`` lists the distinct methods used.  ``predicate`` records
+    the syntactic :func:`is_restriction` verdict for cross-checking --
+    the prover must confirm every pair the predicate accepts (the
+    predicate is the conservative one), and may additionally prove
+    pairs the predicate rejects (e.g. rule deltas that fall outside
+    the clip's grid).
+    """
+
+    clip_name: str
+    base_rule: str
+    other_rule: str
+    holds: bool
+    n_rows: int = 0
+    n_matched: int = 0
+    n_dominated: int = 0
+    n_lp: int = 0
+    failures: tuple[str, ...] = ()
+    predicate: bool = False
+
+    @property
+    def methods(self) -> tuple[str, ...]:
+        out = []
+        if self.n_matched:
+            out.append("match")
+        if self.n_dominated:
+            out.append("dominated")
+        if self.n_lp:
+            out.append("lp")
+        return tuple(out)
+
+    @property
+    def agrees_with_predicate(self) -> bool:
+        """False only in the buggy direction: the syntactic predicate
+        accepted a pair the model-level prover could not certify."""
+        return self.holds or not self.predicate
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "restriction_proof",
+            "clip": self.clip_name,
+            "base": self.base_rule,
+            "other": self.other_rule,
+            "holds": self.holds,
+            "predicate": self.predicate,
+            "n_rows": self.n_rows,
+            "methods": {
+                "match": self.n_matched,
+                "dominated": self.n_dominated,
+                "lp": self.n_lp,
+            },
+            "failures": list(self.failures),
+        }
+
+
+def _dominates(base_row: Constraint, other_row: Constraint,
+               names_base: list[str], names_other: list[str]) -> bool:
+    """True when satisfying ``other_row`` forces ``base_row`` over
+    x >= 0 (every model variable is nonnegative)."""
+    if base_row.sense != other_row.sense or base_row.sense == "==":
+        return False
+    base = {
+        names_base[index]: coef for index, coef in base_row.expr.coefs.items()
+    }
+    other = {
+        names_other[index]: coef
+        for index, coef in other_row.expr.coefs.items()
+    }
+    names = set(base) | set(other)
+    if base_row.sense == "<=":
+        # sum(cb x) + kb <= sum(co x) + ko <= 0 needs cb <= co, kb <= ko.
+        if base_row.expr.const > other_row.expr.const + _TOL:
+            return False
+        return all(
+            base.get(name, 0.0) <= other.get(name, 0.0) + _TOL
+            for name in names
+        )
+    # ">=": sum(cb x) + kb >= sum(co x) + ko >= 0 needs cb >= co, kb >= ko.
+    if base_row.expr.const < other_row.expr.const - _TOL:
+        return False
+    return all(
+        base.get(name, 0.0) >= other.get(name, 0.0) - _TOL
+        for name in names
+    )
+
+
+def _vacuous(row: Constraint) -> bool:
+    """Rows satisfied by every x >= 0, regardless of the model."""
+    if row.sense == "<=":
+        return row.expr.const <= _TOL and all(
+            coef <= _TOL for coef in row.expr.coefs.values()
+        )
+    if row.sense == ">=":
+        return row.expr.const >= -_TOL and all(
+            coef >= -_TOL for coef in row.expr.coefs.values()
+        )
+    return False
+
+
+class _LpCertifier:
+    """LP-relaxation implication certificates over one model."""
+
+    def __init__(self, model: Model):
+        self.model = model
+        self._arrays = None
+
+    def _build(self):
+        import numpy as np
+
+        model = self.model
+        n = model.n_vars
+        a_ub, b_ub, a_eq, b_eq = [], [], [], []
+        for con in model.constraints:
+            dense = np.zeros(n)
+            for index, coef in con.expr.coefs.items():
+                dense[index] = coef
+            rhs = -con.expr.const
+            if con.sense == "<=":
+                a_ub.append(dense)
+                b_ub.append(rhs)
+            elif con.sense == ">=":
+                a_ub.append(-dense)
+                b_ub.append(-rhs)
+            else:
+                a_eq.append(dense)
+                b_eq.append(rhs)
+        bounds = [
+            (v.lb, None if v.ub == float("inf") else v.ub)
+            for v in model.variables
+        ]
+        self._arrays = (
+            np.asarray(a_ub) if a_ub else None,
+            np.asarray(b_ub) if b_ub else None,
+            np.asarray(a_eq) if a_eq else None,
+            np.asarray(b_eq) if b_eq else None,
+            bounds,
+        )
+        return self._arrays
+
+    def implies(self, row: Constraint, name_to_index: dict[str, int],
+                names_base: list[str]) -> bool:
+        """Does every LP-feasible point of the model satisfy ``row``?
+
+        ``row`` lives in the *base* model; its variables are mapped by
+        name.  A name absent from this model denotes a free column the
+        model cannot control -- the certificate then fails.
+        """
+        try:
+            import numpy as np
+            from scipy.optimize import linprog
+        except ImportError:  # pragma: no cover - scipy-less environments
+            return False
+
+        coefs = np.zeros(self.model.n_vars)
+        for index, coef in row.expr.coefs.items():
+            mapped = name_to_index.get(names_base[index])
+            if mapped is None:
+                return False
+            coefs[mapped] = coef
+        if self._arrays is None:
+            self._build()
+        a_ub, b_ub, a_eq, b_eq, bounds = self._arrays
+        # Maximize the LHS for "<=" rows, minimize for ">=" rows.
+        sign = -1.0 if row.sense == "<=" else 1.0
+        result = linprog(
+            sign * coefs,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            return True  # the model is LP-infeasible: implication is vacuous
+        if not result.success:
+            return False
+        extreme = sign * result.fun + row.expr.const
+        if row.sense == "<=":
+            return bool(extreme <= _TOL)
+        return bool(extreme >= -_TOL)
+
+
+def prove_restriction(
+    clip: Clip,
+    base: RuleConfig,
+    other: RuleConfig,
+    *,
+    wire_cost: float = 1.0,
+    via_cost: float = 4.0,
+    max_failures: int = 5,
+    formulation: BaseFormulation | None = None,
+) -> RestrictionProof:
+    """Prove that ``other``'s feasible routings are feasible in ``base``.
+
+    Both models are specialized from one shared core, so the proof
+    obligation reduces to ``base``'s delta rows.  The returned proof
+    ``holds`` only when every row was discharged.
+    """
+    predicate = is_restriction(base, other)
+    if base.allow_via_shapes != other.allow_via_shapes:
+        return RestrictionProof(
+            clip_name=clip.name,
+            base_rule=base.name,
+            other_rule=other.name,
+            holds=False,
+            failures=(
+                "different routing graphs: allow_via_shapes differs",
+            ),
+            predicate=predicate,
+        )
+    if formulation is None:
+        formulation = BaseFormulation.build(
+            clip,
+            allow_via_shapes=base.allow_via_shapes,
+            wire_cost=wire_cost,
+            via_cost=via_cost,
+        )
+    n_core = len(formulation.model.constraints)
+    ilp_base = formulation.specialize(base)
+    ilp_other = formulation.specialize(other)
+    base_rows = ilp_base.model.constraints[n_core:]
+    other_rows = ilp_other.model.constraints[n_core:]
+
+    names_base = [v.name for v in ilp_base.model.variables]
+    names_other = [v.name for v in ilp_other.model.variables]
+    other_canon = {_canon(ilp_other.model, row) for row in other_rows}
+    other_by_sense: dict[str, list[Constraint]] = {}
+    for row in other_rows:
+        other_by_sense.setdefault(row.sense, []).append(row)
+    name_to_index = {
+        name: index for index, name in enumerate(names_other)
+    }
+    certifier = _LpCertifier(ilp_other.model)
+
+    n_matched = n_dominated = n_lp = 0
+    failures: list[str] = []
+    for row_offset, row in enumerate(base_rows):
+        if _canon(ilp_base.model, row) in other_canon or _vacuous(row):
+            n_matched += 1
+            continue
+        if any(
+            _dominates(row, candidate, names_base, names_other)
+            for candidate in other_by_sense.get(row.sense, ())
+        ):
+            n_dominated += 1
+            continue
+        if certifier.implies(row, name_to_index, names_base):
+            n_lp += 1
+            continue
+        if len(failures) < max_failures:
+            failures.append(
+                f"delta row {n_core + row_offset} not implied: "
+                f"{row.expr!r} {row.sense} 0"
+            )
+        else:
+            failures.append("...")
+            break
+
+    return RestrictionProof(
+        clip_name=clip.name,
+        base_rule=base.name,
+        other_rule=other.name,
+        holds=not failures,
+        n_rows=len(base_rows),
+        n_matched=n_matched,
+        n_dominated=n_dominated,
+        n_lp=n_lp,
+        failures=tuple(failures),
+        predicate=predicate,
+    )
+
+
+@dataclass
+class RestrictionProver:
+    """Memoizing facade used by the incremental sweep.
+
+    Proofs are cached per (clip identity, base, other); the prover
+    keeps strong references to proved clips, so identity keys cannot
+    be reused while cached (mirrors
+    :class:`repro.router.formulation.FormulationCache`).
+    """
+
+    wire_cost: float = 1.0
+    via_cost: float = 4.0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _proofs: dict[tuple, RestrictionProof] = field(default_factory=dict)
+    _clips: dict[int, Clip] = field(default_factory=dict)
+    _bases: dict[tuple, BaseFormulation] = field(default_factory=dict)
+
+    def prove(
+        self, clip: Clip, base: RuleConfig, other: RuleConfig
+    ) -> RestrictionProof:
+        key = (id(clip), base, other)
+        with self._lock:
+            cached = self._proofs.get(key)
+            if cached is not None:
+                return cached
+        base_key = (id(clip), base.allow_via_shapes)
+        with self._lock:
+            formulation = self._bases.get(base_key)
+        if formulation is None and base.allow_via_shapes == other.allow_via_shapes:
+            formulation = BaseFormulation.build(
+                clip,
+                allow_via_shapes=base.allow_via_shapes,
+                wire_cost=self.wire_cost,
+                via_cost=self.via_cost,
+            )
+            with self._lock:
+                self._bases[base_key] = formulation
+        proof = prove_restriction(
+            clip,
+            base,
+            other,
+            wire_cost=self.wire_cost,
+            via_cost=self.via_cost,
+            formulation=formulation,
+        )
+        with self._lock:
+            self._clips[id(clip)] = clip
+            self._proofs[key] = proof
+        return proof
+
+    def clear(self) -> None:
+        with self._lock:
+            self._proofs.clear()
+            self._clips.clear()
+            self._bases.clear()

@@ -14,6 +14,10 @@ Commands:
 - ``rules``: print the Table 3 rule matrix.
 - ``lint``: pre-solve static analysis of a clip set -- model lint
   findings plus infeasibility certificates, as text or JSON.
+- ``analyze``: formulation-semantics audit -- exhaustive DRC-equivalence
+  check of the routing ILP on the micro-clip corpus (optionally with a
+  solver no-good-cut sweep and model-level restriction proofs), as text
+  or byte-deterministic JSON; exits non-zero on any counterexample.
 - ``audit``: integrity scan of sweep artifacts -- checkpoint journal
   and/or solve cache -- quarantining corrupt records; exits non-zero
   when anything was quarantined.
@@ -165,8 +169,6 @@ def _cmd_audit(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    import json
-
     from repro.analysis import certify_infeasible, lint_routing_ilp
     from repro.clips import SyntheticClipSpec, make_synthetic_clip
     from repro.eval import paper_rule, rules_for_technology
@@ -194,18 +196,25 @@ def _cmd_lint(args) -> int:
             records.append((clip, rule, report, certificate))
 
     if args.json:
-        payload = [
-            {
-                "clip": clip.name,
-                "rule": rule.name,
-                "lint": report.to_dict(),
-                "certificate": (
-                    certificate.to_dict() if certificate is not None else None
-                ),
-            }
-            for clip, rule, report, certificate in records
-        ]
-        print(json.dumps(payload, indent=2))
+        from repro.analysis.semantics.report import SCHEMA_VERSION, dump_json
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "lint",
+            "n_errors": n_errors,
+            "reports": [
+                {
+                    "clip": clip.name,
+                    "rule": rule.name,
+                    "lint": report.to_dict(),
+                    "certificate": (
+                        certificate.to_dict() if certificate is not None else None
+                    ),
+                }
+                for clip, rule, report, certificate in records
+            ],
+        }
+        print(dump_json(payload))
     else:
         for clip, rule, report, certificate in records:
             status = "certified-infeasible" if certificate else "ok"
@@ -226,6 +235,87 @@ def _cmd_lint(args) -> int:
             f"error(s), {n_certified} certified infeasible"
         )
     return 1 if n_errors else 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.semantics import (
+        RestrictionProver,
+        dump_json,
+        matrix_to_dict,
+        micro_corpus,
+        run_equivalence_matrix,
+    )
+    from repro.eval import paper_rule, paper_rules
+
+    rules = [paper_rule(args.rule)] if args.rule else paper_rules()
+    corpus = micro_corpus()
+    if args.clip:
+        corpus = [m for m in corpus if m.clip.name == args.clip]
+        if not corpus:
+            names = ", ".join(m.clip.name for m in micro_corpus())
+            print(f"unknown micro-clip {args.clip!r}; corpus: {names}",
+                  file=sys.stderr)
+            return 2
+
+    reports = run_equivalence_matrix(
+        rules, corpus, solver_sweep=args.solver_sweep
+    )
+    payload = matrix_to_dict(reports)
+
+    disagreements = []
+    if args.restrictions:
+        prover = RestrictionProver()
+        proofs = []
+        for micro in corpus:
+            for base in rules:
+                for other in rules:
+                    if base.name == other.name:
+                        continue
+                    proof = prover.prove(micro.clip, base, other)
+                    proofs.append(proof)
+                    if not proof.agrees_with_predicate:
+                        disagreements.append(proof)
+        payload["restrictions"] = {
+            "n_proofs": len(proofs),
+            "n_holds": sum(1 for p in proofs if p.holds),
+            "n_predicate": sum(1 for p in proofs if p.predicate),
+            "n_strengthened": sum(
+                1 for p in proofs if p.holds and not p.predicate
+            ),
+            "disagreements": [p.to_dict() for p in disagreements],
+        }
+
+    ok = payload["ok"] and not disagreements
+    if args.json:
+        print(dump_json(payload))
+        return 0 if ok else 1
+
+    for report in reports:
+        print(report.summary())
+        for finding in sorted(
+            report.findings, key=lambda f: f.sort_key()
+        ):
+            print(f"  {finding}")
+    n_findings = sum(len(report.findings) for report in reports)
+    print(
+        f"checked {len(reports)} (clip, rule) pairs: "
+        f"{n_findings} counterexample(s)"
+    )
+    if args.restrictions:
+        summary = payload["restrictions"]
+        print(
+            f"restriction proofs: {summary['n_holds']}/"
+            f"{summary['n_proofs']} hold "
+            f"({summary['n_strengthened']} strengthen the predicate, "
+            f"{len(disagreements)} disagreement(s))"
+        )
+        for proof in disagreements:
+            print(
+                f"  DISAGREES {proof.clip_name}: {proof.base_rule} -> "
+                f"{proof.other_rule} (predicate says restriction, "
+                f"prover found {len(proof.failures)} unimplied row(s))"
+            )
+    return 0 if ok else 1
 
 
 def _cmd_presolve(args) -> int:
@@ -471,6 +561,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="emit findings as JSON instead of text")
 
+    an = sub.add_parser(
+        "analyze",
+        help="formulation-semantics audit: DRC-equivalence proofs on "
+             "the micro-clip corpus",
+    )
+    an.add_argument("--rule", default=None,
+                    help="check one Table 3 rule instead of all eleven")
+    an.add_argument("--clip", default=None, metavar="NAME",
+                    help="check one micro-clip (e.g. mc-via) instead of "
+                         "the whole corpus")
+    an.add_argument("--solver-sweep", action="store_true",
+                    help="also enumerate every feasible ILP support via "
+                         "no-good cuts and DRC-check each decode")
+    an.add_argument("--restrictions", action="store_true",
+                    help="also prove model-level restriction for every "
+                         "ordered rule pair and cross-check the "
+                         "is_restriction predicate")
+    an.add_argument("--json", action="store_true",
+                    help="emit the report as byte-deterministic JSON")
+
     pre = sub.add_parser(
         "presolve", help="fixpoint model reduction report for a clip set"
     )
@@ -528,6 +638,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "audit": _cmd_audit,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "presolve": _cmd_presolve,
     "full-flow": _cmd_full_flow,
     "improve": _cmd_improve,

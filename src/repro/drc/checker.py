@@ -6,7 +6,7 @@ from collections import defaultdict
 
 from repro.clips.clip import Clip, Vertex
 from repro.drc.violations import Violation
-from repro.router.rules import RuleConfig
+from repro.router.rules import RuleConfig, eol_grid_offset
 from repro.router.solution import ClipRouting, NetSolution
 
 
@@ -255,16 +255,15 @@ def _check_sadp(clip, rules, routing) -> list[Violation]:
                 eols[vertex].append((net_sol.net_name, side))
 
         def offset(v: Vertex, da: int, dc: int) -> Vertex:
-            if horizontal:
-                return (v[0] + da, v[1] + dc, v[2])
-            return (v[0] + dc, v[1] + da, v[2])
+            x2, y2 = eol_grid_offset(horizontal, v[0], v[1], da, dc)
+            return (x2, y2, v[2])
 
         for vertex, entries in eols.items():
             for net_name, side in entries:
                 # Opposite-polarity patterns: evaluated once, from the
                 # p_pos perspective (every pos/neg pair is seen there).
                 if side == 1:
-                    for da, dc in rules.sadp.opposite_offsets:
+                    for da, dc in rules.sadp.opposite_pairs():
                         for other_name, other_side in eols.get(
                             offset(vertex, da, dc), ()
                         ):
@@ -279,8 +278,8 @@ def _check_sadp(clip, rules, routing) -> list[Violation]:
                                 )
                 # Same-polarity patterns, for both polarities (offsets
                 # mirror along the wire direction for p_neg).
-                for da, dc in rules.sadp.same_offsets:
-                    other_vertex = offset(vertex, side * da, dc)
+                for da, dc in rules.sadp.same_pairs(side):
+                    other_vertex = offset(vertex, da, dc)
                     if other_vertex <= vertex:
                         continue  # each unordered pair once
                     for other_name, other_side in eols.get(other_vertex, ()):

@@ -10,9 +10,10 @@ re-solving finished pairs.
 from __future__ import annotations
 
 import os
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.analysis.semantics.restriction import RestrictionProver
 from repro.clips.clip import Clip
 from repro.eval.rule_configs import INFEASIBLE_DELTA
 from repro.exec.checkpoint import CheckpointJournal
@@ -21,6 +22,11 @@ from repro.exec.policy import SupervisorConfig
 from repro.exec.runner import RouteJob, SupervisedRunner
 from repro.router.optrouter import OptRouteResult, RouteStatus
 from repro.router.rules import RuleConfig, is_restriction
+
+#: Warm-edge gate: (clip, follower rules) -> (allowed, certified).
+#: ``allowed`` permits warm transfer at all; ``certified`` states the
+#: edge carries a model-level :class:`RestrictionProof`.
+_WarmGate = Callable[[Clip, RuleConfig], tuple[bool, bool]]
 
 #: Statuses with no usable solve outcome: excluded from Δcost (they
 #: prove neither optimality nor infeasibility), surfaced in reports.
@@ -80,6 +86,10 @@ class ClipRuleOutcome:
     quarantined: bool = False
     #: a cold re-solve replaced the quarantined result and certified.
     healed: bool = False
+    #: this pair's warm-start edge carried a model-level
+    #: :class:`~repro.analysis.semantics.restriction.RestrictionProof`
+    #: (False for cold solves and for predicate-only gating).
+    restriction_certified: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -107,6 +117,10 @@ class DeltaCostStudy:
     rule_names: list[str]
     outcomes: dict[str, list[ClipRuleOutcome]] = field(default_factory=dict)
     baseline_rule: str = "RULE1"
+    #: predicate-vs-prover disagreements in the buggy direction (the
+    #: syntactic predicate accepted an edge the model-level prover
+    #: could not certify); always empty on a healthy formulation.
+    restriction_disagreements: list[str] = field(default_factory=list)
 
     def delta_costs(self, rule_name: str) -> list[float]:
         """Per-clip Δcost vs the baseline rule, in clip order.
@@ -181,6 +195,13 @@ class DeltaCostStudy:
         """Quarantined clips that stayed uncertified (reported as
         ERROR; a chaos-audited sweep must end with zero of these)."""
         return sum(1 for o in self.outcomes[rule_name] if o.unhealed)
+
+    def restriction_certified_count(self, rule_name: str) -> int:
+        """Clips whose warm-start edge carried a model-level
+        restriction proof under this rule."""
+        return sum(
+            1 for o in self.outcomes[rule_name] if o.restriction_certified
+        )
 
     def drc_violation_count(self, rule_name: str) -> "int | None":
         """Total DRC violations across checked routings, or ``None``
@@ -278,6 +299,14 @@ class EvalConfig:
     #: deterministic fraction of pairs cross-checked on the alternate
     #: backend (0 = certificates only, no extra solves).
     cross_check_fraction: float = 0.0
+    #: gate every warm-start edge on a model-level
+    #: :class:`~repro.analysis.semantics.restriction.RestrictionProof`
+    #: instead of the syntactic :func:`is_restriction` predicate alone.
+    #: The prover is cross-checked against the predicate: an edge the
+    #: predicate accepts but the prover cannot certify is never warmed
+    #: and is reported in ``DeltaCostStudy.restriction_disagreements``.
+    #: Off = historical predicate-only gating (no proofs built).
+    prove_restrictions: bool = True
 
 
 def evaluate_clips(
@@ -323,6 +352,28 @@ def evaluate_clips(
             journal.clear()
 
     baseline = rules[0]
+    restriction_disagreements: list[str] = []
+    certified_edges: set[tuple[str, str]] = set()
+    prover: RestrictionProver | None = None
+    if config.incremental and config.prove_restrictions:
+        prover = RestrictionProver(
+            wire_cost=config.wire_cost, via_cost=config.via_cost
+        )
+
+    def warm_gate(clip: Clip, follower: RuleConfig) -> tuple[bool, bool]:
+        predicate = is_restriction(baseline, follower)
+        if prover is None:
+            return predicate, False
+        proof = prover.prove(clip, baseline, follower)
+        if predicate and not proof.holds:
+            restriction_disagreements.append(
+                f"{clip.name}: predicate accepts "
+                f"{baseline.name} -> {follower.name} but the model-level "
+                "proof failed: " + "; ".join(proof.failures)
+            )
+            return False, False
+        return proof.holds, proof.holds
+
     if config.incremental:
         # Clip-major, baseline rule first: each clip's rules form one
         # warm-start group on one worker.
@@ -353,7 +404,9 @@ def evaluate_clips(
             # transfer) -- pre-seed what the in-group derive cannot.
             prior = done.get((clip.name, baseline.name))
             if prior is not None:
-                job = _warm_from_outcome(job, baseline, prior)
+                job = _warm_from_outcome(
+                    job, baseline, prior, warm_gate, certified_edges
+                )
         return job
 
     if config.incremental:
@@ -449,6 +502,9 @@ def evaluate_clips(
             audit_ok=audit_ok,
             quarantined=was_quarantined,
             healed=was_healed,
+            restriction_certified=(
+                (clip.name, rule.name) in certified_edges
+            ),
         )
         fresh[(clip.name, rule.name)] = outcome
         if journal is not None:
@@ -460,7 +516,9 @@ def evaluate_clips(
         )
         if base is None:
             return job
-        return _warm_from_result(job, baseline, base)
+        return _warm_from_result(
+            job, baseline, base, warm_gate, certified_edges
+        )
 
     SupervisedRunner(supervisor).run_groups(
         groups,
@@ -473,6 +531,7 @@ def evaluate_clips(
         clip_names=[clip.name for clip in clips],
         rule_names=[rule.name for rule in rules],
         baseline_rule=rules[0].name,
+        restriction_disagreements=restriction_disagreements,
     )
     for rule in rules:
         study.outcomes[rule.name] = [
@@ -482,49 +541,87 @@ def evaluate_clips(
     return study
 
 
+def _predicate_gate(baseline: RuleConfig) -> _WarmGate:
+    """The historical gate: syntactic predicate, no certification."""
+
+    def gate(clip: Clip, follower: RuleConfig) -> tuple[bool, bool]:
+        return is_restriction(baseline, follower), False
+
+    return gate
+
+
 def _warm_from_result(
-    job: RouteJob, baseline: RuleConfig, base: OptRouteResult
+    job: RouteJob,
+    baseline: RuleConfig,
+    base: OptRouteResult,
+    gate: _WarmGate | None = None,
+    certified_edges: "set[tuple[str, str]] | None" = None,
 ) -> RouteJob:
     """Rewrite a follower job with warm-start fields from its clip's
-    baseline result.  Only sound transfers are made: the follower must
-    be a pure restriction of the baseline, and the baseline outcome
+    baseline result.  Only sound transfers are made: the warm gate
+    must allow the edge (model-level restriction proof, or the
+    syntactic predicate when proving is off), and the baseline outcome
     must be trustworthy (not degraded -- fallback backends carry no
     optimality or infeasibility proof)."""
     from dataclasses import replace
 
-    if base.degraded or not is_restriction(baseline, job.rules):
+    if gate is None:
+        gate = _predicate_gate(baseline)
+    if base.degraded:
         return job
+    allowed, certified = gate(job.clip, job.rules)
+    if not allowed:
+        return job
+    warmed: RouteJob | None = None
     if base.status is RouteStatus.INFEASIBLE:
-        return replace(job, warm_infeasible=True)
-    if (
+        warmed = replace(job, warm_infeasible=True)
+    elif (
         base.status is RouteStatus.OPTIMAL
         and base.routing is not None
         and base.cost is not None
     ):
-        return replace(
+        warmed = replace(
             job,
             warm_routing=base.routing,
             warm_cost=base.cost,
             warm_lower_bound=base.cost,
         )
-    return job
+    if warmed is None:
+        return job
+    if certified and certified_edges is not None:
+        certified_edges.add((job.clip.name, job.rules.name))
+    return warmed
 
 
 def _warm_from_outcome(
-    job: RouteJob, baseline: RuleConfig, prior: ClipRuleOutcome
+    job: RouteJob,
+    baseline: RuleConfig,
+    prior: ClipRuleOutcome,
+    gate: _WarmGate | None = None,
+    certified_edges: "set[tuple[str, str]] | None" = None,
 ) -> RouteJob:
     """Warm fields from a *journaled* baseline outcome (resume path).
     The journal stores no routing geometry, so only the infeasibility
     proof and the lower bound transfer."""
     from dataclasses import replace
 
-    if prior.degraded or not is_restriction(baseline, job.rules):
+    if gate is None:
+        gate = _predicate_gate(baseline)
+    if prior.degraded:
         return job
+    allowed, certified = gate(job.clip, job.rules)
+    if not allowed:
+        return job
+    warmed: RouteJob | None = None
     if prior.status is RouteStatus.INFEASIBLE:
-        return replace(job, warm_infeasible=True)
-    if prior.status is RouteStatus.OPTIMAL and prior.cost is not None:
-        return replace(job, warm_lower_bound=prior.cost)
-    return job
+        warmed = replace(job, warm_infeasible=True)
+    elif prior.status is RouteStatus.OPTIMAL and prior.cost is not None:
+        warmed = replace(job, warm_lower_bound=prior.cost)
+    if warmed is None:
+        return job
+    if certified and certified_edges is not None:
+        certified_edges.add((job.clip.name, job.rules.name))
+    return warmed
 
 
 def _require_unique_names(
@@ -546,6 +643,7 @@ def _to_outcome(
     audit_ok: "bool | None" = None,
     quarantined: bool = False,
     healed: bool = False,
+    restriction_certified: bool = False,
 ) -> ClipRuleOutcome:
     stats = result.presolve_stats
     return ClipRuleOutcome(
@@ -572,6 +670,7 @@ def _to_outcome(
         audit_ok=audit_ok,
         quarantined=quarantined,
         healed=healed,
+        restriction_certified=restriction_certified,
     )
 
 
@@ -603,6 +702,7 @@ def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
         "audit_ok": outcome.audit_ok,
         "quarantined": outcome.quarantined,
         "healed": outcome.healed,
+        "restriction_certified": outcome.restriction_certified,
     }
 
 
@@ -632,4 +732,5 @@ def outcome_from_record(record: dict) -> ClipRuleOutcome:
         audit_ok=record.get("audit_ok"),
         quarantined=record.get("quarantined", False),
         healed=record.get("healed", False),
+        restriction_certified=record.get("restriction_certified", False),
     )

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field, replace
 from repro.clips.clip import Clip, ClipNet
 from repro.ilp.model import LinExpr, Model, Var
 from repro.router.graph import ArcKind, ShapeViaInstance, SwitchboxGraph, build_graph
-from repro.router.rules import RuleConfig
+from repro.router.rules import RuleConfig, eol_grid_offset
 
 
 @dataclass
@@ -632,10 +632,7 @@ class _Builder:
             return expr
 
         def offset_vid(x: int, y: int, along: int, cross_off: int) -> "int | None":
-            if horizontal:
-                x2, y2 = x + along, y + cross_off
-            else:
-                x2, y2 = x + cross_off, y + along
+            x2, y2 = eol_grid_offset(horizontal, x, y, along, cross_off)
             if 0 <= x2 < clip.nx and 0 <= y2 < clip.ny:
                 return g.vid(x2, y2, z)
             return None
@@ -647,22 +644,21 @@ class _Builder:
                 # swap handled by iterating every vertex.
                 pos_here = global_p("p_pos", vid)
                 neg_here = global_p("p_neg", vid)
-                for da, dc in self.rules.sadp.opposite_offsets:
+                for da, dc in self.rules.sadp.opposite_pairs():
                     if pos_here.coefs:
                         j = offset_vid(x, y, da, dc)
                         if j is not None:
                             neg_there = global_p("p_neg", j)
                             if neg_there.coefs:
                                 m.add(pos_here + neg_there <= 1)
-                for da, dc in self.rules.sadp.same_offsets:
-                    # Offsets are given from the p_pos perspective and
-                    # mirror along the wire direction for p_neg.
+                for da, dc in self.rules.sadp.same_pairs(1):
                     j_pos = offset_vid(x, y, da, dc)
                     if j_pos is not None and j_pos > vid and pos_here.coefs:
                         pos_there = global_p("p_pos", j_pos)
                         if pos_there.coefs:
                             m.add(pos_here + pos_there <= 1)
-                    j_neg = offset_vid(x, y, -da, dc)
+                for da, dc in self.rules.sadp.same_pairs(-1):
+                    j_neg = offset_vid(x, y, da, dc)
                     if j_neg is not None and j_neg > vid and neg_here.coefs:
                         neg_there = global_p("p_neg", j_neg)
                         if neg_there.coefs:

@@ -60,6 +60,36 @@ class SadpParams:
         (-1, 1), (-1, -1), (1, 1), (1, -1),
     )
 
+    def opposite_pairs(self) -> tuple[tuple[int, int], ...]:
+        """Forbidden offsets of a *negative* EOL relative to a positive
+        one, in (along, cross) units -- evaluated once per pos/neg pair,
+        always from the positive-EOL perspective."""
+        return self.opposite_offsets
+
+    def same_pairs(self, side: int) -> tuple[tuple[int, int], ...]:
+        """Forbidden offsets of a same-polarity EOL relative to an EOL
+        of polarity ``side`` (+1 / -1), in (along, cross) units.  The
+        patterns are given from the positive-EOL perspective and mirror
+        along the wire direction for negative EOLs."""
+        return tuple((side * da, dc) for da, dc in self.same_offsets)
+
+
+def eol_grid_offset(
+    horizontal: bool, x: int, y: int, along: int, cross: int
+) -> tuple[int, int]:
+    """Map an (along, cross) EOL offset to grid (x, y) on a layer whose
+    routing direction is ``horizontal``.
+
+    This is the single source of truth for SADP offset orientation:
+    the ILP formulation and the geometric DRC oracle both consume it,
+    so the two sides cannot silently drift apart (the formulation
+    semantics checker additionally proves they agree -- see
+    ``docs/static_analysis.md``).
+    """
+    if horizontal:
+        return x + along, y + cross
+    return x + cross, y + along
+
 
 @dataclass(frozen=True)
 class RuleConfig:

@@ -63,9 +63,11 @@ class TestParser:
         out = capsys.readouterr().out
         assert code == 0
         payload = json.loads(out)
-        assert payload[0]["rule"] == "RULE1"
-        assert "findings" in payload[0]["lint"]
-        assert "stats" in payload[0]["lint"]
+        assert payload["schema_version"] == 1
+        reports = payload["reports"]
+        assert reports[0]["rule"] == "RULE1"
+        assert "findings" in reports[0]["lint"]
+        assert "stats" in reports[0]["lint"]
 
     def test_full_flow_small(self, capsys):
         code = main([

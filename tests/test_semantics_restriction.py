@@ -1,0 +1,147 @@
+"""Restriction-prover tests (``repro.analysis.semantics.restriction``).
+
+The model-level prover must agree with -- or strictly strengthen --
+the syntactic ``is_restriction`` predicate on arbitrary rule configs
+(hypothesis metamorphic suite), and prover-certified warm starts must
+leave sweep results identical to a cold run.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.semantics import RestrictionProver, micro_corpus
+from repro.clips import SyntheticClipSpec, make_synthetic_clip
+from repro.eval import EvalConfig, evaluate_clips, paper_rules
+from repro.router.rules import (
+    RuleConfig,
+    SadpParams,
+    ViaRestriction,
+    is_restriction,
+)
+
+
+def _micro_clip(name: str):
+    for micro in micro_corpus():
+        if micro.clip.name == name:
+            return micro.clip
+    raise KeyError(name)
+
+
+#: Shared across tests/examples so BaseFormulation builds are cached.
+_PROVER = RestrictionProver()
+_CLIP = _micro_clip("mc-via")
+
+_OFFSET = st.tuples(st.integers(-1, 1), st.integers(-1, 1)).filter(
+    lambda o: o != (0, 0)
+)
+_OFFSETS = st.frozensets(_OFFSET, max_size=4).map(lambda s: tuple(sorted(s)))
+
+_RULES = st.builds(
+    RuleConfig,
+    name=st.just("RND"),
+    via_restriction=st.sampled_from(sorted(ViaRestriction, key=lambda v: v.value)),
+    sadp_min_metal=st.sampled_from([None, 2, 3]),
+    allow_via_shapes=st.booleans(),
+    sadp=st.builds(
+        SadpParams, opposite_offsets=_OFFSETS, same_offsets=_OFFSETS
+    ),
+)
+
+
+class TestMetamorphic:
+    """Random rule pairs: the prover never contradicts the predicate."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=_RULES, other=_RULES)
+    def test_prover_agrees_with_or_strengthens_predicate(self, base, other):
+        proof = _PROVER.prove(_CLIP, base, other)
+        assert proof.predicate == is_restriction(base, other)
+        # The buggy direction is impossible: whenever the syntactic
+        # predicate claims a restriction, the model-level proof must
+        # close.  (holds=True with predicate=False is fine -- the
+        # prover sees domination the syntax cannot.)
+        assert proof.agrees_with_predicate
+        if proof.predicate:
+            assert proof.holds
+
+    @settings(max_examples=15, deadline=None)
+    @given(rule=_RULES)
+    def test_reflexive(self, rule):
+        proof = _PROVER.prove(_CLIP, rule, rule)
+        assert proof.holds
+        assert proof.n_matched == proof.n_rows
+
+
+class TestTable3:
+    """All ordered Table-3 pairs on a via-bearing micro-clip."""
+
+    def test_predicate_prover_agreement_on_all_pairs(self):
+        rules = paper_rules()
+        strengthened = 0
+        for base in rules:
+            for other in rules:
+                if base.name == other.name:
+                    continue
+                proof = _PROVER.prove(_CLIP, base, other)
+                assert proof.predicate == is_restriction(base, other)
+                assert proof.agrees_with_predicate, (
+                    f"{base.name} -> {other.name}: predicate says "
+                    f"restriction but prover failed on {proof.failures}"
+                )
+                if proof.holds and not proof.predicate:
+                    strengthened += 1
+        # The prover is strictly stronger than the syntax on Table 3.
+        assert strengthened > 0
+
+    def test_rule1_base_is_vacuous(self):
+        rules = {r.name: r for r in paper_rules()}
+        proof = _PROVER.prove(_CLIP, rules["RULE1"], rules["RULE7"])
+        assert proof.holds
+        assert proof.n_rows == 0  # RULE1 adds no delta rows
+
+    def test_via_shape_mismatch_fails_closed(self):
+        rule1 = paper_rules()[0]
+        shaped = dataclasses.replace(rule1, allow_via_shapes=True)
+        proof = _PROVER.prove(_CLIP, rule1, shaped)
+        assert not proof.holds
+        assert not proof.predicate
+        assert proof.agrees_with_predicate
+
+
+class TestCertifiedWarmSweep:
+    """Warm-start sweep under proofs == cold sweep, edge for edge."""
+
+    def test_warm_equals_cold_and_every_edge_is_certified(self):
+        spec = SyntheticClipSpec(
+            nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1,
+            access_points_per_pin=2,
+        )
+        clips = [make_synthetic_clip(spec, seed=s) for s in range(2)]
+        rules = paper_rules()[:4]
+        warm = evaluate_clips(
+            clips, rules,
+            EvalConfig(time_limit_per_clip=30.0, audit=False),
+        )
+        cold = evaluate_clips(
+            clips, rules,
+            EvalConfig(
+                time_limit_per_clip=30.0, audit=False, incremental=False
+            ),
+        )
+        # No predicate-vs-prover disagreement in the buggy direction.
+        assert warm.restriction_disagreements == []
+        certified_edges = 0
+        for rule in warm.rule_names:
+            warm_outcomes = warm.outcomes[rule]
+            cold_outcomes = cold.outcomes[rule]
+            assert [
+                (o.status, o.cost) for o in warm_outcomes
+            ] == [(o.status, o.cost) for o in cold_outcomes]
+            for outcome in warm_outcomes:
+                # Every consumed warm edge carries a restriction proof.
+                if outcome.warm_used:
+                    assert outcome.restriction_certified
+            certified_edges += warm.restriction_certified_count(rule)
+        assert certified_edges > 0
