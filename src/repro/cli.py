@@ -71,6 +71,9 @@ def _cmd_route_clip(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    import signal
+    import threading
+
     from repro.clips import SyntheticClipSpec, make_synthetic_clip
     from repro.eval import (
         EvalConfig,
@@ -79,10 +82,17 @@ def _cmd_evaluate(args) -> int:
         rules_for_technology,
     )
     from repro.eval.report import format_sorted_traces
-    from repro.exec import RetryPolicy, SupervisorConfig
+    from repro.exec import RetryPolicy, SupervisorConfig, SweepInterrupted
 
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.procs > 1 and not args.checkpoint:
+        print("--procs > 1 requires --checkpoint (the journal is the "
+              "coordination log)", file=sys.stderr)
+        return 2
+    if args.chaos_kill and args.procs <= 1:
+        print("--chaos-kill requires --procs > 1", file=sys.stderr)
         return 2
 
     spec = SyntheticClipSpec(
@@ -103,20 +113,60 @@ def _cmd_evaluate(args) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts),
         backends=fallback,
     )
-    study = evaluate_clips(
-        clips, rules,
-        EvalConfig(
-            time_limit_per_clip=args.time_limit,
-            presolve=not args.no_presolve,
-            incremental=not args.no_incremental,
-            solve_cache_dir=args.solve_cache,
-            audit=not args.no_audit,
-            cross_check_fraction=args.cross_check,
-        ),
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-        supervisor=supervisor,
-    )
+    # Graceful shutdown (SIGINT/SIGTERM): set the stop event so the
+    # coordinator flushes the journal, releases leases, and reaps
+    # workers; print the exact resume command instead of a traceback.
+    stop_event = threading.Event()
+    previous_handlers = {}
+
+    def _request_stop(signum, _frame) -> None:
+        stop_event.set()
+        # Restore default so a second Ctrl-C force-quits.
+        signal.signal(signum, previous_handlers.get(signum, signal.SIG_DFL))
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+        except ValueError:  # non-main thread (embedding); skip handlers
+            previous_handlers.pop(signum, None)
+
+    def _resume_hint() -> str:
+        argv = [a for a in sys.argv[1:] if a != "--resume"]
+        return "repro " + " ".join(argv + ["--resume"])
+
+    try:
+        study = evaluate_clips(
+            clips, rules,
+            EvalConfig(
+                time_limit_per_clip=args.time_limit,
+                presolve=not args.no_presolve,
+                incremental=not args.no_incremental,
+                solve_cache_dir=args.solve_cache,
+                audit=not args.no_audit,
+                cross_check_fraction=args.cross_check,
+                n_procs=args.procs,
+                race=args.race,
+                time_budget=args.time_budget,
+            ),
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            supervisor=supervisor,
+            chaos_kills=args.chaos_kill,
+            chaos_seed=args.chaos_seed,
+            stop_event=stop_event,
+        )
+    except (SweepInterrupted, KeyboardInterrupt):
+        print("\nsweep interrupted: completed pairs are journaled; "
+              "leases released; workers reaped.", file=sys.stderr)
+        if args.checkpoint:
+            print(f"resume with:\n  {_resume_hint()}", file=sys.stderr)
+        return 130
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:
+                pass
     print(format_delta_cost_table(study, title=f"Δcost study ({args.tech})"))
     print(format_sorted_traces(study))
     if not args.no_audit:
@@ -525,6 +575,23 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="FRACTION",
                     help="re-solve this deterministic fraction of pairs "
                          "on the alternate backend and compare claims")
+    ev.add_argument("--procs", type=int, default=1,
+                    help="distributed sweep worker processes coordinated "
+                         "through the --checkpoint journal (leases; any "
+                         "worker may die without losing results)")
+    ev.add_argument("--race", action="store_true",
+                    help="race HiGHS and B&B on clips predicted hard; "
+                         "first certified answer wins, loser cancelled")
+    ev.add_argument("--time-budget", type=float, default=None,
+                    metavar="SECONDS",
+                    help="sweep-level wall-clock budget allocated "
+                         "hardest-first with bounded degradation "
+                         "(racing -> single backend -> baseline)")
+    ev.add_argument("--chaos-kill", type=int, default=0, metavar="N",
+                    help="chaos scenario: SIGKILL N random workers "
+                         "mid-sweep (requires --procs > 1)")
+    ev.add_argument("--chaos-seed", type=int, default=0,
+                    help="seed for the chaos kill plan")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear a persistent solve cache"

@@ -10,13 +10,16 @@ re-solving finished pairs.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 
 from repro.analysis.semantics.restriction import RestrictionProver
 from repro.clips.clip import Clip
 from repro.eval.rule_configs import INFEASIBLE_DELTA
-from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.checkpoint import CheckpointJournal, dedupe_results
 from repro.exec.faults import FaultPlan
 from repro.exec.policy import SupervisorConfig
 from repro.exec.runner import RouteJob, SupervisedRunner
@@ -90,6 +93,10 @@ class ClipRuleOutcome:
     #: :class:`~repro.analysis.semantics.restriction.RestrictionProof`
     #: (False for cold solves and for predicate-only gating).
     restriction_certified: bool = False
+    #: per-attempt provenance from the supervised runner: one dict per
+    #: attempt (backend, outcome, failure detail, elapsed seconds) --
+    #: journaled so a resumed sweep keeps the full retry history.
+    attempt_log: tuple = ()
 
     @property
     def feasible(self) -> bool:
@@ -121,6 +128,9 @@ class DeltaCostStudy:
     #: syntactic predicate accepted an edge the model-level prover
     #: could not certify); always empty on a healthy formulation.
     restriction_disagreements: list[str] = field(default_factory=list)
+    #: :class:`repro.exec.distributed.DistributedReport` of the run
+    #: (None for single-process sweeps).
+    distributed_report: "object | None" = None
 
     def delta_costs(self, rule_name: str) -> list[float]:
         """Per-clip Δcost vs the baseline rule, in clip order.
@@ -307,6 +317,25 @@ class EvalConfig:
     #: and is reported in ``DeltaCostStudy.restriction_disagreements``.
     #: Off = historical predicate-only gating (no proofs built).
     prove_restrictions: bool = True
+    #: worker processes for lease-coordinated distributed execution
+    #: (:mod:`repro.exec.distributed`).  1 = the historical
+    #: single-process flow; > 1 requires ``checkpoint_path`` (the
+    #: journal is the coordination log).  Per-pair results are
+    #: deterministic and deduplicated first-wins, so the Δcost table
+    #: is byte-identical to a sequential run.
+    n_procs: int = 1
+    #: portfolio-race both exact backends on clips predicted hard by
+    #: the paper's pin-cost metric (and on clips whose journaled prior
+    #: attempt hit LIMIT).  First *certified* answer wins; both
+    #: backends are exact, so results are unchanged -- only latency.
+    race: bool = False
+    #: fraction of clips (hardest-first) eligible for racing.
+    race_fraction: float = 0.5
+    #: sweep-level wall-clock budget in seconds (None = unbounded).
+    #: Per-clip deadlines are allocated hardest-first from it, and the
+    #: runner degrades racing -> single backend -> baseline as it
+    #: drains (see :class:`repro.exec.portfolio.SweepBudget`).
+    time_budget: float | None = None
 
 
 def evaluate_clips(
@@ -318,6 +347,13 @@ def evaluate_clips(
     resume: bool = False,
     supervisor: SupervisorConfig | None = None,
     fault_plan: FaultPlan | None = None,
+    race_clips: "frozenset[str] | None" = None,
+    budget=None,
+    clip_deadlines: "dict[str, float] | None" = None,
+    chaos_kills: int = 0,
+    chaos_seed: int = 0,
+    stop_event: "threading.Event | None" = None,
+    _concurrent: bool = False,
 ) -> DeltaCostStudy:
     """Run OptRouter on every (clip, rule) pair under the supervisor.
 
@@ -333,11 +369,41 @@ def evaluate_clips(
     retry / fallback policy (default: inline single-worker, matching
     the historical in-process flow); ``fault_plan`` is for the
     robustness tests.
+
+    ``config.n_procs > 1`` switches to the lease-coordinated
+    distributed fabric (requires ``checkpoint_path``); ``chaos_kills``
+    SIGKILLs that many random workers mid-sweep (the chaos scenario)
+    and ``stop_event`` is the graceful-shutdown hook.  ``race_clips``
+    / ``budget`` / ``clip_deadlines`` override the racing-eligible
+    set, the sweep budget, and the per-clip deadline allocation
+    (normally derived from ``config``; distributed workers receive the
+    coordinator's values so every process agrees).  ``_concurrent``
+    marks a call *from* a distributed worker: the journal is then only
+    read tolerantly (no healing compaction, which would race peer
+    appends) and never truncated.
     """
     if config is None:
         config = EvalConfig()
     if not rules:
         raise ValueError("need at least one rule configuration")
+    if config.n_procs > 1 and not _concurrent:
+        if checkpoint_path is None:
+            raise ValueError(
+                "distributed evaluation (n_procs > 1) requires "
+                "checkpoint_path: the journal is the coordination log"
+            )
+        return _evaluate_distributed(
+            clips,
+            rules,
+            config,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            supervisor=supervisor,
+            fault_plan=fault_plan,
+            chaos_kills=chaos_kills,
+            chaos_seed=chaos_seed,
+            stop_event=stop_event,
+        )
 
     journal: CheckpointJournal | None = None
     done: dict[tuple[str, str], ClipRuleOutcome] = {}
@@ -345,13 +411,39 @@ def evaluate_clips(
         _require_unique_names(clips, rules)
         journal = CheckpointJournal(checkpoint_path)
         if resume:
-            for record in journal.load():
+            # A journal written by multiple workers holds lease records
+            # and (after lease reclaims) possibly several records per
+            # pair: keep result records only, first occurrence wins.
+            records = journal.read() if _concurrent else journal.load()
+            for record in dedupe_results(records):
                 outcome = outcome_from_record(record)
                 done[(outcome.clip_name, outcome.rule_name)] = outcome
-        else:
+        elif not _concurrent:
             journal.clear()
 
     baseline = rules[0]
+    race_set: "frozenset[str]" = frozenset()
+    if config.race:
+        if race_clips is not None:
+            race_set = frozenset(race_clips)
+        else:
+            from repro.exec.portfolio import predicted_hard
+
+            race_set = frozenset(
+                predicted_hard(list(clips), config.race_fraction)
+            )
+    if budget is None and config.time_budget is not None:
+        from repro.exec.portfolio import SweepBudget
+
+        budget = SweepBudget(total=config.time_budget)
+    if (
+        clip_deadlines is None
+        and config.time_budget is not None
+    ):
+        from repro.exec.portfolio import clip_deadlines as _allocate
+
+        clip_deadlines = _allocate(list(clips), config.time_budget)
+
     restriction_disagreements: list[str] = []
     certified_edges: set[tuple[str, str]] = set()
     prover: RestrictionProver | None = None
@@ -387,16 +479,34 @@ def evaluate_clips(
     ]
 
     def make_job(clip: Clip, rule: RuleConfig) -> RouteJob:
+        time_limit = config.time_limit_per_clip
+        if clip_deadlines is not None and clip.name in clip_deadlines:
+            # The clip's budget share, spread across its rule jobs.
+            per_pair = clip_deadlines[clip.name] / max(1, len(rules))
+            time_limit = (
+                per_pair if time_limit is None else min(time_limit, per_pair)
+            )
+        race_with = None
+        if race_set and config.backend != "baseline":
+            prior_limit = any(
+                o.status is RouteStatus.LIMIT and o.clip_name == clip.name
+                for o in done.values()
+            )
+            if clip.name in race_set or prior_limit:
+                from repro.exec.portfolio import RACE_BACKENDS
+
+                race_with = RACE_BACKENDS
         job = RouteJob(
             clip=clip,
             rules=rule,
             wire_cost=config.wire_cost,
             via_cost=config.via_cost,
             backend=config.backend,
-            time_limit=config.time_limit_per_clip,
+            time_limit=time_limit,
             certify=config.certify,
             presolve=config.presolve,
             solve_cache_dir=config.solve_cache_dir,
+            race_with=race_with,
         )
         if config.incremental and rule.name != baseline.name:
             # A resumed sweep may hold the clip's baseline outcome in
@@ -420,6 +530,16 @@ def evaluate_clips(
             group.append(make_job(clip, rule))
     else:
         groups = [[make_job(clip, rule)] for clip, rule in pending]
+    if (race_set or budget is not None) and len(groups) > 1:
+        # Hardest-first straggler control: the most uncertain clips run
+        # while the budget is still generous.  Execution order does not
+        # affect per-pair results, so reports are unchanged.
+        from repro.exec.portfolio import hardness
+
+        groups.sort(key=lambda g: (-hardness(g[0].clip), g[0].clip.name))
+    # Flat (clip, rule) positions in concatenated group order -- the
+    # index space of fault plans and ``on_result``.
+    flat_pairs = [(job.clip, job.rules) for group in groups for job in group]
     if supervisor is None:
         supervisor = SupervisorConfig(n_workers=1, isolation="inline")
 
@@ -457,7 +577,7 @@ def evaluate_clips(
         return result
 
     def on_result(index: int, result: OptRouteResult) -> None:
-        clip, rule = pending[index]
+        clip, rule = flat_pairs[index]
         audited = False
         audit_ok: "bool | None" = None
         was_quarantined = False
@@ -509,6 +629,15 @@ def evaluate_clips(
         fresh[(clip.name, rule.name)] = outcome
         if journal is not None:
             journal.append(outcome_to_record(outcome))
+        if stop_event is not None and stop_event.is_set():
+            # Graceful shutdown: the pair just finished is journaled,
+            # so a resume continues exactly here.
+            from repro.exec.distributed import SweepInterrupted
+
+            raise SweepInterrupted(
+                "sweep interrupted after journaling the current pair",
+                str(checkpoint_path) if checkpoint_path else "",
+            )
 
     def derive(job: RouteJob, group_results: list[OptRouteResult]) -> RouteJob:
         base = next(
@@ -520,7 +649,7 @@ def evaluate_clips(
             job, baseline, base, warm_gate, certified_edges
         )
 
-    SupervisedRunner(supervisor).run_groups(
+    SupervisedRunner(supervisor, budget=budget).run_groups(
         groups,
         fault_plan=fault_plan,
         on_result=on_result,
@@ -538,6 +667,162 @@ def evaluate_clips(
             fresh.get((clip.name, rule.name)) or done[(clip.name, rule.name)]
             for clip in clips
         ]
+    return study
+
+
+def _distributed_group_work(
+    group_key: str,
+    *,
+    journal_path: str,
+    clips: "list[Clip]",
+    rules: "list[RuleConfig]",
+    config: EvalConfig,
+    supervisor: SupervisorConfig,
+    race_clips: "frozenset[str]",
+    clip_deadlines: "dict[str, float] | None",
+    wall_start: float,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Worker-side evaluation of one clip group (module-level so it is
+    picklable on spawn-only platforms).
+
+    Re-enters :func:`evaluate_clips` for the single clip with
+    ``_concurrent=True``: the journal is read tolerantly (peers are
+    appending), already-journaled pairs are skipped -- which is what
+    makes lease reclaims re-solve only the *unfinished* remainder of a
+    dead worker's group -- and every completed pair is appended as a
+    result record.  Racing/budget context comes from the coordinator
+    so all workers agree; the budget is reconstructed on the wall
+    clock so it drains sweep-wide, not per worker.
+    """
+    clip = next(c for c in clips if c.name == group_key)
+    budget = None
+    if config.time_budget is not None:
+        from repro.exec.portfolio import SweepBudget
+
+        budget = SweepBudget(
+            total=config.time_budget, started=wall_start, clock=time.time
+        )
+    evaluate_clips(
+        [clip],
+        rules,
+        replace(config, n_procs=1),
+        checkpoint_path=journal_path,
+        resume=True,
+        supervisor=replace(supervisor, n_workers=1, isolation="process"),
+        fault_plan=fault_plan,
+        race_clips=race_clips,
+        budget=budget,
+        clip_deadlines=clip_deadlines,
+        _concurrent=True,
+    )
+
+
+def _evaluate_distributed(
+    clips: Sequence[Clip],
+    rules: Sequence[RuleConfig],
+    config: EvalConfig,
+    *,
+    checkpoint_path: "str | os.PathLike[str]",
+    resume: bool,
+    supervisor: SupervisorConfig | None,
+    fault_plan: FaultPlan | None,
+    chaos_kills: int,
+    chaos_seed: int,
+    stop_event: "threading.Event | None",
+) -> DeltaCostStudy:
+    """Lease-coordinated multi-process evaluation (the tentpole path).
+
+    The coordinator heals the journal once up front (safe: no workers
+    yet), shards clip groups hardest-first across ``config.n_procs``
+    workers via :func:`repro.exec.distributed.run_distributed`, then
+    closes with a sequential resume pass that heals the journal
+    (quarantining any line torn by a SIGKILL mid-write), re-solves
+    anything still missing, and builds the study -- so the returned
+    report is byte-identical to a single-process run of the same sweep.
+    """
+    from repro.exec.chaos import ChaosMonkey, KillPlan
+    from repro.exec.distributed import DistributedConfig, run_distributed
+    from repro.exec.portfolio import (
+        clip_deadlines as _allocate,
+        order_hardest_first,
+        predicted_hard,
+    )
+
+    _require_unique_names(clips, rules)
+    journal = CheckpointJournal(checkpoint_path)
+    done: set[tuple[str, str]] = set()
+    if resume:
+        for record in dedupe_results(journal.load()):
+            done.add((record["clip"], record["rule"]))
+    else:
+        journal.clear()
+
+    pending_clips = [
+        clip
+        for clip in clips
+        if any((clip.name, rule.name) not in done for rule in rules)
+    ]
+    keys = [
+        pending_clips[i].name for i in order_hardest_first(pending_clips)
+    ]
+    race_set = (
+        frozenset(predicted_hard(list(clips), config.race_fraction))
+        if config.race
+        else frozenset()
+    )
+    deadlines = (
+        _allocate(list(clips), config.time_budget)
+        if config.time_budget is not None
+        else None
+    )
+    if supervisor is None:
+        supervisor = SupervisorConfig()
+    work = partial(
+        _distributed_group_work,
+        journal_path=str(checkpoint_path),
+        clips=list(clips),
+        rules=list(rules),
+        config=config,
+        supervisor=supervisor,
+        race_clips=race_set,
+        clip_deadlines=deadlines,
+        wall_start=time.time(),
+        fault_plan=fault_plan,
+    )
+    monkey = None
+    dist_config = DistributedConfig(n_procs=config.n_procs)
+    if chaos_kills > 0:
+        # Chaos runs disable respawn: surviving peers (or, in the
+        # extreme, the coordinator's inline floor) must absorb the
+        # killed workers' groups -- that is the property under test.
+        dist_config = replace(dist_config, respawn=False)
+        monkey = ChaosMonkey(
+            CheckpointJournal(checkpoint_path),
+            KillPlan(config.n_procs, chaos_kills, seed=chaos_seed),
+        )
+    report = run_distributed(
+        checkpoint_path,
+        keys,
+        work,
+        dist_config,
+        monkey=monkey,
+        stop_event=stop_event,
+    )
+    # Closing sequential pass: heal the journal (quarantine any line a
+    # SIGKILL tore mid-write), re-solve any still-missing pair, build
+    # the study from the deduplicated records.
+    study = evaluate_clips(
+        clips,
+        rules,
+        replace(config, n_procs=1),
+        checkpoint_path=checkpoint_path,
+        resume=True,
+        supervisor=SupervisorConfig(n_workers=1, isolation="inline"),
+        race_clips=race_set if config.race else None,
+        clip_deadlines=deadlines,
+    )
+    study.distributed_report = report
     return study
 
 
@@ -671,6 +956,7 @@ def _to_outcome(
         quarantined=quarantined,
         healed=healed,
         restriction_certified=restriction_certified,
+        attempt_log=tuple(result.attempt_log),
     )
 
 
@@ -703,6 +989,7 @@ def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
         "quarantined": outcome.quarantined,
         "healed": outcome.healed,
         "restriction_certified": outcome.restriction_certified,
+        "attempt_log": list(outcome.attempt_log),
     }
 
 
@@ -733,4 +1020,5 @@ def outcome_from_record(record: dict) -> ClipRuleOutcome:
         quarantined=record.get("quarantined", False),
         healed=record.get("healed", False),
         restriction_certified=record.get("restriction_certified", False),
+        attempt_log=tuple(record.get("attempt_log", ())),
     )

@@ -104,10 +104,38 @@ def format_audit_table(study: DeltaCostStudy, title: str = "Audit") -> str:
             study.healed_count(rule_name),
             study.unhealed_count(rule_name),
         ))
-    return format_table(
+    table = format_table(
         ("rule", "clips", "audited", "quarantined", "healed", "unhealed"),
         rows,
         title=title,
+    )
+    return table + "\n" + _attempt_summary_line(study)
+
+
+def _attempt_summary_line(study: DeltaCostStudy) -> str:
+    """Retry-diagnostics roll-up from the per-pair attempt logs.
+
+    Counts only, no wall seconds: attempt *timings* legitimately vary
+    run to run, so they stay in the journal records (and ``--timing``)
+    rather than in a report line that should be stable for a given
+    execution configuration.
+    """
+    pairs = attempts = retried = timeouts = raced = 0
+    for rule_name in study.rule_names:
+        for outcome in study.outcomes[rule_name]:
+            log = tuple(getattr(outcome, "attempt_log", ()) or ())
+            pairs += 1
+            attempts += len(log)
+            if len(log) > 1:
+                retried += 1
+            for entry in log:
+                if entry.get("outcome") == "timeout":
+                    timeouts += 1
+                if str(entry.get("backend", "")).startswith("race:"):
+                    raced += 1
+    return (
+        f"attempts: {attempts} across {pairs} pairs "
+        f"({retried} retried, {timeouts} timed out, {raced} raced)"
     )
 
 

@@ -95,6 +95,50 @@ class UtilizationSweep:
         )
 
 
+@dataclass(frozen=True)
+class _PointTask:
+    """Picklable description of one sweep point (for worker processes)."""
+
+    tech: Technology
+    profile: str
+    utilization: float
+    design_seed: int
+    place_seed: int
+    n_instances: int
+    top_k: int
+    max_metal: int
+
+
+def _sweep_point_worker(task: _PointTask) -> SweepPoint:
+    """Run one sweep point end to end (module-level so it pickles).
+
+    Regenerates the cell library from the technology inside the worker
+    -- generation is seeded and cheap, and shipping the task as pure
+    parameters keeps results independent of the executing process.
+    """
+    library = generate_library(task.tech)
+    design = synthesize_design(
+        library, task.profile, task.n_instances, seed=task.design_seed,
+        design_name=(
+            f"{task.profile}_u{int(task.utilization * 100)}_s{task.design_seed}"
+        ),
+    )
+    result = place_design(
+        design, utilization=task.utilization, seed=task.place_seed
+    )
+    grid = RoutingGrid.for_die(task.tech, design.die, max_metal=task.max_metal)
+    routed = route_design(design, grid)
+    clips = extract_clips(design, grid, routed, ClipWindowSpec())
+    top = select_top_clips(clips, k=min(task.top_k, max(1, len(clips))))
+    return SweepPoint(
+        profile=task.profile,
+        utilization_target=task.utilization,
+        utilization_achieved=result.utilization,
+        n_clips=len(clips),
+        top_costs=tuple(clip.pin_cost for clip in top),
+    )
+
+
 def run_utilization_sweep(
     tech: Technology,
     utilizations: tuple[float, ...] = (0.85, 0.90, 0.95),
@@ -103,30 +147,33 @@ def run_utilization_sweep(
     top_k: int = 20,
     max_metal: int = 6,
     seed: int = 0,
+    n_procs: int = 1,
 ) -> UtilizationSweep:
-    """Run the full pipeline per point and collect pin-cost ranges."""
-    library = generate_library(tech)
+    """Run the full pipeline per point and collect pin-cost ranges.
+
+    ``n_procs > 1`` executes points in a process pool
+    (:func:`repro.exec.distributed.parallel_map`); the per-point seed
+    sequence is fixed up front, so results are identical to the
+    sequential run in the sequential order.
+    """
     sweep = UtilizationSweep(tech_name=tech.name)
+    tasks: list[_PointTask] = []
     run_seed = seed
     for profile in profiles:
         for util in utilizations:
-            design = synthesize_design(
-                library, profile, n_instances, seed=run_seed,
-                design_name=f"{profile}_u{int(util * 100)}_s{run_seed}",
-            )
+            design_seed = run_seed
             run_seed += 1
-            result = place_design(design, utilization=util, seed=run_seed)
-            grid = RoutingGrid.for_die(tech, design.die, max_metal=max_metal)
-            routed = route_design(design, grid)
-            clips = extract_clips(design, grid, routed, ClipWindowSpec())
-            top = select_top_clips(clips, k=min(top_k, max(1, len(clips))))
-            sweep.points.append(
-                SweepPoint(
-                    profile=profile,
-                    utilization_target=util,
-                    utilization_achieved=result.utilization,
-                    n_clips=len(clips),
-                    top_costs=tuple(clip.pin_cost for clip in top),
-                )
-            )
+            tasks.append(_PointTask(
+                tech=tech,
+                profile=profile,
+                utilization=util,
+                design_seed=design_seed,
+                place_seed=run_seed,
+                n_instances=n_instances,
+                top_k=top_k,
+                max_metal=max_metal,
+            ))
+    from repro.exec.distributed import parallel_map
+
+    sweep.points.extend(parallel_map(_sweep_point_worker, tasks, n_procs))
     return sweep

@@ -16,6 +16,17 @@ resume set -- the affected pair simply re-solves, which heals both
 the result and (after compaction) the artifact.  A load therefore
 never raises on a corrupt journal and never resumes from a record it
 cannot vouch for.
+
+The journal doubles as a *multi-writer coordination log* for
+distributed sweeps (:mod:`repro.exec.distributed`): every worker
+process appends result and lease records to the same file.  Appends
+are single ``O_APPEND`` writes guarded by an advisory ``flock`` where
+available, so concurrent lines never interleave; a worker SIGKILLed
+mid-write leaves at most one torn final line, which the quarantine
+path absorbs.  Concurrent readers must use :meth:`read` -- a
+side-effect-free tolerant snapshot -- because :meth:`load`'s healing
+compaction (an ``os.replace``) would race in-flight appends; only the
+coordinator may heal, before workers start or after they exit.
 """
 
 from __future__ import annotations
@@ -24,6 +35,11 @@ import json
 import os
 import threading
 from pathlib import Path
+
+try:  # advisory cross-process append lock (POSIX; absent on Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
 
 from repro.util.integrity import seal_record, verify_seal
 
@@ -63,15 +79,26 @@ class CheckpointJournal:
             self.path.write_text("")
 
     def append(self, record: dict) -> None:
-        """Durably append one sealed record (flush + fsync per line)."""
+        """Durably append one sealed record (flush + fsync per line).
+
+        Safe for concurrent writers: the line is written by a single
+        buffered write under an advisory ``flock`` (where available),
+        so records from different processes never interleave.
+        """
         tagged = seal_record({"v": RECORD_VERSION, **record})
         line = json.dumps(tagged, sort_keys=True)
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    fh.write(line + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def load(self, heal: bool = True) -> list[dict]:
         """All trustworthy journaled records, oldest first.
@@ -81,11 +108,26 @@ class CheckpointJournal:
         ``heal`` (the default) the journal is then atomically
         compacted to only the surviving records, so quarantining is
         one-shot rather than repeated on every load.
+
+        Never call this while other processes are appending -- the
+        compaction would drop their in-flight records.  Concurrent
+        pollers use :meth:`read` instead.
         """
         with self._lock:
             return self._load_locked(heal)
 
-    def _load_locked(self, heal: bool) -> list[dict]:
+    def read(self) -> list[dict]:
+        """Tolerant, side-effect-free snapshot of the journal.
+
+        Invalid lines are skipped (``quarantined`` is still populated
+        for inspection) but nothing is written: no sidecar append, no
+        compaction.  This is the only safe way to observe a journal
+        that other worker processes are actively appending to.
+        """
+        with self._lock:
+            return self._load_locked(heal=False, quarantine=False)
+
+    def _load_locked(self, heal: bool, quarantine: bool = True) -> list[dict]:
         self.quarantined = []
         if not self.path.exists():
             return []
@@ -112,7 +154,7 @@ class CheckpointJournal:
                 kept_lines.append(line)
             else:
                 self.quarantined.append((i + 1, reason, line))
-        if self.quarantined:
+        if self.quarantined and quarantine:
             self._write_quarantine()
             if heal:
                 self._compact(kept_lines)
@@ -139,6 +181,41 @@ class CheckpointJournal:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+
+
+def record_kind(record: dict) -> str:
+    """Classify a journal record.
+
+    Result records predate the multi-writer protocol and carry no
+    ``kind`` tag (kept that way for journal compatibility); every
+    coordination record written since tags itself (``"lease"``).
+    """
+    return str(record.get("kind", "result"))
+
+
+def result_records(records: "list[dict]") -> "list[dict]":
+    """The (clip, rule) result records of a journal snapshot."""
+    return [r for r in records if record_kind(r) == "result"]
+
+
+def dedupe_results(records: "list[dict]") -> "list[dict]":
+    """First-wins dedup of result records by (clip, rule).
+
+    Distributed execution is at-least-once: a lease that expires
+    mid-group is reclaimed and its pairs re-solved, so the journal may
+    legitimately hold two records for one pair.  Results are
+    deterministic per pair, so which copy survives is immaterial for
+    correctness; keeping the *first* makes the choice reproducible.
+    """
+    seen: set[tuple[str, str]] = set()
+    unique: list[dict] = []
+    for record in result_records(records):
+        key = (str(record.get("clip")), str(record.get("rule")))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(record)
+    return unique
 
 
 def _validate_line(line: str) -> "str | None":

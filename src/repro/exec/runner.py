@@ -24,6 +24,7 @@ outcomes.  See ``docs/robustness.md``.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import signal
 import time
 from collections.abc import Callable, Sequence
@@ -79,6 +80,11 @@ class RouteJob:
     warm_infeasible: bool = False
     #: persistent solve-cache directory (None = no cache).
     solve_cache_dir: str | None = None
+    #: backends to race concurrently for this job (portfolio mode);
+    #: None/empty = no racing.  The supervisor races them in separate
+    #: processes and keeps the first *certified* answer; on a failed
+    #: race the job falls through to the normal retry/fallback chain.
+    race_with: tuple[str, ...] | None = None
 
     def warm_start(self) -> "WarmStart | None":
         if (
@@ -115,6 +121,19 @@ class RouteJob:
 class _Failure:
     kind: str  # "crash" | "timeout" | "error" | "corrupt"
     detail: str
+
+
+def _attempt_entry(
+    attempt: int, backend: str, outcome: str, detail: str, seconds: float
+) -> dict:
+    """One :attr:`OptRouteResult.attempt_log` entry (JSON-friendly)."""
+    return {
+        "attempt": attempt,
+        "backend": backend,
+        "outcome": outcome,
+        "detail": detail,
+        "seconds": round(seconds, 3),
+    }
 
 
 def _router_for(job: RouteJob, backend: str) -> OptRouter:
@@ -239,15 +258,37 @@ def _fast_exit() -> None:
 
 
 def _mp_context():
+    """Deterministic start-method choice: ``fork`` where available,
+    else explicitly ``spawn``.
+
+    Never the platform *default* context (the old behaviour): the
+    default can drift between Python versions and platforms, and a
+    sweep's crash semantics must not depend on which interpreter ran
+    it.  Spawn requires jobs to be picklable; attempts whose payload
+    cannot be pickled fall back to an inline run that still honors the
+    fault-injection plan (see ``_attempt_process``).
+    """
     methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else None)
+    return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
 class SupervisedRunner:
-    """Runs batches of :class:`RouteJob` under the supervision policy."""
+    """Runs batches of :class:`RouteJob` under the supervision policy.
 
-    def __init__(self, config: SupervisorConfig | None = None):
+    ``budget`` (a :class:`repro.exec.portfolio.SweepBudget`) enables
+    runtime straggler control: as the sweep-level wall clock drains,
+    jobs are degraded in bounded steps -- racing is dropped first, then
+    the backend falls to the always-terminating heuristic baseline --
+    and per-job time limits are clamped to what is actually left.
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig | None = None,
+        budget=None,
+    ):
         self.config = config if config is not None else SupervisorConfig()
+        self.budget = budget
 
     # -- public API ---------------------------------------------------------
 
@@ -350,21 +391,33 @@ class SupervisedRunner:
                 f"injected abort at job {index} "
                 f"({job.clip.name}, {job.rules.name})"
             )
+        job = self._apply_budget(job)
+        attempt_log: list[dict] = []
+        notes: list[str] = []
+        if job.race_with:
+            raced = self._race(job, attempt_log, notes)
+            if raced is not None:
+                return raced
         chain = self._chain(job)
         policy = self.config.retry
-        attempts = 0
-        notes: list[str] = []
+        attempts = len(attempt_log)
         last_failure: _Failure | None = None
         for depth, backend in enumerate(chain):
             for retry in range(policy.max_attempts):
                 attempts += 1
+                t0 = time.perf_counter()
                 result, failure = self._attempt(job, backend, fault, attempts)
+                elapsed = time.perf_counter() - t0
                 if result is not None:
                     result.backend = backend
                     result.attempts = attempts
                     result.degraded = depth > 0 or backend == "baseline"
                     if notes:
                         result.diagnostics = "; ".join(notes)
+                    attempt_log.append(_attempt_entry(
+                        attempts, backend, "ok", "", elapsed
+                    ))
+                    result.attempt_log = attempt_log
                     return result
                 assert failure is not None
                 last_failure = failure
@@ -372,6 +425,9 @@ class SupervisedRunner:
                     f"attempt {attempts} [{backend}]: "
                     f"{failure.kind}: {failure.detail}"
                 )
+                attempt_log.append(_attempt_entry(
+                    attempts, backend, failure.kind, failure.detail, elapsed
+                ))
                 if failure.kind == "timeout":
                     break  # deterministic under the same deadline
                 if retry + 1 < policy.max_attempts:
@@ -388,7 +444,85 @@ class SupervisedRunner:
             backend=chain[-1],
             attempts=attempts,
             diagnostics="; ".join(notes),
+            attempt_log=attempt_log,
         )
+
+    def _apply_budget(self, job: RouteJob) -> RouteJob:
+        """Degrade the job to fit the sweep budget (bounded steps).
+
+        Tiers (see :class:`repro.exec.portfolio.SweepBudget`): plenty
+        of budget -> run as scheduled (racing allowed); running low ->
+        drop racing, keep the single exact backend; nearly exhausted ->
+        heuristic baseline, whose LIMIT results are visibly degraded
+        rather than silently wrong.  Time limits are clamped so no
+        single job can overrun the whole remaining budget.
+        """
+        budget = self.budget
+        if budget is None:
+            return job
+        tier = budget.tier()  # "race" | "single" | "baseline"
+        changes: dict = {}
+        if tier != "race" and job.race_with:
+            changes["race_with"] = None
+        if tier == "baseline" and job.backend != "baseline":
+            changes["backend"] = "baseline"
+            changes["race_with"] = None
+        clamped = budget.clamp(job.time_limit)
+        if clamped is not None and (
+            job.time_limit is None or clamped < job.time_limit
+        ):
+            changes["time_limit"] = max(0.1, clamped)
+        return replace(job, **changes) if changes else job
+
+    def _race(
+        self, job: RouteJob, attempt_log: "list[dict]", notes: "list[str]"
+    ) -> "OptRouteResult | None":
+        """Portfolio-race the job's ``race_with`` backends.
+
+        Returns the certified winner, or None to fall through to the
+        sequential retry/fallback chain (bounded degradation: a failed
+        race costs one logged attempt, never the job).
+        """
+        assert job.race_with
+        if self.config.isolation != "process":
+            notes.append(
+                "race skipped: inline isolation cannot spawn racer "
+                "processes"
+            )
+            return None
+        from repro.exec.portfolio import race_solve  # lazy: cycle
+
+        backends = tuple(job.race_with)
+        outcome = race_solve(
+            job,
+            backends,
+            deadline=self.config.deadline_for(job.time_limit),
+            certify_winner=job.certify,
+        )
+        label = "race:" + "+".join(backends)
+        if outcome.winner is not None:
+            detail = f"winner={outcome.winner}"
+            if outcome.cancelled:
+                detail += f"; cancelled={','.join(outcome.cancelled)}"
+            if outcome.rejected:
+                detail += f"; rejected={','.join(outcome.rejected)}"
+            attempt_log.append(_attempt_entry(
+                1, label, "ok", detail, outcome.elapsed
+            ))
+            result = outcome.result
+            result.attempts = 1
+            if notes:
+                result.diagnostics = "; ".join(
+                    filter(None, [result.diagnostics, *notes])
+                )
+            result.attempt_log = attempt_log
+            return result
+        detail = outcome.result.diagnostics or "no racer certified"
+        attempt_log.append(_attempt_entry(
+            1, label, outcome.result.status.value, detail, outcome.elapsed
+        ))
+        notes.append(f"attempt 1 [{label}]: {detail}")
+        return None
 
     # -- internals ----------------------------------------------------------
 
@@ -450,7 +584,17 @@ class SupervisedRunner:
             args=(job, backend, fault, attempt, child_conn),
             daemon=True,
         )
-        proc.start()
+        try:
+            proc.start()
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Spawn-only platforms must pickle the job to the child.
+            # An unpicklable job (e.g. a router subclass holding a live
+            # handle) degrades to an inline attempt that still applies
+            # the SAME fault spec -- losing isolation must never
+            # silently lose the fault-injection plan.
+            parent_conn.close()
+            child_conn.close()
+            return self._attempt_inline(job, backend, fault, attempt)
         child_conn.close()
         deadline = self.config.deadline_for(job.time_limit)
         try:

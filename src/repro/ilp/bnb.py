@@ -14,6 +14,7 @@ import heapq
 import itertools
 import math
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,12 +41,19 @@ class BnBOptions:
     meets it, the search returns OPTIMAL immediately.  Soundness is
     the caller's contract: a wrong bound can only come from violating
     the restriction ordering documented in ``docs/performance.md``.
+
+    ``should_stop`` is a cooperative cancellation hook polled at the
+    same points as the time limit: when it returns True the search
+    stops and hands back the best incumbent as LIMIT (never a wrong
+    answer) -- the mechanism backend racing uses to stop a losing
+    solver without killing its process.
     """
 
     max_nodes: int = 200_000
     time_limit: float | None = None
     incumbent: dict[int, float] | None = None
     lower_bound: float | None = None
+    should_stop: "Callable[[], bool] | None" = None
 
 
 class _LpData:
@@ -178,7 +186,11 @@ def solve_with_bnb(model: Model, options: BnBOptions | None = None) -> Solution:
             )
 
     def expired() -> bool:
-        return deadline is not None and time.perf_counter() > deadline
+        # Cancellation shares the time-limit exit paths: both end the
+        # search with an honest LIMIT, never a fabricated proof.
+        if deadline is not None and time.perf_counter() > deadline:
+            return True
+        return options.should_stop is not None and options.should_stop()
 
     while heap:
         if expired():

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
 import numpy as np
 from scipy import sparse
@@ -26,6 +27,7 @@ def solve_with_highs(
     mip_rel_gap: float = 0.0,
     warm_start: dict[int, float] | None = None,
     lower_bound: float | None = None,
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> Solution:
     """Solve a model exactly with HiGHS branch-and-cut.
 
@@ -47,7 +49,15 @@ def solve_with_highs(
     and can overshoot).  Unexpected solver exceptions are contained as
     ``ERROR`` solutions so one pathological model cannot take down a
     whole sweep.
+
+    ``should_stop`` is a cooperative cancellation hook, checked before
+    the solve starts (``scipy.optimize.milp`` offers no mid-solve
+    callback, so an in-flight HiGHS solve can only be stopped by
+    killing its process -- which is exactly what the racing layer's
+    terminate path does).  A pre-solve cancellation returns ``LIMIT``.
     """
+    if should_stop is not None and should_stop():
+        return Solution(status=SolveStatus.LIMIT)
     if warm_start is not None and lower_bound is not None:
         t0 = time.perf_counter()
         if model.is_feasible(warm_start):

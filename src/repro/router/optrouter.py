@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.analysis.certify import certify_infeasible
@@ -111,6 +112,11 @@ class OptRouteResult:
     attempts: int = 1
     degraded: bool = False
     diagnostics: str | None = None
+    #: per-attempt provenance filled in by the supervised runner: one
+    #: ``{"attempt", "backend", "outcome", "detail", "seconds"}`` dict
+    #: per attempt (including the successful one), so a journal record
+    #: explains *how* its result was obtained, not just what it is.
+    attempt_log: list[dict] = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
@@ -161,6 +167,12 @@ class OptRouter:
     reuse_formulation: bool = True
     #: persistent content-addressed solve cache (None = disabled).
     solve_cache: SolveCache | None = None
+    #: cooperative cancellation hook passed through to the backends
+    #: (polled by B&B at its deadline checks; checked pre-solve by
+    #: HiGHS).  In-process only -- not picklable, not part of the
+    #: solve-cache key, and can only turn a solve into LIMIT earlier,
+    #: never change a completed answer.
+    cancel_check: "Callable[[], bool] | None" = None
 
     def build(self, clip: Clip, rules: RuleConfig) -> RoutingIlp:
         """Build (but do not solve) the ILP for inspection/analysis."""
@@ -196,9 +208,13 @@ class OptRouter:
 
     def _solve_model(self, model: Model, time_limit: float | None) -> Solution:
         if self.backend == "highs":
-            return solve_with_highs(model, time_limit=time_limit)
+            return solve_with_highs(
+                model, time_limit=time_limit, should_stop=self.cancel_check
+            )
         if self.backend == "bnb":
-            options = BnBOptions(time_limit=time_limit)
+            options = BnBOptions(
+                time_limit=time_limit, should_stop=self.cancel_check
+            )
             return solve_with_bnb(model, options)
         raise ValueError(f"unknown backend {self.backend!r}")
 

@@ -1,4 +1,14 @@
-"""Shared fixtures: small designs, libraries, and routed layouts."""
+"""Shared fixtures: small designs, libraries, and routed layouts.
+
+Also installs a global per-test wall-clock timeout (SIGALRM based, no
+third-party plugin): a test that wedges -- e.g. a hung worker process
+in the distributed suite -- fails loudly instead of hanging CI.
+Override with ``REPRO_TEST_TIMEOUT`` (seconds; 0 disables).
+"""
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -8,6 +18,38 @@ from repro.place import place_design
 from repro.route import RoutingGrid
 from repro.route.detailed_router import route_design
 from repro.tech import make_n28_12t
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Per-test wall-clock timeout via SIGALRM (main thread only).
+
+    SIGALRM fires in the main thread regardless of what the test is
+    blocked on (child process joins included), which is exactly the
+    hang mode a distributed sweep can produce.
+    """
+    use_alarm = (
+        _TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _timed_out(_signum, _frame):
+            raise TimeoutError(
+                f"test exceeded {_TEST_TIMEOUT:.0f}s wall-clock timeout "
+                "(REPRO_TEST_TIMEOUT to override)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _timed_out)
+        signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

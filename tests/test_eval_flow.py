@@ -189,3 +189,89 @@ class TestValidation:
         record = ValidationRecord("c", None, 5.0)
         with pytest.raises(ValueError):
             record.delta
+
+
+class TestDistributedEvaluation:
+    """The tentpole path: lease-coordinated multi-process sweeps."""
+
+    def _population(self):
+        return [
+            make_synthetic_clip(
+                SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2,
+                                  sinks_per_net=1,
+                                  access_points_per_pin=2,
+                                  pin_spacing_cols=1),
+                seed=s,
+            )
+            for s in range(4)
+        ]
+
+    def _rules(self):
+        return [
+            paper_rule("RULE1"),
+            RuleConfig(name="RULE6", via_restriction=ViaRestriction.ORTHOGONAL),
+        ]
+
+    def _snapshot(self, study):
+        return {
+            rule: [
+                (o.clip_name, o.status, o.cost)
+                for o in study.outcomes[rule]
+            ]
+            for rule in study.rule_names
+        }
+
+    def test_distributed_matches_sequential_byte_for_byte(self, tmp_path):
+        clips, rules = self._population(), self._rules()
+        sequential = evaluate_clips(
+            clips, rules, EvalConfig(time_limit_per_clip=30.0),
+            checkpoint_path=tmp_path / "seq.jsonl",
+        )
+        distributed = evaluate_clips(
+            clips, rules,
+            EvalConfig(time_limit_per_clip=30.0, n_procs=2),
+            checkpoint_path=tmp_path / "dist.jsonl",
+        )
+        assert self._snapshot(distributed) == self._snapshot(sequential)
+        for rule in sequential.rule_names:
+            assert distributed.delta_costs(rule) == sequential.delta_costs(rule)
+        report = distributed.distributed_report
+        assert report is not None and report.n_procs == 2
+        from repro.eval import format_delta_cost_table
+
+        assert format_delta_cost_table(distributed) == format_delta_cost_table(
+            sequential
+        )
+
+    def test_distributed_requires_checkpoint(self):
+        with pytest.raises(ValueError):
+            evaluate_clips(
+                self._population(), self._rules(),
+                EvalConfig(time_limit_per_clip=30.0, n_procs=2),
+            )
+
+    def test_chaos_kill_loses_no_clips(self, tmp_path):
+        clips, rules = self._population(), self._rules()
+        sequential = evaluate_clips(
+            clips, rules, EvalConfig(time_limit_per_clip=30.0),
+            checkpoint_path=tmp_path / "seq.jsonl",
+        )
+        chaotic = evaluate_clips(
+            clips, rules,
+            EvalConfig(time_limit_per_clip=30.0, n_procs=2),
+            checkpoint_path=tmp_path / "chaos.jsonl",
+            chaos_kills=1,
+        )
+        assert self._snapshot(chaotic) == self._snapshot(sequential)
+        report = chaotic.distributed_report
+        assert report is not None
+        # Every pair present exactly once after dedupe, killed or not.
+        from repro.exec import CheckpointJournal, dedupe_results
+
+        records = dedupe_results(
+            CheckpointJournal(tmp_path / "chaos.jsonl").read()
+        )
+        pairs = {(r["clip"], r["rule"]) for r in records}
+        assert pairs == {
+            (c.name, r.name) for c in clips for r in rules
+        }

@@ -7,6 +7,7 @@ heuristic baseline.
 """
 
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -309,3 +310,171 @@ class TestAbort:
                 on_result=lambda i, r: completed.append(i),
             )
         assert completed == [0]  # jobs before the abort were delivered
+
+
+class TestAttemptLog:
+    def test_clean_run_logs_one_ok_attempt(self):
+        [job] = jobs_for(clips(1))
+        result = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline")
+        ).run_one(job)
+        assert result.status is RouteStatus.OPTIMAL
+        assert len(result.attempt_log) == 1
+        entry = result.attempt_log[0]
+        assert entry["attempt"] == 1
+        assert entry["backend"] == "highs"
+        assert entry["outcome"] == "ok"
+        assert entry["seconds"] >= 0.0
+
+    def test_crash_retry_logs_failure_then_success(self):
+        [job] = jobs_for(clips(1))
+        result = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="inline", retry=fast_retry()
+            )
+        ).run_one(job, FaultSpec(FaultKind.FLAKY, fail_attempts=1))
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.attempts == 2
+        outcomes = [e["outcome"] for e in result.attempt_log]
+        assert outcomes == ["crash", "ok"]
+        assert result.attempt_log[0]["detail"]
+
+    def test_exhausted_job_reports_every_attempt(self):
+        [job] = jobs_for(clips(1))
+        result = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="inline", retry=fast_retry(2),
+                backends=("highs",),
+            )
+        ).run_one(job, FaultSpec(FaultKind.CRASH))
+        assert result.failed
+        assert len(result.attempt_log) == result.attempts
+        assert all(e["outcome"] == "crash" for e in result.attempt_log)
+
+
+class TestMpContext:
+    def test_start_method_is_deterministic_not_platform_default(self):
+        import multiprocessing as mp
+
+        from repro.exec.runner import _mp_context
+
+        method = _mp_context().get_start_method()
+        expected = (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        assert method == expected
+
+    def test_unpicklable_job_falls_back_inline_on_spawn(self, monkeypatch):
+        import multiprocessing as mp
+
+        import repro.exec.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "_mp_context", lambda: mp.get_context("spawn")
+        )
+        population = clips(1)
+        router = OptRouter(time_limit=30.0)
+        router.cancel_check = lambda: False  # lambdas cannot pickle
+        job = RouteJob.from_router(population[0], RuleConfig(), router)
+        result = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="process")
+        ).run_one(job)
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.attempts == 1
+
+    def test_spawn_fallback_still_honors_fault_plan(self, monkeypatch):
+        import multiprocessing as mp
+
+        import repro.exec.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "_mp_context", lambda: mp.get_context("spawn")
+        )
+        population = clips(1)
+        router = OptRouter(time_limit=30.0)
+        router.cancel_check = lambda: False
+        job = RouteJob.from_router(population[0], RuleConfig(), router)
+        result = SupervisedRunner(
+            SupervisorConfig(
+                n_workers=1, isolation="process", retry=fast_retry()
+            )
+        ).run_one(job, FaultSpec(FaultKind.FLAKY, fail_attempts=1))
+        # The injected crash fired inside the inline fallback (it was
+        # not silently dropped with the failed pickling), then retry
+        # recovered.
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.attempts == 2
+        assert [e["outcome"] for e in result.attempt_log] == ["crash", "ok"]
+
+
+class TestRacingIntegration:
+    def test_raced_job_matches_sequential_and_logs_race(self):
+        population = clips(1)
+        router = OptRouter(time_limit=30.0)
+        sequential = router.route(population[0], RuleConfig())
+        job = RouteJob.from_router(population[0], RuleConfig(), router)
+        job = replace(job, race_with=("highs", "bnb"))
+        result = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="process")
+        ).run_one(job)
+        assert result.status is sequential.status
+        assert result.cost == sequential.cost
+        assert result.backend in ("highs", "bnb")
+        assert result.attempt_log[0]["backend"] == "race:highs+bnb"
+
+    def test_inline_isolation_skips_race_with_note(self):
+        population = clips(1)
+        router = OptRouter(time_limit=30.0)
+        job = RouteJob.from_router(population[0], RuleConfig(), router)
+        job = replace(job, race_with=("highs", "bnb"))
+        result = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline")
+        ).run_one(job)
+        assert result.status is RouteStatus.OPTIMAL
+        assert "race skipped" in (result.diagnostics or "")
+
+
+class TestBudgetedDegradation:
+    def _job(self):
+        population = clips(1)
+        router = OptRouter(time_limit=30.0)
+        job = RouteJob.from_router(population[0], RuleConfig(), router)
+        return replace(job, race_with=("highs", "bnb"))
+
+    def test_generous_budget_keeps_racing(self):
+        from repro.exec import SweepBudget
+
+        budget = SweepBudget(total=10_000.0)
+        runner = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="process"), budget=budget
+        )
+        result = runner.run_one(self._job())
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.attempt_log[0]["backend"].startswith("race:")
+
+    def test_low_budget_drops_racing(self):
+        from repro.exec import SweepBudget
+
+        now = [75.0]
+        budget = SweepBudget(
+            total=100.0, started=0.0, clock=lambda: now[0]
+        )  # 25% left -> single tier
+        runner = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="process"), budget=budget
+        )
+        result = runner.run_one(self._job())
+        assert result.status is RouteStatus.OPTIMAL
+        assert result.backend == "highs"
+        assert not result.attempt_log[0]["backend"].startswith("race:")
+
+    def test_exhausted_budget_degrades_to_baseline(self):
+        from repro.exec import SweepBudget
+
+        now = [99.0]
+        budget = SweepBudget(total=100.0, started=0.0, clock=lambda: now[0])
+        runner = SupervisedRunner(
+            SupervisorConfig(n_workers=1, isolation="inline"), budget=budget
+        )
+        result = runner.run_one(self._job())
+        assert result.backend == "baseline"
+        assert result.status in (RouteStatus.LIMIT, RouteStatus.INFEASIBLE)
