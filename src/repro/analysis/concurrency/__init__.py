@@ -1,0 +1,57 @@
+"""Concurrency-correctness static analysis (see ``docs/static_analysis.md``).
+
+Two engines audit the distributed sweep layer:
+
+- :mod:`repro.analysis.concurrency.protocol` /
+  :mod:`repro.analysis.concurrency.explore`: an explicit-state model
+  checker that exhaustively explores a formal model of the
+  lease/journal coordination protocol (:mod:`repro.exec.leases`) on
+  bounded configurations -- every interleaving of claims, heartbeats,
+  results, completions, TTL expiries, worker crashes, and respawns --
+  and proves the safety invariants (claim mutual exclusion, no lost or
+  duplicated (clip, rule) pairs, DONE is terminal) plus bounded
+  liveness (every group can always still reach DONE while a worker
+  survives).  Violations come back as minimal, human-readable
+  schedules.
+- :mod:`repro.analysis.concurrency.code_lint`: an AST-based
+  determinism/race lint over ``src/repro`` that flags journal writes
+  outside the blessed flock'd sink, wall-clock/randomness reachable
+  from pure replay or report-formatting modules, unordered set
+  iteration feeding serialized output, fork-unsafe module-level state,
+  and non-reentrant signal handlers, with a per-rule allowlist in
+  ``pyproject.toml``.
+"""
+
+from repro.analysis.concurrency.code_lint import (
+    ConcurrencyFinding,
+    ConcurrencyLintReport,
+    LintConfig,
+    lint_concurrency,
+    lint_source,
+)
+from repro.analysis.concurrency.explore import (
+    ExploreResult,
+    ProtocolViolation,
+    check_protocol,
+    render_schedule,
+)
+from repro.analysis.concurrency.protocol import (
+    ModelBoard,
+    ProtocolSpec,
+    trace_to_records,
+)
+
+__all__ = [
+    "ConcurrencyFinding",
+    "ConcurrencyLintReport",
+    "ExploreResult",
+    "LintConfig",
+    "ModelBoard",
+    "ProtocolSpec",
+    "ProtocolViolation",
+    "check_protocol",
+    "lint_concurrency",
+    "lint_source",
+    "render_schedule",
+    "trace_to_records",
+]

@@ -1,0 +1,595 @@
+"""Explicit-state exhaustive exploration of the lease protocol model.
+
+The state of the system is finite once time is made relative (see
+:mod:`repro.analysis.concurrency.protocol`): per group the lease tuple
+``(holder, rel, done)`` and the result-record cells, per worker its
+phase in the ``_worker_entry`` loop, plus the remaining crash/respawn
+budgets.  :func:`check_protocol` runs a breadth-first search over
+every interleaving of worker steps, ticks, crashes, and respawns,
+checking safety invariants at each new state and event, then closes
+with a bounded liveness pass.  BFS means the first violation found per
+invariant carries a *minimal* counterexample schedule.
+
+Checked invariants
+------------------
+
+``mutual_exclusion``
+    A worker only starts working a group when the replayed board names
+    it the live holder at that instant.  Two workers can legitimately
+    overlap on one group *only* across a TTL expiry and reclaim (the
+    documented at-least-once window); a grant while another lease is
+    live is a protocol violation.
+``no_lost_pair``
+    Whenever a group is DONE in the journal, every one of its (clip,
+    rule) pairs has at least one result record.  This is the exactness
+    guarantee: a sweep that reports completion has lost nothing.
+``no_duplicate_pair``
+    All result records ever journaled for one pair carry identical
+    payloads, so the journal's first-wins dedupe is sound: which copy
+    survives is immaterial.  (At-least-once re-execution may append
+    literal duplicates; *conflicting* duplicates are the violation.)
+``done_terminal``
+    No worker is ever granted a DONE group; completion is final.
+``liveness``
+    From every reachable state with at least one surviving worker (or
+    a respawn still budgeted), some crash-free schedule reaches the
+    all-groups-DONE state.  This is bounded liveness -- reachability
+    of completion under fairness -- not full temporal liveness; see
+    the caveats in ``docs/static_analysis.md``.
+
+Worker-identity symmetry is quotiented away (states equal up to a
+permutation of worker indices are explored once), which is sound for
+all invariants above because none names a specific worker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Any
+
+from repro.analysis.concurrency.protocol import (
+    CLAIMING,
+    CRASHED,
+    EMPTY_CELL,
+    IDLE,
+    WORKING,
+    ProtocolSpec,
+    cell_conflicts,
+    fold_claim,
+    fold_done,
+    fold_heartbeat,
+    fold_tick,
+    group_label,
+    live_holder,
+    result_cell_append,
+    worker_label,
+)
+
+#: worker tuple when idle / crashed: no group, no pending pairs.
+_IDLE_WORKER = (IDLE, -1, 0)
+_CRASHED_WORKER = (CRASHED, -1, 0)
+
+
+def initial_state(spec: ProtocolSpec) -> tuple:
+    """All groups free, all pairs unjournaled, all workers idle."""
+    groups = tuple((-1, -1, 0) for _ in range(spec.n_groups))
+    results = tuple(
+        tuple(EMPTY_CELL for _ in range(spec.pairs_per_group))
+        for _ in range(spec.n_groups)
+    )
+    workers = tuple(_IDLE_WORKER for _ in range(spec.n_workers))
+    return (groups, results, workers, spec.crash_budget, spec.respawn_budget)
+
+
+def action_str(action: tuple) -> str:
+    """Compact single-line form of one schedule action."""
+    return " ".join(str(part) for part in action)
+
+
+@dataclass(frozen=True)
+class ProtocolViolation:
+    """One invariant breach with its minimal witness schedule.
+
+    ``schedule`` holds the raw action tuples; :func:`render_schedule`
+    turns them into the narrated replay shown to humans.
+    """
+
+    invariant: str
+    message: str
+    schedule: tuple[tuple, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "schedule": [action_str(action) for action in self.schedule],
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.invariant, len(self.schedule), self.message)
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+@dataclass
+class ExploreResult:
+    """Everything one exhaustive run established."""
+
+    spec: ProtocolSpec
+    n_states: int = 0
+    n_transitions: int = 0
+    exhausted: bool = True
+    violations: list[ProtocolViolation] = field(default_factory=list)
+    #: transition-outcome counters (deterministic across runs).
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.exhausted and not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "n_states": self.n_states,
+            "n_transitions": self.n_transitions,
+            "exhausted": self.exhausted,
+            "ok": self.ok,
+            "stats": {k: self.stats[k] for k in sorted(self.stats)},
+            "violations": [
+                v.to_dict()
+                for v in sorted(self.violations,
+                                key=ProtocolViolation.sort_key)
+            ],
+        }
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else (
+            "VIOLATED" if self.violations else "TRUNCATED"
+        )
+        bugs = self.spec.to_dict()["seeded_bugs"]
+        seeded = f" seeded={','.join(bugs)}" if bugs else ""
+        return (
+            f"protocol[{self.spec.n_workers}w x {self.spec.n_groups}g x "
+            f"{self.spec.pairs_per_group}p, ttl={self.spec.ttl}, "
+            f"crashes={self.spec.crash_budget}{seeded}]: {verdict}, "
+            f"{self.n_states} states, {self.n_transitions} transitions, "
+            f"{len(self.violations)} violation(s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Transition relation
+# ---------------------------------------------------------------------------
+
+
+def _pending_mask(results_g: tuple) -> int:
+    """Pairs with no journaled result yet -- the snapshot a worker
+    takes when it starts a group (``resume=True`` skips finished
+    pairs, so a reclaimed group re-solves only the remainder)."""
+    mask = 0
+    for pair, cell in enumerate(results_g):
+        if cell[0] == 0:
+            mask |= 1 << pair
+    return mask
+
+
+def _live_holder_for(group: tuple, spec: ProtocolSpec) -> int:
+    """Live holder as the (possibly seeded-buggy) replay computes it.
+
+    With ``done_not_terminal`` the hypothetical buggy replay also
+    forgets the terminal guard on the holder query -- otherwise the
+    dropped guard in the claim fold could never grant anything and the
+    bug would be unobservable.
+    """
+    if spec.done_not_terminal:
+        holder, rel, done = group
+        if holder == -1 or rel < 0:
+            return -1
+        return holder
+    return live_holder(group)
+
+
+def successors(spec: ProtocolSpec, state: tuple):
+    """Yield ``(action, new_state, outcome, entry_violation)`` tuples.
+
+    ``action`` is a renderable tuple; ``outcome`` feeds the stats
+    counters; ``entry_violation`` is ``None`` or an ``(invariant,
+    message)`` pair detected *on this transition* (grant-time checks
+    that cannot be expressed as a state predicate).
+    """
+    groups, results, workers, crashes, respawns = state
+
+    # tick: every live lease ages one step.
+    new_groups = tuple(fold_tick(g) for g in groups)
+    if new_groups != groups:
+        yield (("tick",), (new_groups, results, workers, crashes, respawns),
+               "tick", None)
+
+    for w, (phase, g, mask) in enumerate(workers):
+        if phase == CRASHED:
+            if respawns > 0:
+                new_workers = _set(workers, w, _IDLE_WORKER)
+                yield ((("respawn", w)),
+                       (groups, results, new_workers, crashes, respawns - 1),
+                       "respawn", None)
+            continue
+
+        # SIGKILL at any step.  Crashing *before* an append is the
+        # torn-write state (the record never replays); crashing after
+        # is the completed-write state -- both orderings are explored.
+        if crashes > 0:
+            new_workers = _set(workers, w, _CRASHED_WORKER)
+            yield ((("crash", w)),
+                   (groups, results, new_workers, crashes - 1, respawns),
+                   "crash", None)
+
+        if phase == IDLE:
+            # Claim any group the worker's (possibly stale) read found
+            # attractive.  Enabling every non-excluded target models
+            # the read/claim race: the fold, not the reader, decides.
+            for target in range(spec.n_groups):
+                new_group, outcome = fold_claim(groups[target], w, spec)
+                new_groups = _set(groups, target, new_group)
+                if spec.skip_reread:
+                    # Seeded bug: assume victory without re-reading.
+                    pending = _pending_mask(results[target])
+                    new_workers = _set(
+                        workers, w, (WORKING, target, pending)
+                    )
+                    violation = _entry_check(
+                        spec, new_groups[target], target, w
+                    )
+                    yield ((("claim", w, target)),
+                           (new_groups, results, new_workers, crashes,
+                            respawns),
+                           f"claim-{outcome}", violation)
+                else:
+                    new_workers = _set(workers, w, (CLAIMING, target, 0))
+                    yield ((("claim", w, target)),
+                           (new_groups, results, new_workers, crashes,
+                            respawns),
+                           f"claim-{outcome}", None)
+            continue
+
+        if phase == CLAIMING:
+            # Post-append re-read: the replayed board decides whether
+            # the claim won; the loser simply goes back to the pool.
+            won = _live_holder_for(groups[g], spec) == w
+            if won:
+                pending = _pending_mask(results[g])
+                new_workers = _set(workers, w, (WORKING, g, pending))
+                violation = _entry_check(spec, groups[g], g, w)
+            else:
+                new_workers = _set(workers, w, _IDLE_WORKER)
+                violation = None
+            yield ((("reread", w, g)),
+                   (groups, results, new_workers, crashes, respawns),
+                   "reread-won" if won else "reread-lost", violation)
+            continue
+
+        # phase == WORKING
+        if spec.heartbeats:
+            new_group, resurrected = fold_heartbeat(groups[g], w, spec)
+            if new_group != groups[g]:
+                new_groups = _set(groups, g, new_group)
+                yield ((("heartbeat", w, g)),
+                       (new_groups, results, workers, crashes, respawns),
+                       "heartbeat-resurrected" if resurrected
+                       else "heartbeat", None)
+        if mask:
+            pair = (mask & -mask).bit_length() - 1
+            value = w + 1 if spec.nondet_results else 0
+            new_cell = result_cell_append(results[g][pair], value)
+            new_results = _set(
+                results, g, _set(results[g], pair, new_cell)
+            )
+            new_workers = _set(workers, w, (WORKING, g, mask & (mask - 1)))
+            dup = results[g][pair][0] > 0
+            yield ((("result", w, g, pair)),
+                   (groups, new_results, new_workers, crashes, respawns),
+                   "result-duplicate" if dup else "result", None)
+        if not mask or spec.early_done:
+            new_groups = _set(groups, g, fold_done(groups[g]))
+            new_workers = _set(workers, w, _IDLE_WORKER)
+            outcome = "done-early" if mask else "done"
+            yield ((("mark_done", w, g)),
+                   (new_groups, results, new_workers, crashes, respawns),
+                   outcome, None)
+
+
+def _set(tpl: tuple, index: int, value) -> tuple:
+    return tpl[:index] + (value,) + tpl[index + 1:]
+
+
+def _entry_check(
+    spec: ProtocolSpec, group: tuple, g: int, w: int
+) -> "tuple[str, str] | None":
+    """Grant-time invariants: run when a worker starts WORKING."""
+    holder, rel, done = group
+    if done:
+        return (
+            "done_terminal",
+            f"{worker_label(w)} was granted {group_label(g)} after it "
+            "was marked DONE",
+        )
+    live = live_holder(group)
+    if live != w:
+        other = worker_label(live) if live >= 0 else "nobody"
+        return (
+            "mutual_exclusion",
+            f"{worker_label(w)} started working {group_label(g)} while "
+            f"the replayed board names {other} the live holder",
+        )
+    return None
+
+
+def _state_check(spec: ProtocolSpec, state: tuple) -> "tuple[str, str] | None":
+    """State invariants, checked once per newly discovered state."""
+    groups, results, _workers, _crashes, _respawns = state
+    for g, (_holder, _rel, done) in enumerate(groups):
+        if done:
+            for pair, cell in enumerate(results[g]):
+                if cell[0] == 0:
+                    return (
+                        "no_lost_pair",
+                        f"{group_label(g)} is DONE but pair {pair} has "
+                        "no result record in the journal",
+                    )
+        for pair, cell in enumerate(results[g]):
+            if cell_conflicts(cell):
+                return (
+                    "no_duplicate_pair",
+                    f"pair {pair} of {group_label(g)} has result records "
+                    f"with conflicting payloads {list(cell[1])}",
+                )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Worker-symmetry canonicalization
+# ---------------------------------------------------------------------------
+
+
+def canonical_key(state: tuple, perms: "list[tuple[int, ...]]") -> tuple:
+    """Minimal encoding of the state over worker permutations.
+
+    Only worker identities are quotiented: every invariant is
+    symmetric in them, and relabeling is an exact automorphism of the
+    transition system (holders and worker slots are renamed together).
+    """
+    groups, results, workers, crashes, respawns = state
+    best = None
+    for perm in perms:
+        new_groups = tuple(
+            (perm[h] if h >= 0 else -1, rel, done)
+            for (h, rel, done) in groups
+        )
+        new_workers = tuple(workers[i] for i in _inverse(perm))
+        candidate = (new_groups, results, new_workers, crashes, respawns)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None  # perms always contains the identity
+    return best
+
+
+def _inverse(perm: "tuple[int, ...]") -> "tuple[int, ...]":
+    inv = [0] * len(perm)
+    for i, p in enumerate(perm):
+        inv[p] = i
+    return tuple(inv)
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+
+def check_protocol(spec: "ProtocolSpec | None" = None) -> ExploreResult:
+    """Exhaustively explore the model and check every invariant.
+
+    BFS from the initial state; the first counterexample recorded per
+    invariant is minimal in schedule length.  After the search, a
+    backward-reachability pass over the explored graph (crash edges
+    excluded) checks bounded liveness.
+    """
+    if spec is None:
+        spec = ProtocolSpec()
+    result = ExploreResult(spec=spec)
+    perms = list(permutations(range(spec.n_workers)))
+    init = initial_state(spec)
+    init_key = canonical_key(init, perms)
+    # key -> (representative state, predecessor key, action, depth)
+    seen: dict[tuple, tuple] = {init_key: (init, None, None, 0)}
+    queue: deque[tuple] = deque([init_key])
+    # key -> predecessor keys over non-crash edges (for liveness).
+    rev: dict[tuple, list[tuple]] = {}
+    win_keys: list[tuple] = []
+    seen_invariants: set[str] = set()
+    stats: dict[str, int] = {}
+
+    def record_violation(
+        invariant: str,
+        message: str,
+        key: tuple,
+        extra_action: "tuple | None" = None,
+    ) -> None:
+        if invariant in seen_invariants:
+            return  # keep the minimal (BFS-first) witness per invariant
+        seen_invariants.add(invariant)
+        schedule = _schedule(seen, key)
+        if extra_action is not None:
+            schedule = schedule + (extra_action,)
+        result.violations.append(
+            ProtocolViolation(invariant, message, schedule)
+        )
+
+    violation = _state_check(spec, init)
+    if violation is not None:  # pragma: no cover - impossible initial
+        record_violation(*violation, init_key)
+
+    while queue:
+        if len(seen) > spec.max_states:
+            result.exhausted = False
+            break
+        key = queue.popleft()
+        state, _pred, _action, depth = seen[key]
+        if all(done for (_h, _r, done) in state[0]):
+            win_keys.append(key)
+            continue  # terminal for the sweep; explore nothing further
+        for action, new_state, outcome, entry_violation in successors(
+            spec, state
+        ):
+            result.n_transitions += 1
+            stats[outcome] = stats.get(outcome, 0) + 1
+            if entry_violation is not None:
+                # Event-based invariant: path-dependent, so it must be
+                # recorded even when the successor state was already
+                # reached (possibly benignly) by another schedule.
+                record_violation(
+                    *entry_violation, key, extra_action=action
+                )
+            new_key = canonical_key(new_state, perms)
+            is_new = new_key not in seen
+            if is_new:
+                seen[new_key] = (new_state, key, action, depth + 1)
+                queue.append(new_key)
+            if action[0] != "crash":
+                rev.setdefault(new_key, []).append(key)
+            if is_new:
+                violation = _state_check(spec, new_state)
+                if violation is not None:
+                    record_violation(*violation, new_key)
+
+    result.n_states = len(seen)
+    result.stats = stats
+    if result.exhausted and "liveness" not in seen_invariants:
+        _check_liveness(spec, seen, rev, win_keys, record_violation)
+    return result
+
+
+def _check_liveness(
+    spec: ProtocolSpec,
+    seen: dict,
+    rev: dict,
+    win_keys: "list[tuple]",
+    record_violation,
+) -> None:
+    """Backward reachability: every state with a surviving worker (or a
+    budgeted respawn) must still be able to reach all-groups-DONE
+    without further crashes."""
+    can_win: set[tuple] = set(win_keys)
+    frontier = deque(win_keys)
+    while frontier:
+        key = frontier.popleft()
+        for pred in rev.get(key, ()):
+            if pred not in can_win:
+                can_win.add(pred)
+                frontier.append(pred)
+    stuck = None
+    stuck_depth = -1
+    for key, (state, _pred, _action, depth) in seen.items():
+        if key in can_win:
+            continue
+        workers = state[2]
+        alive = any(phase != CRASHED for (phase, _g, _m) in workers)
+        respawnable = state[4] > 0 and any(
+            phase == CRASHED for (phase, _g, _m) in workers
+        )
+        if not alive and not respawnable:
+            continue  # all workers dead: the coordinator's inline floor
+        if stuck is None or depth < stuck_depth:
+            stuck = key
+            stuck_depth = depth
+    if stuck is not None:
+        record_violation(
+            "liveness",
+            "a reachable state with a surviving worker cannot reach "
+            "all-groups-DONE on any crash-free schedule",
+            stuck,
+        )
+
+
+def _schedule(seen: dict, key: tuple) -> tuple:
+    """Action path from the initial state to ``key`` (BFS tree walk)."""
+    actions: list[tuple] = []
+    while True:
+        _state, pred, action, _depth = seen[key]
+        if pred is None:
+            break
+        actions.append(action)
+        key = pred
+    return tuple(reversed(actions))
+
+
+# ---------------------------------------------------------------------------
+# Schedule rendering
+# ---------------------------------------------------------------------------
+
+
+def render_schedule(spec: ProtocolSpec, actions: "tuple | list") -> "list[str]":
+    """Human-readable replay of an action schedule.
+
+    Re-simulates the schedule from the initial state and narrates each
+    step with its fold outcome, so a counterexample reads as the exact
+    sequence of journal appends, clock ticks, and crashes that breaks
+    the invariant.
+    """
+    lines: list[str] = []
+    state = initial_state(spec)
+    now = 0
+    for step, action in enumerate(actions):
+        matched = None
+        for cand, new_state, outcome, _violation in successors(spec, state):
+            if cand == action:
+                matched = (new_state, outcome)
+                break
+        if matched is None:
+            lines.append(f"{step:3d}. {action!r}: not enabled (model drift)")
+            break
+        state, outcome = matched
+        if action[0] == "tick":
+            now += 1
+            lines.append(f"{step:3d}. tick -> t={now}")
+            continue
+        kind, w = action[0], action[1]
+        who = worker_label(w)
+        if kind == "crash":
+            lines.append(f"{step:3d}. {who} SIGKILLed (appends nothing more)")
+        elif kind == "respawn":
+            lines.append(f"{step:3d}. {who} respawned by the coordinator")
+        elif kind == "claim":
+            lines.append(
+                f"{step:3d}. {who} appends CLAIM({group_label(action[2])}) "
+                f"@t={now} -> {outcome.removeprefix('claim-')}"
+            )
+        elif kind == "reread":
+            lines.append(
+                f"{step:3d}. {who} re-reads the journal: "
+                f"{'won' if outcome == 'reread-won' else 'lost'} "
+                f"{group_label(action[2])}"
+            )
+        elif kind == "heartbeat":
+            note = (" (expired lease resurrected)"
+                    if outcome == "heartbeat-resurrected" else "")
+            lines.append(
+                f"{step:3d}. {who} appends HEARTBEAT"
+                f"({group_label(action[2])}) @t={now}{note}"
+            )
+        elif kind == "result":
+            lines.append(
+                f"{step:3d}. {who} appends result for pair "
+                f"({group_label(action[2])}, {action[3]})"
+                + (" [duplicate]" if outcome == "result-duplicate" else "")
+            )
+        elif kind == "mark_done":
+            early = " with pairs unfinished" if outcome == "done-early" else ""
+            lines.append(
+                f"{step:3d}. {who} appends DONE({group_label(action[2])})"
+                f"{early}"
+            )
+        else:  # pragma: no cover - exhaustive above
+            lines.append(f"{step:3d}. {action!r}")
+    return lines

@@ -1,0 +1,357 @@
+"""Formal model of the journal-backed lease protocol.
+
+The distributed sweep coordinates exclusively through appended journal
+records (:mod:`repro.exec.leases`), so its whole behaviour is a fold
+over a record sequence plus the wall clock.  This module captures that
+fold twice:
+
+- :class:`ModelBoard` is an *absolute-time* replica of
+  ``LeaseBoard.from_records`` -- same record dicts, same replay
+  semantics -- used to validate the model against the real
+  implementation by driving both with identical generated schedules
+  (``tests/test_concurrency_model.py``).
+- :class:`ProtocolSpec` plus the pure transition helpers below define
+  a *relative-time* small-step system used by the exhaustive explorer
+  (:mod:`repro.analysis.concurrency.explore`).  Leases store ticks
+  remaining instead of absolute deadlines, which collapses the
+  unbounded wall clock into a finite state space while preserving
+  every ``now > expires`` comparison the real replay makes.
+
+The spec also carries *seeded-bug* switches (``skip_reread``,
+``early_done``, ``done_not_terminal``, ``nondet_results``) that
+deliberately break one protocol obligation each.  They exist so the
+checker can demonstrate that the invariants have teeth: every switch
+must produce a minimal counterexample schedule, and the unmodified
+protocol must produce none.
+
+Torn writes are in scope by construction: a worker SIGKILLed mid-append
+leaves a torn line that the journal quarantine drops, so from every
+reader's perspective the record was never appended.  Crashing a model
+worker *before* an append is therefore exactly the torn-write state,
+and crashing it *after* is the completed-write state; both orderings
+are explored at every append site.  The equivalence between a torn
+line and an absent record is separately proven against the real
+``CheckpointJournal`` in the conformance tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exec.leases import CLAIM, DONE, HEARTBEAT, LEASE_KIND, RELEASE
+
+#: Worker phases of the small-step model (mirrors ``_worker_entry``).
+IDLE = 0
+#: CLAIM appended, post-append re-read still pending.
+CLAIMING = 1
+#: Re-read confirmed ownership; appending result records.
+WORKING = 2
+#: SIGKILLed: appends nothing ever again; lease left to expire.
+CRASHED = 3
+
+PHASE_NAMES = {IDLE: "idle", CLAIMING: "claiming", WORKING: "working",
+               CRASHED: "crashed"}
+
+#: ``results`` cell codes (see :func:`result_cell_append`).
+NO_RECORD = 0
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Bounded configuration (and seeded bugs) of one model run.
+
+    The defaults are the quick config used by unit tests and the CLI;
+    CI's ``protocol-audit`` job runs the larger bounded config from
+    the acceptance criteria.  ``ttl`` is in logical ticks: a lease
+    claimed or heartbeat at tick *t* expires strictly after ``t +
+    ttl`` ticks, matching the real replay's ``now > expires``.
+    """
+
+    n_workers: int = 2
+    n_groups: int = 2
+    pairs_per_group: int = 2
+    ttl: int = 1
+    crash_budget: int = 2
+    respawn_budget: int = 1
+    heartbeats: bool = True
+    #: cap on explored states; exceeded => ``ExploreResult.exhausted``
+    #: is False and the verdict only covers the explored prefix.
+    max_states: int = 2_000_000
+
+    # -- seeded bugs (each must yield a counterexample) ----------------------
+    #: workers assume their claim won without the post-append re-read.
+    skip_reread: bool = False
+    #: workers may append DONE with unfinished pairs remaining.
+    early_done: bool = False
+    #: the replay honours claims on DONE groups (drops the terminal
+    #: guard of ``LeaseBoard._apply``).
+    done_not_terminal: bool = False
+    #: result payloads depend on the appending worker, so a reclaimed
+    #: group can journal conflicting records for one pair.
+    nondet_results: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_workers <= 4:
+            raise ValueError("n_workers must be in 1..4")
+        if not 1 <= self.n_groups <= 4:
+            raise ValueError("n_groups must be in 1..4")
+        if not 1 <= self.pairs_per_group <= 3:
+            raise ValueError("pairs_per_group must be in 1..3")
+        if self.ttl < 1:
+            raise ValueError("ttl must be >= 1")
+
+    @property
+    def buggy(self) -> bool:
+        return (self.skip_reread or self.early_done
+                or self.done_not_terminal or self.nondet_results)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_workers": self.n_workers,
+            "n_groups": self.n_groups,
+            "pairs_per_group": self.pairs_per_group,
+            "ttl": self.ttl,
+            "crash_budget": self.crash_budget,
+            "respawn_budget": self.respawn_budget,
+            "heartbeats": self.heartbeats,
+            "seeded_bugs": sorted(
+                name
+                for name in ("skip_reread", "early_done",
+                             "done_not_terminal", "nondet_results")
+                if getattr(self, name)
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Absolute-time replica of LeaseBoard (conformance target)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ModelLease:
+    holder: str | None = None
+    expires: float = 0.0
+    done: bool = False
+    reclaims: int = 0
+
+
+@dataclass
+class ModelBoard:
+    """Pure replica of ``LeaseBoard.from_records`` replay semantics.
+
+    Deliberately written as an independent re-implementation (not an
+    import) so the conformance suite can drive it and the real board
+    with identical record sequences and fail loudly on any divergence
+    -- the model checker's verdicts are only as good as this fold's
+    fidelity to the deployed one.
+    """
+
+    groups: dict[str, _ModelLease] = field(default_factory=dict)
+    #: drop the DONE-is-terminal guard (seeded bug surface).
+    done_not_terminal: bool = False
+
+    def apply(self, record: dict) -> None:
+        event = record.get("event")
+        group = record.get("group")
+        worker = record.get("worker")
+        if event not in (CLAIM, HEARTBEAT, RELEASE, DONE):
+            return
+        if not isinstance(group, str):
+            return
+        ts = float(record.get("ts", 0.0))
+        ttl = float(record.get("ttl", 0.0))
+        lease = self.groups.setdefault(group, _ModelLease())
+        if lease.done and not self.done_not_terminal:
+            return
+        if event == CLAIM:
+            if lease.holder is None or lease.holder == worker:
+                lease.holder = str(worker)
+                lease.expires = ts + ttl
+            elif ts > lease.expires:
+                lease.holder = str(worker)
+                lease.expires = ts + ttl
+                lease.reclaims += 1
+        elif event == HEARTBEAT:
+            if lease.holder == worker:
+                lease.expires = max(lease.expires, ts + ttl)
+        elif event == RELEASE:
+            if lease.holder == worker:
+                lease.holder = None
+                lease.expires = 0.0
+        elif event == DONE:
+            lease.done = True
+            lease.holder = None
+
+    @classmethod
+    def from_records(cls, records: "list[dict]") -> "ModelBoard":
+        board = cls()
+        for record in records:
+            if str(record.get("kind", "result")) == LEASE_KIND:
+                board.apply(record)
+        return board
+
+    def is_done(self, group: str) -> bool:
+        lease = self.groups.get(group)
+        return lease is not None and lease.done
+
+    def holder(self, group: str, now: "float | None" = None) -> "str | None":
+        lease = self.groups.get(group)
+        if lease is None or lease.done or lease.holder is None:
+            return None
+        if now is not None and now > lease.expires:
+            return None
+        return lease.holder
+
+    def available(self, group: str, now: float) -> bool:
+        return not self.is_done(group) and self.holder(group, now) is None
+
+    def reclaim_count(self) -> int:
+        return sum(lease.reclaims for lease in self.groups.values())
+
+
+# ---------------------------------------------------------------------------
+# Relative-time lease fold used by the explorer
+# ---------------------------------------------------------------------------
+#
+# A group is the tuple ``(holder, rel, done)``: ``holder`` is a worker
+# index or -1; ``rel`` is the number of ticks the lease survives (a
+# lease with rel == 0 is still live this tick and expires on the next
+# tick; rel < 0 means expired).  ``done`` is 0/1.  The encoding is
+# bisimilar to the absolute-time fold: claim/heartbeat at absolute
+# time ``t`` sets ``expires = t + ttl``, and a query at ``t + k``
+# compares ``t + k > expires`` -- i.e. ``k > ttl`` -- which is exactly
+# ``rel = ttl - k < 0`` after ``k`` ticks.
+
+FREE = (-1, -1, 0)
+
+#: claim outcomes (reported in schedules and exploration stats).
+GRANTED = "granted"
+EXTENDED = "extended"
+RECLAIMED = "reclaimed"
+CONTESTED = "contested"
+IGNORED_DONE = "ignored-done"
+
+
+def fold_claim(group: tuple, worker: int, spec: ProtocolSpec) -> tuple:
+    """Apply a CLAIM record; returns ``(new_group_state, outcome)``."""
+    holder, rel, done = group
+    if done and not spec.done_not_terminal:
+        return group, IGNORED_DONE
+    if holder == worker and holder != -1:
+        return (worker, spec.ttl, done), EXTENDED
+    if holder == -1:
+        return (worker, spec.ttl, done), GRANTED
+    if rel < 0:
+        return (worker, spec.ttl, done), RECLAIMED
+    return group, CONTESTED
+
+
+def fold_heartbeat(group: tuple, worker: int, spec: ProtocolSpec) -> tuple:
+    """Apply a HEARTBEAT record; returns ``(state, resurrected)``.
+
+    ``resurrected`` is True for the boundary case the matrix in
+    ``docs/robustness.md`` calls the heartbeat/expiry race: the lease
+    had already expired but no peer had reclaimed it yet, so the
+    stale holder's heartbeat legitimately revives it (file order is
+    the tiebreak, and every reader agrees on file order).
+    """
+    holder, rel, done = group
+    if done or holder != worker:
+        return group, False
+    return (worker, spec.ttl, done), rel < 0
+
+
+def fold_done(group: tuple) -> tuple:
+    """Apply a DONE record: terminal, holder cleared."""
+    return (-1, -1, 1)
+
+
+def fold_tick(group: tuple) -> tuple:
+    """One logical tick: live leases move one step closer to expiry."""
+    holder, rel, done = group
+    if holder == -1 or rel < 0:
+        return group
+    return (holder, rel - 1, done)
+
+
+def live_holder(group: tuple) -> int:
+    """The live holder (worker index) or -1: free, expired, or done."""
+    holder, rel, done = group
+    if done or holder == -1 or rel < 0:
+        return -1
+    return holder
+
+
+# -- result-cell abstraction -------------------------------------------------
+#
+# Each (group, pair) cell abstracts the multiset of result records
+# journaled for that pair: ``(capped_count, values)`` where ``values``
+# is the sorted tuple of distinct payload identities seen (capped at
+# two -- one conflicting pair of values is already a violation).
+# Payloads are deterministic per pair in the real system; the
+# ``nondet_results`` seeded bug makes them worker-dependent instead.
+
+EMPTY_CELL = (0, ())
+
+
+def result_cell_append(cell: tuple, value: int) -> tuple:
+    count, values = cell
+    if value not in values:
+        values = tuple(sorted((*values, value)))[:2]
+    return (min(count + 1, 2), values)
+
+
+def cell_conflicts(cell: tuple) -> bool:
+    return len(cell[1]) > 1
+
+
+# ---------------------------------------------------------------------------
+# Schedules -> concrete journal records (conformance bridge)
+# ---------------------------------------------------------------------------
+
+
+def worker_label(worker: int) -> str:
+    return f"worker-{worker}"
+
+
+def group_label(group: int) -> str:
+    return f"g{group}"
+
+
+def trace_to_records(
+    spec: ProtocolSpec, actions: "list[tuple]", base_ts: float = 100.0
+) -> "list[dict]":
+    """Concrete lease records for an explorer action schedule.
+
+    Ticks advance the clock by one; every append lands at the current
+    time.  The output has the exact shape ``LeaseManager._append``
+    writes, so it can drive the real ``LeaseBoard`` and the
+    :class:`ModelBoard` side by side.
+    """
+    now = base_ts
+    records: list[dict] = []
+
+    def rec(event: str, worker: int, group: int) -> dict:
+        return {
+            "kind": LEASE_KIND,
+            "event": event,
+            "group": group_label(group),
+            "worker": worker_label(worker),
+            "ts": now,
+            "ttl": float(spec.ttl),
+        }
+
+    for action in actions:
+        kind = action[0]
+        if kind == "tick":
+            now += 1.0
+        elif kind == "claim":
+            records.append(rec(CLAIM, action[1], action[2]))
+        elif kind == "heartbeat":
+            records.append(rec(HEARTBEAT, action[1], action[2]))
+        elif kind == "mark_done":
+            records.append(rec(DONE, action[1], action[2]))
+        # reread/result/crash/respawn append no lease records.
+    return records

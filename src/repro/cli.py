@@ -209,7 +209,11 @@ def _cmd_audit(args) -> int:
     if args.solve_cache:
         reports.append(scan_cache(args.solve_cache))
     if args.json:
-        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        print(json.dumps(
+            [report.to_dict() for report in reports],
+            indent=2,
+            sort_keys=True,
+        ))
     else:
         for report in reports:
             print(report)
@@ -287,7 +291,57 @@ def _cmd_lint(args) -> int:
     return 1 if n_errors else 0
 
 
+def _cmd_analyze_concurrency(args) -> int:
+    """Both concurrency engines: protocol model check + code lint."""
+    from repro.analysis.concurrency import (
+        ProtocolSpec,
+        check_protocol,
+        lint_concurrency,
+        render_schedule,
+    )
+    from repro.analysis.semantics import dump_json
+
+    seeded = {}
+    if args.seed_bug:
+        seeded[args.seed_bug.replace("-", "_")] = True
+    spec = ProtocolSpec(
+        n_workers=args.workers,
+        n_groups=args.groups,
+        pairs_per_group=args.pairs,
+        crash_budget=args.crashes,
+        **seeded,
+    )
+    result = check_protocol(spec)
+    lint = lint_concurrency()
+    ok = result.ok and lint.ok
+
+    if args.json:
+        payload = {
+            "schema_version": 1,
+            "ok": ok,
+            "protocol": {"spec": spec.to_dict(), **result.to_dict()},
+            "lint": lint.to_dict(),
+        }
+        print(dump_json(payload))
+        return 0 if ok else 1
+
+    print(result.summary())
+    for violation in result.violations:
+        print(f"  VIOLATION [{violation.invariant}] {violation.message}")
+        for line in render_schedule(spec, list(violation.schedule)):
+            print(f"  {line}")
+    print(
+        f"lint: {lint.n_files} files, {len(lint.findings)} finding(s), "
+        f"{len(lint.errors)} error(s)"
+    )
+    for finding in lint.findings:
+        print(f"  {finding}")
+    return 0 if ok else 1
+
+
 def _cmd_analyze(args) -> int:
+    if args.concurrency:
+        return _cmd_analyze_concurrency(args)
     from repro.analysis.semantics import (
         RestrictionProver,
         dump_json,
@@ -406,7 +460,7 @@ def _cmd_presolve(args) -> int:
             }
             for clip, rule, pre in records
         ]
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for clip, rule, pre in records:
             stats = pre.trace.stats()
@@ -647,6 +701,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "is_restriction predicate")
     an.add_argument("--json", action="store_true",
                     help="emit the report as byte-deterministic JSON")
+    an.add_argument("--concurrency", action="store_true",
+                    help="run the concurrency engines instead: exhaustive "
+                         "lease-protocol model check plus the "
+                         "determinism/race lint over src/repro")
+    an.add_argument("--workers", type=int, default=2,
+                    help="model-checker bound: worker processes (1..4)")
+    an.add_argument("--groups", type=int, default=2,
+                    help="model-checker bound: sweep groups (1..4)")
+    an.add_argument("--pairs", type=int, default=2,
+                    help="model-checker bound: (clip, rule) pairs per "
+                         "group (1..3)")
+    an.add_argument("--crashes", type=int, default=2,
+                    help="model-checker bound: SIGKILL budget")
+    an.add_argument("--seed-bug", default=None,
+                    choices=("skip-reread", "early-done",
+                             "done-not-terminal", "nondet-results"),
+                    help="deliberately break one protocol obligation and "
+                         "show the minimal counterexample schedule (sanity "
+                         "check that the invariants have teeth)")
 
     pre = sub.add_parser(
         "presolve", help="fixpoint model reduction report for a clip set"

@@ -86,7 +86,9 @@ def clip_from_dict(data: dict) -> Clip:
 
 def dump_clips(clips: Iterable[Clip]) -> str:
     """Serialize a clip corpus as JSON text."""
-    return json.dumps([clip_to_dict(clip) for clip in clips], indent=1)
+    return json.dumps(
+        [clip_to_dict(clip) for clip in clips], indent=1, sort_keys=True
+    )
 
 
 def load_clips(text: str) -> list[Clip]:

@@ -88,17 +88,30 @@ class CheckpointJournal:
         tagged = seal_record({"v": RECORD_VERSION, **record})
         line = json.dumps(tagged, sort_keys=True)
         with self._lock:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
+            self._append_locked(self.path, [line])
+
+    def _append_locked(self, path: Path, lines: "list[str]") -> None:
+        """The one blessed journal sink: durably append ``lines``.
+
+        Every file append of the checkpoint layer -- journal records
+        and quarantine sidecar entries alike -- funnels through here
+        so there is exactly one open/flock/write/flush/fsync sequence
+        to audit (and for the concurrency lint to bless).  The lines
+        go out as a single buffered write under an advisory ``flock``,
+        so concurrent appenders never interleave bytes.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "".join(line + "\n" for line in lines)
+        with open(path, "a", encoding="utf-8") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            finally:
                 if fcntl is not None:
-                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
-                try:
-                    fh.write(line + "\n")
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                finally:
-                    if fcntl is not None:
-                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def load(self, heal: bool = True) -> list[dict]:
         """All trustworthy journaled records, oldest first.
@@ -161,16 +174,16 @@ class CheckpointJournal:
         return records
 
     def _write_quarantine(self) -> None:
-        with open(self.quarantine_path, "a", encoding="utf-8") as fh:
-            for line_number, reason, raw in self.quarantined:
-                fh.write(
-                    json.dumps(
-                        {"line": line_number, "reason": reason, "raw": raw}
-                    )
-                    + "\n"
+        self._append_locked(
+            self.quarantine_path,
+            [
+                json.dumps(
+                    {"line": line_number, "reason": reason, "raw": raw},
+                    sort_keys=True,
                 )
-            fh.flush()
-            os.fsync(fh.fileno())
+                for line_number, reason, raw in self.quarantined
+            ],
+        )
 
     def _compact(self, kept_lines: list[str]) -> None:
         """Atomically rewrite the journal with only valid records."""

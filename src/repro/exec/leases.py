@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.exec.checkpoint import CheckpointJournal, record_kind
@@ -145,12 +146,17 @@ class LeaseManager:
         journal: CheckpointJournal,
         worker: str,
         ttl: float = 10.0,
+        clock: "Callable[[], float]" = time.time,
     ):
         if ttl <= 0:
             raise ValueError("lease ttl must be positive")
         self.journal = journal
         self.worker = worker
         self.ttl = ttl
+        #: single injected clock: every timestamp this manager writes
+        #: or compares comes from here, so replay/conformance tests
+        #: can drive the protocol on a logical clock.
+        self.clock = clock
         #: groups this manager currently believes it holds (used by
         #: graceful shutdown to release everything in one sweep).
         self.held: set[str] = set()
@@ -161,7 +167,7 @@ class LeaseManager:
             "event": event,
             "group": group,
             "worker": self.worker,
-            "ts": time.time(),
+            "ts": self.clock(),
             "ttl": self.ttl,
         })
 
@@ -175,7 +181,7 @@ class LeaseManager:
         """
         self._append(CLAIM, group)
         board = LeaseBoard.from_records(self.journal.read())
-        won = board.holder(group, time.time()) == self.worker
+        won = board.holder(group, self.clock()) == self.worker
         if won:
             self.held.add(group)
         return won

@@ -216,7 +216,7 @@ class SolveCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry.to_dict(), fh)
+                json.dump(entry.to_dict(), fh, sort_keys=True)
             os.replace(tmp, path)
         except OSError:
             try:

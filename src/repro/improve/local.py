@@ -124,7 +124,7 @@ def improve_routing(
     elif rank == "wiring":
         def wiring_cost(clip: Clip) -> float:
             total = 0.0
-            for name in {_base_net_name(net.name) for net in clip.nets}:
+            for name in sorted({_base_net_name(net.name) for net in clip.nets}):
                 edges = _inside_edges(
                     grid, clip, routed.edge_sets.get(name, set())
                 )

@@ -69,6 +69,30 @@ class TestParser:
         assert "findings" in reports[0]["lint"]
         assert "stats" in reports[0]["lint"]
 
+    def test_analyze_concurrency_clean_and_seeded(self, capsys):
+        import json
+
+        code = main([
+            "analyze", "--concurrency",
+            "--workers", "1", "--groups", "1", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"]
+        assert payload["protocol"]["exhausted"]
+        assert payload["lint"]["n_errors"] == 0
+        # A seeded bug must flip the exit code and carry a schedule.
+        code = main([
+            "analyze", "--concurrency", "--seed-bug", "skip-reread",
+            "--workers", "2", "--groups", "1", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        violations = payload["protocol"]["violations"]
+        assert any(v["invariant"] == "mutual_exclusion" for v in violations)
+
     def test_full_flow_small(self, capsys):
         code = main([
             "full-flow", "--instances", "40", "--utilization", "0.8",

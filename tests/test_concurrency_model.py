@@ -1,0 +1,356 @@
+"""Lease-protocol model checker: verdicts, counterexamples, conformance.
+
+Three obligations, mirroring ``docs/static_analysis.md``:
+
+1. the unmodified protocol model verifies exhaustively on the bounded
+   config (the checker's positive verdict);
+2. every seeded bug is falsified with a *minimal* counterexample
+   schedule (the invariants have teeth);
+3. the model is faithful to the deployed fold: :class:`ModelBoard` and
+   the real ``LeaseBoard`` replay agree on every generated record
+   sequence, and the explorer's action schedules translate into real
+   records that both boards agree on (``trace_to_records`` bridge).
+
+The near-miss schedules at the bottom pin down boundary behaviours the
+checker explored without finding a defect -- kept as regression tests
+so a future change that *does* break them fails loudly here before the
+model checker has to say it.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.concurrency import (
+    ModelBoard,
+    ProtocolSpec,
+    check_protocol,
+    render_schedule,
+    trace_to_records,
+)
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.leases import (
+    CLAIM,
+    DONE,
+    HEARTBEAT,
+    LEASE_KIND,
+    LeaseBoard,
+    LeaseManager,
+)
+
+# ---------------------------------------------------------------------------
+# 1. Positive verdict on the clean protocol
+# ---------------------------------------------------------------------------
+
+
+def test_clean_protocol_verifies_exhaustively():
+    result = check_protocol(ProtocolSpec())
+    assert result.exhausted
+    assert result.ok
+    assert result.violations == []
+    # Sanity: the run actually explored a non-trivial interleaving
+    # space (crashes, respawns, expiries included).
+    assert result.n_states > 10_000
+    assert result.n_transitions > result.n_states
+
+
+def test_clean_protocol_single_worker_no_crashes():
+    result = check_protocol(
+        ProtocolSpec(n_workers=1, crash_budget=0, respawn_budget=0)
+    )
+    assert result.ok and result.exhausted
+
+
+def test_explore_result_serializes_deterministically():
+    result = check_protocol(ProtocolSpec(n_workers=1, n_groups=1))
+    first = json.dumps(result.to_dict(), sort_keys=True)
+    second = json.dumps(
+        check_protocol(ProtocolSpec(n_workers=1, n_groups=1)).to_dict(),
+        sort_keys=True,
+    )
+    assert first == second
+
+
+# ---------------------------------------------------------------------------
+# 2. Seeded bugs are falsified with minimal counterexamples
+# ---------------------------------------------------------------------------
+
+
+def _violations_by_invariant(result):
+    return {v.invariant: v for v in result.violations}
+
+
+def test_skip_reread_yields_minimal_mutual_exclusion_cex():
+    """Dropping the post-append re-read is the canonical seeded bug:
+    two bare claims on one group already violate mutual exclusion."""
+    spec = ProtocolSpec(skip_reread=True)
+    result = check_protocol(spec)
+    assert not result.ok
+    violation = _violations_by_invariant(result)["mutual_exclusion"]
+    # Minimal schedule: claim by one worker, conflicting claim by the
+    # other -- two steps, no ticks, no crashes.
+    assert len(violation.schedule) == 2
+    lines = render_schedule(spec, list(violation.schedule))
+    assert len(lines) == 2
+    assert "CLAIM" in lines[0] and "CLAIM" in lines[1]
+
+
+def test_early_done_loses_a_pair():
+    result = check_protocol(ProtocolSpec(early_done=True))
+    assert not result.ok
+    violation = _violations_by_invariant(result)["no_lost_pair"]
+    # claim -> reread -> premature DONE: three steps.
+    assert len(violation.schedule) == 3
+
+
+def test_done_not_terminal_breaks_done_terminality():
+    result = check_protocol(ProtocolSpec(done_not_terminal=True))
+    assert not result.ok
+    assert "done_terminal" in _violations_by_invariant(result)
+
+
+def test_nondet_results_journal_conflicting_duplicates():
+    """Worker-dependent payloads turn the benign at-least-once overlap
+    (expiry + reclaim) into conflicting records for one pair -- the
+    precise reason result payloads must be pure functions of the
+    (clip, rule) pair for first-wins dedupe to be sound."""
+    spec = ProtocolSpec(nondet_results=True)
+    result = check_protocol(spec)
+    assert not result.ok
+    violation = _violations_by_invariant(result)["no_duplicate_pair"]
+    lines = render_schedule(spec, list(violation.schedule))
+    # The schedule must exhibit a reclaim (the only route to overlap).
+    assert any("reclaimed" in line for line in lines)
+
+
+def test_clean_spec_is_not_buggy_and_bugs_are_flagged():
+    assert not ProtocolSpec().buggy
+    assert ProtocolSpec(skip_reread=True).buggy
+    assert ProtocolSpec(skip_reread=True).to_dict()["seeded_bugs"] == [
+        "skip_reread"
+    ]
+
+
+# ---------------------------------------------------------------------------
+# 3a. Conformance: ModelBoard vs the real LeaseBoard replay
+# ---------------------------------------------------------------------------
+
+_WORKERS = ["worker-0", "worker-1", "worker-2"]
+_GROUPS = ["g0", "g1"]
+
+
+def _record_strategy():
+    return st.fixed_dictionaries({
+        "kind": st.just(LEASE_KIND),
+        "event": st.sampled_from([CLAIM, HEARTBEAT, "release", DONE,
+                                  "bogus-event"]),
+        "group": st.sampled_from(_GROUPS),
+        "worker": st.sampled_from(_WORKERS),
+        "ts": st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        "ttl": st.sampled_from([1.0, 2.0, 5.0]),
+    })
+
+
+def _assert_boards_agree(records, query_times):
+    model = ModelBoard.from_records(records)
+    real = LeaseBoard.from_records(records)
+    for group in _GROUPS:
+        assert model.is_done(group) == real.is_done(group)
+        assert model.holder(group) == real.holder(group)
+        for now in query_times:
+            assert model.holder(group, now) == real.holder(group, now)
+            assert model.available(group, now) == real.available(group, now)
+    assert model.reclaim_count() == real.reclaim_count()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_record_strategy(), max_size=30))
+def test_model_board_conforms_to_lease_board(records):
+    """Arbitrary (even ill-ordered) record sequences replay identically
+    in the model and the deployed fold."""
+    _assert_boards_agree(records, query_times=[0.0, 1.5, 7.0, 25.0])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(_record_strategy(), max_size=20),
+    st.lists(st.integers(min_value=0, max_value=19), max_size=3),
+)
+def test_model_board_conforms_under_junk_records(records, junk_positions):
+    """Non-lease and malformed records are ignored by both folds."""
+    for position in junk_positions:
+        records.insert(
+            min(position, len(records)),
+            {"kind": "result", "clip": "c", "rule": "r", "delta": 1.0},
+        )
+    records.append({"kind": LEASE_KIND, "event": CLAIM, "group": 17,
+                    "worker": "worker-0", "ts": 0.0, "ttl": 1.0})
+    _assert_boards_agree(records, query_times=[0.0, 10.0])
+
+
+# ---------------------------------------------------------------------------
+# 3b. Conformance: explorer schedules -> concrete records -> both boards
+# ---------------------------------------------------------------------------
+
+
+def _action_strategy():
+    worker = st.integers(min_value=0, max_value=1)
+    group = st.integers(min_value=0, max_value=1)
+    return st.one_of(
+        st.just(("tick",)),
+        st.tuples(st.just("claim"), worker, group),
+        st.tuples(st.just("heartbeat"), worker, group),
+        st.tuples(st.just("mark_done"), worker, group),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_action_strategy(), max_size=25))
+def test_trace_records_drive_both_boards_identically(actions):
+    """The ``trace_to_records`` bridge produces real-shaped records on
+    which the model and deployed replays agree -- so every explorer
+    counterexample is replayable against the real implementation."""
+    spec = ProtocolSpec()
+    records = trace_to_records(spec, list(actions))
+    now = 100.0 + sum(1.0 for a in actions if a[0] == "tick")
+    model = ModelBoard.from_records(records)
+    real = LeaseBoard.from_records(records)
+    for group in ("g0", "g1"):
+        assert model.holder(group, now) == real.holder(group, now)
+        assert model.is_done(group) == real.is_done(group)
+    assert model.reclaim_count() == real.reclaim_count()
+
+
+def test_trace_records_have_journal_shape(tmp_path):
+    """Bridge records survive the real sealed journal round-trip."""
+    spec = ProtocolSpec()
+    actions = [("claim", 0, 0), ("tick",), ("heartbeat", 0, 0),
+               ("mark_done", 0, 0)]
+    journal = CheckpointJournal(tmp_path / "journal.jsonl")
+    for record in trace_to_records(spec, actions):
+        journal.append(record)
+    loaded = journal.load()
+    assert [r["event"] for r in loaded] == [CLAIM, HEARTBEAT, DONE]
+    board = LeaseBoard.from_records(loaded)
+    assert board.is_done("g0")
+
+
+# ---------------------------------------------------------------------------
+# 3c. Torn-write equivalence against the real journal
+# ---------------------------------------------------------------------------
+
+
+def test_torn_line_equals_crash_before_append(tmp_path):
+    """A SIGKILL mid-append leaves a torn line; the quarantine drops it,
+    so the replayed board is byte-identical to the record never having
+    been written.  This is the equivalence that lets the model explore
+    torn writes as crash-before-append."""
+    spec = ProtocolSpec()
+    prefix = trace_to_records(spec, [("claim", 0, 0), ("claim", 1, 1)])
+
+    clean = CheckpointJournal(tmp_path / "clean.jsonl")
+    torn = CheckpointJournal(tmp_path / "torn.jsonl")
+    for record in prefix:
+        clean.append(record)
+        torn.append(record)
+    # Tear: the first half of a DONE record, cut mid-JSON by SIGKILL.
+    with open(torn.path, "a", encoding="utf-8") as fh:
+        fh.write('{"v": 2, "kind": "lease", "event": "done", "gro')
+
+    clean_board = LeaseBoard.from_records(clean.read())
+    torn_board = LeaseBoard.from_records(torn.read())
+    assert len(torn.quarantined) == 1
+    for group in ("g0", "g1"):
+        assert torn_board.holder(group, 100.0) == clean_board.holder(
+            group, 100.0
+        )
+        assert torn_board.is_done(group) == clean_board.is_done(group)
+
+
+# ---------------------------------------------------------------------------
+# Near-miss regression schedules (no defect found; see docs note)
+# ---------------------------------------------------------------------------
+#
+# The checker verified the clean protocol on every bounded config we
+# ran, surfacing no fixable defect.  Per the issue, the near-miss
+# interleavings it explored -- the ones that *look* like races and are
+# resolved only by a subtle tiebreak -- are pinned here as concrete
+# schedules so the tiebreaks can't regress silently.
+
+
+def _rec(event, worker, group, ts, ttl=2.0):
+    return {"kind": LEASE_KIND, "event": event, "group": group,
+            "worker": worker, "ts": ts, "ttl": ttl}
+
+
+def test_near_miss_heartbeat_resurrects_expired_unreclaimed_lease():
+    """Expiry boundary: the lease expired but nobody reclaimed it, and
+    the stale holder's heartbeat lands first.  File order is the
+    tiebreak -- the heartbeat legitimately revives the lease, and the
+    later claim is contested.  Every reader agrees, so this is a
+    near-miss, not a race."""
+    records = [
+        _rec(CLAIM, "worker-0", "g0", ts=0.0),      # expires at 2.0
+        _rec(HEARTBEAT, "worker-0", "g0", ts=5.0),  # expired, revives
+        _rec(CLAIM, "worker-1", "g0", ts=5.0),      # loses: holder live
+    ]
+    for board in (LeaseBoard.from_records(records),
+                  ModelBoard.from_records(records)):
+        assert board.holder("g0", 5.0) == "worker-0"
+        assert board.reclaim_count() == 0
+
+
+def test_near_miss_reclaim_beats_late_heartbeat():
+    """The mirror ordering: the reclaim lands before the stale holder's
+    heartbeat, so the heartbeat is a no-op (holder check) and the new
+    owner keeps the lease."""
+    records = [
+        _rec(CLAIM, "worker-0", "g0", ts=0.0),      # expires at 2.0
+        _rec(CLAIM, "worker-1", "g0", ts=5.0),      # reclaims
+        _rec(HEARTBEAT, "worker-0", "g0", ts=5.0),  # stale: ignored
+    ]
+    for board in (LeaseBoard.from_records(records),
+                  ModelBoard.from_records(records)):
+        assert board.holder("g0", 5.0) == "worker-1"
+        assert board.reclaim_count() == 1
+
+
+def test_near_miss_contested_claim_first_writer_wins():
+    """Two simultaneous claims on a free group: file order decides,
+    deterministically for every reader."""
+    records = [
+        _rec(CLAIM, "worker-1", "g0", ts=3.0),
+        _rec(CLAIM, "worker-0", "g0", ts=3.0),
+    ]
+    for board in (LeaseBoard.from_records(records),
+                  ModelBoard.from_records(records)):
+        assert board.holder("g0", 3.0) == "worker-1"
+
+
+def test_near_miss_respawned_worker_inherits_own_lease():
+    """A respawned worker with its predecessor's name re-claims the
+    dead predecessor's group through the holder==worker branch without
+    waiting out the TTL.  Safe precisely because the coordinator only
+    reuses a slot name after confirming the process is dead."""
+    records = [
+        _rec(CLAIM, "worker-0", "g0", ts=0.0),   # predecessor
+        _rec(CLAIM, "worker-0", "g0", ts=1.0),   # respawn, same name
+    ]
+    for board in (LeaseBoard.from_records(records),
+                  ModelBoard.from_records(records)):
+        assert board.holder("g0", 1.0) == "worker-0"
+        assert board.reclaim_count() == 0
+
+
+def test_lease_manager_uses_injected_clock(tmp_path):
+    """The lease layer's only clock is the injected one (CONC002)."""
+    journal = CheckpointJournal(tmp_path / "journal.jsonl")
+    ticks = iter([100.0, 100.0, 107.5])
+    manager = LeaseManager(
+        journal, "worker-0", ttl=5.0, clock=lambda: next(ticks)
+    )
+    assert manager.try_claim("g0")  # append @100, re-read @100
+    manager.heartbeat("g0")         # append @107.5
+    records = journal.read()
+    assert [r["ts"] for r in records] == [100.0, 107.5]
