@@ -15,6 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
+from repro.ilp.csr import CsrModel
 from repro.ilp.model import Constraint, LinExpr, Model
 
 
@@ -28,6 +33,14 @@ class Component:
     """
 
     model: Model
+    var_map: dict[int, int]
+
+
+@dataclass(frozen=True)
+class CsrComponent:
+    """Columnar twin of :class:`Component` (same ``var_map`` contract)."""
+
+    model: CsrModel
     var_map: dict[int, int]
 
 
@@ -125,4 +138,93 @@ def decompose_model(model: Model) -> list[Component]:
             0.0,
         )
         components.append(Component(model=sub, var_map=var_map))
+    return components
+
+
+def decompose_csr(csr: CsrModel) -> list[CsrComponent]:
+    """Columnar :func:`decompose_model`: identical partition, ordering,
+    and per-component row order, computed on the CSR arrays.
+
+    Variable connectivity is the bipartite (row, var) incidence graph's
+    component structure (``scipy.sparse.csgraph``); a row belongs to the
+    component of its first stored entry, matching the object walk.  Each
+    component model carries a zero objective constant, exactly like the
+    object decomposition.
+    """
+    n = csr.n_vars
+    if n == 0:
+        return []
+    m = csr.n_rows
+    entry_counts = np.diff(csr.indptr)
+    nnz = len(csr.indices)
+    constrained = np.zeros(n, dtype=bool)
+    if nnz:
+        constrained[csr.indices] = True
+        graph = coo_matrix(
+            (
+                np.ones(nnz, dtype=np.int8),
+                (n + np.repeat(np.arange(m, dtype=np.int64), entry_counts),
+                 csr.indices),
+            ),
+            shape=(n + m, n + m),
+        )
+        labels = connected_components(graph, directed=False)[1][:n]
+    else:
+        labels = np.arange(n, dtype=np.int64)
+
+    groups: dict[int, list[int]] = {}
+    for j in np.flatnonzero(constrained).tolist():
+        groups.setdefault(int(labels[j]), []).append(j)
+    # Ascending member lists, components ordered by smallest member --
+    # the object union-find's union-by-min gives exactly this order.
+    ordered = sorted(groups.values(), key=lambda members: members[0])
+    loose = np.flatnonzero(~constrained).tolist()
+    if not ordered:
+        ordered = [[]]  # single pseudo-component for the loose columns
+    if loose:
+        ordered[0] = sorted(ordered[0] + loose)
+
+    has_entries = entry_counts > 0
+    first_vars = np.full(m, -1, dtype=np.int64)
+    first_vars[has_entries] = csr.indices[csr.indptr[:-1][has_entries]]
+    local = np.full(n, -1, dtype=np.int64)
+    row_names = csr.row_names if len(csr.row_names) == m else None
+
+    components: list[CsrComponent] = []
+    for k, members in enumerate(ordered):
+        member_array = np.asarray(members, dtype=np.int64)
+        local[member_array] = np.arange(len(members), dtype=np.int64)
+        in_component = np.zeros(n, dtype=bool)
+        in_component[member_array] = True
+        row_mask = np.zeros(m, dtype=bool)
+        row_mask[has_entries] = in_component[first_vars[has_entries]]
+        keep = np.repeat(row_mask, entry_counts)
+        counts = entry_counts[row_mask]
+        indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        sub = CsrModel(
+            name=f"{csr.name}__c{k}",
+            var_names=[csr.var_names[j] for j in members],
+            lb=csr.lb[member_array].copy(),
+            ub=csr.ub[member_array].copy(),
+            integer=csr.integer[member_array].copy(),
+            obj=csr.obj[member_array].copy(),
+            obj_const=0.0,
+            indptr=indptr,
+            indices=local[csr.indices[keep]],
+            data=csr.data[keep].copy(),
+            senses=csr.senses[row_mask].copy(),
+            row_const=csr.row_const[row_mask].copy(),
+            row_names=(
+                [row_names[r] for r in np.flatnonzero(row_mask).tolist()]
+                if row_names is not None
+                else []
+            ),
+        )
+        components.append(
+            CsrComponent(
+                model=sub,
+                var_map={int(j): i for i, j in enumerate(members)},
+            )
+        )
     return components

@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 
 from repro.analysis.findings import LintFinding, LintReport, Severity
+from repro.ilp.csr import CsrModel
 from repro.ilp.model import Constraint, Model
 from repro.router.formulation import RoutingIlp
 
@@ -45,8 +46,16 @@ _TOL = 1e-9
 MAX_FINDINGS_PER_CODE = 20
 
 
-def lint_model(model: Model) -> LintReport:
-    """Run every model-level check; return all findings plus stats."""
+def lint_model(model: "Model | CsrModel") -> LintReport:
+    """Run every model-level check; return all findings plus stats.
+
+    Accepts either representation; a columnar :class:`CsrModel` is
+    linted through its lossless object form (lint is a diagnostic
+    path, so the conversion cost is acceptable and the per-row checks
+    stay single-sourced).
+    """
+    if isinstance(model, CsrModel):
+        model = model.to_model()
     report = LintReport(model_name=model.name, stats=dict(model.stats()))
     counts: dict[str, int] = {}
 

@@ -33,9 +33,26 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.analysis.decompose import Component, decompose_model
+import numpy as np
+
+from repro.analysis.csr_reductions import (
+    CSR_PASSES,
+    CsrWork,
+    csr_unconstrained_columns,
+    extract_csr_model,
+    live_counts_csr,
+    load_object_work,
+    make_csr_uturn_pass,
+    to_object_work,
+)
+from repro.analysis.decompose import (
+    Component,
+    CsrComponent,
+    decompose_csr,
+    decompose_model,
+)
 from repro.analysis.reductions import (
     PASSES,
     Work,
@@ -44,7 +61,8 @@ from repro.analysis.reductions import (
     make_uturn_row_pass,
     pass_unconstrained_columns,
 )
-from repro.ilp.model import Constraint, LinExpr, Model
+from repro.ilp.csr import SENSE_LE, CsrModel
+from repro.ilp.model import Model
 from repro.ilp.status import Solution, SolveStatus
 from repro.router.formulation import RoutingIlp
 
@@ -52,9 +70,12 @@ from repro.router.formulation import RoutingIlp
 #: must strictly shrink or tighten the model) but keeps presolve total.
 MAX_ITERATIONS = 20
 
-#: Backend signature consumed by :func:`solve_reduced`: a model plus a
-#: remaining-time budget in seconds (None = unlimited).
-SolverFn = Callable[[Model, "float | None"], Solution]
+#: Backend signature consumed by :func:`solve_reduced`: a model (object
+#: or columnar) plus a remaining-time budget in seconds (None =
+#: unlimited).  On the columnar presolve path the callable receives
+#: :class:`CsrModel` components; backends that only understand object
+#: models convert with :meth:`CsrModel.to_model`.
+SolverFn = Callable[["Model | CsrModel", "float | None"], Solution]
 
 
 @dataclass
@@ -137,17 +158,56 @@ class PresolveTrace:
         }
 
 
-@dataclass
 class PresolveResult:
-    """Reduced model + trace (+ a status when presolve decided one)."""
+    """Reduced model + trace (+ a status when presolve decided one).
 
-    original: Model
-    reduced: Model
-    trace: PresolveTrace
-    #: ``SolveStatus.INFEASIBLE`` when a reduction proved the model
-    #: infeasible; ``None`` when the solver still has to rule.
-    status: SolveStatus | None = None
-    reason: str | None = None
+    Both the original and the reduced model are available in object
+    form (``original``/``reduced``) and, when presolve ran on the
+    columnar path, in CSR form (``original_csr``/``reduced_csr``).
+    Whichever form presolve produced is authoritative; the other is
+    materialized lazily on first access, so the cold path never pays
+    for an object model nobody reads.
+    """
+
+    def __init__(
+        self,
+        original: Model | None = None,
+        reduced: Model | None = None,
+        trace: PresolveTrace | None = None,
+        status: SolveStatus | None = None,
+        reason: str | None = None,
+        original_csr: CsrModel | None = None,
+        reduced_csr: CsrModel | None = None,
+    ):
+        self._original = original
+        self._reduced = reduced
+        self.trace = trace
+        #: ``SolveStatus.INFEASIBLE`` when a reduction proved the model
+        #: infeasible; ``None`` when the solver still has to rule.
+        self.status = status
+        self.reason = reason
+        self.original_csr = original_csr
+        self.reduced_csr = reduced_csr
+
+    @property
+    def original(self) -> Model:
+        if self._original is None and self.original_csr is not None:
+            self._original = self.original_csr.to_model()
+        return self._original
+
+    @original.setter
+    def original(self, model: Model) -> None:
+        self._original = model
+
+    @property
+    def reduced(self) -> Model:
+        if self._reduced is None and self.reduced_csr is not None:
+            self._reduced = self.reduced_csr.to_model()
+        return self._reduced
+
+    @reduced.setter
+    def reduced(self, model: Model) -> None:
+        self._reduced = model
 
 
 def presolve_model(
@@ -215,6 +275,116 @@ def presolve_model(
         status=status,
         reason=work.infeasible_reason,
     )
+
+
+def presolve_csr(
+    csr: CsrModel,
+    seed_fixes: dict[int, float] | None = None,
+    seed_reason: str = "seeded fix",
+    max_iterations: int = MAX_ITERATIONS,
+    extra_passes: "tuple[Callable[[Work], int], ...]" = (),
+    extra_csr_passes: "tuple[Callable[[CsrWork], int], ...]" = (),
+) -> PresolveResult:
+    """Columnar twin of :func:`presolve_model`: same pass catalog, same
+    fixpoint driver, same trace contract, vectorized working state.
+
+    ``extra_csr_passes`` run natively after the catalog each iteration;
+    ``extra_passes`` (arbitrary *object* passes) still run after those
+    via the :func:`~repro.analysis.csr_reductions.to_object_work`
+    bridge, so callers with custom passes fall back automatically
+    rather than silently losing them.  The input model is never
+    mutated.
+    """
+    t0 = time.perf_counter()
+    n_vars_before = csr.n_vars
+    n_rows_before = csr.n_rows
+    n_nonzeros_before = int(np.count_nonzero(csr.data))
+
+    work = CsrWork(csr)
+    if seed_fixes:
+        for index, value in seed_fixes.items():
+            if work.infeasible:
+                break
+            work.fix_var(index, value, seed_reason)
+
+    iterations = 0
+    # A pass that last ran clean (returned 0, mutated nothing) at the
+    # current generation is guaranteed to run clean again: passes are
+    # deterministic functions of the semantic state, and every mutation
+    # bumps ``work.generation``.  Skipping them makes the final
+    # fixpoint-confirming iteration nearly free without changing a
+    # single firing (the object driver's counts/trace stay identical).
+    quiet: dict[object, int] = {}
+
+    def run(key: object, fn, *args) -> int:
+        if quiet.get(key) == work.generation:
+            return 0
+        before = work.generation
+        delta = fn(*args)
+        if delta == 0 and work.generation == before and not work.infeasible:
+            quiet[key] = before
+        return delta
+
+    while not work.infeasible and iterations < max_iterations:
+        iterations += 1
+        changed = 0
+        for idx, reduction in enumerate(CSR_PASSES + extra_csr_passes):
+            if work.infeasible:
+                break
+            if quiet.get(idx) == work.generation:
+                continue
+            work.compact()
+            changed += run(idx, reduction, work)
+        for k, object_pass in enumerate(extra_passes):
+            if work.infeasible:
+                break
+            changed += run(("obj", k), _run_bridged, work, object_pass)
+        if not work.infeasible:
+            if quiet.get("tail") != work.generation:
+                work.compact()
+                changed += run("tail", csr_unconstrained_columns, work)
+        if changed == 0:
+            break
+
+    reduced_csr, col_map = extract_csr_model(work)
+    rows_after, cols_after, nonzeros_after = live_counts_csr(work)
+    trace = PresolveTrace(
+        col_map=col_map,
+        fixed=dict(work.fixed),
+        pass_counts=dict(work.counts),
+        iterations=iterations,
+        n_vars_before=n_vars_before,
+        n_rows_before=n_rows_before,
+        n_nonzeros_before=n_nonzeros_before,
+        n_vars_after=cols_after,
+        n_rows_after=rows_after,
+        n_nonzeros_after=nonzeros_after,
+        seed_fix_count=len(seed_fixes) if seed_fixes else 0,
+        presolve_seconds=time.perf_counter() - t0,
+        infeasible_reason=work.infeasible_reason,
+    )
+    status = SolveStatus.INFEASIBLE if work.infeasible else None
+    return PresolveResult(
+        trace=trace,
+        status=status,
+        reason=work.infeasible_reason,
+        original_csr=csr,
+        reduced_csr=reduced_csr,
+    )
+
+
+def _run_bridged(work: CsrWork, object_pass) -> int:
+    """Run one arbitrary object pass against CSR state via the bridge.
+
+    The reload is skipped when the pass fired nothing: a clean pass
+    made no mutations (the same invariant the fixpoint loop rests on),
+    so folding the untouched bridge back would be a no-op re-layout.
+    """
+    bridged = to_object_work(work)
+    delta = object_pass(bridged)
+    if delta or bridged.infeasible_reason != work.infeasible_reason:
+        load_object_work(work, bridged)
+    return delta
 
 
 def reachability_fixes(ilp: RoutingIlp) -> tuple[dict[int, float], int]:
@@ -296,7 +466,7 @@ def _site_usage_coefs(ilp: RoutingIlp, x: int, y: int, z: int) -> dict[int, floa
     return coefs
 
 
-def aggregate_via_adjacency(ilp: RoutingIlp) -> tuple[Model, int, int]:
+def aggregate_via_adjacency(ilp: RoutingIlp) -> tuple[CsrModel, int, int]:
     """Factor repeated via-site usage sums behind auxiliary binaries.
 
     Every via-adjacency row is ``u_a + u_b <= 1`` where ``u_s`` is the
@@ -313,14 +483,16 @@ def aggregate_via_adjacency(ilp: RoutingIlp) -> tuple[Model, int, int]:
     extends by ``U_s = min(1, ceil(u_s))``, so status and optimal
     objective are exactly preserved (``U`` carries no objective cost).
 
-    Returns ``(model, n_rows_rewritten, n_aux_vars)``; the input model
-    is returned unchanged when nothing fires, a rewritten clone
-    otherwise.
+    Returns ``(csr, n_rows_rewritten, n_aux_vars)``; the input columnar
+    model is returned unchanged when nothing fires, a rewritten copy
+    otherwise (same row order the object-model rewrite produced:
+    originals with pair rows rewritten in place and exclusivity rows
+    dropped, then the defining rows).
     """
     offsets = ilp.rules.via_restriction.blocked_offsets()
-    model = ilp.model
+    csr = ilp.csr
     if not offsets:
-        return model, 0, 0
+        return csr, 0, 0
 
     site_coefs: dict[tuple[int, int, int], dict[int, float]] = {}
     for site in ilp.graph.via_site_arcs:
@@ -330,10 +502,15 @@ def aggregate_via_adjacency(ilp: RoutingIlp) -> tuple[Model, int, int]:
 
     # Index candidate rows (normalized `expr - 1 <= 0`) by signature.
     sig_to_rows: dict[frozenset[tuple[int, float]], list[int]] = {}
-    for index, con in enumerate(model.constraints):
-        if con.sense == "<=" and con.expr.const == -1.0:
-            sig = frozenset(con.expr.coefs.items())
-            sig_to_rows.setdefault(sig, []).append(index)
+    indptr = csr.indptr
+    for index in np.flatnonzero(
+        (csr.senses == SENSE_LE) & (csr.row_const == -1.0)
+    ).tolist():
+        s, e = int(indptr[index]), int(indptr[index + 1])
+        sig = frozenset(
+            zip(csr.indices[s:e].tolist(), csr.data[s:e].tolist())
+        )
+        sig_to_rows.setdefault(sig, []).append(index)
 
     # Match adjacency rows to unordered site pairs, builder-style.
     pair_rows: dict[int, tuple[tuple[int, int, int], tuple[int, int, int]]] = {}
@@ -371,46 +548,97 @@ def aggregate_via_adjacency(ilp: RoutingIlp) -> tuple[Model, int, int]:
     # Aggregate a site only when it shrinks nonzeros: the defining row
     # costs |u|+1 and one nonzero per adjacency row, against |u| saved
     # in each of the d adjacency rows (plus the exclusivity row).
-    aggregated = {}
+    aggregated: dict[tuple[int, int, int], int] = {}
     for site, d in degree.items():
         u = len(site_coefs[site])
         excl = 1 if site in excl_rows else 0
         if u * (d + excl - 1) > d + 1:
-            aggregated[site] = None
+            aggregated[site] = 0
     if not aggregated:
-        return model, 0, 0
+        return csr, 0, 0
 
-    new = model.clone()
-    for site in aggregated:
+    n0 = csr.n_vars
+    var_names = list(csr.var_names)
+    for k, site in enumerate(aggregated):
         x, y, z = site
-        aggregated[site] = new.binary(f"Uvia_{x}_{y}_{z}")
-    for site, var in aggregated.items():
-        expr = LinExpr(dict(site_coefs[site]))
-        expr._iadd(var, -1.0)
-        new.constraints.append(Constraint(expr, "<="))
+        var_names.append(f"Uvia_{x}_{y}_{z}")
+        aggregated[site] = n0 + k
+    n_aux = len(aggregated)
 
+    new_rows: dict[int, tuple[list[int], list[float]]] = {}
     rewritten = 0
     for index, (site_a, site_b) in pair_rows.items():
         if site_a not in aggregated and site_b not in aggregated:
             continue
-        expr = LinExpr(const=-1.0)
+        coefs: dict[int, float] = {}
         for site in (site_a, site_b):
-            var = aggregated.get(site)
-            if var is not None:
-                expr._iadd(var, 1.0)
+            aux = aggregated.get(site)
+            if aux is not None:
+                coefs[aux] = coefs.get(aux, 0.0) + 1.0
             else:
                 for j, c in site_coefs[site].items():
-                    expr.coefs[j] = expr.coefs.get(j, 0.0) + c
-        old = new.constraints[index]
-        new.constraints[index] = Constraint(expr, "<=", old.name)
+                    coefs[j] = coefs.get(j, 0.0) + c
+        new_rows[index] = (list(coefs.keys()), list(coefs.values()))
         rewritten += 1
 
     drop = {excl_rows[site] for site in aggregated if site in excl_rows}
-    if drop:
-        new.constraints = [
-            con for index, con in enumerate(new.constraints) if index not in drop
-        ]
-    return new, rewritten, len(aggregated)
+
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    counts: list[int] = []
+    senses_out: list[int] = []
+    row_const_out: list[float] = []
+    names_out: list[str] = []
+    senses = csr.senses.tolist()
+    row_consts = csr.row_const.tolist()
+    for r in range(csr.n_rows):
+        if r in drop:
+            continue
+        replacement = new_rows.get(r)
+        if replacement is None:
+            s, e = int(indptr[r]), int(indptr[r + 1])
+            cols_parts.append(csr.indices[s:e])
+            vals_parts.append(csr.data[s:e])
+            counts.append(e - s)
+        else:
+            cols, vals = replacement
+            cols_parts.append(np.asarray(cols, dtype=np.int64))
+            vals_parts.append(np.asarray(vals, dtype=np.float64))
+            counts.append(len(cols))
+        senses_out.append(senses[r])
+        row_const_out.append(row_consts[r])
+        names_out.append(csr.row_names[r])
+    for site, aux in aggregated.items():
+        coefs = site_coefs[site]
+        cols_parts.append(
+            np.asarray(list(coefs.keys()) + [aux], dtype=np.int64)
+        )
+        vals_parts.append(
+            np.asarray(list(coefs.values()) + [-1.0], dtype=np.float64)
+        )
+        counts.append(len(coefs) + 1)
+        senses_out.append(SENSE_LE)
+        row_const_out.append(0.0)
+        names_out.append("")
+
+    new_indptr = np.zeros(len(senses_out) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(counts, dtype=np.int64), out=new_indptr[1:])
+    new = CsrModel(
+        name=csr.name,
+        var_names=var_names,
+        lb=np.concatenate((csr.lb, np.zeros(n_aux))),
+        ub=np.concatenate((csr.ub, np.ones(n_aux))),
+        integer=np.concatenate((csr.integer, np.ones(n_aux, dtype=bool))),
+        obj=np.concatenate((csr.obj, np.zeros(n_aux))),
+        obj_const=csr.obj_const,
+        indptr=new_indptr,
+        indices=np.concatenate(cols_parts),
+        data=np.concatenate(vals_parts),
+        senses=np.asarray(senses_out, dtype=np.int8),
+        row_const=np.asarray(row_const_out, dtype=np.float64),
+        row_names=names_out,
+    )
+    return new, rewritten, n_aux
 
 
 def uturn_pairs(ilp: RoutingIlp) -> set[frozenset[int]]:
@@ -423,7 +651,7 @@ def uturn_pairs(ilp: RoutingIlp) -> set[frozenset[int]]:
     pass re-verifies the surrounding row structure itself).
     """
     pairs: set[frozenset[int]] = set()
-    obj = ilp.model.objective.coefs
+    obj = ilp.csr.obj
     for nv in ilp.nets:
         for arc_index, e in nv.e.items():
             arc = ilp.graph.arcs[arc_index]
@@ -432,7 +660,7 @@ def uturn_pairs(ilp: RoutingIlp) -> set[frozenset[int]]:
             rev = nv.e.get(arc.reverse)
             if rev is None:
                 continue
-            if obj.get(e.index, 0.0) > 0.0 and obj.get(rev.index, 0.0) > 0.0:
+            if obj[e.index] > 0.0 and obj[rev.index] > 0.0:
                 pairs.add(frozenset((e.index, rev.index)))
     return pairs
 
@@ -444,20 +672,21 @@ def presolve_routing_ilp(
     and the via-adjacency usage aggregation."""
     t0 = time.perf_counter()
     fixes, empty = reachability_fixes(ilp)
-    model, n_rewritten, n_aux = aggregate_via_adjacency(ilp)
-    pre = presolve_model(
-        model,
+    csr, n_rewritten, n_aux = aggregate_via_adjacency(ilp)
+    pre = presolve_csr(
+        csr,
         seed_fixes=fixes,
         seed_reason="arc unreachable on any source->sink path",
         max_iterations=max_iterations,
-        extra_passes=(make_uturn_row_pass(uturn_pairs(ilp)),),
+        extra_csr_passes=(make_csr_uturn_pass(uturn_pairs(ilp)),),
     )
     if n_aux:
         # Report sizes against the *pre-aggregation* model and keep the
         # lifted solution in the original variable space: the auxiliary
         # U variables exist only inside the reduced model.
-        n_original_vars = ilp.model.n_vars
-        pre.original = ilp.model
+        n_original_vars = ilp.csr.n_vars
+        pre.original_csr = ilp.csr
+        pre.original = None
         # Surviving auxiliaries (indices >= n_original_vars in the
         # untrimmed col_map), their defining rows ``usage - U <= 0``
         # (the only rows where an auxiliary carries a negative
@@ -472,13 +701,17 @@ def presolve_routing_ilp(
         }
         aux_rows = 0
         aux_nonzeros = 0
-        for con in pre.reduced.constraints:
-            hits = [j for j in con.expr.coefs if j in aux_live]
+        red = pre.reduced_csr
+        for r in range(red.n_rows):
+            s, e = int(red.indptr[r]), int(red.indptr[r + 1])
+            row_cols = red.indices[s:e].tolist()
+            hits = [k for k, j in enumerate(row_cols) if j in aux_live]
             if not hits:
                 continue
-            if any(con.expr.coefs[j] < 0.0 for j in hits):
+            row_vals = red.data[s:e]
+            if any(row_vals[k] < 0.0 for k in hits):
                 aux_rows += 1
-                aux_nonzeros += len(con.expr.coefs)
+                aux_nonzeros += len(row_cols)
             else:
                 aux_nonzeros += len(hits)
         pre.trace.n_vars_after -= len(aux_live)
@@ -494,10 +727,8 @@ def presolve_routing_ilp(
         }
         pre.trace.pass_counts["via-usage-aggregation"] = n_rewritten
         pre.trace.n_vars_before = n_original_vars
-        pre.trace.n_rows_before = ilp.model.n_constraints
-        pre.trace.n_nonzeros_before = sum(
-            len(con.expr.coefs) for con in ilp.model.constraints
-        )
+        pre.trace.n_rows_before = ilp.csr.n_rows
+        pre.trace.n_nonzeros_before = int(np.count_nonzero(ilp.csr.data))
     pre.trace.empty_commodities = empty
     pre.trace.presolve_seconds = time.perf_counter() - t0
     return pre
@@ -520,6 +751,32 @@ def solve_reduced(
     """
     if pre.status is SolveStatus.INFEASIBLE:
         return Solution(status=SolveStatus.INFEASIBLE)
+    if pre.reduced_csr is not None:
+        # Columnar path: the reduced CSR model is decomposed and handed
+        # to the backend directly -- no object model is materialized.
+        reduced_csr = pre.reduced_csr
+        if not decompose:
+            pre.trace.n_components = 1 if reduced_csr.n_vars else 0
+            return pre.trace.lift(solver_fn(reduced_csr, time_limit))
+        csr_components = decompose_csr(reduced_csr)
+        pre.trace.n_components = len(csr_components)
+        if not csr_components:
+            # Presolve fixed every variable: the model is solved.
+            return pre.trace.lift(
+                Solution(
+                    status=SolveStatus.OPTIMAL,
+                    objective=reduced_csr.obj_const,
+                    best_bound=reduced_csr.obj_const,
+                )
+            )
+        solutions = _solve_components(
+            [c.model for c in csr_components], solver_fn, time_limit
+        )
+        merged = _merge_component_solutions(
+            float(reduced_csr.obj_const), csr_components, solutions
+        )
+        return pre.trace.lift(merged)
+
     reduced = pre.reduced
     if not decompose:
         pre.trace.n_components = 1 if reduced.n_vars else 0
@@ -537,18 +794,32 @@ def solve_reduced(
             )
         )
 
+    solutions = _solve_components(
+        [c.model for c in components], solver_fn, time_limit
+    )
+    merged = _merge_component_solutions(
+        reduced.objective.const, components, solutions
+    )
+    return pre.trace.lift(merged)
+
+
+def _solve_components(
+    models: "list[Model] | list[CsrModel]",
+    solver_fn: SolverFn,
+    time_limit: float | None,
+) -> list[Solution]:
+    """Solve component models sequentially under one shared deadline."""
     deadline = None if time_limit is None else time.perf_counter() + time_limit
     solutions: list[Solution] = []
-    for component in components:
+    for model in models:
         remaining: float | None = None
         if deadline is not None:
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
                 solutions.append(Solution(status=SolveStatus.LIMIT))
                 continue
-        solutions.append(solver_fn(component.model, remaining))
-    merged = _merge_component_solutions(reduced, components, solutions)
-    return pre.trace.lift(merged)
+        solutions.append(solver_fn(model, remaining))
+    return solutions
 
 
 _STATUS_PRIORITY = (
@@ -560,8 +831,8 @@ _STATUS_PRIORITY = (
 
 
 def _merge_component_solutions(
-    reduced: Model,
-    components: list[Component],
+    obj_const: float,
+    components: "list[Component] | list[CsrComponent]",
     solutions: list[Solution],
 ) -> Solution:
     status = SolveStatus.OPTIMAL
@@ -582,7 +853,7 @@ def _merge_component_solutions(
         # added exactly once here.
         merged.objective = (
             sum(s.objective for s in solutions if s.objective is not None)
-            + reduced.objective.const
+            + obj_const
         )
         # Component objectives are independent, so proven per-component
         # dual bounds add; one missing bound leaves the merge unbounded
@@ -591,7 +862,7 @@ def _merge_component_solutions(
         if all(b is not None for b in bounds):
             merged.best_bound = (
                 sum(b for b in bounds if b is not None)
-                + reduced.objective.const
+                + obj_const
             )
         values: dict[int, float] = {}
         for component, sub in zip(components, solutions):

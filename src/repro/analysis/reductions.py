@@ -182,7 +182,10 @@ class Work:
 
     def tighten_lb(self, j: int, lb: float) -> bool:
         if self.integer[j]:
-            lb = math.ceil(lb - 1e-6)
+            # float(), not the bare int ceil: bounds must stay floats
+            # so the reduced model's canonical bytes (repr-exact) match
+            # the columnar pipeline, which stores float64 throughout.
+            lb = float(math.ceil(lb - 1e-6))
         if lb <= self.lb[j] + _TOL:
             return False
         if lb > self.ub[j] + 1e-6:
@@ -199,7 +202,7 @@ class Work:
 
     def tighten_ub(self, j: int, ub: float) -> bool:
         if self.integer[j]:
-            ub = math.floor(ub + 1e-6)
+            ub = float(math.floor(ub + 1e-6))
         if ub >= self.ub[j] - _TOL:
             return False
         if ub < self.lb[j] - 1e-6:

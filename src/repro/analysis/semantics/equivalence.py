@@ -135,7 +135,7 @@ def check_equivalence(
     """
     build_rules = model_rules if model_rules is not None else rules
     ilp = build_routing_ilp(
-        clip, build_rules, wire_cost=wire_cost, via_cost=via_cost, reuse=False
+        clip, build_rules, wire_cost=wire_cost, via_cost=via_cost
     )
     combos, n_path_combos, exhausted = enumerate_clip_patterns(
         clip,
@@ -265,7 +265,7 @@ def _solver_soundness_sweep(
     from repro.router.solution import decode_solution
 
     ilp = build_routing_ilp(
-        clip, build_rules, wire_cost=wire_cost, via_cost=via_cost, reuse=False
+        clip, build_rules, wire_cost=wire_cost, via_cost=via_cost
     )
     e_indices = sorted(
         {var.index for nv in ilp.nets for var in nv.e.values()}

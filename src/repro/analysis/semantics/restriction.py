@@ -36,7 +36,7 @@ from typing import Any
 from repro.analysis.semantics.report import SCHEMA_VERSION
 from repro.clips.clip import Clip
 from repro.ilp.model import Constraint, Model
-from repro.router.formulation import BaseFormulation
+from repro.router.formulation import BaseFormulation, formulation_cache
 from repro.router.rules import RuleConfig, is_restriction
 
 _TOL = 1e-9
@@ -272,7 +272,9 @@ def prove_restriction(
             predicate=predicate,
         )
     if formulation is None:
-        formulation = BaseFormulation.build(
+        # Shared with the solve path: certifying a restriction and then
+        # routing the same clip builds the base formulation once.
+        formulation = formulation_cache().base_for(
             clip,
             allow_via_shapes=base.allow_via_shapes,
             wire_cost=wire_cost,
@@ -362,7 +364,7 @@ class RestrictionProver:
         with self._lock:
             formulation = self._bases.get(base_key)
         if formulation is None and base.allow_via_shapes == other.allow_via_shapes:
-            formulation = BaseFormulation.build(
+            formulation = formulation_cache().base_for(
                 clip,
                 allow_via_shapes=base.allow_via_shapes,
                 wire_cost=self.wire_cost,

@@ -72,6 +72,9 @@ class ClipRuleOutcome:
     presolve_nonzeros_removed: int = 0
     #: formulation build time (zero for warm shortcuts / certified).
     build_seconds: float = 0.0
+    #: canonical-serialization (solve-cache hashing) time; zero when
+    #: no solve cache is configured.
+    serialize_seconds: float = 0.0
     #: warm-shortcut provenance ("" = cold solve); see
     #: :class:`repro.router.optrouter.WarmStart`.
     warm_used: str = ""
@@ -947,6 +950,7 @@ def _to_outcome(
         presolve_seconds=float(stats.get("presolve_seconds", 0.0)),
         presolve_nonzeros_removed=int(stats.get("nonzeros_removed", 0)),
         build_seconds=result.build_seconds,
+        serialize_seconds=result.serialize_seconds,
         warm_used=result.warm_used,
         cache_hit=result.cache_hit,
         bound=result.bound,
@@ -980,6 +984,7 @@ def outcome_to_record(outcome: ClipRuleOutcome) -> dict:
         "presolve_seconds": outcome.presolve_seconds,
         "presolve_nnz_removed": outcome.presolve_nonzeros_removed,
         "build_seconds": outcome.build_seconds,
+        "serialize_seconds": outcome.serialize_seconds,
         "warm_used": outcome.warm_used,
         "cache_hit": outcome.cache_hit,
         "bound": outcome.bound,
@@ -1011,6 +1016,7 @@ def outcome_from_record(record: dict) -> ClipRuleOutcome:
         presolve_seconds=record.get("presolve_seconds", 0.0),
         presolve_nonzeros_removed=record.get("presolve_nnz_removed", 0),
         build_seconds=record.get("build_seconds", 0.0),
+        serialize_seconds=record.get("serialize_seconds", 0.0),
         warm_used=record.get("warm_used", ""),
         cache_hit=record.get("cache_hit", False),
         bound=record.get("bound"),

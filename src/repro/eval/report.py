@@ -163,6 +163,7 @@ def format_timing_table(study: DeltaCostStudy, title: str = "Timing") -> str:
             len(outcomes),
             f"{statistics.median(o.build_seconds for o in outcomes):.4f}",
             f"{statistics.median(o.presolve_seconds for o in outcomes):.4f}",
+            f"{statistics.median(o.serialize_seconds for o in outcomes):.4f}",
             f"{statistics.median(o.solve_seconds for o in outcomes):.4f}",
             sum(1 for o in outcomes if o.warm_used == "reused-optimal"),
             sum(1 for o in outcomes if o.warm_used == "inherited-infeasible"),
@@ -171,8 +172,9 @@ def format_timing_table(study: DeltaCostStudy, title: str = "Timing") -> str:
             f"{max(gaps):.1f}" if gaps else "-",
         ))
     return format_table(
-        ("rule", "clips", "med_build_s", "med_presolve_s", "med_solve_s",
-         "warm_opt", "warm_inf", "cache_hits", "pre_nnz", "max_gap"),
+        ("rule", "clips", "build_s", "presolve_s", "serialize_s",
+         "solve_s", "warm_opt", "warm_inf", "cache_hits", "pre_nnz",
+         "max_gap"),
         rows,
         title=title,
     )

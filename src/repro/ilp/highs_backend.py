@@ -9,6 +9,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.ilp.csr import CsrModel
 from repro.ilp.model import Model
 from repro.ilp.status import Solution, SolveStatus
 
@@ -21,8 +22,92 @@ _STATUS_MAP = {
 }
 
 
+def _objective_const(model: "Model | CsrModel") -> float:
+    if isinstance(model, CsrModel):
+        return float(model.obj_const)
+    return model.objective.const
+
+
+def _full_point(
+    model: "Model | CsrModel", partial: dict[int, float]
+) -> dict[int, float]:
+    """Every variable's value at a point (missing ones at lb), with
+    integers snapped via Python ``round`` exactly like the object
+    path always did (so values round-trip identically)."""
+    values: dict[int, float] = {}
+    if isinstance(model, CsrModel):
+        lb, integer = model.lb, model.integer
+        for j in range(model.n_vars):
+            value = float(partial.get(j, float(lb[j])))
+            values[j] = round(value) if integer[j] else value
+        return values
+    for v in model.variables:
+        value = float(partial.get(v.index, v.lb))
+        values[v.index] = round(value) if v.is_integer else value
+    return values
+
+
+def _milp_inputs(model: "Model | CsrModel"):
+    """(cost, integrality, bounds, constraints) arrays for
+    :func:`scipy.optimize.milp`.
+
+    The :class:`CsrModel` path is zero-copy: the cost vector, bound
+    arrays, and the CSR triplet (``data``/``indices``/``indptr``) are
+    handed to scipy as the model's own buffers -- no per-row Python
+    objects are walked and no matrix is re-assembled.
+    """
+    if isinstance(model, CsrModel):
+        cost = model.obj
+        integrality = model.integer.astype(np.uint8, copy=False)
+        bounds = Bounds(lb=model.lb, ub=model.ub)
+        constraints = []
+        if model.n_rows:
+            matrix = sparse.csr_matrix(
+                (model.data, model.indices, model.indptr),
+                shape=(model.n_rows, model.n_vars),
+                copy=False,
+            )
+            lo, hi = model.row_bounds()
+            constraints.append(LinearConstraint(matrix, lo, hi))
+        return cost, integrality, bounds, constraints
+
+    n = model.n_vars
+    cost = np.zeros(n)
+    for index, coef in model.objective.coefs.items():
+        cost[index] = coef
+    integrality = np.array(
+        [1 if v.is_integer else 0 for v in model.variables], dtype=np.uint8
+    )
+    bounds = Bounds(
+        lb=np.array([v.lb for v in model.variables]),
+        ub=np.array([v.ub for v in model.variables]),
+    )
+    constraints = []
+    if model.constraints:
+        rows, cols, data = [], [], []
+        lo = np.empty(len(model.constraints))
+        hi = np.empty(len(model.constraints))
+        for r, con in enumerate(model.constraints):
+            for index, coef in con.expr.coefs.items():
+                rows.append(r)
+                cols.append(index)
+                data.append(coef)
+            rhs = -con.expr.const
+            if con.sense == "<=":
+                lo[r], hi[r] = -np.inf, rhs
+            elif con.sense == ">=":
+                lo[r], hi[r] = rhs, np.inf
+            else:
+                lo[r], hi[r] = rhs, rhs
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(model.constraints), n)
+        )
+        constraints.append(LinearConstraint(matrix, lo, hi))
+    return cost, integrality, bounds, constraints
+
+
 def solve_with_highs(
-    model: Model,
+    model: "Model | CsrModel",
     time_limit: float | None = None,
     mip_rel_gap: float = 0.0,
     warm_start: dict[int, float] | None = None,
@@ -30,6 +115,11 @@ def solve_with_highs(
     should_stop: "Callable[[], bool] | None" = None,
 ) -> Solution:
     """Solve a model exactly with HiGHS branch-and-cut.
+
+    Accepts either an object :class:`Model` or a columnar
+    :class:`CsrModel`; the columnar path hands the model's own
+    contiguous buffers to ``scipy.optimize.milp`` zero-copy (see
+    :func:`_milp_inputs`) and both paths produce identical solutions.
 
     ``mip_rel_gap`` is 0 by default: OptRouter requires proven-optimal
     solutions for the paper's methodology to be meaningful.
@@ -63,14 +153,10 @@ def solve_with_highs(
         if model.is_feasible(warm_start):
             objective = model.objective_value(warm_start)
             if objective <= lower_bound + 1e-6:
-                values = {}
-                for v in model.variables:
-                    value = float(warm_start.get(v.index, v.lb))
-                    values[v.index] = round(value) if v.is_integer else value
                 return Solution(
                     status=SolveStatus.OPTIMAL,
                     objective=objective,
-                    values=values,
+                    values=_full_point(model, warm_start),
                     # The caller's trusted bound IS the optimality
                     # proof for this shortcut.
                     best_bound=lower_bound,
@@ -79,46 +165,15 @@ def solve_with_highs(
     if time_limit is not None and time_limit <= 0:
         return Solution(status=SolveStatus.LIMIT)
     n = model.n_vars
+    obj_const = _objective_const(model)
     if n == 0:
         return Solution(
             status=SolveStatus.OPTIMAL,
-            objective=model.objective.const,
-            best_bound=model.objective.const,
+            objective=obj_const,
+            best_bound=obj_const,
         )
 
-    cost = np.zeros(n)
-    for index, coef in model.objective.coefs.items():
-        cost[index] = coef
-
-    integrality = np.array(
-        [1 if v.is_integer else 0 for v in model.variables], dtype=np.uint8
-    )
-    bounds = Bounds(
-        lb=np.array([v.lb for v in model.variables]),
-        ub=np.array([v.ub for v in model.variables]),
-    )
-
-    constraints = []
-    if model.constraints:
-        rows, cols, data = [], [], []
-        lo = np.empty(len(model.constraints))
-        hi = np.empty(len(model.constraints))
-        for r, con in enumerate(model.constraints):
-            for index, coef in con.expr.coefs.items():
-                rows.append(r)
-                cols.append(index)
-                data.append(coef)
-            rhs = -con.expr.const
-            if con.sense == "<=":
-                lo[r], hi[r] = -np.inf, rhs
-            elif con.sense == ">=":
-                lo[r], hi[r] = rhs, np.inf
-            else:
-                lo[r], hi[r] = rhs, rhs
-        matrix = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(len(model.constraints), n)
-        )
-        constraints.append(LinearConstraint(matrix, lo, hi))
+    cost, integrality, bounds, constraints = _milp_inputs(model)
 
     options: dict = {"mip_rel_gap": mip_rel_gap}
     if time_limit is not None:
@@ -144,11 +199,17 @@ def solve_with_highs(
     solution = Solution(status=status, solve_seconds=elapsed)
     if result.x is not None:
         values = {}
-        for v in model.variables:
-            value = float(result.x[v.index])
-            values[v.index] = round(value) if v.is_integer else value
+        if isinstance(model, CsrModel):
+            integer = model.integer
+            for j in range(n):
+                value = float(result.x[j])
+                values[j] = round(value) if integer[j] else value
+        else:
+            for v in model.variables:
+                value = float(result.x[v.index])
+                values[v.index] = round(value) if v.is_integer else value
         solution.values = values
-        solution.objective = float(result.fun) + model.objective.const
+        solution.objective = float(result.fun) + obj_const
         if status in (SolveStatus.OPTIMAL, SolveStatus.LIMIT):
             # Export HiGHS' proven dual bound (true objective space).
             # On OPTIMAL it must meet the objective -- the audit layer
@@ -156,7 +217,7 @@ def solve_with_highs(
             # the incumbent/bound gap.
             dual = getattr(result, "mip_dual_bound", None)
             solution.best_bound = (
-                float(dual) + model.objective.const
+                float(dual) + obj_const
                 if dual is not None
                 else (
                     solution.objective
@@ -165,7 +226,7 @@ def solve_with_highs(
                 )
             )
     if status is SolveStatus.OPTIMAL and solution.objective is None:
-        solution.objective = model.objective.const
+        solution.objective = obj_const
         solution.best_bound = solution.objective
     solution.n_nodes = int(getattr(result, "mip_node_count", 0) or 0)
     return solution

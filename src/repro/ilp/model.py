@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.analysis.findings import LintReport
+    from repro.ilp.csr import CsrModel
 
 
 class LinExpr:
@@ -279,6 +280,17 @@ class Model:
             ],
             objective=self.objective.copy(),
         )
+
+    def to_csr(self) -> "CsrModel":
+        """Columnar (:class:`repro.ilp.csr.CsrModel`) form; lossless."""
+        from repro.ilp.csr import CsrModel
+
+        return CsrModel.from_model(self)
+
+    @staticmethod
+    def from_csr(csr: "CsrModel") -> "Model":
+        """Object form of a columnar model; lossless."""
+        return csr.to_model()
 
     def validate(self) -> "LintReport":
         """Run the pre-solve model linter (:mod:`repro.analysis`) on

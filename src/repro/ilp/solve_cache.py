@@ -37,10 +37,27 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.ilp.csr import CsrModel
 from repro.ilp.lp_format import write_lp_canonical
 from repro.ilp.model import Model
 from repro.ilp.status import Solution, SolveStatus
 from repro.util.integrity import seal_record, verify_seal
+
+
+def _canonical_text(model: "Model | CsrModel") -> str:
+    """Canonical LP text of either representation.  The two are
+    byte-for-byte identical on equivalent models (a property-tested
+    invariant of :meth:`CsrModel.canonical_text`), so cache keys are
+    oblivious to which representation produced them."""
+    if isinstance(model, CsrModel):
+        return model.canonical_text()
+    return write_lp_canonical(model)
+
+
+def _names_by_index(model: "Model | CsrModel") -> dict[int, str]:
+    if isinstance(model, CsrModel):
+        return dict(enumerate(model.var_names))
+    return {v.index: v.name for v in model.variables}
 
 #: v2 added the per-entry integrity seal; unsealed v1 entries read as
 #: misses (the re-solve rewrites them sealed).
@@ -65,9 +82,12 @@ class CacheEntry:
     solve_seconds: float = 0.0
     presolve_stats: dict[str, float] = field(default_factory=dict)
 
-    def to_solution(self, model: Model) -> Solution:
+    def to_solution(self, model: "Model | CsrModel") -> Solution:
         """Remap name-keyed values onto this model's variable indices."""
-        by_name = {v.name: v.index for v in model.variables}
+        if isinstance(model, CsrModel):
+            by_name = model.name_to_index
+        else:
+            by_name = {v.name: v.index for v in model.variables}
         values = {
             by_name[name]: value
             for name, value in self.values_by_name.items()
@@ -125,9 +145,9 @@ class SolveCache:
     # -- keys ---------------------------------------------------------------
 
     @staticmethod
-    def key_for(model: Model, options: dict) -> str:
+    def key_for(model: "Model | CsrModel", options: dict) -> str:
         """SHA-256 over the canonical model bytes and solver options."""
-        payload = write_lp_canonical(model) + json.dumps(
+        payload = _canonical_text(model) + json.dumps(
             options, sort_keys=True, default=str
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -137,8 +157,17 @@ class SolveCache:
 
     # -- access -------------------------------------------------------------
 
-    def get(self, model: Model, options: dict) -> "CacheEntry | None":
-        path = self._path(self.key_for(model, options))
+    def get(
+        self,
+        model: "Model | CsrModel",
+        options: dict,
+        key: "str | None" = None,
+    ) -> "CacheEntry | None":
+        """Look up a solve outcome.  ``key`` is an optional precomputed
+        :meth:`key_for` result, so a caller that also writes the entry
+        serializes the model once, not twice."""
+        path = self._path(key if key is not None else
+                          self.key_for(model, options))
         entry, reason = self._read_entry(path)
         if entry is None:
             if reason is not None and reason != "absent":
@@ -189,15 +218,17 @@ class SolveCache:
 
     def put(
         self,
-        model: Model,
+        model: "Model | CsrModel",
         options: dict,
         solution: Solution,
         presolve_stats: "dict[str, float] | None" = None,
+        key: "str | None" = None,
     ) -> bool:
-        """Persist a solve outcome; returns False for uncacheable ones."""
+        """Persist a solve outcome; returns False for uncacheable ones.
+        ``key`` is an optional precomputed :meth:`key_for` result."""
         if solution.status not in _CACHEABLE:
             return False
-        by_index = {v.index: v.name for v in model.variables}
+        by_index = _names_by_index(model)
         entry = CacheEntry(
             status=solution.status,
             objective=solution.objective,
@@ -211,7 +242,8 @@ class SolveCache:
             solve_seconds=solution.solve_seconds,
             presolve_stats=dict(presolve_stats or {}),
         )
-        path = self._path(self.key_for(model, options))
+        path = self._path(key if key is not None else
+                          self.key_for(model, options))
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

@@ -36,6 +36,7 @@ import threading
 from dataclasses import dataclass, field, replace
 
 from repro.clips.clip import Clip, ClipNet
+from repro.ilp.csr import CooBuilder, CsrModel
 from repro.ilp.model import LinExpr, Model, Var
 from repro.router.graph import ArcKind, ShapeViaInstance, SwitchboxGraph, build_graph
 from repro.router.rules import RuleConfig, eol_grid_offset
@@ -65,14 +66,30 @@ class NetVars:
         return replace(self, p_pos={}, p_neg={})
 
 
-@dataclass
+@dataclass(eq=False)
 class RoutingIlp:
-    """A built model plus the handles needed to decode its solution."""
+    """A built model plus the handles needed to decode its solution.
 
-    model: Model
+    The model lives natively in columnar form (:attr:`csr`); the hot
+    path (presolve, cache hashing, the HiGHS handoff) consumes the
+    arrays directly.  :attr:`model` lazily materializes the equivalent
+    object :class:`Model` for consumers that still walk constraints
+    (the semantics analyzers, the model linter, the bnb backend) and
+    caches it, so code that *mutates* ``ilp.model`` keeps seeing its
+    own edits; the CSR side is never written back to.
+    """
+
+    csr: CsrModel
     graph: SwitchboxGraph
     nets: list[NetVars]
     rules: RuleConfig
+    _model: "Model | None" = field(default=None, repr=False)
+
+    @property
+    def model(self) -> Model:
+        if self._model is None:
+            self._model = self.csr.to_model()
+        return self._model
 
 
 @dataclass
@@ -97,8 +114,18 @@ class BaseFormulation:
     wire_cost: float
     via_cost: float
     graph: SwitchboxGraph
-    model: Model
+    core: CsrModel
     nets: list[NetVars]
+    _model: "Model | None" = field(default=None, repr=False)
+
+    @property
+    def model(self) -> Model:
+        """Object form of the frozen core (lazily materialized; the
+        restriction prover and the base-formulation tests walk its
+        constraint list)."""
+        if self._model is None:
+            self._model = self.core.to_model()
+        return self._model
 
     @classmethod
     def build(
@@ -113,8 +140,8 @@ class BaseFormulation:
         graph = build_graph(
             clip, core_rules, wire_cost=wire_cost, via_cost=via_cost
         )
-        model = Model(name=f"optroute_{clip.name}_core")
-        builder = _Builder(clip, core_rules, graph, model)
+        coo = CooBuilder()
+        builder = _Builder(clip, core_rules, graph, coo)
         builder.build_core()
         return cls(
             clip=clip,
@@ -122,25 +149,25 @@ class BaseFormulation:
             wire_cost=wire_cost,
             via_cost=via_cost,
             graph=graph,
-            model=model,
+            core=coo.freeze(f"optroute_{clip.name}_core"),
             nets=builder.nets,
         )
 
     def specialize(self, rules: RuleConfig) -> RoutingIlp:
-        """Apply one rule configuration as a delta on a model clone."""
+        """Apply one rule configuration as a delta section appended to
+        the frozen core arrays (no object-model clone)."""
         if rules.allow_via_shapes != self.allow_via_shapes:
             raise ValueError(
                 "rule wants allow_via_shapes="
                 f"{rules.allow_via_shapes} but the base was built with "
                 f"{self.allow_via_shapes} (different graphs)"
             )
-        model = self.model.clone(
-            name=f"optroute_{self.clip.name}_{rules.name}"
-        )
+        delta = CooBuilder(base=self.core)
         nets = [nv.for_rule() for nv in self.nets]
-        builder = _Builder(self.clip, rules, self.graph, model, nets=nets)
+        builder = _Builder(self.clip, rules, self.graph, delta, nets=nets)
         builder.build_delta()
-        return RoutingIlp(model=model, graph=self.graph, nets=nets, rules=rules)
+        csr = delta.freeze(f"optroute_{self.clip.name}_{rules.name}")
+        return RoutingIlp(csr=csr, graph=self.graph, nets=nets, rules=rules)
 
 
 class FormulationCache:
@@ -218,6 +245,18 @@ class FormulationCache:
 _BASE_CACHE = FormulationCache()
 
 
+def formulation_cache() -> FormulationCache:
+    """The process-wide :class:`FormulationCache`.
+
+    Every cold-path consumer -- the solve path, the restriction prover
+    behind ``certify_restriction``/``repro analyze``, and the
+    equivalence matrix -- shares this one cache, so a (clip, core)
+    pair's base formulation is built exactly once per process no
+    matter which subsystem asks first.
+    """
+    return _BASE_CACHE
+
+
 def build_routing_ilp(
     clip: Clip,
     rules: RuleConfig,
@@ -251,13 +290,13 @@ class _Builder:
         clip: Clip,
         rules: RuleConfig,
         graph: SwitchboxGraph,
-        model: Model,
+        coo: CooBuilder,
         nets: "list[NetVars] | None" = None,
     ):
         self.clip = clip
         self.rules = rules
         self.graph = graph
-        self.model = model
+        self.coo = coo
         self.nets: list[NetVars] = nets if nets is not None else []
         # Arcs shared by all nets.  Net vars append per-net virtual
         # arcs to the graph, so count physical arcs from the grid
@@ -325,7 +364,7 @@ class _Builder:
         self.build_delta()
 
     def _make_net_vars(self, k: int, net: ClipNet, blocked: set[int]) -> NetVars:
-        g, m = self.graph, self.model
+        g, m = self.graph, self.coo
         n_sinks = len(net.sinks)
 
         # Shape instances unusable by this net (footprint over blocked).
@@ -389,7 +428,7 @@ class _Builder:
     def _arc_exclusivity(self) -> None:
         """Constraint (1): each undirected physical arc serves one net,
         one direction."""
-        m = self.model
+        m = self.coo
         for arc in self.graph.arcs[: self.n_physical_arcs]:
             if arc.reverse < arc.index:
                 continue  # handle each undirected pair once
@@ -404,26 +443,26 @@ class _Builder:
                     expr += rev
                     present = True
             if present:
-                m.add(expr <= 1)
+                m.le(expr, 1.0)
 
     def _e_f_coupling(self) -> None:
         """Constraints (2)-(3): e = 1 exactly when flow passes the arc.
 
         Skipped for 2-pin nets, whose f variables are aliased to e.
         """
-        m = self.model
+        m = self.coo
         for nv in self.nets:
             if nv.n_sinks == 1:
                 continue
             cap = float(nv.n_sinks)
             for arc_index, e in nv.e.items():
                 f = nv.f[arc_index]
-                m.add(cap * e - f >= 0)  # (2)  e >= f / |T_k|
-                m.add(e - f <= 0)        # (3)  e <= f
+                m.ge(cap * e - f)  # (2)  e >= f / |T_k|
+                m.le(e - f)        # (3)  e <= f
 
     def _flow_conservation(self) -> None:
         """Constraint (4) at every vertex each net can touch."""
-        g, m = self.graph, self.model
+        g, m = self.graph, self.coo
         for nv in self.nets:
             # Collect incident arcs per vertex from this net's variables.
             outflow: dict[int, LinExpr] = {}
@@ -437,15 +476,15 @@ class _Builder:
             for vertex in vertices:
                 balance = outflow.get(vertex, LinExpr()) - inflow.get(vertex, LinExpr())
                 if vertex == nv.supersource:
-                    m.add(balance == nv.n_sinks)
+                    m.eq(balance, float(nv.n_sinks))
                 elif vertex in sink_set:
-                    m.add(balance == -1)
+                    m.eq(balance, -1.0)
                 else:
-                    m.add(balance == 0)
+                    m.eq(balance)
 
     def _vertex_capacity(self) -> None:
         """At most one net's flow enters any physical vertex."""
-        g, m = self.graph, self.model
+        g, m = self.graph, self.coo
         entering: dict[int, LinExpr] = {}
         for nv in self.nets:
             for arc_index, e in nv.e.items():
@@ -457,7 +496,7 @@ class _Builder:
                 entering.setdefault(arc.head, LinExpr())._iadd(e, 1.0)
         for vertex, expr in entering.items():
             if len(expr.coefs) > 1:
-                m.add(expr <= 1)
+                m.le(expr, 1.0)
 
     def _is_physical_vertex(self, vid: int) -> bool:
         return self.graph.is_grid_vertex(vid) or vid in self._rep_vertices
@@ -494,7 +533,7 @@ class _Builder:
 
     def _via_adjacency(self) -> None:
         """Via restriction: a via blocks its neighbor via sites."""
-        m = self.model
+        m = self.coo
         clip = self.clip
         offsets = self.rules.via_restriction.blocked_offsets()
         usage_cache: dict[tuple[int, int, int], "LinExpr | None"] = {}
@@ -520,11 +559,11 @@ class _Builder:
                         u_there = usage(x2, y2, z)
                         if u_there is None or not u_there.coefs:
                             continue
-                        m.add(u_here + u_there <= 1)
+                        m.le(u_here + u_there, 1.0)
 
     def _shape_blocking(self) -> None:
         """Constraint (5): a used via shape reserves its whole footprint."""
-        m = self.model
+        m = self.coo
         for inst in self.graph.shape_instances:
             rep_in = self.graph.in_arcs[inst.rep]
             entered_total: dict[int, LinExpr] = {}
@@ -558,7 +597,7 @@ class _Builder:
                     own = entered_by_net[k][member]
                     others = total - own
                     if others.coefs:
-                        m.add(others + w <= 1)
+                        m.le(others + w, 1.0)
 
     # ---- SADP --------------------------------------------------------------
 
@@ -577,7 +616,7 @@ class _Builder:
     def _sadp_layer(self, z: int) -> None:
         """Create p variables and forbidden-pattern constraints on one
         SADP layer (constraints (6)-(12))."""
-        clip, g, m = self.clip, self.graph, self.model
+        clip, g, m = self.clip, self.graph, self.coo
         horizontal = clip.horizontal[z]
 
         def along_neighbor(x: int, y: int, direction: int) -> "tuple[int, int] | None":
@@ -618,9 +657,9 @@ class _Builder:
                             # wire-out + cross-in (paper (6)-(7) as lower
                             # bounds of the product linearization (8)).
                             if arc.tail == vid and e_in is not None:
-                                m.add(p - e_in - e_cross >= -1)
+                                m.ge(p - e_in - e_cross, -1.0)
                             if arc.head == vid and e_out is not None:
-                                m.add(p - e_out - e_cross >= -1)
+                                m.ge(p - e_out - e_cross, -1.0)
 
         # Global p sums (10) and forbidden patterns (11)-(12).
         def global_p(store_name: str, vid: int) -> LinExpr:
@@ -650,19 +689,19 @@ class _Builder:
                         if j is not None:
                             neg_there = global_p("p_neg", j)
                             if neg_there.coefs:
-                                m.add(pos_here + neg_there <= 1)
+                                m.le(pos_here + neg_there, 1.0)
                 for da, dc in self.rules.sadp.same_pairs(1):
                     j_pos = offset_vid(x, y, da, dc)
                     if j_pos is not None and j_pos > vid and pos_here.coefs:
                         pos_there = global_p("p_pos", j_pos)
                         if pos_there.coefs:
-                            m.add(pos_here + pos_there <= 1)
+                            m.le(pos_here + pos_there, 1.0)
                 for da, dc in self.rules.sadp.same_pairs(-1):
                     j_neg = offset_vid(x, y, da, dc)
                     if j_neg is not None and j_neg > vid and neg_here.coefs:
                         neg_there = global_p("p_neg", j_neg)
                         if neg_there.coefs:
-                            m.add(neg_here + neg_there <= 1)
+                            m.le(neg_here + neg_there, 1.0)
 
     # ---- objective ----------------------------------------------------------
 
@@ -673,4 +712,4 @@ class _Builder:
                 cost = self.graph.arcs[arc_index].cost
                 if cost:
                     objective._iadd(e * cost, 1.0)
-        self.model.minimize(objective)
+        self.coo.minimize(objective)

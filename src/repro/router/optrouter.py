@@ -18,6 +18,7 @@ from repro.analysis.findings import InfeasibilityCertificate
 from repro.analysis.presolve import presolve_routing_ilp, solve_reduced
 from repro.clips.clip import Clip
 from repro.ilp.bnb import BnBOptions, solve_with_bnb
+from repro.ilp.csr import CsrModel
 from repro.ilp.highs_backend import solve_with_highs
 from repro.ilp.model import Model
 from repro.ilp.solve_cache import SolveCache
@@ -88,6 +89,10 @@ class OptRouteResult:
     solve_seconds: float = 0.0
     build_seconds: float = 0.0
     presolve_seconds: float = 0.0
+    #: canonical-serialization time: hashing the model into its
+    #: content address for the solve cache (0 when no cache is
+    #: configured; the other phase clocks never include it).
+    serialize_seconds: float = 0.0
     #: ``""`` for a cold solve, else the solver-free shortcut taken:
     #: ``"inherited-infeasible"`` or ``"reused-optimal"``.
     warm_used: str = ""
@@ -206,8 +211,11 @@ class OptRouter:
             via_cost=self.via_cost,
         )
 
-    def _solve_model(self, model: Model, time_limit: float | None) -> Solution:
+    def _solve_model(
+        self, model: "Model | CsrModel", time_limit: float | None
+    ) -> Solution:
         if self.backend == "highs":
+            # HiGHS consumes the columnar form zero-copy.
             return solve_with_highs(
                 model, time_limit=time_limit, should_stop=self.cancel_check
             )
@@ -215,12 +223,14 @@ class OptRouter:
             options = BnBOptions(
                 time_limit=time_limit, should_stop=self.cancel_check
             )
+            if isinstance(model, CsrModel):
+                model = model.to_model()
             return solve_with_bnb(model, options)
         raise ValueError(f"unknown backend {self.backend!r}")
 
     def _solve(self, ilp: RoutingIlp) -> tuple[Solution, dict[str, float]]:
         if not self.presolve:
-            return self._solve_model(ilp.model, self.time_limit), {}
+            return self._solve_model(ilp.csr, self.time_limit), {}
         pre = presolve_routing_ilp(ilp)
         solution = solve_reduced(pre, self._solve_model, self.time_limit)
         return solution, pre.trace.stats()
@@ -310,17 +320,23 @@ class OptRouter:
         cache_options = self._cache_options()
         solution: Solution | None = None
         presolve_stats: dict[str, float] = {}
+        serialize_seconds = 0.0
+        cache_key: str | None = None
         if self.solve_cache is not None:
-            entry = self.solve_cache.get(ilp.model, cache_options)
+            t_ser = time.perf_counter()
+            cache_key = self.solve_cache.key_for(ilp.csr, cache_options)
+            serialize_seconds = time.perf_counter() - t_ser
+            entry = self.solve_cache.get(ilp.csr, cache_options, key=cache_key)
             if entry is not None:
-                solution = entry.to_solution(ilp.model)
+                solution = entry.to_solution(ilp.csr)
                 presolve_stats = entry.presolve_stats
                 cache_hit = True
         if solution is None:
             solution, presolve_stats = self._solve(ilp)
             if self.solve_cache is not None:
                 self.solve_cache.put(
-                    ilp.model, cache_options, solution, presolve_stats
+                    ilp.csr, cache_options, solution, presolve_stats,
+                    key=cache_key,
                 )
         result = OptRouteResult(
             clip_name=clip.name,
@@ -331,10 +347,11 @@ class OptRouter:
             presolve_seconds=float(
                 presolve_stats.get("presolve_seconds", 0.0)
             ),
+            serialize_seconds=serialize_seconds,
             cache_hit=cache_hit,
             bound=solution.best_bound,
             n_nodes=solution.n_nodes,
-            model_stats=ilp.model.stats(),
+            model_stats=ilp.csr.stats(),
             presolve_stats=presolve_stats,
             backend=self.backend,
         )

@@ -324,20 +324,20 @@ class TestViaUsageAggregation:
 
     def test_no_restriction_is_identity(self):
         ilp = self._ilp("RULE1")  # no via restriction -> no adjacency rows
-        model, rewritten, n_aux = aggregate_via_adjacency(ilp)
-        assert model is ilp.model
+        csr, rewritten, n_aux = aggregate_via_adjacency(ilp)
+        assert csr is ilp.csr
         assert (rewritten, n_aux) == (0, 0)
 
     def test_aggregation_shrinks_and_preserves_optimum(self):
         ilp = self._ilp("RULE7")
-        model, rewritten, n_aux = aggregate_via_adjacency(ilp)
-        assert model is not ilp.model
+        csr, rewritten, n_aux = aggregate_via_adjacency(ilp)
+        assert csr is not ilp.csr
         assert rewritten > 0 and n_aux > 0
-        before = sum(len(c.expr.coefs) for c in ilp.model.constraints)
-        after = sum(len(c.expr.coefs) for c in model.constraints)
+        before = ilp.csr.stats()["n_nonzeros"]
+        after = csr.stats()["n_nonzeros"]
         assert after < before
         raw = highs(ilp.model, time_limit=60.0)
-        agg = highs(model, time_limit=60.0)
+        agg = highs(csr.to_model(), time_limit=60.0)
         assert agg.status is raw.status
         assert math.isclose(agg.objective, raw.objective, abs_tol=1e-6)
 

@@ -140,3 +140,53 @@ class TestEvalResume:
         ])
         assert code == 0
         assert "RULE1" in capsys.readouterr().out
+
+
+class TestColumnarCli:
+    def test_lint_accepts_csr_models(self):
+        # `repro lint` runs on CSR-built ILPs; lint_model also takes
+        # the columnar form directly and agrees with the object form.
+        from repro.analysis.model_lint import lint_model
+        from repro.clips import SyntheticClipSpec, make_synthetic_clip
+        from repro.eval import paper_rule
+        from repro.router import OptRouter
+
+        spec = SyntheticClipSpec(
+            nx=4, ny=4, nz=3, n_nets=2, sinks_per_net=1,
+            access_points_per_pin=2,
+        )
+        clip = make_synthetic_clip(spec, seed=0)
+        ilp = OptRouter().build(clip, paper_rule("RULE7"))
+        direct = lint_model(ilp.csr)
+        via_object = lint_model(ilp.model)
+        assert direct.model_name == via_object.model_name
+        assert direct.stats == via_object.stats
+        assert [f.code for f in direct.findings] == [
+            f.code for f in via_object.findings
+        ]
+        assert ilp.csr.validate().stats == direct.stats
+
+    def test_lint_and_presolve_smoke_on_csr_path(self, capsys):
+        # End-to-end CLI smoke over the columnar build/presolve path.
+        code = main([
+            "lint", "--clips", "1", "--nx", "4", "--ny", "4", "--nz", "3",
+            "--nets", "2", "--rule", "RULE7",
+        ])
+        assert code == 0
+        assert "linted" in capsys.readouterr().out
+        code = main([
+            "presolve", "--clips", "1", "--nx", "4", "--ny", "4",
+            "--nz", "3", "--nets", "2", "--rule", "RULE7",
+        ])
+        assert code == 0
+
+    def test_evaluate_timing_includes_serialize(self, capsys):
+        code = main([
+            "evaluate", "--tech", "N7-9T", "--clips", "1",
+            "--nx", "4", "--ny", "4", "--nz", "3", "--nets", "2",
+            "--time-limit", "20", "--timing",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serialize_s" in out and "build_s" in out
+        assert "presolve_s" in out and "solve_s" in out

@@ -176,3 +176,44 @@ class TestBackendAgreement:
         bnb = OptRouter(backend="bnb").route(clip)
         assert highs.status == bnb.status == RouteStatus.OPTIMAL
         assert highs.cost == pytest.approx(bnb.cost)
+
+
+class TestSharedFormulationCache:
+    def test_single_base_build_per_clip(self, monkeypatch):
+        # The restriction prover (certify_restriction / repro analyze)
+        # and the solve path share one process-wide FormulationCache:
+        # certifying and then routing the same clip must build the
+        # rule-independent base formulation exactly once.
+        from repro.eval import paper_rule
+        from repro.router import formulation as fm
+
+        spec = SyntheticClipSpec(
+            nx=4, ny=4, nz=4, n_nets=2, sinks_per_net=1,
+            access_points_per_pin=2,
+        )
+        clip = make_synthetic_clip(spec, seed=0)
+        base_rule = paper_rule("RULE1")
+        other_rule = paper_rule("RULE7")
+
+        calls: list[str] = []
+        orig = fm.BaseFormulation.build.__func__
+
+        def spy(cls, clip_arg, **kwargs):
+            calls.append(clip_arg.name)
+            return orig(cls, clip_arg, **kwargs)
+
+        monkeypatch.setattr(fm.BaseFormulation, "build", classmethod(spy))
+        fm.formulation_cache().clear()
+        try:
+            router = OptRouter(time_limit=60.0)
+            proof = router.certify_restriction(clip, base_rule, other_rule)
+            assert proof is not None
+            first = router.route(clip, base_rule)
+            second = router.route(clip, other_rule)
+            assert first.status is RouteStatus.OPTIMAL
+            assert second.status in (
+                RouteStatus.OPTIMAL, RouteStatus.INFEASIBLE
+            )
+            assert calls == [clip.name]
+        finally:
+            fm.formulation_cache().clear()
