@@ -21,6 +21,12 @@ Commands:
 - ``audit``: integrity scan of sweep artifacts -- checkpoint journal
   and/or solve cache -- quarantining corrupt records; exits non-zero
   when anything was quarantined.
+- ``serve``: run the crash-safe sweep service -- an HTTP API with a
+  durable WAL-backed experiment queue, admission control, graceful
+  drain, and a shared cross-tenant solve-cache tier
+  (:mod:`repro.service`).
+- ``cache``: inspect (``stats``), bound (``evict``), or wipe
+  (``clear``) a persistent solve cache.
 - ``presolve``: run the fixpoint model-reduction engine on a clip
   set's ILPs and report size deltas, pass counts, and component
   decomposition, as text or JSON.
@@ -190,9 +196,43 @@ def _cmd_cache(args) -> int:
         print(f"solve cache at {stats['root']}: {stats['entries']} "
               f"entries, {stats['bytes']} bytes")
         return 0
+    if args.action == "evict":
+        if args.max_bytes is None and args.older_than is None:
+            print("evict needs --max-bytes and/or --older-than",
+                  file=sys.stderr)
+            return 2
+        result = cache.evict(
+            max_bytes=args.max_bytes,
+            older_than_seconds=args.older_than,
+        )
+        print(f"evicted {result['removed']} entries "
+              f"({result['bytes_freed']} bytes) from {args.dir}; "
+              f"{result['remaining_entries']} entries "
+              f"({result['remaining_bytes']} bytes) remain")
+        return 0
     removed = cache.clear()
     print(f"cleared {removed} cache entries from {args.dir}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, serve
+
+    return serve(ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        sweep_workers=args.workers,
+        default_time_limit=args.time_limit,
+        solve_cache=args.solve_cache,
+        no_solve_cache=args.no_solve_cache,
+        max_queue_depth=args.max_queue_depth,
+        max_pending_per_tenant=args.max_pending_per_tenant,
+        max_body_bytes=args.max_body_bytes,
+        drain_grace=args.drain_grace,
+        chaos_kill_after=args.chaos_kill_after,
+    ))
 
 
 def _cmd_audit(args) -> int:
@@ -648,11 +688,53 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seed for the chaos kill plan")
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear a persistent solve cache"
+        "cache", help="inspect, bound, or clear a persistent solve cache"
     )
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "evict", "clear"))
     cache.add_argument("--dir", required=True, metavar="DIR",
                        help="solve-cache directory")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="evict: LRU-drop oldest entries until live "
+                            "entries fit this byte budget")
+    cache.add_argument("--older-than", type=float, default=None,
+                       metavar="SECONDS",
+                       help="evict: drop entries not written for this "
+                            "long (quarantined entries are never touched)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the crash-safe sweep service (HTTP experiment API)",
+    )
+    srv.add_argument("--data-dir", required=True, metavar="DIR",
+                     help="service state root: WAL, per-experiment "
+                          "journals, shared solve cache")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="0 picks an ephemeral port (printed on start)")
+    srv.add_argument("--concurrency", type=int, default=1,
+                     help="experiments run concurrently (threads)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="supervised workers inside each sweep")
+    srv.add_argument("--time-limit", type=float, default=20.0,
+                     help="default per-clip solver limit for payloads "
+                          "that name none")
+    srv.add_argument("--solve-cache", default=None, metavar="DIR",
+                     help="shared solve-cache tier (default: "
+                          "<data-dir>/solve-cache)")
+    srv.add_argument("--no-solve-cache", action="store_true",
+                     help="disable the shared solve-cache tier")
+    srv.add_argument("--max-queue-depth", type=int, default=16,
+                     help="pending-experiment bound (429 beyond it)")
+    srv.add_argument("--max-pending-per-tenant", type=int, default=8,
+                     help="per-tenant share of the queue bound")
+    srv.add_argument("--max-body-bytes", type=int, default=8 * 1024 * 1024,
+                     help="request-size bound (413 beyond it)")
+    srv.add_argument("--drain-grace", type=float, default=30.0,
+                     help="seconds to wait for in-flight sweeps to "
+                          "checkpoint on SIGTERM")
+    srv.add_argument("--chaos-kill-after", type=int, default=0, metavar="N",
+                     help="chaos scenario: SIGKILL the server after the "
+                          "Nth journaled (clip, rule) pair")
 
     audit = sub.add_parser(
         "audit", help="integrity scan of sweep artifacts (journal, cache)"
@@ -776,6 +858,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "eval": _cmd_evaluate,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "audit": _cmd_audit,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,

@@ -134,6 +134,11 @@ class DeltaCostStudy:
     #: :class:`repro.exec.distributed.DistributedReport` of the run
     #: (None for single-process sweeps).
     distributed_report: "object | None" = None
+    #: journal appends absorbed as failures (full disk) during the
+    #: run.  Per-pair outcomes are unaffected -- the results are
+    #: correct, only their durability is -- but a caller that promised
+    #: crash-safe resume (the service layer) must degrade.
+    journal_write_failures: int = 0
 
     def delta_costs(self, rule_name: str) -> list[float]:
         """Per-clip Δcost vs the baseline rule, in clip order.
@@ -356,6 +361,7 @@ def evaluate_clips(
     chaos_kills: int = 0,
     chaos_seed: int = 0,
     stop_event: "threading.Event | None" = None,
+    on_outcome: "Callable[[ClipRuleOutcome], None] | None" = None,
     _concurrent: bool = False,
 ) -> DeltaCostStudy:
     """Run OptRouter on every (clip, rule) pair under the supervisor.
@@ -380,7 +386,10 @@ def evaluate_clips(
     / ``budget`` / ``clip_deadlines`` override the racing-eligible
     set, the sweep budget, and the per-clip deadline allocation
     (normally derived from ``config``; distributed workers receive the
-    coordinator's values so every process agrees).  ``_concurrent``
+    coordinator's values so every process agrees).  ``on_outcome`` is
+    an observer called with each :class:`ClipRuleOutcome` right after
+    it is journaled (progress streaming; chaos-kill triggers).
+    ``_concurrent``
     marks a call *from* a distributed worker: the journal is then only
     read tolerantly (no healing compaction, which would race peer
     appends) and never truncated.
@@ -632,6 +641,11 @@ def evaluate_clips(
         fresh[(clip.name, rule.name)] = outcome
         if journal is not None:
             journal.append(outcome_to_record(outcome))
+        if on_outcome is not None:
+            # Observer hook (progress streaming, chaos triggers); runs
+            # after the journal append so an observer that kills the
+            # process never loses the pair it observed.
+            on_outcome(outcome)
         if stop_event is not None and stop_event.is_set():
             # Graceful shutdown: the pair just finished is journaled,
             # so a resume continues exactly here.
@@ -664,6 +678,9 @@ def evaluate_clips(
         rule_names=[rule.name for rule in rules],
         baseline_rule=rules[0].name,
         restriction_disagreements=restriction_disagreements,
+        journal_write_failures=(
+            journal.write_failures if journal is not None else 0
+        ),
     )
     for rule in rules:
         study.outcomes[rule.name] = [

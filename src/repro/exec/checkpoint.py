@@ -41,6 +41,7 @@ try:  # advisory cross-process append lock (POSIX; absent on Windows)
 except ImportError:  # pragma: no cover - platform-dependent
     fcntl = None  # type: ignore[assignment]
 
+from repro.exec.faults import maybe_raise_disk_full
 from repro.util.integrity import seal_record, verify_seal
 
 #: Current record schema.  v2 added the integrity seal; v1 records
@@ -64,6 +65,12 @@ class CheckpointJournal:
         self.path = Path(path)
         self._lock = threading.Lock()
         self.quarantined: list[tuple[int, str, str]] = []
+        #: durable-write failures (ENOSPC and kin) absorbed by this
+        #: instance instead of crashing the sweep; callers that need a
+        #: complete journal (the service layer) check this to mark the
+        #: affected experiment DEGRADED.
+        self.write_failures = 0
+        self.last_write_error: "str | None" = None
 
     @property
     def quarantine_path(self) -> Path:
@@ -78,17 +85,30 @@ class CheckpointJournal:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text("")
 
-    def append(self, record: dict) -> None:
+    def append(self, record: dict) -> bool:
         """Durably append one sealed record (flush + fsync per line).
 
         Safe for concurrent writers: the line is written by a single
         buffered write under an advisory ``flock`` (where available),
         so records from different processes never interleave.
+
+        Returns ``True`` on success.  A disk-level failure (ENOSPC,
+        I/O error) is absorbed: the journal stays usable, the failure
+        is counted in :attr:`write_failures`, and ``False`` comes
+        back so the caller can degrade instead of crash.  A write
+        torn mid-line by a real ENOSPC is absorbed by the quarantine
+        path on the next load, exactly like a torn crash write.
         """
         tagged = seal_record({"v": RECORD_VERSION, **record})
         line = json.dumps(tagged, sort_keys=True)
-        with self._lock:
-            self._append_locked(self.path, [line])
+        try:
+            with self._lock:
+                self._append_locked(self.path, [line])
+        except OSError as exc:
+            self.write_failures += 1
+            self.last_write_error = f"{type(exc).__name__}: {exc}"
+            return False
+        return True
 
     def _append_locked(self, path: Path, lines: "list[str]") -> None:
         """The one blessed journal sink: durably append ``lines``.
@@ -100,6 +120,7 @@ class CheckpointJournal:
         go out as a single buffered write under an advisory ``flock``,
         so concurrent appenders never interleave bytes.
         """
+        maybe_raise_disk_full(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = "".join(line + "\n" for line in lines)
         with open(path, "a", encoding="utf-8") as fh:
@@ -168,9 +189,17 @@ class CheckpointJournal:
             else:
                 self.quarantined.append((i + 1, reason, line))
         if self.quarantined and quarantine:
-            self._write_quarantine()
-            if heal:
-                self._compact(kept_lines)
+            # Healing is best-effort: a full disk must not turn a
+            # *load* into a crash.  The bad records stay quarantined
+            # in memory and the pairs re-solve either way; only the
+            # sidecar/compaction persistence is skipped.
+            try:
+                self._write_quarantine()
+                if heal:
+                    self._compact(kept_lines)
+            except OSError as exc:
+                self.write_failures += 1
+                self.last_write_error = f"{type(exc).__name__}: {exc}"
         return records
 
     def _write_quarantine(self) -> None:

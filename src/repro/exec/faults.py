@@ -35,12 +35,18 @@ quarantines and heals them.
 
 :func:`flip_bit` and :func:`truncate_file` are the matching
 *artifact*-level faults: deterministic in-place corruption of journal
-or cache files for integrity-audit tests.
+or cache files for integrity-audit tests.  :func:`inject_disk_full`
+is the third artifact fault (``DISK_FULL``): it arms an injected
+``ENOSPC`` for matching paths, raised by the journal append and
+solve-cache write sinks exactly where a full disk would fail them --
+the disk-failure tests assert those paths degrade (temp files cleaned
+up, result/experiment marked DEGRADED) instead of crashing the sweep.
 """
 
 from __future__ import annotations
 
 import enum
+import errno
 import os
 import time
 from collections.abc import Mapping
@@ -200,3 +206,54 @@ def truncate_file(path: "str | os.PathLike[str]", drop_bytes: int) -> None:
     size = os.path.getsize(path)
     with open(path, "r+b") as fh:
         fh.truncate(max(0, size - drop_bytes))
+
+
+#: Armed DISK_FULL path fragments (process-local; see
+#: :func:`inject_disk_full`).  A plain set on purpose -- no lock: the
+#: tests arm and clear it from one thread, and readers only ``in``.
+_disk_full_matches: set[str] = set()
+
+
+def inject_disk_full(match: str) -> None:
+    """Arm the DISK_FULL artifact fault for paths containing ``match``.
+
+    Every durable-write sink that consults
+    :func:`maybe_raise_disk_full` (checkpoint-journal appends,
+    solve-cache entry writes) will then fail with an injected
+    ``OSError(ENOSPC)`` for matching paths -- a deterministic,
+    process-local stand-in for a full disk.  Clear with
+    :func:`clear_disk_full`.
+    """
+    if not match:
+        raise ValueError("DISK_FULL match fragment must be non-empty")
+    _disk_full_matches.add(match)
+
+
+def clear_disk_full(match: "str | None" = None) -> None:
+    """Disarm one DISK_FULL match, or all of them (``match=None``)."""
+    if match is None:
+        _disk_full_matches.clear()
+    else:
+        _disk_full_matches.discard(match)
+
+
+def disk_full_active(path: "str | os.PathLike[str]") -> bool:
+    """True when an armed DISK_FULL fault matches ``path``."""
+    if not _disk_full_matches:
+        return False
+    text = str(path)
+    return any(match in text for match in _disk_full_matches)
+
+
+def maybe_raise_disk_full(path: "str | os.PathLike[str]") -> None:
+    """Raise the injected ``ENOSPC`` when a DISK_FULL fault matches.
+
+    Called by the blessed durable-write sinks at the top of their
+    write sequence; a no-op unless a test armed the fault.
+    """
+    if disk_full_active(path):
+        raise OSError(
+            errno.ENOSPC,
+            "No space left on device (injected DISK_FULL fault)",
+            str(path),
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 #: Fallback chain ending in the heuristic baseline router: exact HiGHS
@@ -17,22 +18,38 @@ class RetryPolicy:
     ``max_attempts`` bounds attempts *per backend link*; the backoff
     before retry ``k`` (0-based) is
     ``min(backoff_max, backoff_base * backoff_factor ** k)`` seconds.
-    Deterministic (no jitter) so failure scenarios replay exactly.
+
+    With a ``key`` (the runner passes ``clip|rule|backend``), the
+    delay is spread by *seeded* jitter: a SHA-256 of ``key:retry``
+    maps to a uniform factor in ``[1 - jitter_fraction/2,
+    1 + jitter_fraction/2]``.  N workers retrying a flaky backend
+    therefore desynchronize instead of hammering it in lockstep --
+    yet every delay is a pure function of its inputs, so failure
+    scenarios still replay exactly.  Without a key the delay is the
+    bare exponential (deterministic across jobs).
     """
 
     max_attempts: int = 2
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 2.0
+    jitter_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ValueError("backoff durations must be >= 0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0.0, 1.0]")
 
-    def backoff_seconds(self, retry: int) -> float:
-        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** retry)
+    def backoff_seconds(self, retry: int, key: "str | None" = None) -> float:
+        base = min(self.backoff_max, self.backoff_base * self.backoff_factor ** retry)
+        if key is None or self.jitter_fraction <= 0 or base <= 0:
+            return base
+        digest = hashlib.sha256(f"{key}:{retry}".encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 - self.jitter_fraction / 2 + self.jitter_fraction * u)
 
 
 @dataclass(frozen=True)

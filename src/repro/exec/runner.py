@@ -431,7 +431,11 @@ class SupervisedRunner:
                 if failure.kind == "timeout":
                     break  # deterministic under the same deadline
                 if retry + 1 < policy.max_attempts:
-                    time.sleep(policy.backoff_seconds(retry))
+                    # Keyed per (clip, rule, backend): seeded jitter
+                    # spreads concurrent retries of a flaky backend.
+                    time.sleep(policy.backoff_seconds(
+                        retry, key=f"{job.clip.name}|{job.rules.name}|{backend}"
+                    ))
         status = (
             RouteStatus.TIMEOUT
             if last_failure is not None and last_failure.kind == "timeout"

@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -141,6 +142,11 @@ class SolveCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        #: durable-write failures (ENOSPC and kin) absorbed by put();
+        #: each one degrades the entry to a miss on the next run
+        #: instead of crashing the sweep.
+        self.write_failures = 0
+        self.last_write_error: "str | None" = None
 
     # -- keys ---------------------------------------------------------------
 
@@ -244,17 +250,30 @@ class SolveCache:
         )
         path = self._path(key if key is not None else
                           self.key_for(model, options))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        # Every step of the atomic write -- mkdir, temp-file creation,
+        # the write itself, the rename -- can hit a full disk; all of
+        # them degrade to "entry not cached" (the next run re-solves)
+        # with the temp file cleaned up, never to a crash.
+        # Imported lazily: repro.exec.runner imports this module, so a
+        # top-level import of the fault injector would be circular.
+        from repro.exec.faults import maybe_raise_disk_full
+
+        tmp: "str | None" = None
         try:
+            maybe_raise_disk_full(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry.to_dict(), fh, sort_keys=True)
             os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except OSError as exc:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            self.write_failures += 1
+            self.last_write_error = f"{type(exc).__name__}: {exc}"
             return False
         return True
 
@@ -305,6 +324,68 @@ class SolveCache:
             "checked": len(files),
             "valid": len(files) - len(quarantined),
             "quarantined": quarantined,
+        }
+
+    def evict(
+        self,
+        max_bytes: "int | None" = None,
+        older_than_seconds: "float | None" = None,
+        now: "float | None" = None,
+    ) -> dict:
+        """Bound the cache: LRU eviction by entry mtime.
+
+        The shared cross-tenant tier grows without bound otherwise.
+        Two independent criteria, either or both:
+
+        - ``older_than_seconds``: drop entries not touched for that
+          long (mtime is refreshed by :meth:`os.replace` on re-put, so
+          it approximates last-write; an LRU by last *read* would cost
+          a utime per hit, which the lock-free design avoids).
+        - ``max_bytes``: after age-based eviction, drop oldest-first
+          until the remaining live entries fit the budget.
+
+        Quarantined entries are never touched -- they are evidence for
+        the integrity audit, not cache capacity -- and never counted
+        against ``max_bytes``.  Returns ``{"removed", "bytes_freed",
+        "remaining_entries", "remaining_bytes"}``.
+        """
+        if now is None:
+            now = time.time()
+        survivors: list[tuple[float, int, Path]] = []
+        removed = 0
+        bytes_freed = 0
+        for f in self._entry_files():
+            try:
+                st = f.stat()
+            except OSError:
+                continue  # racing eviction/quarantine; nothing to do
+            age = now - st.st_mtime
+            if older_than_seconds is not None and age > older_than_seconds:
+                try:
+                    f.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                bytes_freed += st.st_size
+            else:
+                survivors.append((st.st_mtime, st.st_size, f))
+        total = sum(size for _, size, _ in survivors)
+        if max_bytes is not None and total > max_bytes:
+            survivors.sort()  # oldest mtime first = least recently written
+            while survivors and total > max_bytes:
+                _, size, f = survivors.pop(0)
+                try:
+                    f.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                bytes_freed += size
+                total -= size
+        return {
+            "removed": removed,
+            "bytes_freed": bytes_freed,
+            "remaining_entries": len(survivors),
+            "remaining_bytes": total,
         }
 
     def clear(self) -> int:

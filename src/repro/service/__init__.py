@@ -1,0 +1,66 @@
+"""Sweep-as-a-service: a crash-safe HTTP experiment service.
+
+Clients POST a clip set + rule matrix and get back a
+content-addressed experiment id; the service runs the Δcost study
+through the existing supervised/checkpointed/audited sweep fabric
+and serves the report -- byte-identical to a sequential ``repro
+evaluate`` run of the same payload.
+
+Public surface:
+
+- :class:`ServiceConfig` / :class:`ServiceApp` / :func:`serve` --
+  the ``repro serve`` entry points.
+- :class:`ExperimentStore` -- WAL-backed, event-sourced registry.
+- :class:`Scheduler` / :class:`SchedulerConfig` -- queue -> sweep.
+- :class:`AdmissionController` / :class:`AdmissionPolicy` --
+  backpressure and graceful-drain gating.
+- :mod:`repro.service.experiments` -- payload resolution, ids, and
+  the lifecycle state machine.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.app import ServiceApp, ServiceConfig, serve
+from repro.service.experiments import (
+    ALLOWED_TRANSITIONS,
+    DEFAULT_TENANT,
+    TERMINAL_STATES,
+    Experiment,
+    ExperimentState,
+    PayloadError,
+    ResolvedExperiment,
+    experiment_id,
+    resolve_payload,
+)
+from repro.service.scheduler import Scheduler, SchedulerConfig
+from repro.service.store import (
+    ExperimentStore,
+    StoreWriteError,
+    TransitionError,
+)
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "DEFAULT_TENANT",
+    "Experiment",
+    "ExperimentState",
+    "ExperimentStore",
+    "PayloadError",
+    "ResolvedExperiment",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServiceApp",
+    "ServiceConfig",
+    "StoreWriteError",
+    "TERMINAL_STATES",
+    "TransitionError",
+    "experiment_id",
+    "resolve_payload",
+    "serve",
+]

@@ -1,0 +1,148 @@
+"""Admission control and backpressure for the sweep service.
+
+The service's load-shedding contract, in order of checks:
+
+1. **Draining** (SIGTERM received): nothing new is admitted -- 503
+   with ``Retry-After`` pointing past the drain grace period.  The
+   client's correct move is to resubmit to the restarted server; the
+   content-addressed id makes the retry idempotent.
+2. **Request size**: bodies over ``max_body_bytes`` are rejected 413
+   *before* being read into memory (the Content-Length header is the
+   gate), so an oversized upload cannot balloon the server.
+3. **Queue depth**: more than ``max_queue_depth`` non-terminal
+   experiments -> 429 + ``Retry-After``.  The bound is on *accepted
+   but unfinished work* -- the thing that actually consumes memory,
+   journal space, and scheduler time -- not on raw request rate.
+4. **Per-tenant fairness**: one tenant may hold at most
+   ``max_pending_per_tenant`` of those slots, so a single noisy
+   tenant saturating the queue gets 429 while others still admit.
+
+Every rejection carries a machine-readable reason and a
+``Retry-After`` hint scaled to queue depth, so well-behaved clients
+back off proportionally instead of synchronizing their retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure knobs (see module docstring for the contract)."""
+
+    max_queue_depth: int = 16
+    max_pending_per_tenant: int = 8
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: base Retry-After; scaled by how far past the bound we are.
+    retry_after_seconds: float = 5.0
+    drain_grace_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_pending_per_tenant < 1:
+            raise ValueError("max_pending_per_tenant must be >= 1")
+        if self.max_body_bytes < 1024:
+            raise ValueError("max_body_bytes must be >= 1024")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check, ready to render as HTTP."""
+
+    admitted: bool
+    status: int = 200
+    reason: str = ""
+    retry_after: "float | None" = None
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` to submission attempts.
+
+    Thread-safe by construction: the controller holds no mutable
+    state except the draining flag (a bool write, atomic in Python);
+    queue counts come from the store snapshot passed in.
+    """
+
+    def __init__(self, policy: "AdmissionPolicy | None" = None):
+        self.policy = policy or AdmissionPolicy()
+        self.draining = False
+        self.rejected_draining = 0
+        self.rejected_size = 0
+        self.rejected_depth = 0
+        self.rejected_tenant = 0
+
+    def start_drain(self) -> None:
+        self.draining = True
+
+    def check_body_size(self, content_length: int) -> AdmissionDecision:
+        """Header-level gate, applied before the body is read."""
+        if self.draining:
+            self.rejected_draining += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason="server is draining; resubmit after restart",
+                retry_after=self.policy.drain_grace_seconds,
+            )
+        if content_length > self.policy.max_body_bytes:
+            self.rejected_size += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=413,
+                reason=(
+                    f"request body {content_length} bytes exceeds the "
+                    f"{self.policy.max_body_bytes}-byte limit"
+                ),
+            )
+        return AdmissionDecision(admitted=True)
+
+    def check_queue(self, counts: dict, tenant: str) -> AdmissionDecision:
+        """Queue-depth and per-tenant fairness gate."""
+        if self.draining:
+            self.rejected_draining += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason="server is draining; resubmit after restart",
+                retry_after=self.policy.drain_grace_seconds,
+            )
+        pending_total = int(counts.get("pending_total", 0))
+        pending_tenant = int(
+            counts.get("pending_by_tenant", {}).get(tenant, 0)
+        )
+        if pending_total >= self.policy.max_queue_depth:
+            self.rejected_depth += 1
+            overload = pending_total / self.policy.max_queue_depth
+            return AdmissionDecision(
+                admitted=False,
+                status=429,
+                reason=(
+                    f"queue full: {pending_total} pending experiments "
+                    f"(bound {self.policy.max_queue_depth})"
+                ),
+                retry_after=self.policy.retry_after_seconds * overload,
+            )
+        if pending_tenant >= self.policy.max_pending_per_tenant:
+            self.rejected_tenant += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=429,
+                reason=(
+                    f"tenant {tenant!r} holds {pending_tenant} pending "
+                    f"experiments (per-tenant bound "
+                    f"{self.policy.max_pending_per_tenant})"
+                ),
+                retry_after=self.policy.retry_after_seconds,
+            )
+        return AdmissionDecision(admitted=True)
+
+    def stats(self) -> dict:
+        return {
+            "draining": self.draining,
+            "rejected_draining": self.rejected_draining,
+            "rejected_size": self.rejected_size,
+            "rejected_depth": self.rejected_depth,
+            "rejected_tenant": self.rejected_tenant,
+        }

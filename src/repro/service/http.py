@@ -1,0 +1,205 @@
+"""Minimal asyncio HTTP/1.1 layer for the sweep service.
+
+Hand-rolled on :func:`asyncio.start_server` because the service must
+stay stdlib-only (hard project constraint).  Scope is deliberately
+narrow: HTTP/1.1, ``Connection: close`` semantics, no TLS, no chunked
+request bodies -- a control-plane API for trusted lab networks, not a
+general web server.  Request parsing is defensive anyway (bounded
+header count and line length, Content-Length validation against the
+admission limit *before* the body is read) because robustness is the
+whole point of this PR.
+
+The API surface (all JSON unless noted):
+
+====== ================================== ===============================
+POST   /v1/experiments                    submit; 201 new, 200 deduped
+GET    /v1/experiments                    list (``?tenant=`` filter)
+GET    /v1/experiments/{id}               status
+GET    /v1/experiments/{id}/report        Δcost report (text/plain)
+GET    /v1/experiments/{id}/results       journaled pairs (NDJSON)
+POST   /v1/experiments/{id}/cancel        cancel queued/running
+POST   /v1/experiments/{id}/rerun         terminal -> QUEUED, fresh
+POST   /v1/experiments/{id}/resume        terminal -> QUEUED, keep pairs
+GET    /v1/stats                          store/admission/cache stats
+GET    /healthz                           liveness + draining flag
+====== ================================== ===============================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+#: Parser bounds: a request that exceeds these is malformed or
+#: hostile, and is rejected before it can consume memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """Malformed HTTP or JSON from the client; rendered as 400."""
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise BadRequest("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def first(self, param: str) -> "str | None":
+        values = self.query.get(param)
+        return values[0] if values else None
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls,
+        payload: object,
+        status: int = 200,
+        headers: "dict[str, str] | None" = None,
+    ) -> "Response":
+        body = (
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        ).encode("utf-8")
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200) -> "Response":
+        return cls(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+        )
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        reason: str,
+        retry_after: "float | None" = None,
+    ) -> "Response":
+        headers = {}
+        if retry_after is not None:
+            # Retry-After is integer seconds; round up so "0.4s" does
+            # not read as "retry immediately".
+            headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+        return cls.json(
+            {"error": {"status": status, "reason": reason}},
+            status=status,
+            headers=headers,
+        )
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        for name, value in sorted(self.headers.items()):
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request:
+    """Parse one HTTP/1.1 request, enforcing the body-size bound
+    *before* reading the body (an oversized Content-Length raises
+    with the declared size; the body is never buffered)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("client closed before sending a request")
+    if len(request_line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    try:
+        method, target, version = (
+            request_line.decode("latin-1").strip().split(" ", 2)
+        )
+    except ValueError:
+        raise BadRequest("malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await reader.readline()
+        if len(line) > MAX_REQUEST_LINE:
+            raise BadRequest("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise BadRequest("too many headers")
+        try:
+            name, value = line.decode("latin-1").split(":", 1)
+        except ValueError:
+            raise BadRequest("malformed header line") from None
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequest("chunked request bodies are not supported")
+    try:
+        content_length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("malformed Content-Length") from None
+    if content_length < 0:
+        raise BadRequest("negative Content-Length")
+    if content_length > max_body_bytes:
+        raise OversizedBody(content_length)
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+class OversizedBody(Exception):
+    """Content-Length exceeds the admission bound; rendered 413
+    without reading the body."""
+
+    def __init__(self, declared: int):
+        super().__init__(declared)
+        self.declared = declared

@@ -1,0 +1,296 @@
+"""Durable, WAL-backed experiment store.
+
+The store is event-sourced onto a :class:`CheckpointJournal` -- the
+same sealed, quarantine-on-corruption, append-only artifact the sweep
+layer trusts for checkpoints.  Two event kinds:
+
+- ``svc-submit``: the accepted experiment -- id, tenant, and the full
+  *resolved* canonical payload, so recovery can re-run it with zero
+  reference to anything outside the data directory.
+- ``svc-state``: one lifecycle transition (validated against
+  :data:`ALLOWED_TRANSITIONS` before it is journaled).
+
+Recovery replays the WAL in order: corrupt or future-versioned
+records are quarantined by the journal layer (an experiment whose
+*submit* record is lost is gone -- but its acceptance was never
+acknowledged durably if the append failed, so nothing acknowledged is
+lost); experiments whose replayed state is non-terminal are requeued,
+because per-pair results live in per-experiment checkpoint journals
+and re-running is free for finished pairs.
+
+Durability contract: a submission is acknowledged only after its
+``svc-submit`` record hits the WAL (fsync'd).  If the disk is full,
+submission *fails* -- accepting work we cannot make durable would
+break the "no accepted experiment is ever lost" invariant.  State
+transitions, by contrast, absorb append failures (the experiment is
+marked degraded): losing a RUNNING record merely means recovery
+requeues an experiment that had finished, and the re-run is a
+zero-solve journal replay.
+
+All public methods are thread-safe (scheduler threads and the asyncio
+handler thread share the store).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.exec.checkpoint import CheckpointJournal
+from repro.service.experiments import (
+    ALLOWED_TRANSITIONS,
+    Experiment,
+    ExperimentState,
+    PayloadError,
+    ResolvedExperiment,
+    experiment_id,
+    resolve_canonical,
+)
+
+#: WAL record kinds (the journal's ``kind`` tag; "result" and "lease"
+#: are taken by the sweep layer).
+SUBMIT_KIND = "svc-submit"
+STATE_KIND = "svc-state"
+
+
+class StoreWriteError(RuntimeError):
+    """The WAL could not durably record an event that must not be
+    acknowledged otherwise (submission); maps to HTTP 503."""
+
+
+class TransitionError(RuntimeError):
+    """An illegal lifecycle transition was requested; maps to 409."""
+
+
+class ExperimentStore:
+    """Event-sourced experiment registry over one WAL file."""
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = Path(root)
+        self.wal = CheckpointJournal(self.root / "wal.jsonl")
+        self._lock = threading.Lock()
+        self._experiments: dict[str, Experiment] = {}
+        self._seq = 0
+        #: WAL state-event appends absorbed as failures (disk full).
+        self.degraded_writes = 0
+        #: records the journal layer quarantined during recovery.
+        self.recovered_quarantined = 0
+        #: experiments requeued by the last recovery.
+        self.recovered_requeued = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, resolved: ResolvedExperiment
+    ) -> "tuple[Experiment, bool]":
+        """Accept (or dedupe) one resolved submission.
+
+        Returns ``(experiment, created)``.  ``created=False`` means
+        the content-addressed id already existed for this tenant --
+        the retried POST case -- and the existing experiment is
+        returned untouched.  Raises :class:`StoreWriteError` when the
+        WAL append fails: un-journaled acceptance is not acceptance.
+        """
+        exp_id = experiment_id(resolved.tenant, resolved.canonical)
+        with self._lock:
+            existing = self._experiments.get(exp_id)
+            if existing is not None:
+                return existing, False
+            self._seq += 1
+            ok = self.wal.append({
+                "kind": SUBMIT_KIND,
+                "id": exp_id,
+                "tenant": resolved.tenant,
+                "payload": resolved.canonical,
+                "seq": self._seq,
+            })
+            if not ok:
+                self._seq -= 1
+                raise StoreWriteError(
+                    "cannot durably record submission: "
+                    f"{self.wal.last_write_error}"
+                )
+            experiment = Experiment(
+                id=exp_id,
+                tenant=resolved.tenant,
+                resolved=resolved,
+                seq=self._seq,
+            )
+            self._experiments[exp_id] = experiment
+            return experiment, True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def transition(
+        self,
+        exp_id: str,
+        state: ExperimentState,
+        detail: str = "",
+        *,
+        degraded: "bool | None" = None,
+    ) -> Experiment:
+        """Validated, journaled lifecycle transition.
+
+        A WAL append failure here is absorbed (the experiment and
+        store are marked degraded): recovery requeues from the last
+        durable state, which is always sound.
+        """
+        with self._lock:
+            experiment = self._get_locked(exp_id)
+            allowed = ALLOWED_TRANSITIONS[experiment.state]
+            if state not in allowed:
+                raise TransitionError(
+                    f"illegal transition {experiment.state.value} -> "
+                    f"{state.value} for experiment {exp_id}"
+                )
+            if degraded is not None:
+                experiment.degraded = degraded
+            self._seq += 1
+            ok = self.wal.append({
+                "kind": STATE_KIND,
+                "id": exp_id,
+                "state": state.value,
+                "detail": detail,
+                "degraded": experiment.degraded,
+                "seq": self._seq,
+            })
+            experiment.state = state
+            experiment.detail = detail
+            if not ok:
+                experiment.degraded = True
+                self.degraded_writes += 1
+            if state is ExperimentState.QUEUED:
+                # A requeued experiment runs fresh: stale runtime tags
+                # would otherwise leak into the next run's report.
+                experiment.cancel_requested = False
+                experiment.degrade_tier = 0
+            return experiment
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, exp_id: str) -> Experiment:
+        with self._lock:
+            return self._get_locked(exp_id)
+
+    def _get_locked(self, exp_id: str) -> Experiment:
+        experiment = self._experiments.get(exp_id)
+        if experiment is None:
+            raise KeyError(exp_id)
+        return experiment
+
+    def list(self, tenant: "str | None" = None) -> "list[Experiment]":
+        with self._lock:
+            experiments = sorted(
+                self._experiments.values(), key=lambda e: e.seq
+            )
+        if tenant is not None:
+            experiments = [e for e in experiments if e.tenant == tenant]
+        return experiments
+
+    def queued(self) -> "list[Experiment]":
+        return [
+            e for e in self.list() if e.state is ExperimentState.QUEUED
+        ]
+
+    def counts(self) -> dict:
+        """Queue-depth snapshot for admission control."""
+        with self._lock:
+            pending_total = 0
+            pending_by_tenant: dict[str, int] = {}
+            by_state: dict[str, int] = {}
+            for experiment in self._experiments.values():
+                by_state[experiment.state.value] = (
+                    by_state.get(experiment.state.value, 0) + 1
+                )
+                if not experiment.terminal:
+                    pending_total += 1
+                    pending_by_tenant[experiment.tenant] = (
+                        pending_by_tenant.get(experiment.tenant, 0) + 1
+                    )
+            return {
+                "pending_total": pending_total,
+                "pending_by_tenant": pending_by_tenant,
+                "by_state": by_state,
+                "n_experiments": len(self._experiments),
+            }
+
+    # -- per-experiment artifacts ------------------------------------------
+
+    def journal_path(self, exp_id: str) -> Path:
+        """The experiment's own (clip, rule) checkpoint journal."""
+        return self.root / "experiments" / exp_id / "journal.jsonl"
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> dict:
+        """Replay the WAL after a restart (or SIGKILL).
+
+        Every accepted experiment is rebuilt; non-terminal ones are
+        requeued with a journaled recovery transition, so the WAL
+        itself records that a crash happened.  Returns a summary dict
+        for the startup log.
+        """
+        records = self.wal.load(heal=True)
+        self.recovered_quarantined = len(self.wal.quarantined)
+        requeue: list[str] = []
+        with self._lock:
+            self._experiments.clear()
+            self._seq = 0
+            for record in records:
+                kind = record.get("kind")
+                if kind == SUBMIT_KIND:
+                    self._replay_submit(record)
+                elif kind == STATE_KIND:
+                    self._replay_state(record)
+                self._seq = max(self._seq, int(record.get("seq", 0)))
+            requeue = [
+                e.id
+                for e in self._experiments.values()
+                if not e.terminal and e.state is not ExperimentState.QUEUED
+            ]
+        for exp_id in requeue:
+            self.transition(
+                exp_id,
+                ExperimentState.QUEUED,
+                "requeued by crash recovery (checkpointed pairs resume)",
+            )
+        self.recovered_requeued = len(requeue)
+        return {
+            "experiments": len(self._experiments),
+            "requeued": self.recovered_requeued,
+            "quarantined_records": self.recovered_quarantined,
+        }
+
+    def _replay_submit(self, record: dict) -> None:
+        exp_id = str(record.get("id", ""))
+        tenant = str(record.get("tenant", ""))
+        payload = record.get("payload")
+        if not exp_id or not tenant or not isinstance(payload, dict):
+            return  # sealed but malformed: treat as quarantined
+        try:
+            resolved = resolve_canonical(tenant, payload)
+        except PayloadError:
+            return  # payload from an incompatible past; cannot re-run
+        if experiment_id(tenant, resolved.canonical) != exp_id:
+            return  # id does not address this content; do not trust it
+        self._experiments[exp_id] = Experiment(
+            id=exp_id,
+            tenant=tenant,
+            resolved=resolved,
+            seq=int(record.get("seq", 0)),
+        )
+
+    def _replay_state(self, record: dict) -> None:
+        experiment = self._experiments.get(str(record.get("id", "")))
+        if experiment is None:
+            return  # state event for a lost/quarantined submission
+        try:
+            state = ExperimentState(record.get("state"))
+        except ValueError:
+            return  # unknown state from a future schema
+        # Replay does not re-validate transitions: the WAL is the
+        # authority on what *happened*, including degraded sequences.
+        experiment.state = state
+        experiment.detail = str(record.get("detail", ""))
+        experiment.degraded = bool(record.get("degraded", False))

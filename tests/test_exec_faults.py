@@ -80,3 +80,96 @@ class TestApplyFault:
     def test_abort_is_worker_noop(self):
         # ABORT is interpreted by the supervisor, never by the worker.
         assert apply_fault(FaultSpec(FaultKind.ABORT), "highs", 1, inline=True) is None
+
+
+class TestDiskFullFault:
+    """The DISK_FULL artifact fault and the degrade-not-crash paths
+    it exists to exercise (journal appends, solve-cache writes)."""
+
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        from repro.exec.faults import clear_disk_full
+
+        clear_disk_full()
+        yield
+        clear_disk_full()
+
+    def test_arm_match_and_clear(self):
+        import errno
+
+        from repro.exec.faults import (
+            clear_disk_full,
+            disk_full_active,
+            inject_disk_full,
+            maybe_raise_disk_full,
+        )
+
+        inject_disk_full("journal.jsonl")
+        assert disk_full_active("/data/run3/journal.jsonl")
+        assert not disk_full_active("/data/run3/cache/ab.json")
+        with pytest.raises(OSError) as excinfo:
+            maybe_raise_disk_full("/data/run3/journal.jsonl")
+        assert excinfo.value.errno == errno.ENOSPC
+        clear_disk_full("journal.jsonl")
+        maybe_raise_disk_full("/data/run3/journal.jsonl")  # disarmed
+        with pytest.raises(ValueError):
+            inject_disk_full("")
+
+    def test_journal_append_degrades_not_crashes(self, tmp_path):
+        from repro.exec.checkpoint import CheckpointJournal
+        from repro.exec.faults import clear_disk_full, inject_disk_full
+
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        assert journal.append({"clip": "c0", "rule": "RULE1"})
+        inject_disk_full(str(tmp_path))
+        assert not journal.append({"clip": "c0", "rule": "RULE2"})
+        assert journal.write_failures == 1
+        assert "ENOSPC" in journal.last_write_error or (
+            "No space left" in journal.last_write_error
+        )
+        clear_disk_full()
+        # The journal is still usable, and the pre-fault record and
+        # post-fault appends survive (only the ENOSPC'd one is gone).
+        assert journal.append({"clip": "c0", "rule": "RULE3"})
+        records = journal.load()
+        assert [r["rule"] for r in records] == ["RULE1", "RULE3"]
+
+    def test_cache_put_degrades_and_cleans_temp(self, tmp_path):
+        from repro.exec.faults import inject_disk_full
+        from repro.ilp import Model, Solution, SolveCache, SolveStatus
+
+        model = Model(name="m")
+        x = model.binary("x")
+        model.add(x + 0 <= 1)
+        model.minimize(-x)
+        cache = SolveCache(tmp_path / "cache")
+        inject_disk_full(str(tmp_path))
+        ok = cache.put(
+            model, {}, Solution(status=SolveStatus.INFEASIBLE)
+        )
+        assert not ok
+        assert cache.write_failures == 1
+        # No temp litter, no half-written entry.
+        leftovers = [
+            p for p in (tmp_path / "cache").rglob("*")
+            if p.is_file()
+        ] if (tmp_path / "cache").exists() else []
+        assert leftovers == []
+        assert cache.get(model, {}) is None  # a miss, not a crash
+
+    def test_heal_path_skips_when_disk_full(self, tmp_path):
+        from repro.exec.checkpoint import CheckpointJournal
+        from repro.exec.faults import inject_disk_full
+
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.append({"clip": "c0", "rule": "RULE1"})
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write("{torn garbage\n")
+        inject_disk_full(str(tmp_path))
+        # Load still succeeds: the corrupt line is quarantined in
+        # memory; only the sidecar/compaction persistence is skipped.
+        records = journal.load()
+        assert len(records) == 1
+        assert len(journal.quarantined) == 1
+        assert journal.write_failures == 1
+        assert not journal.quarantine_path.exists()

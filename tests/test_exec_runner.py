@@ -183,6 +183,35 @@ class TestRetry:
             SupervisorConfig(isolation="thread")
         with pytest.raises(ValueError):
             SupervisorConfig(hard_deadline_factor=5.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+
+    def test_seeded_jitter_spreads_concurrent_retries(self):
+        # N jobs retrying the same flaky backend must not share a
+        # delay (retry storms); keyed backoff spreads them.
+        policy = RetryPolicy(backoff_base=1.0, backoff_max=10.0)
+        delays = [
+            policy.backoff_seconds(0, key=f"clip{i}|RULE1|highs")
+            for i in range(16)
+        ]
+        assert len(set(delays)) == len(delays), "delays collided"
+        spread = max(delays) - min(delays)
+        assert spread > 0.1  # meaningfully spread, not epsilon-split
+        # All within the jitter envelope around the base delay.
+        assert all(0.75 <= d <= 1.25 for d in delays)
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(backoff_base=0.5)
+        a = policy.backoff_seconds(1, key="c|r|highs")
+        b = policy.backoff_seconds(1, key="c|r|highs")
+        assert a == b  # pure function of (policy, retry, key): replayable
+        assert a != policy.backoff_seconds(2, key="c|r|highs")
+
+    def test_unkeyed_backoff_stays_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=0.4)
+        assert policy.backoff_seconds(1) == 0.2
+        zero_jitter = RetryPolicy(backoff_base=0.1, jitter_fraction=0.0)
+        assert zero_jitter.backoff_seconds(1, key="k") == 0.2
 
 
 class TestFallbackChain:

@@ -206,6 +206,68 @@ class TestCacheStore:
         assert CacheEntry.from_dict(entry.to_dict()) == entry
 
 
+class TestEvict:
+    """LRU eviction keeps the shared cross-tenant tier bounded."""
+
+    def _populate(self, tmp_path, n=4):
+        cache = SolveCache(tmp_path)
+        model = knapsack_model()
+        for i in range(n):
+            assert cache.put(
+                model, {"o": i}, Solution(status=SolveStatus.INFEASIBLE)
+            )
+        return cache
+
+    def _age(self, cache, ages):
+        """Assign deterministic mtimes, oldest first in name order."""
+        import os
+
+        now = 1_000_000.0
+        for entry_file, age in zip(cache._entry_files(), ages):
+            os.utime(entry_file, (now - age, now - age))
+        return now
+
+    def test_older_than_drops_only_stale_entries(self, tmp_path):
+        cache = self._populate(tmp_path, n=4)
+        now = self._age(cache, [400.0, 300.0, 10.0, 5.0])
+        result = cache.evict(older_than_seconds=60.0, now=now)
+        assert result["removed"] == 2
+        assert result["remaining_entries"] == 2
+        assert cache.stats()["entries"] == 2
+
+    def test_max_bytes_evicts_lru_first(self, tmp_path):
+        cache = self._populate(tmp_path, n=4)
+        files_before = cache._entry_files()
+        sizes = {f: f.stat().st_size for f in files_before}
+        now = self._age(cache, [400.0, 300.0, 200.0, 100.0])
+        oldest = files_before[0]
+        keep_bytes = sum(sizes.values()) - sizes[oldest]
+        result = cache.evict(max_bytes=keep_bytes, now=now)
+        assert result["removed"] == 1
+        assert not oldest.exists()  # the least recently written went
+        assert result["remaining_bytes"] <= keep_bytes
+
+    def test_evict_never_touches_quarantine(self, tmp_path):
+        cache = self._populate(tmp_path, n=2)
+        (entry_file, _) = cache._entry_files()
+        entry_file.write_text("{corrupt")
+        # Scanning quarantines the corrupt entry...
+        report = cache.scan()
+        assert len(report["quarantined"]) == 1
+        # ...and a full eviction leaves the quarantined evidence.
+        result = cache.evict(max_bytes=0, older_than_seconds=0.0,
+                             now=1e12)
+        assert result["remaining_entries"] == 0
+        assert cache.stats()["entries"] == 0
+        assert cache.stats()["quarantined"] == 1
+
+    def test_noop_without_criteria(self, tmp_path):
+        cache = self._populate(tmp_path, n=2)
+        result = cache.evict()
+        assert result["removed"] == 0
+        assert result["remaining_entries"] == 2
+
+
 def _clip(seed=0):
     return make_synthetic_clip(
         SyntheticClipSpec(nx=5, ny=6, nz=3, n_nets=2, sinks_per_net=1),

@@ -1,0 +1,100 @@
+"""Tests for service admission control and backpressure."""
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+)
+
+
+def counts(total=0, per_tenant=None):
+    return {
+        "pending_total": total,
+        "pending_by_tenant": per_tenant or {},
+    }
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("bad", [
+        {"max_queue_depth": 0},
+        {"max_pending_per_tenant": 0},
+        {"max_body_bytes": 100},
+    ])
+    def test_rejects_degenerate_bounds(self, bad):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**bad)
+
+
+class TestBodySizeGate:
+    def test_within_limit_admits(self):
+        controller = AdmissionController(AdmissionPolicy(max_body_bytes=2048))
+        assert controller.check_body_size(2048).admitted
+
+    def test_oversized_is_413_before_read(self):
+        controller = AdmissionController(AdmissionPolicy(max_body_bytes=2048))
+        decision = controller.check_body_size(2049)
+        assert not decision.admitted
+        assert decision.status == 413
+        assert "2049" in decision.reason
+        assert controller.stats()["rejected_size"] == 1
+
+
+class TestQueueGate:
+    def test_admits_under_bounds(self):
+        controller = AdmissionController()
+        decision = controller.check_queue(
+            counts(total=3, per_tenant={"a": 3}), "a"
+        )
+        assert decision.admitted
+
+    def test_depth_bound_is_429_with_scaled_retry_after(self):
+        policy = AdmissionPolicy(max_queue_depth=4, retry_after_seconds=5.0)
+        controller = AdmissionController(policy)
+        at_bound = controller.check_queue(counts(total=4), "a")
+        overloaded = controller.check_queue(counts(total=8), "a")
+        assert at_bound.status == overloaded.status == 429
+        # Retry-After grows with overload so retries spread out
+        # instead of synchronizing at the bound.
+        assert at_bound.retry_after == pytest.approx(5.0)
+        assert overloaded.retry_after == pytest.approx(10.0)
+        assert controller.stats()["rejected_depth"] == 2
+
+    def test_tenant_fairness_bound(self):
+        policy = AdmissionPolicy(
+            max_queue_depth=16, max_pending_per_tenant=2
+        )
+        controller = AdmissionController(policy)
+        snapshot = counts(total=3, per_tenant={"noisy": 2, "quiet": 1})
+        noisy = controller.check_queue(snapshot, "noisy")
+        quiet = controller.check_queue(snapshot, "quiet")
+        assert not noisy.admitted
+        assert noisy.status == 429
+        assert "noisy" in noisy.reason
+        assert quiet.admitted
+        assert controller.stats()["rejected_tenant"] == 1
+
+    def test_depth_bound_applies_before_tenant_bound(self):
+        policy = AdmissionPolicy(max_queue_depth=4, max_pending_per_tenant=2)
+        controller = AdmissionController(policy)
+        decision = controller.check_queue(
+            counts(total=4, per_tenant={"a": 4}), "a"
+        )
+        assert "queue full" in decision.reason
+
+
+class TestDrain:
+    def test_drain_rejects_everything_with_503(self):
+        controller = AdmissionController(
+            AdmissionPolicy(drain_grace_seconds=30.0)
+        )
+        controller.start_drain()
+        for decision in (
+            controller.check_body_size(10),
+            controller.check_queue(counts(), "a"),
+        ):
+            assert not decision.admitted
+            assert decision.status == 503
+            assert decision.retry_after == pytest.approx(30.0)
+        assert controller.stats()["rejected_draining"] == 2
+        assert controller.stats()["draining"]
